@@ -1,0 +1,374 @@
+//! Per-layer and per-DNN analytic evaluation (§6.1 methodology).
+//!
+//! Event counts (converts, charge, traffic) come from layer geometry and
+//! the architecture's mapping; the shared component library prices them;
+//! throughput comes from the ISAAC-style interlayer pipeline (§5.5): every
+//! layer runs concurrently, so the pipeline interval is the slowest
+//! layer's per-inference time after greedy weight replication.
+
+use serde::{Deserialize, Serialize};
+
+use raella_energy::breakdown::EnergyBreakdown;
+use raella_nn::models::shapes::{DnnShape, LayerSpec};
+
+use crate::mapping::LayerMapping;
+use crate::spec::AccelSpec;
+
+/// One layer's evaluation on one architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEval {
+    /// Layer name.
+    pub name: String,
+    /// Energy per inference for this layer.
+    pub energy: EnergyBreakdown,
+    /// Per-inference latency with one weight copy (ns).
+    pub base_latency_ns: f64,
+    /// Crossbars one weight copy occupies.
+    pub crossbars_per_copy: usize,
+    /// ADC conversions per inference.
+    pub converts: f64,
+    /// Effective MACs per inference (after pruning).
+    pub macs: f64,
+    /// Mapped crossbar utilization.
+    pub utilization: f64,
+}
+
+/// A DNN's evaluation on one architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnEval {
+    /// Network name.
+    pub dnn: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Energy per inference.
+    pub energy: EnergyBreakdown,
+    /// Pipeline interval per inference (ns) after replication.
+    pub interval_ns: f64,
+    /// Inferences per second.
+    pub throughput: f64,
+    /// Total ADC conversions per inference.
+    pub converts: f64,
+    /// Total effective MACs per inference.
+    pub macs: f64,
+    /// Crossbars used (all replicas).
+    pub crossbars_used: usize,
+    /// Crossbars available in the area budget.
+    pub crossbars_available: usize,
+    /// MAC-weighted crossbar utilization.
+    pub utilization: f64,
+    /// Weight-copy count per layer after greedy replication.
+    pub replicas: Vec<usize>,
+    /// Per-layer detail.
+    pub layers: Vec<LayerEval>,
+}
+
+impl DnnEval {
+    /// Converts per MAC over the whole network.
+    pub fn converts_per_mac(&self) -> f64 {
+        if self.macs == 0.0 {
+            0.0
+        } else {
+            self.converts / self.macs
+        }
+    }
+
+    /// Energy efficiency relative to another evaluation (>1 = better).
+    pub fn efficiency_vs(&self, other: &DnnEval) -> f64 {
+        other.energy.total_pj() / self.energy.total_pj()
+    }
+
+    /// Throughput relative to another evaluation (>1 = faster).
+    pub fn throughput_vs(&self, other: &DnnEval) -> f64 {
+        self.throughput / other.throughput
+    }
+}
+
+/// Evaluates one layer.
+pub fn evaluate_layer(spec: &AccelSpec, layer: &LayerSpec, is_last: bool) -> LayerEval {
+    let m = LayerMapping::map(spec, layer, is_last);
+    let signed = spec.signed_passes(layer) as f64;
+    let prune = spec.pruning_factor;
+    let p = &spec.prices;
+
+    let vectors = layer.vectors() as f64;
+    let macs = layer.macs() as f64 * prune;
+
+    // ADC conversions: every occupied column, every psum set. Toeplitz
+    // copies do not change the total (each position converts its own
+    // columns).
+    let columns = layer.out_c as f64 * m.weight_slices as f64 * m.row_groups as f64;
+    let converts = if let Some(cpm) = spec.converts_per_mac_override {
+        macs * cpm * signed
+    } else {
+        vectors * columns * spec.input_converts_per_column * signed * prune
+    };
+
+    // Crossbars that share one stream of input rows (column overflow).
+    let col_crossbars = layer.out_c.div_ceil(m.filters_per_crossbar) as f64;
+    let row_drives = vectors * layer.filter_len() as f64 * signed;
+
+    let adc_pj = converts * p.adc_convert_pj(spec.adc_bits);
+    let crossbar_pj = macs * spec.charge_units_per_mac * p.device_charge_unit_pj;
+    let dac_pj = row_drives * spec.pulses_per_input * col_crossbars * p.dac_pulse_pj;
+    let sample_hold_pj =
+        vectors * columns * spec.cycles_per_psum_set as f64 * signed * p.sample_hold_pj;
+
+    // Input buffer traffic: each input element is fetched per psum set
+    // (twice with speculation, §7.1), multicast across column-overflow
+    // crossbars. Psum buffer: 16b + flags per (filter, group) per vector.
+    let sram_bytes = row_drives * spec.input_fetches * col_crossbars
+        + vectors * layer.out_c as f64 * m.row_groups as f64 * 3.0 * 2.0;
+    let sram_pj = sram_bytes * p.sram_byte_pj;
+
+    // eDRAM holds activations; inputs read once, outputs written once.
+    let in_bytes = (layer.in_c as f64 / layer.groups as f64 * layer.groups as f64)
+        * (layer.out_h as f64 * layer.stride as f64)
+        * (layer.out_w as f64 * layer.stride as f64).min(layer.out_w as f64 * 2.0);
+    let out_bytes = vectors * layer.out_c as f64;
+    let edram_pj = (in_bytes + out_bytes) * p.edram_byte_pj;
+    let router_pj = (in_bytes + out_bytes) * p.router_byte_pj;
+
+    // Digital: shift+add per conversion; Center+Offset adds one running
+    // input-sum addition per input element and one multiply/subtract per
+    // psum (§5.2 — "negligible", but counted).
+    let mut digital_pj = converts * p.shift_add_pj;
+    if spec.center_offset_digital {
+        digital_pj += row_drives * p.shift_add_pj
+            + vectors * layer.out_c as f64 * m.row_groups as f64 * p.center_mac_pj;
+    }
+    let quant_pj = vectors * layer.out_c as f64 * p.quant_output_pj;
+
+    let energy = EnergyBreakdown {
+        adc_pj,
+        crossbar_pj,
+        dac_pj,
+        sample_hold_pj,
+        sram_pj,
+        edram_pj,
+        router_pj,
+        digital_pj,
+        quant_pj,
+    };
+
+    let base_latency_ns =
+        m.psum_sets(layer) as f64 * spec.cycles_per_psum_set as f64 * spec.cycle_ns * signed;
+
+    // Pruning (FORMS) compacts the weight footprint, freeing crossbars for
+    // replication — that is where its throughput gain comes from.
+    let footprint =
+        ((m.crossbars_per_copy as f64 * prune).ceil() as usize).max(1);
+
+    LayerEval {
+        name: layer.name.clone(),
+        energy,
+        base_latency_ns,
+        crossbars_per_copy: footprint,
+        converts,
+        macs,
+        utilization: m.utilization,
+    }
+}
+
+/// Evaluates a whole DNN: all layers, greedy weight replication within the
+/// area budget (§5.5), pipeline-interval throughput.
+pub fn evaluate_dnn(spec: &AccelSpec, net: &DnnShape) -> DnnEval {
+    let last = net.layers.len().saturating_sub(1);
+    let layers: Vec<LayerEval> = net
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| evaluate_layer(spec, l, i == last))
+        .collect();
+
+    let available = spec.total_crossbars();
+    let mut replicas = vec![1usize; layers.len()];
+    let mut used: usize = layers.iter().map(|l| l.crossbars_per_copy).sum();
+
+    // Greedy replication: while crossbars remain, replicate the
+    // lowest-throughput (highest-interval) layer (§5.5).
+    loop {
+        let (slowest, interval) = bottleneck(&layers, &replicas);
+        let cost = layers[slowest].crossbars_per_copy;
+        if used + cost > available || interval <= 0.0 {
+            break;
+        }
+        replicas[slowest] += 1;
+        used += cost;
+    }
+
+    let (_, interval_ns) = bottleneck(&layers, &replicas);
+    let energy = layers
+        .iter()
+        .fold(EnergyBreakdown::default(), |acc, l| acc.add(&l.energy));
+    let converts: f64 = layers.iter().map(|l| l.converts).sum();
+    let macs: f64 = layers.iter().map(|l| l.macs).sum();
+    let utilization = if macs > 0.0 {
+        layers.iter().map(|l| l.utilization * l.macs).sum::<f64>() / macs
+    } else {
+        0.0
+    };
+
+    DnnEval {
+        dnn: net.name.clone(),
+        arch: spec.name.clone(),
+        energy,
+        interval_ns,
+        throughput: if interval_ns > 0.0 { 1e9 / interval_ns } else { 0.0 },
+        converts,
+        macs,
+        crossbars_used: used.min(available),
+        crossbars_available: available,
+        utilization,
+        replicas,
+        layers,
+    }
+}
+
+/// The slowest layer and its replicated interval.
+fn bottleneck(layers: &[LayerEval], replicas: &[usize]) -> (usize, f64) {
+    let mut worst = 0;
+    let mut worst_interval = 0.0;
+    for (i, l) in layers.iter().enumerate() {
+        let interval = l.base_latency_ns / replicas[i] as f64;
+        if interval > worst_interval {
+            worst_interval = interval;
+            worst = i;
+        }
+    }
+    (worst, worst_interval)
+}
+
+/// Geometric mean of a slice of ratios.
+///
+/// # Panics
+///
+/// Panics if `ratios` is empty or any entry is non-positive.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    assert!(!ratios.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = ratios
+        .iter()
+        .map(|&r| {
+            assert!(r > 0.0, "geomean requires positive ratios, got {r}");
+            r.ln()
+        })
+        .sum();
+    (log_sum / ratios.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::models::shapes;
+
+    #[test]
+    fn raella_beats_isaac_on_resnet18() {
+        let net = shapes::resnet18();
+        let raella = evaluate_dnn(&AccelSpec::raella(), &net);
+        let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+        let eff = raella.efficiency_vs(&isaac);
+        let thr = raella.throughput_vs(&isaac);
+        // Paper Fig. 12: ResNet18 efficiency ~4×, throughput ~2-3×.
+        assert!((2.0..8.0).contains(&eff), "efficiency ratio {eff}");
+        assert!((1.0..5.0).contains(&thr), "throughput ratio {thr}");
+    }
+
+    #[test]
+    fn isaac_energy_is_adc_dominated() {
+        // Fig. 1: ADC dominates an ISAAC-style design.
+        let net = shapes::resnet18();
+        let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+        assert!(
+            isaac.energy.adc_fraction() > 0.5,
+            "ADC fraction {}",
+            isaac.energy.adc_fraction()
+        );
+    }
+
+    #[test]
+    fn converts_per_mac_matches_paper_scale() {
+        let net = shapes::resnet18();
+        let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+        let raella = evaluate_dnn(&AccelSpec::raella(), &net);
+        // §7.1: ISAAC 0.25 (long filters; stem/fc drag it slightly up),
+        // RAELLA ≈ 0.018–0.03 after short-layer effects.
+        assert!(
+            (0.2..0.4).contains(&isaac.converts_per_mac()),
+            "isaac {}",
+            isaac.converts_per_mac()
+        );
+        assert!(
+            (0.01..0.05).contains(&raella.converts_per_mac()),
+            "raella {}",
+            raella.converts_per_mac()
+        );
+    }
+
+    #[test]
+    fn compact_models_gain_less_throughput() {
+        // Fig. 12: ShuffleNet/MobileNet underutilize RAELLA's crossbars.
+        let raella = AccelSpec::raella();
+        let isaac = AccelSpec::isaac();
+        let big = evaluate_dnn(&raella, &shapes::resnet50())
+            .throughput_vs(&evaluate_dnn(&isaac, &shapes::resnet50()));
+        let small = evaluate_dnn(&raella, &shapes::shufflenet_v2())
+            .throughput_vs(&evaluate_dnn(&isaac, &shapes::shufflenet_v2()));
+        assert!(
+            small < big,
+            "compact model ratio {small} should trail large model ratio {big}"
+        );
+    }
+
+    #[test]
+    fn replication_fills_the_budget() {
+        let net = shapes::resnet18();
+        let eval = evaluate_dnn(&AccelSpec::raella(), &net);
+        assert!(eval.crossbars_used > eval.layers.len());
+        assert!(eval.crossbars_used <= eval.crossbars_available);
+        assert!(eval.throughput > 0.0);
+    }
+
+    #[test]
+    fn signed_inputs_double_bert_cycles() {
+        let net = shapes::bert_large_ff();
+        let eval = evaluate_dnn(&AccelSpec::raella(), &net);
+        // Every BERT layer is signed: base latency includes the ×2.
+        let ff1 = &eval.layers[0];
+        let expected = 384.0 * 11.0 * 100.0 * 2.0; // vectors × cycles × ns × planes
+        assert!((ff1.base_latency_ns - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_spec_trades_energy_for_throughput() {
+        // §6.3: without speculation, efficiency drops (more converts) but
+        // throughput rises (8 cycles instead of 11).
+        let net = shapes::resnet50();
+        let spec = evaluate_dnn(&AccelSpec::raella(), &net);
+        let no_spec = evaluate_dnn(&AccelSpec::raella_no_spec(), &net);
+        assert!(no_spec.energy.total_pj() > spec.energy.total_pj());
+        assert!(no_spec.throughput > spec.throughput);
+    }
+
+    #[test]
+    fn geomean_is_correct_and_validated() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn forms_matches_its_published_profile() {
+        // FORMS-8: ~2× fewer MACs, efficiency between ISAAC and RAELLA.
+        let net = shapes::resnet18();
+        let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+        let forms = evaluate_dnn(&AccelSpec::forms8(), &net);
+        let raella = evaluate_dnn(&AccelSpec::raella(), &net);
+        assert!((forms.macs / isaac.macs - 0.5).abs() < 1e-9);
+        assert!(forms.energy.total_pj() < isaac.energy.total_pj());
+        assert!(raella.energy.total_pj() < forms.energy.total_pj());
+    }
+}

@@ -1,0 +1,46 @@
+//! Accelerator architecture models for the RAELLA reproduction.
+//!
+//! The paper's evaluation (§6) is architecture-level: layer shapes flow
+//! through an Accelergy/Timeloop-style analytic model that counts events
+//! (ADC converts, crossbar charge, buffer/NoC traffic), prices them with a
+//! shared component library, maps layers onto tiles with partial-Toeplitz
+//! expansion and greedy weight replication, and reads throughput off the
+//! interlayer pipeline's bottleneck. This crate is that model:
+//!
+//! * [`spec`] — architecture descriptions: **RAELLA** (512×512 2T2R, 7b
+//!   ADC, speculation), **ISAAC** (128×128, 8b ADC), **FORMS-8**
+//!   (pruned, polarized), **TIMELY-like** (65 nm, analog-local, huge
+//!   convert reduction), plus RAELLA variants (no speculation, 65 nm).
+//! * [`mapping`] — layer → crossbar mapping: row groups, column packing,
+//!   partial-Toeplitz copies, utilization.
+//! * [`eval`] — per-layer and per-DNN evaluation producing energy
+//!   breakdowns and pipeline throughput, with greedy replication.
+//! * [`pipeline`] — row-level interlayer dataflow simulation (Fig. 11):
+//!   fill latency, steady-state interval, eDRAM row-buffer occupancy.
+//! * [`writes`] — ReRAM programming cost and its amortization over
+//!   inferences (§2.2, §5.4).
+//!
+//! ```
+//! use raella_arch::eval::evaluate_dnn;
+//! use raella_arch::spec::AccelSpec;
+//! use raella_nn::models::shapes;
+//!
+//! let net = shapes::resnet18();
+//! let raella = evaluate_dnn(&AccelSpec::raella(), &net);
+//! let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+//! // The headline claim: RAELLA is multiples more energy-efficient.
+//! assert!(isaac.energy.total_pj() / raella.energy.total_pj() > 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod mapping;
+pub mod pipeline;
+pub mod spec;
+pub mod writes;
+
+pub use eval::{evaluate_dnn, DnnEval, LayerEval};
+pub use mapping::LayerMapping;
+pub use spec::AccelSpec;

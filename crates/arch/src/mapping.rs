@@ -1,0 +1,159 @@
+//! Layer → crossbar mapping (§5.5): row groups, column packing,
+//! partial-Toeplitz expansion, utilization.
+
+use serde::{Deserialize, Serialize};
+
+use raella_nn::models::shapes::{LayerKind, LayerSpec};
+
+use crate::spec::AccelSpec;
+
+/// How one layer lands on an architecture's crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Weight slices per weight (columns per filter).
+    pub weight_slices: usize,
+    /// Crossbar row groups a filter spans (`ceil(filter_len / rows)`).
+    pub row_groups: usize,
+    /// Filters that fit side by side in one crossbar (column packing).
+    pub filters_per_crossbar: usize,
+    /// Partial-Toeplitz copies held in spare rows (conv positions computed
+    /// per activation; §5.5, [11, 24]).
+    pub toeplitz_copies: usize,
+    /// Crossbars one full copy of the layer's weights occupies.
+    pub crossbars_per_copy: usize,
+    /// Fraction of occupied crossbar cells holding real weights.
+    pub utilization: f64,
+}
+
+impl LayerMapping {
+    /// Maps a layer onto an architecture.
+    pub fn map(spec: &AccelSpec, layer: &LayerSpec, is_last: bool) -> LayerMapping {
+        let n_w = spec.weight_slices_for(layer, is_last);
+        let filter_len = layer.filter_len();
+        let row_groups = filter_len.div_ceil(spec.rows);
+        let filters_per_crossbar = (spec.cols / n_w).max(1);
+
+        // Partial Toeplitz: spare vertical space computes extra conv
+        // positions per activation. Only meaningful for convs whose filter
+        // fits the crossbar with room left; extra positions share weights
+        // but need more input rows (in_c·k·stride per extra position).
+        let toeplitz_copies = if layer.kind == LayerKind::Linear || filter_len > spec.rows {
+            1
+        } else {
+            let extra_rows_per_copy = (layer.in_c / layer.groups) * layer.k * layer.stride;
+            let spare = spec.rows - filter_len;
+            let extra = if extra_rows_per_copy == 0 {
+                0
+            } else {
+                spare / extra_rows_per_copy
+            };
+            (1 + extra).min(layer.k.max(1))
+        };
+
+        let crossbars_per_copy = row_groups * layer.out_c.div_ceil(filters_per_crossbar);
+        let weight_cells = layer.out_c as f64 * filter_len as f64 * n_w as f64;
+        let occupied = (crossbars_per_copy * spec.rows * spec.cols) as f64;
+        LayerMapping {
+            weight_slices: n_w,
+            row_groups,
+            filters_per_crossbar,
+            toeplitz_copies,
+            crossbars_per_copy,
+            utilization: (weight_cells / occupied).min(1.0),
+        }
+    }
+
+    /// Psum sets the layer needs per inference: input vectors divided by
+    /// Toeplitz-parallel positions.
+    pub fn psum_sets(&self, layer: &LayerSpec) -> u64 {
+        layer.vectors().div_ceil(self.toeplitz_copies as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::models::shapes;
+
+    #[test]
+    fn long_filters_split_into_row_groups() {
+        let raella = AccelSpec::raella();
+        let net = shapes::resnet18();
+        // layer4 3×3 conv over 512 channels: filter_len 4608 → 9 groups.
+        let big = net
+            .layers
+            .iter()
+            .find(|l| l.filter_len() == 4608)
+            .expect("resnet18 has 512-channel 3×3 convs");
+        let m = LayerMapping::map(&raella, big, false);
+        assert_eq!(m.row_groups, 9);
+        assert_eq!(m.toeplitz_copies, 1);
+        assert_eq!(m.weight_slices, 3);
+        // 512 cols / 3 slices = 170 filters side by side.
+        assert_eq!(m.filters_per_crossbar, 170);
+        assert_eq!(m.crossbars_per_copy, 9 * 512usize.div_ceil(170));
+    }
+
+    #[test]
+    fn depthwise_filters_underutilize_big_crossbars() {
+        let raella = AccelSpec::raella();
+        let isaac = AccelSpec::isaac();
+        let net = shapes::mobilenet_v2();
+        let dw = net
+            .layers
+            .iter()
+            .find(|l| l.kind == LayerKind::DepthwiseConv)
+            .expect("has depthwise");
+        let mr = LayerMapping::map(&raella, dw, false);
+        let mi = LayerMapping::map(&isaac, dw, false);
+        // 9-row filters leave a 512-row crossbar almost empty (§6.3).
+        assert!(mr.utilization < 0.1, "raella util {}", mr.utilization);
+        assert!(
+            mi.utilization > mr.utilization,
+            "small crossbars utilize better"
+        );
+    }
+
+    #[test]
+    fn toeplitz_copies_grow_with_spare_rows() {
+        let raella = AccelSpec::raella();
+        let net = shapes::resnet18();
+        // conv1: 3×7×7 = 147 rows in a 512-row crossbar, k = 7.
+        let stem = &net.layers[0];
+        let m = LayerMapping::map(&raella, stem, false);
+        assert!(m.toeplitz_copies > 1, "stem should fit Toeplitz copies");
+        assert!(m.toeplitz_copies <= stem.k);
+        assert!(m.psum_sets(stem) < stem.vectors());
+    }
+
+    #[test]
+    fn linear_layers_take_one_copy_no_toeplitz() {
+        let raella = AccelSpec::raella();
+        let net = shapes::bert_large_ff();
+        let ff1 = &net.layers[0]; // 1024 → 4096
+        let m = LayerMapping::map(&raella, ff1, false);
+        assert_eq!(m.toeplitz_copies, 1);
+        assert_eq!(m.row_groups, 2);
+        assert_eq!(m.psum_sets(ff1), ff1.vectors());
+    }
+
+    #[test]
+    fn utilization_never_exceeds_one() {
+        for spec in [AccelSpec::raella(), AccelSpec::isaac(), AccelSpec::forms8()] {
+            for net in shapes::DnnShape::all_evaluated() {
+                for (i, layer) in net.layers.iter().enumerate() {
+                    let m = LayerMapping::map(&spec, layer, i == net.layers.len() - 1);
+                    assert!(
+                        m.utilization > 0.0 && m.utilization <= 1.0,
+                        "{} on {}: {}",
+                        layer.name,
+                        spec.name,
+                        m.utilization
+                    );
+                    assert!(m.crossbars_per_copy >= 1);
+                    assert!(m.toeplitz_copies >= 1);
+                }
+            }
+        }
+    }
+}

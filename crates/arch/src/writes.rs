@@ -1,0 +1,129 @@
+//! ReRAM programming cost and amortization (§2.2, §5.4).
+//!
+//! ReRAM writes are expensive, but PIM accelerators are "programmed once
+//! for many inferences": weights are written at deploy time and reused, so
+//! write energy amortizes away. This module quantifies that claim — total
+//! programming energy for a network on an architecture, and the number of
+//! inferences after which writes fall below a given fraction of cumulative
+//! inference energy.
+
+use serde::{Deserialize, Serialize};
+
+use raella_nn::models::shapes::DnnShape;
+
+use crate::eval::DnnEval;
+use crate::spec::AccelSpec;
+
+/// Programming cost summary for one deployed network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// ReRAM cells programmed (including every replica and, for 2T2R,
+    /// both cells of every pair).
+    pub cells_written: u64,
+    /// Total programming energy in picojoules.
+    pub write_energy_pj: f64,
+    /// Inference energy in picojoules (per inference).
+    pub inference_energy_pj: f64,
+    /// Inferences until programming energy drops below 1% of cumulative
+    /// inference energy.
+    pub inferences_to_amortize: u64,
+}
+
+/// Computes the programming cost of a network's deployment, given its
+/// evaluation (for replica counts and inference energy).
+///
+/// # Panics
+///
+/// Panics if `eval` does not correspond to `net` (layer count mismatch).
+pub fn write_report(spec: &AccelSpec, net: &DnnShape, eval: &DnnEval) -> WriteReport {
+    assert_eq!(
+        eval.replicas.len(),
+        net.layers.len(),
+        "evaluation does not match the network"
+    );
+    let cells_per_weight: u64 = {
+        // One cell per weight slice; 2T2R pairs program both cells (one of
+        // them to zero, which still costs a write pulse).
+        
+        if spec.two_t2r { 2 } else { 1 }
+    };
+    let mut cells = 0u64;
+    for (i, layer) in net.layers.iter().enumerate() {
+        let is_last = i == net.layers.len() - 1;
+        let slices = spec.weight_slices_for(layer, is_last) as u64;
+        let replicas = eval.replicas[i] as u64;
+        cells += layer.weights() * slices * cells_per_weight * replicas;
+    }
+    let write_energy_pj = cells as f64 * spec.prices.reram_write_pj;
+    let inference_energy_pj = eval.energy.total_pj();
+    let inferences_to_amortize = if inference_energy_pj > 0.0 {
+        (write_energy_pj / (0.01 * inference_energy_pj)).ceil() as u64
+    } else {
+        u64::MAX
+    };
+    WriteReport {
+        cells_written: cells,
+        write_energy_pj,
+        inference_energy_pj,
+        inferences_to_amortize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_dnn;
+    use raella_nn::models::shapes;
+
+    #[test]
+    fn writes_amortize_within_realistic_deployments() {
+        // §2.2: "Write cost is amortized in inference as ReRAM is
+        // nonvolatile" — a few thousand inferences must suffice.
+        let spec = AccelSpec::raella();
+        let net = shapes::resnet18();
+        let eval = evaluate_dnn(&spec, &net);
+        let report = write_report(&spec, &net, &eval);
+        assert!(report.cells_written > net.total_weights());
+        assert!(
+            report.inferences_to_amortize < 1_000_000,
+            "amortization horizon {} unreasonable",
+            report.inferences_to_amortize
+        );
+    }
+
+    #[test]
+    fn replication_multiplies_write_cost_not_inference_cost() {
+        let spec = AccelSpec::raella();
+        let net = shapes::resnet18();
+        let eval = evaluate_dnn(&spec, &net);
+        let report = write_report(&spec, &net, &eval);
+        // With replication, cells written greatly exceed one weight copy.
+        let one_copy: u64 = net
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                l.weights() * spec.weight_slices_for(l, i == net.layers.len() - 1) as u64 * 2
+            })
+            .sum();
+        assert!(report.cells_written >= one_copy);
+        assert!(eval.replicas.iter().any(|&r| r > 1), "replication expected");
+    }
+
+    #[test]
+    fn two_t2r_doubles_cell_writes() {
+        let raella = AccelSpec::raella();
+        let isaac = AccelSpec::isaac();
+        let net = shapes::shufflenet_v2();
+        let er = evaluate_dnn(&raella, &net);
+        let ei = evaluate_dnn(&isaac, &net);
+        let wr = write_report(&raella, &net, &er);
+        let wi = write_report(&isaac, &net, &ei);
+        // Per weight-slice-replica, RAELLA writes two cells, ISAAC one.
+        let per_r = wr.cells_written as f64
+            / er.replicas.iter().map(|&r| r as f64).sum::<f64>();
+        let per_i = wi.cells_written as f64
+            / ei.replicas.iter().map(|&r| r as f64).sum::<f64>();
+        assert!(per_r > per_i * 0.8, "2T2R writes {per_r} vs 1T1R {per_i}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration harness (run with `--ignored --nocapture`): prints energy
+//! breakdowns and RAELLA-vs-ISAAC ratios for all seven DNNs so model
+//! constants can be tuned against the paper's Fig. 12.
+
+use raella_arch::eval::{evaluate_dnn, geomean};
+use raella_arch::spec::AccelSpec;
+use raella_nn::models::shapes::DnnShape;
+
+#[test]
+#[ignore = "manual calibration harness"]
+fn calibrate() {
+    let raella = AccelSpec::raella();
+    let no_spec = AccelSpec::raella_no_spec();
+    let isaac = AccelSpec::isaac();
+    let mut effs = Vec::new();
+    let mut thrs = Vec::new();
+    let mut effs_ns = Vec::new();
+    let mut thrs_ns = Vec::new();
+    for net in DnnShape::all_evaluated() {
+        let r = evaluate_dnn(&raella, &net);
+        let n = evaluate_dnn(&no_spec, &net);
+        let i = evaluate_dnn(&isaac, &net);
+        println!("=== {} ===", net.name);
+        println!("  ISAAC : {}", i.energy);
+        println!("  RAELLA: {}", r.energy);
+        println!(
+            "  eff x{:.2} (nospec x{:.2})  thr x{:.2} (nospec x{:.2})  cpm {:.4}/{:.4}",
+            r.efficiency_vs(&i),
+            n.efficiency_vs(&i),
+            r.throughput_vs(&i),
+            n.throughput_vs(&i),
+            r.converts_per_mac(),
+            i.converts_per_mac(),
+        );
+        effs.push(r.efficiency_vs(&i));
+        thrs.push(r.throughput_vs(&i));
+        effs_ns.push(n.efficiency_vs(&i));
+        thrs_ns.push(n.throughput_vs(&i));
+    }
+    println!(
+        "geomean: eff x{:.2} (paper 3.9) nospec x{:.2} (paper 2.8) | thr x{:.2} (paper 2.0) nospec x{:.2} (paper 2.7)",
+        geomean(&effs),
+        geomean(&effs_ns),
+        geomean(&thrs),
+        geomean(&thrs_ns)
+    );
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the architecture models: evaluation must stay
+//! physical (positive, bounded, monotone) across arbitrary layer shapes.
+
+use proptest::prelude::*;
+
+use raella_arch::eval::{evaluate_dnn, evaluate_layer};
+use raella_arch::mapping::LayerMapping;
+use raella_arch::spec::AccelSpec;
+use raella_nn::models::shapes::{DnnShape, LayerKind, LayerSpec};
+
+/// An arbitrary plausible conv/linear layer.
+fn arb_layer() -> impl Strategy<Value = LayerSpec> {
+    (
+        1usize..512,        // in_c
+        1usize..512,        // out_c
+        prop::sample::select(vec![1usize, 3, 5, 7]),
+        1usize..=2,         // stride
+        1usize..56,         // out_h
+        1usize..56,         // out_w
+        any::<bool>(),      // depthwise?
+    )
+        .prop_map(|(in_c, out_c, k, stride, out_h, out_w, dw)| {
+            let (kind, groups, in_c, out_c) = if dw && k > 1 {
+                (LayerKind::DepthwiseConv, in_c, in_c, in_c)
+            } else {
+                (LayerKind::Conv, 1, in_c, out_c)
+            };
+            LayerSpec {
+                name: "prop".into(),
+                kind,
+                in_c,
+                out_c,
+                k,
+                stride,
+                groups,
+                out_h,
+                out_w,
+                signed_inputs: false,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mappings are always physical: at least one crossbar, utilization in
+    /// (0, 1], Toeplitz copies within the kernel height.
+    #[test]
+    fn mapping_is_physical(layer in arb_layer(), last: bool) {
+        for spec in [AccelSpec::raella(), AccelSpec::isaac()] {
+            let m = LayerMapping::map(&spec, &layer, last);
+            prop_assert!(m.crossbars_per_copy >= 1);
+            prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+            prop_assert!(m.toeplitz_copies >= 1);
+            prop_assert!(m.toeplitz_copies <= layer.k.max(1));
+            prop_assert!(m.row_groups >= 1);
+            prop_assert!(m.psum_sets(&layer) >= 1);
+            prop_assert!(m.psum_sets(&layer) <= layer.vectors());
+        }
+    }
+
+    /// Layer evaluation produces positive finite energy and latency, with
+    /// converts bounded by the no-gating worst case.
+    #[test]
+    fn layer_eval_is_bounded(layer in arb_layer(), last: bool) {
+        let spec = AccelSpec::raella();
+        let e = evaluate_layer(&spec, &layer, last);
+        prop_assert!(e.energy.total_pj().is_finite());
+        prop_assert!(e.energy.total_pj() > 0.0);
+        prop_assert!(e.base_latency_ns > 0.0);
+        prop_assert!(e.converts > 0.0);
+        // Upper bound: every column converted on all 8 recovery slices.
+        let m = LayerMapping::map(&spec, &layer, last);
+        let worst = layer.vectors() as f64
+            * layer.out_c as f64
+            * m.weight_slices as f64
+            * m.row_groups as f64
+            * 8.0
+            * 2.0;
+        prop_assert!(e.converts <= worst + 1.0);
+    }
+
+    /// Whole-DNN evaluation respects the area budget and produces a
+    /// consistent replica vector for arbitrary 1–4 layer chains.
+    #[test]
+    fn dnn_eval_respects_budget(layers in prop::collection::vec(arb_layer(), 1..4)) {
+        let net = DnnShape { name: "prop-net".into(), layers };
+        let spec = AccelSpec::raella();
+        let eval = evaluate_dnn(&spec, &net);
+        prop_assert!(eval.crossbars_used <= eval.crossbars_available);
+        prop_assert_eq!(eval.replicas.len(), net.layers.len());
+        prop_assert!(eval.replicas.iter().all(|&r| r >= 1));
+        prop_assert!(eval.throughput > 0.0);
+        prop_assert!(eval.converts_per_mac() > 0.0);
+    }
+
+    /// More area never hurts: doubling the budget cannot reduce throughput.
+    #[test]
+    fn bigger_budget_is_never_slower(seed in 0u64..50) {
+        let mut layers = Vec::new();
+        for i in 0..3u64 {
+            let c = 16 + ((seed + i) % 8) as usize * 16;
+            layers.push(LayerSpec {
+                name: format!("l{i}"),
+                kind: LayerKind::Conv,
+                in_c: c,
+                out_c: c,
+                k: 3,
+                stride: 1,
+                groups: 1,
+                out_h: 28,
+                out_w: 28,
+                signed_inputs: false,
+            });
+        }
+        let net = DnnShape { name: "b".into(), layers };
+        let small = AccelSpec::raella();
+        let mut big = AccelSpec::raella();
+        big.area_budget_mm2 *= 2.0;
+        let ts = evaluate_dnn(&small, &net).throughput;
+        let tb = evaluate_dnn(&big, &net).throughput;
+        prop_assert!(tb >= ts * 0.999, "double area slower: {tb} < {ts}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 1 (right): energy breakdown of an 8b ISAAC-based design.
+//!
+//! The paper's point: crossbars compute 8b MACs under 100 fJ, yet overall
+//! energy is dominated by the ADCs. Regenerates the breakdown by running
+//! ResNet18's shape table through the ISAAC architecture model.
+
+use raella_arch::eval::evaluate_dnn;
+use raella_arch::spec::AccelSpec;
+use raella_bench::{bar, header, pct, table};
+use raella_energy::breakdown::EnergyBreakdown;
+use raella_nn::models::shapes;
+
+fn main() {
+    header(
+        "Fig. 1: ISAAC-based design energy breakdown (ResNet18)",
+        "ADC dominates (~60%); crossbar <100 fJ/8b-MAC yet a small slice",
+    );
+    let isaac = AccelSpec::isaac();
+    let eval = evaluate_dnn(&isaac, &shapes::resnet18());
+    let total = eval.energy.total_pj();
+    let rows: Vec<Vec<String>> = EnergyBreakdown::LABELS
+        .iter()
+        .zip(eval.energy.values())
+        .map(|(label, v)| {
+            vec![
+                label.to_string(),
+                format!("{:.1} µJ", v / 1e6),
+                pct(v / total),
+                bar(v / total, 40),
+            ]
+        })
+        .collect();
+    table(&["component", "energy", "share", ""], &rows);
+    println!("\n  total: {:.1} µJ per inference", total / 1e6);
+    println!(
+        "  ADC fraction: {} (paper: ADC dominates the ISAAC-based design)",
+        pct(eval.energy.adc_fraction())
+    );
+    let mac_fj = eval.energy.crossbar_pj / eval.macs * 1000.0;
+    println!("  crossbar energy per 8b MAC: {mac_fj:.0} fJ (paper: <100 fJ)");
+    assert!(eval.energy.adc_fraction() > 0.5, "ADC must dominate");
+    assert!(mac_fj < 100.0, "crossbar MAC must stay under 100 fJ");
+}

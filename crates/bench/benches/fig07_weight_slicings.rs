@@ -1,0 +1,102 @@
+//! Fig. 7: per-layer weight slicings chosen by Adaptive Weight Slicing,
+//! and the crossbar footprint of each slicing.
+//!
+//! Paper series: most layers settle on three slices in a 4b-2b-2b pattern;
+//! short-filter layers afford two; the last layer always uses eight 1b
+//! slices; more slices = more columns (denser footprints are cheaper but
+//! risk saturation).
+//!
+//! The search runs on synthetic layers with the *full* networks' dot
+//! product lengths (column-sum pressure is set by filter length and value
+//! distributions, not by semantic content — `DESIGN.md` §5).
+
+use std::collections::BTreeMap;
+
+use raella_bench::{bar, header, table};
+use raella_core::adaptive::find_best_slicing;
+use raella_core::RaellaConfig;
+use raella_nn::models::shapes::DnnShape;
+use raella_nn::synth::SynthLayer;
+use raella_xbar::slicing::Slicing;
+
+fn main() {
+    header(
+        "Fig. 7: adaptive per-layer weight slicings (full network geometries)",
+        "most layers use three slices (4b-2b-2b); last layer eight 1b slices",
+    );
+    println!("  (top) crossbar footprint: a slicing with n slices costs n columns/weight\n");
+
+    let cfg = RaellaConfig {
+        search_vectors: 3,
+        ..RaellaConfig::default()
+    };
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut rows = Vec::new();
+    for net in DnnShape::all_evaluated() {
+        // The search outcome depends on the dot-product length; search once
+        // per distinct length and reuse (keeps InceptionV3's 94 layers fast).
+        let mut by_len: BTreeMap<usize, Slicing> = BTreeMap::new();
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let last = net.layers.len() - 1;
+        for (i, layer) in net.layers.iter().enumerate() {
+            let slicing = if i == last {
+                Slicing::uniform(1, 8)
+            } else {
+                let len = layer.filter_len().min(4608);
+                by_len
+                    .entry(len)
+                    .or_insert_with(|| {
+                        let synth = SynthLayer::linear(len, 8, 0x0F17 ^ len as u64)
+                            .name(format!("{}-len{len}", net.name))
+                            .build();
+                        find_best_slicing(&synth, &cfg)
+                            .expect("search succeeds")
+                            .slicing
+                    })
+                    .clone()
+            };
+            *histogram.entry(slicing.num_slices()).or_default() += 1;
+            *counts.entry(slicing.to_string()).or_default() += 1;
+        }
+        let mut summary: Vec<(usize, String)> =
+            counts.into_iter().map(|(s, c)| (c, s)).collect();
+        summary.sort_by(|a, b| b.0.cmp(&a.0));
+        let text: Vec<String> = summary
+            .into_iter()
+            .map(|(c, s)| format!("{s}×{c}"))
+            .collect();
+        rows.push(vec![net.name.clone(), text.join(", ")]);
+    }
+    table(&["DNN", "slicing × layer count"], &rows);
+
+    println!("\n  slice-count histogram across all layers:");
+    let total: usize = histogram.values().sum();
+    let hist_rows: Vec<Vec<String>> = histogram
+        .iter()
+        .map(|(n, c)| {
+            vec![
+                format!("{n} slices"),
+                format!("{c}"),
+                bar(*c as f64 / total as f64, 30),
+            ]
+        })
+        .collect();
+    table(&["slicing", "layers", ""], &hist_rows);
+
+    // The paper's qualitative claims.
+    let three = histogram.get(&3).copied().unwrap_or(0);
+    let two = histogram.get(&2).copied().unwrap_or(0);
+    assert!(
+        three > total / 3,
+        "three-slice slicings should dominate long-filter layers: {histogram:?}"
+    );
+    assert!(two > 0, "short-filter layers should afford two slices");
+    assert_eq!(
+        histogram.get(&8).copied().unwrap_or(0),
+        7,
+        "each network's last layer uses 8×1b: {histogram:?}"
+    );
+    println!(
+        "\n  {three}/{total} layers chose three weight slices (paper: most layers 4b-2b-2b)"
+    );
+}

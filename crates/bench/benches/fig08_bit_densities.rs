@@ -1,0 +1,74 @@
+//! Fig. 8: input/weight value distributions and per-bit densities for a
+//! typical DNN layer (the paper shows ResNet50's penultimate layer).
+//!
+//! Paper series: inputs are right-skewed with naturally sparse high-order
+//! bits; bell-curve weights split about a center into offsets with sparse
+//! high-order bits — the property that makes 4b high-order weight slices
+//! and speculative 4b input slices viable.
+
+use raella_bench::{bar, header, table};
+use raella_core::center::{offsets, optimal_center};
+use raella_nn::stats::bit_densities;
+use raella_nn::synth::SynthLayer;
+use raella_xbar::slicing::Slicing;
+
+fn main() {
+    header(
+        "Fig. 8: value distributions and per-bit densities (ResNet50-class layer)",
+        "sparse high-order input bits; center+offset weights have sparse high-order bits",
+    );
+    // ResNet50's penultimate conv: 1×1 over 512 channels.
+    let layer = SynthLayer::conv(512, 16, 1, 0x0F08)
+        .name("resnet50.layer4.2.conv3")
+        .build();
+
+    // Inputs as the hardware sees them (stored-domain u8).
+    let inputs: Vec<u8> = layer
+        .sample_inputs(4, 7)
+        .iter()
+        .map(|&x| x.max(0) as u8)
+        .collect();
+    let input_density = bit_densities(&inputs);
+
+    // Weight offsets under Center+Offset (per-filter centers).
+    let slicing = Slicing::raella_default_weights();
+    let mut offset_mags: Vec<u8> = Vec::new();
+    for f in 0..layer.filters() {
+        let ws = layer.filter_weights(f);
+        let phi = optimal_center(ws, &slicing);
+        for &w in ws {
+            let (p, n) = offsets(w, phi);
+            offset_mags.push(p.max(n));
+        }
+    }
+    let weight_density = bit_densities(&offset_mags);
+
+    let mut rows = Vec::new();
+    for b in (0..8).rev() {
+        rows.push(vec![
+            format!("bit {b}"),
+            format!("{:.3}", input_density[b]),
+            bar(input_density[b], 24),
+            format!("{:.3}", weight_density[b]),
+            bar(weight_density[b], 24),
+        ]);
+    }
+    table(
+        &["", "input density", "", "offset density", ""],
+        &rows,
+    );
+
+    let mean_in = inputs.iter().map(|&x| f64::from(x)).sum::<f64>() / inputs.len() as f64;
+    let zeros = inputs.iter().filter(|&&x| x == 0).count() as f64 / inputs.len() as f64;
+    println!("\n  input mean {mean_in:.1}, zeros {:.1}% (right-skewed)", zeros * 100.0);
+
+    // The paper's qualitative shape: sparse high-order bits on both sides.
+    assert!(input_density[7] < 0.1, "input bit 7 must be sparse");
+    assert!(input_density[6] < 0.2, "input bit 6 must be sparse");
+    assert!(weight_density[7] < 0.05, "offset bit 7 must be sparse");
+    assert!(weight_density[6] < 0.1, "offset bit 6 must be sparse");
+    assert!(
+        weight_density[0] > 3.0 * weight_density[5],
+        "low-order offset bits are much denser"
+    );
+}

@@ -1,0 +1,71 @@
+//! Fig. 12: efficiency and throughput normalized to ISAAC, all seven DNNs,
+//! RAELLA with and without speculation.
+//!
+//! Paper series: efficiency ×2.9–4.9 (geomean 3.9), throughput ×0.7–3.3
+//! (geomean 2.0); without speculation ×2.8 geomean efficiency and ×2.7
+//! geomean throughput. Compact DNNs (ShuffleNet/MobileNet) and signed
+//! inputs (BERT) gain less.
+
+use raella_arch::eval::{evaluate_dnn, geomean};
+use raella_arch::spec::AccelSpec;
+use raella_bench::{header, ratio, table};
+use raella_nn::models::shapes::DnnShape;
+
+fn main() {
+    header(
+        "Fig. 12: efficiency & throughput vs ISAAC (no retraining)",
+        "efficiency x2.9–4.9 (geo 3.9), throughput x0.7–3.3 (geo 2.0); no-spec geo 2.8/2.7",
+    );
+    let raella = AccelSpec::raella();
+    let no_spec = AccelSpec::raella_no_spec();
+    let isaac = AccelSpec::isaac();
+
+    let mut rows = Vec::new();
+    let (mut effs, mut thrs, mut effs_ns, mut thrs_ns) = (vec![], vec![], vec![], vec![]);
+    for net in DnnShape::all_evaluated() {
+        let r = evaluate_dnn(&raella, &net);
+        let n = evaluate_dnn(&no_spec, &net);
+        let i = evaluate_dnn(&isaac, &net);
+        effs.push(r.efficiency_vs(&i));
+        thrs.push(r.throughput_vs(&i));
+        effs_ns.push(n.efficiency_vs(&i));
+        thrs_ns.push(n.throughput_vs(&i));
+        rows.push(vec![
+            net.name.clone(),
+            ratio(r.efficiency_vs(&i)),
+            ratio(n.efficiency_vs(&i)),
+            ratio(r.throughput_vs(&i)),
+            ratio(n.throughput_vs(&i)),
+            format!("{:.4}", r.converts_per_mac()),
+        ]);
+    }
+    rows.push(vec![
+        "geomean".into(),
+        ratio(geomean(&effs)),
+        ratio(geomean(&effs_ns)),
+        ratio(geomean(&thrs)),
+        ratio(geomean(&thrs_ns)),
+        String::new(),
+    ]);
+    table(
+        &["DNN", "efficiency", "(no spec)", "throughput", "(no spec)", "converts/MAC"],
+        &rows,
+    );
+
+    // The paper's shape claims.
+    let ge = geomean(&effs);
+    let gt = geomean(&thrs);
+    assert!((3.0..5.0).contains(&ge), "geomean efficiency {ge} (paper 3.9)");
+    assert!((1.4..2.6).contains(&gt), "geomean throughput {gt} (paper 2.0)");
+    assert!(
+        geomean(&effs_ns) < ge,
+        "speculation must improve geomean efficiency"
+    );
+    assert!(
+        geomean(&thrs_ns) > gt,
+        "disabling speculation must improve geomean throughput"
+    );
+    // Compact DNNs trail on throughput (ShuffleNetV2 index 4, MobileNetV2 5).
+    assert!(thrs[4] < 1.2 && thrs[5] < 1.2, "compact DNNs gain least");
+    println!("\n  compact DNNs underutilize 512-row crossbars; BERT pays two-cycle signed inputs");
+}

@@ -1,0 +1,94 @@
+//! Fig. 13: comparison with retraining architectures (FORMS-8, TIMELY),
+//! geomean over ResNet18/ResNet50.
+//!
+//! Paper series: RAELLA matches FORMS's throughput and exceeds the
+//! efficiency of both FORMS and TIMELY without retraining; at 65 nm with
+//! TIMELY's cheap time-domain converts, the no-speculation variant is the
+//! more efficient RAELLA.
+
+use raella_arch::eval::{evaluate_dnn, geomean, DnnEval};
+use raella_arch::spec::AccelSpec;
+use raella_bench::{header, ratio, table};
+use raella_nn::models::shapes;
+
+fn geo_pair(spec: &AccelSpec) -> (DnnEval, DnnEval) {
+    (
+        evaluate_dnn(spec, &shapes::resnet18()),
+        evaluate_dnn(spec, &shapes::resnet50()),
+    )
+}
+
+fn geo_eff(a: &(DnnEval, DnnEval), base: &(DnnEval, DnnEval)) -> f64 {
+    geomean(&[a.0.efficiency_vs(&base.0), a.1.efficiency_vs(&base.1)])
+}
+
+fn geo_thr(a: &(DnnEval, DnnEval), base: &(DnnEval, DnnEval)) -> f64 {
+    geomean(&[a.0.throughput_vs(&base.0), a.1.throughput_vs(&base.1)])
+}
+
+fn main() {
+    header(
+        "Fig. 13: vs retraining architectures (geomean ResNet18/50)",
+        "RAELLA ≈ FORMS throughput, > FORMS/TIMELY efficiency, without retraining",
+    );
+
+    // 32 nm pair: FORMS-8 vs RAELLA, both normalized to ISAAC.
+    let isaac = geo_pair(&AccelSpec::isaac());
+    let forms = geo_pair(&AccelSpec::forms8());
+    let raella = geo_pair(&AccelSpec::raella());
+    let mut rows = vec![
+        vec![
+            "FORMS-8 (retrained)".into(),
+            ratio(geo_eff(&forms, &isaac)),
+            ratio(geo_thr(&forms, &isaac)),
+        ],
+        vec![
+            "RAELLA (off-the-shelf)".into(),
+            ratio(geo_eff(&raella, &isaac)),
+            ratio(geo_thr(&raella, &isaac)),
+        ],
+    ];
+    println!("  32 nm, normalized to ISAAC:");
+    table(&["architecture", "efficiency", "throughput"], &rows.clone());
+
+    // 65 nm pair: TIMELY vs RAELLA with TIMELY's components.
+    let timely = geo_pair(&AccelSpec::timely_like());
+    let r65 = geo_pair(&AccelSpec::raella_65nm(true));
+    let r65_ns = geo_pair(&AccelSpec::raella_65nm(false));
+    rows = vec![
+        vec!["TIMELY (retrained)".into(), ratio(1.0), ratio(1.0)],
+        vec![
+            "RAELLA-65nm (spec)".into(),
+            ratio(geo_eff(&r65, &timely)),
+            ratio(geo_thr(&r65, &timely)),
+        ],
+        vec![
+            "RAELLA-65nm (no spec)".into(),
+            ratio(geo_eff(&r65_ns, &timely)),
+            ratio(geo_thr(&r65_ns, &timely)),
+        ],
+    ];
+    println!("\n  65 nm with TIMELY components, normalized to TIMELY:");
+    table(&["architecture", "efficiency", "throughput"], &rows);
+
+    // The paper's ordering claims.
+    let f_thr = geo_thr(&forms, &isaac);
+    let r_thr = geo_thr(&raella, &isaac);
+    assert!(
+        (r_thr / f_thr - 1.0).abs() < 0.5,
+        "RAELLA ≈ FORMS throughput: {r_thr} vs {f_thr}"
+    );
+    assert!(
+        geo_eff(&raella, &isaac) > geo_eff(&forms, &isaac),
+        "RAELLA must exceed FORMS efficiency"
+    );
+    assert!(
+        geo_eff(&r65_ns, &timely) >= 1.0,
+        "no-spec RAELLA-65nm must match/exceed TIMELY efficiency"
+    );
+    assert!(
+        geo_eff(&r65_ns, &timely) > geo_eff(&r65, &timely),
+        "with cheap converts, speculation is not worth its crossbar overhead (§6.4)"
+    );
+    println!("\n  RAELLA reaches retraining-architecture territory with unmodified DNNs");
+}

@@ -1,0 +1,66 @@
+//! Fig. 14: energy ablation — ISAAC → +Center+Offset → +Adaptive Weight
+//! Slicing → full RAELLA (speculation).
+//!
+//! Paper series: converts/MAC 0.25 → 0.063 → 0.047 → 0.018; ADC energy
+//! shrinks at each step; speculation grows crossbar/DAC/input-buffer
+//! energy while cutting ADC energy ~60%.
+
+use raella_arch::eval::evaluate_dnn;
+use raella_arch::spec::AccelSpec;
+use raella_bench::{bar, header, table};
+use raella_nn::models::shapes;
+
+fn main() {
+    header(
+        "Fig. 14: energy ablation (cumulative strategies)",
+        "converts/MAC 0.25 → 0.063 → 0.047 → 0.018; each strategy cuts energy",
+    );
+    let setups = AccelSpec::ablation_fig14();
+    for net in [
+        shapes::resnet18(),
+        shapes::resnet50(),
+        shapes::mobilenet_v2(),
+        shapes::bert_large_ff(),
+    ] {
+        println!("\n  --- {} ---", net.name);
+        let evals: Vec<_> = setups.iter().map(|s| evaluate_dnn(s, &net)).collect();
+        let max_total = evals
+            .iter()
+            .map(|e| e.energy.total_pj())
+            .fold(0.0f64, f64::max);
+        let rows: Vec<Vec<String>> = evals
+            .iter()
+            .map(|e| {
+                vec![
+                    e.arch.clone(),
+                    format!("{:.1} µJ", e.energy.total_pj() / 1e6),
+                    format!("{:.4}", e.converts_per_mac()),
+                    format!("{:.0}%", 100.0 * e.energy.adc_fraction()),
+                    bar(e.energy.total_pj() / max_total, 36),
+                ]
+            })
+            .collect();
+        table(&["setup", "energy", "converts/MAC", "ADC share", ""], &rows);
+    }
+
+    // Ladder checks on ResNet18 (the paper's §7.1 numbers).
+    let net = shapes::resnet18();
+    let evals: Vec<_> = setups.iter().map(|s| evaluate_dnn(s, &net)).collect();
+    let cpm: Vec<f64> = evals.iter().map(|e| e.converts_per_mac()).collect();
+    assert!(cpm.windows(2).all(|w| w[1] < w[0]), "converts/MAC ladder {cpm:?}");
+    let totals: Vec<f64> = evals.iter().map(|e| e.energy.total_pj()).collect();
+    assert!(
+        totals.windows(2).all(|w| w[1] < w[0]),
+        "each strategy must cut total energy: {totals:?}"
+    );
+    // Speculation trades crossbar energy for ADC energy (§7.1).
+    assert!(
+        evals[3].energy.crossbar_pj > evals[2].energy.crossbar_pj,
+        "speculation increases crossbar energy"
+    );
+    assert!(
+        evals[3].energy.adc_pj < 0.5 * evals[2].energy.adc_pj,
+        "speculation cuts ADC energy ~60%"
+    );
+    println!("\n  ladder reproduced: ADC shrinks stepwise; speculation trades crossbar for ADC");
+}

@@ -1,0 +1,295 @@
+//! The §7 ablation setups: ISAAC → +Center+Offset → +Adaptive Weight
+//! Slicing → full RAELLA.
+//!
+//! Each setup is a functional engine that can replace the integer reference
+//! in graph execution, so the noise ablation (Fig. 15) measures real
+//! end-to-end accuracy under the §7.2 noise model. The energy ablation
+//! (Fig. 14) reuses the same setups through `raella-arch`'s pricing.
+
+use raella_nn::layers::MatVecEngine;
+use raella_nn::matrix::{Act, MatrixLayer};
+use raella_xbar::noise::{NoiseModel, NoiseRng};
+use raella_xbar::slicing::Slicing;
+
+use crate::config::{InputMode, RaellaConfig, WeightEncoding};
+use crate::engine::{RaellaEngine, RunStats};
+
+/// The four cumulative ablation setups (§7, Figs. 14–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AblationSetup {
+    /// 8b ISAAC: 128×128 unsigned crossbars, four 2b weight slices, eight
+    /// 1b input slices, 8b ADC.
+    Isaac,
+    /// Previous + 512×512 2T2R with Center+Offset arithmetic and a 7b ADC
+    /// (weight slicing still four 2b slices).
+    CenterOffset,
+    /// Previous + per-layer Adaptive Weight Slicing.
+    AdaptiveSlicing,
+    /// Previous + Dynamic Input Slicing (speculation + recovery).
+    Raella,
+}
+
+impl AblationSetup {
+    /// All setups in cumulative order.
+    pub fn all() -> [AblationSetup; 4] {
+        [
+            AblationSetup::Isaac,
+            AblationSetup::CenterOffset,
+            AblationSetup::AdaptiveSlicing,
+            AblationSetup::Raella,
+        ]
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationSetup::Isaac => "ISAAC",
+            AblationSetup::CenterOffset => "Center+Offset",
+            AblationSetup::AdaptiveSlicing => "Center+Offset, Adaptive Weight Slicing",
+            AblationSetup::Raella => "RAELLA",
+        }
+    }
+
+    /// Builds the functional engine for this setup at a noise level.
+    pub fn engine(&self, noise: f64, seed: u64) -> SetupEngine {
+        match self {
+            AblationSetup::Isaac => SetupEngine::Isaac(IsaacEngine::new(noise, seed)),
+            AblationSetup::CenterOffset => {
+                let cfg = RaellaConfig {
+                    encoding: WeightEncoding::CenterOffset,
+                    input_mode: InputMode::BitSerial,
+                    fixed_weight_slicing: Some(Slicing::isaac_weights()),
+                    seed,
+                    ..RaellaConfig::default()
+                }
+                .with_noise(noise);
+                SetupEngine::Raella(RaellaEngine::new(cfg))
+            }
+            AblationSetup::AdaptiveSlicing => {
+                let cfg = RaellaConfig {
+                    input_mode: InputMode::BitSerial,
+                    search_vectors: 3,
+                    seed,
+                    ..RaellaConfig::default()
+                }
+                .with_noise(noise);
+                SetupEngine::Raella(RaellaEngine::new(cfg))
+            }
+            AblationSetup::Raella => {
+                let cfg = RaellaConfig {
+                    input_mode: InputMode::Speculative,
+                    search_vectors: 3,
+                    seed,
+                    ..RaellaConfig::default()
+                }
+                .with_noise(noise);
+                SetupEngine::Raella(RaellaEngine::new(cfg))
+            }
+        }
+    }
+}
+
+/// Engine wrapper so ablation callers get a single concrete type.
+#[derive(Debug)]
+pub enum SetupEngine {
+    /// The functional ISAAC baseline.
+    Isaac(IsaacEngine),
+    /// A RAELLA engine variant.
+    Raella(RaellaEngine),
+}
+
+impl SetupEngine {
+    /// Accumulated run statistics.
+    pub fn stats(&self) -> RunStats {
+        match self {
+            SetupEngine::Isaac(e) => e.stats,
+            SetupEngine::Raella(e) => *e.stats(),
+        }
+    }
+}
+
+impl MatVecEngine for SetupEngine {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        match self {
+            SetupEngine::Isaac(e) => e.layer_outputs(layer, inputs),
+            SetupEngine::Raella(e) => e.layer_outputs(layer, inputs),
+        }
+    }
+}
+
+/// A functional 8b ISAAC (§7): 128×128 unsigned crossbars, four 2b weight
+/// slices, eight 1b input slices, 8b ADC.
+///
+/// ISAAC's published encoding guarantees its ADC never loses column-sum
+/// bits (Table 3 lists it with no fidelity loss), so this model's only
+/// error source is analog noise — with `noise = 0` it reproduces the
+/// integer reference exactly. Its weakness under noise is exactly what the
+/// paper shows: unsigned weights have dense high-order bits, so column
+/// sums carry more charge and noise couples into high-order slices.
+#[derive(Debug)]
+pub struct IsaacEngine {
+    rows: usize,
+    weight_slicing: Slicing,
+    noise: NoiseModel,
+    rng: NoiseRng,
+    /// Event statistics (converts, cycles, charge).
+    pub stats: RunStats,
+}
+
+impl IsaacEngine {
+    /// Creates the standard 128-row ISAAC functional model.
+    pub fn new(noise: f64, seed: u64) -> Self {
+        IsaacEngine {
+            rows: 128,
+            weight_slicing: Slicing::isaac_weights(),
+            noise: NoiseModel::new(noise),
+            rng: NoiseRng::new(seed ^ 0x15AAC),
+            stats: RunStats::default(),
+        }
+    }
+
+    fn run_vector(&mut self, layer: &MatrixLayer, input: &[Act]) -> Vec<u8> {
+        let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
+        let w_slices = self.weight_slicing.slices();
+        // Signed inputs processed as two planes (the §7.2 BERT
+        // accommodation, which also matches RAELLA's two-cycle handling).
+        let planes: Vec<(i64, Vec<u16>)> = if layer.signed_inputs() {
+            vec![
+                (1, input.iter().map(|&x| x.max(0) as u16).collect()),
+                (-1, input.iter().map(|&x| (-x).max(0) as u16).collect()),
+            ]
+        } else {
+            vec![(1, input.iter().map(|&x| x as u16).collect())]
+        };
+        let mut out = Vec::with_capacity(layer.filters());
+        let mut accs = vec![0i64; layer.filters()];
+        for (sign, plane) in &planes {
+            for (f, acc) in accs.iter_mut().enumerate() {
+                let weights = layer.filter_weights(f);
+                let mut start = 0;
+                while start < weights.len() {
+                    let end = (start + self.rows).min(weights.len());
+                    for ws in &w_slices {
+                        let levels: Vec<i64> = weights[start..end]
+                            .iter()
+                            .map(|&w| i64::from(ws.crop(i32::from(w))))
+                            .collect();
+                        for b in (0..8u32).rev() {
+                            let mut sum = 0i64;
+                            for (r, &lev) in levels.iter().enumerate() {
+                                let bit = i64::from((plane[start + r] >> b) & 1);
+                                sum += bit * lev;
+                            }
+                            let read = if self.noise.is_ideal() {
+                                sum
+                            } else {
+                                self.noise.sample(sum, 0, &mut self.rng)
+                            };
+                            self.stats.events.adc_converts += 1;
+                            self.stats.events.device_charge += sum.max(0) as u64;
+                            *acc += sign * (read << (ws.shift() + b));
+                        }
+                    }
+                    start = end;
+                }
+            }
+            self.stats.events.cycles += 8;
+        }
+        for (f, acc) in accs.iter().enumerate() {
+            out.push(layer.quant().requantize(f, *acc, input_sum));
+        }
+        out
+    }
+}
+
+impl MatVecEngine for IsaacEngine {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        assert_eq!(
+            inputs.len() % layer.filter_len(),
+            0,
+            "input batch must be a multiple of filter_len"
+        );
+        let mut out = Vec::new();
+        for vec in inputs.chunks_exact(layer.filter_len()) {
+            out.extend(self.run_vector(layer, vec));
+            self.stats.vectors += 1;
+            self.stats.events.macs += layer.macs_per_vector();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::synth::SynthLayer;
+
+    #[test]
+    fn noiseless_isaac_matches_reference_exactly() {
+        let layer = SynthLayer::conv(8, 6, 3, 51).build();
+        let mut isaac = IsaacEngine::new(0.0, 1);
+        let inputs = layer.sample_inputs(4, 2);
+        assert_eq!(
+            isaac.layer_outputs(&layer, &inputs),
+            layer.reference_outputs(&inputs)
+        );
+    }
+
+    #[test]
+    fn isaac_converts_per_mac_is_quarter() {
+        // 4 weight slices × 8 input slices over 128 rows = 0.25 (§7.1).
+        let layer = SynthLayer::linear(128, 4, 53).build();
+        let mut isaac = IsaacEngine::new(0.0, 1);
+        let inputs = layer.sample_inputs(2, 3);
+        isaac.layer_outputs(&layer, &inputs);
+        let cpm = isaac.stats.events.converts_per_mac();
+        assert!((cpm - 0.25).abs() < 1e-9, "converts/MAC {cpm}");
+    }
+
+    #[test]
+    fn noisy_isaac_degrades() {
+        let layer = SynthLayer::conv(16, 6, 3, 55).build();
+        let inputs = layer.sample_inputs(2, 4);
+        let reference = layer.reference_outputs(&inputs);
+        let mut noisy = IsaacEngine::new(0.08, 2);
+        let outs = noisy.layer_outputs(&layer, &inputs);
+        assert_ne!(outs, reference);
+    }
+
+    #[test]
+    fn signed_inputs_take_two_cycles_per_slice_set() {
+        let layer = SynthLayer::linear(64, 2, 57).signed_inputs().build();
+        let mut isaac = IsaacEngine::new(0.0, 1);
+        let inputs = layer.sample_inputs(1, 5);
+        isaac.layer_outputs(&layer, &inputs);
+        assert_eq!(isaac.stats.events.cycles, 16);
+        // Signed path still exact without noise.
+        assert_eq!(
+            IsaacEngine::new(0.0, 9).layer_outputs(&layer, &inputs),
+            layer.reference_outputs(&inputs)
+        );
+    }
+
+    #[test]
+    fn setups_enumerate_in_cumulative_order() {
+        let all = AblationSetup::all();
+        assert_eq!(all[0].name(), "ISAAC");
+        assert_eq!(all[3].name(), "RAELLA");
+    }
+
+    #[test]
+    fn setup_engines_run_a_small_layer() {
+        let layer = SynthLayer::conv(4, 4, 3, 59).build();
+        let inputs = layer.sample_inputs(2, 6);
+        let reference = layer.reference_outputs(&inputs);
+        for setup in AblationSetup::all() {
+            let mut engine = setup.engine(0.0, 7);
+            let outs = engine.layer_outputs(&layer, &inputs);
+            assert_eq!(outs.len(), reference.len(), "{}", setup.name());
+            // Noise-free setups stay within the error budget regime.
+            let err = raella_nn::quant::mean_error_nonzero(&reference, &outs);
+            assert!(err < 1.0, "{}: error {err}", setup.name());
+            assert!(engine.stats().events.adc_converts > 0, "{}", setup.name());
+        }
+    }
+}

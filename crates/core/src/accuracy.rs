@@ -1,0 +1,125 @@
+//! Fidelity and accuracy measurement.
+//!
+//! The paper's error-budget metric (§4.2.1) is the mean |error| over
+//! *nonzero* 8b reference outputs; its accuracy results (Table 4, Fig. 15)
+//! measure how rarely those errors change model predictions. This module
+//! provides both: a per-layer [`FidelityReport`] and an accuracy-drop
+//! helper over mini models.
+
+use serde::{Deserialize, Serialize};
+
+use raella_nn::layers::MatVecEngine;
+use raella_nn::models::mini::MiniModel;
+use raella_nn::quant::mean_error_nonzero;
+
+use crate::engine::RunStats;
+
+/// Fidelity of one layer's analog outputs against the integer reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Mean |error| over nonzero reference outputs (§4.2.1; budget 0.09).
+    pub mean_abs_error: f64,
+    /// Worst single-output error.
+    pub max_abs_error: u8,
+    /// Fraction of outputs that differ at all.
+    pub mismatch_rate: f64,
+    /// Outputs compared.
+    pub outputs: usize,
+    /// Engine statistics from the run that produced the outputs.
+    pub stats: RunStats,
+}
+
+impl FidelityReport {
+    /// Compares observed outputs against the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn compare(reference: &[u8], observed: &[u8], stats: &RunStats) -> Self {
+        assert_eq!(reference.len(), observed.len(), "length mismatch");
+        let mean_abs_error = mean_error_nonzero(reference, observed);
+        let max_abs_error = reference
+            .iter()
+            .zip(observed)
+            .map(|(&r, &o)| r.abs_diff(o))
+            .max()
+            .unwrap_or(0);
+        let mismatches = reference
+            .iter()
+            .zip(observed)
+            .filter(|(&r, &o)| r != o)
+            .count();
+        FidelityReport {
+            mean_abs_error,
+            max_abs_error,
+            mismatch_rate: if reference.is_empty() {
+                0.0
+            } else {
+                mismatches as f64 / reference.len() as f64
+            },
+            outputs: reference.len(),
+            stats: *stats,
+        }
+    }
+
+    /// Whether the report meets an error budget.
+    pub fn within_budget(&self, budget: f64) -> bool {
+        self.mean_abs_error <= budget
+    }
+}
+
+/// Accuracy drop (percentage points) of an engine vs the integer reference
+/// on a mini model: `100·(1 − top-1 match rate)` — the proxy for the
+/// paper's Top-5-of-1000 accuracy drop. On 10-class minis, top-1 admits
+/// 10% of the label space, comparable in selectivity to Top-5 on 1000
+/// classes (`DESIGN.md` §5).
+pub fn accuracy_drop_percent(
+    model: &MiniModel,
+    engine: &mut dyn MatVecEngine,
+    images: usize,
+    seed: u64,
+) -> f64 {
+    100.0 * (1.0 - model.top1_match_rate(engine, images, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::layers::ReferenceEngine;
+    use raella_nn::models::mini::mini_resnet18;
+
+    #[test]
+    fn compare_computes_all_fields() {
+        let stats = RunStats::default();
+        let r = FidelityReport::compare(&[0, 10, 20, 30], &[1, 10, 22, 29], &stats);
+        // Nonzero refs: 10, 20, 30 with errors 0, 2, 1 → mean 1.0.
+        assert!((r.mean_abs_error - 1.0).abs() < 1e-12);
+        assert_eq!(r.max_abs_error, 2);
+        assert!((r.mismatch_rate - 0.75).abs() < 1e-12);
+        assert_eq!(r.outputs, 4);
+        assert!(r.within_budget(1.0));
+        assert!(!r.within_budget(0.9));
+    }
+
+    #[test]
+    fn identical_outputs_report_zero() {
+        let stats = RunStats::default();
+        let r = FidelityReport::compare(&[5, 6], &[5, 6], &stats);
+        assert_eq!(r.mean_abs_error, 0.0);
+        assert_eq!(r.max_abs_error, 0);
+        assert_eq!(r.mismatch_rate, 0.0);
+    }
+
+    #[test]
+    fn reference_engine_has_zero_accuracy_drop() {
+        let model = mini_resnet18(1);
+        let drop = accuracy_drop_percent(&model, &mut ReferenceEngine, 4, 9);
+        assert_eq!(drop, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn compare_checks_lengths() {
+        FidelityReport::compare(&[1], &[1, 2], &RunStats::default());
+    }
+}

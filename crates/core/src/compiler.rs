@@ -1,0 +1,363 @@
+//! The RAELLA layer compiler: Algorithm 1's `SliceEncodeWeights`.
+//!
+//! Compiling a layer is one-time preprocessing (§4.2.2): pick the weight
+//! slicing (Adaptive Weight Slicing, or a pinned slicing for ablations),
+//! solve per-filter centers (Eq. (2)), split weights into signed offset
+//! slices, and lay the slices out as crossbar columns. Filters longer than
+//! the crossbar are partitioned over row groups, each with its own center —
+//! the paper's footnote 5 definition of "filter".
+
+use serde::{Deserialize, Serialize};
+
+use raella_nn::matrix::{Act, MatrixLayer};
+use raella_nn::quant::OutputQuant;
+use raella_xbar::noise::NoiseRng;
+use raella_xbar::slicing::Slicing;
+
+use crate::accuracy::FidelityReport;
+use crate::adaptive;
+use crate::center::{offsets, optimal_center};
+use crate::config::{RaellaConfig, WeightEncoding};
+use crate::engine::{run_batch, RunStats};
+use crate::error::CoreError;
+
+/// One filter's slice columns within one crossbar row-group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterGroup {
+    /// The Center+Offset center φ for this group's weights.
+    pub center: i32,
+    /// First layer-row this group covers.
+    pub row_start: usize,
+    /// Rows covered (≤ crossbar rows).
+    pub rows: usize,
+    /// Signed slice levels: `levels[s][r]` for weight slice `s`, local row
+    /// `r`. Magnitudes fit the cell rating; sign selects the 2T2R cell.
+    pub levels: Vec<Vec<i16>>,
+}
+
+/// A DNN layer compiled for RAELLA: programmed crossbar columns plus the
+/// digital-side metadata (centers, requantizer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledLayer {
+    name: String,
+    filters: usize,
+    filter_len: usize,
+    weight_slicing: Slicing,
+    /// `groups[f]` = row groups of filter `f`.
+    groups: Vec<Vec<FilterGroup>>,
+    quant: OutputQuant,
+    signed_inputs: bool,
+    cfg: RaellaConfig,
+    search_error: Option<f64>,
+}
+
+impl CompiledLayer {
+    /// Compiles a layer: full Algorithm 1 (slicing search + centers +
+    /// offset encoding + column layout).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for invalid configurations.
+    pub fn compile(layer: &MatrixLayer, cfg: &RaellaConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let (slicing, search_error) = if let Some(s) = &cfg.fixed_weight_slicing {
+            (s.clone(), None)
+        } else if cfg.last_layer {
+            (Slicing::uniform(1, 8), None)
+        } else {
+            // Table 4 methodology: the search may assume a different
+            // encoding than the runtime one (see `search_encoding`).
+            let mut search_cfg = cfg.clone();
+            if let Some(enc) = cfg.search_encoding {
+                search_cfg.encoding = enc;
+            }
+            let found = adaptive::find_best_slicing(layer, &search_cfg)?;
+            (found.slicing, Some(found.error))
+        };
+        let mut compiled = Self::with_slicing(layer, slicing, cfg)?;
+        compiled.search_error = search_error;
+        Ok(compiled)
+    }
+
+    /// Compiles with a given weight slicing (no search) — used by the
+    /// adaptive search itself and by ablation setups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the slicing does not cover
+    /// 8 bits or exceeds the cell rating.
+    pub fn with_slicing(
+        layer: &MatrixLayer,
+        slicing: Slicing,
+        cfg: &RaellaConfig,
+    ) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        if slicing.total_bits() != 8 {
+            return Err(CoreError::InvalidConfig(format!(
+                "weight slicing {slicing} must cover 8 bits"
+            )));
+        }
+        if slicing.max_width() > u32::from(cfg.cell_bits) {
+            return Err(CoreError::InvalidConfig(format!(
+                "weight slicing {slicing} exceeds {}b cells",
+                cfg.cell_bits
+            )));
+        }
+        let slices = slicing.slices();
+        let mut groups = Vec::with_capacity(layer.filters());
+        for f in 0..layer.filters() {
+            let weights = layer.filter_weights(f);
+            let mut filter_groups = Vec::new();
+            let mut row_start = 0;
+            while row_start < weights.len() {
+                let rows = (weights.len() - row_start).min(cfg.crossbar_rows);
+                let group_weights = &weights[row_start..row_start + rows];
+                let center = match cfg.encoding {
+                    WeightEncoding::CenterOffset => optimal_center(group_weights, &slicing),
+                    WeightEncoding::ZeroOffset => {
+                        i32::from(layer.quant().weight_zero_points[f])
+                    }
+                };
+                let mut levels = vec![vec![0i16; rows]; slices.len()];
+                for (r, &w) in group_weights.iter().enumerate() {
+                    let (pos, neg) = offsets(w, center);
+                    let signed_offset = i32::from(pos) - i32::from(neg);
+                    for (s, slice) in slices.iter().enumerate() {
+                        levels[s][r] = slice.crop(signed_offset) as i16;
+                    }
+                }
+                filter_groups.push(FilterGroup {
+                    center,
+                    row_start,
+                    rows,
+                    levels,
+                });
+                row_start += rows;
+            }
+            groups.push(filter_groups);
+        }
+        Ok(CompiledLayer {
+            name: layer.name().to_string(),
+            filters: layer.filters(),
+            filter_len: layer.filter_len(),
+            weight_slicing: slicing,
+            groups,
+            quant: layer.quant().clone(),
+            signed_inputs: layer.signed_inputs(),
+            cfg: cfg.clone(),
+            search_error: None,
+        })
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of filters (dot products).
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Dot-product length.
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// The weight slicing in use.
+    pub fn weight_slicing(&self) -> &Slicing {
+        &self.weight_slicing
+    }
+
+    /// Per-filter row groups (crossbar layout).
+    pub fn groups(&self) -> &[Vec<FilterGroup>] {
+        &self.groups
+    }
+
+    /// The output requantizer.
+    pub fn quant(&self) -> &OutputQuant {
+        &self.quant
+    }
+
+    /// Whether inputs are signed (processed as two planes).
+    pub fn signed_inputs(&self) -> bool {
+        self.signed_inputs
+    }
+
+    /// The configuration this layer was compiled for.
+    pub fn config(&self) -> &RaellaConfig {
+        &self.cfg
+    }
+
+    /// Mean error measured by the slicing search, if a search ran.
+    pub fn search_error(&self) -> Option<f64> {
+        self.search_error
+    }
+
+    /// Crossbar columns per filter (= number of weight slices).
+    pub fn columns_per_filter(&self) -> usize {
+        self.weight_slicing.num_slices()
+    }
+
+    /// Total crossbar columns the layer occupies (all filters × slices ×
+    /// row-group partitions).
+    pub fn total_columns(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|gs| gs.len() * self.columns_per_filter())
+            .sum()
+    }
+
+    /// Runs a batch of input vectors through the analog engine, collecting
+    /// statistics into `stats`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `filter_len`.
+    pub fn run(&self, inputs: &[Act], stats: &mut RunStats, rng: &mut NoiseRng) -> Vec<u8> {
+        run_batch(self, inputs, stats, rng)
+    }
+
+    /// Compares analog outputs against the integer reference on `vectors`
+    /// fresh synthetic input vectors and reports fidelity (§4.2.1 metric).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but returns `Result` to keep room for
+    /// configuration-dependent failure reporting.
+    pub fn check_fidelity(
+        &self,
+        layer: &MatrixLayer,
+        vectors: usize,
+    ) -> Result<FidelityReport, CoreError> {
+        let inputs = layer.sample_inputs(vectors, self.cfg.seed ^ 0xF1DE);
+        let reference = layer.reference_outputs(&inputs);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(self.cfg.seed ^ 0x0153);
+        let observed = self.run(&inputs, &mut stats, &mut rng);
+        Ok(FidelityReport::compare(&reference, &observed, &stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::synth::SynthLayer;
+
+    fn small_cfg() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        }
+    }
+
+    #[test]
+    fn with_slicing_builds_expected_layout() {
+        let layer = SynthLayer::conv(4, 3, 3, 1).build(); // filter_len 36
+        let cfg = small_cfg();
+        let c =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        assert_eq!(c.filters(), 3);
+        assert_eq!(c.columns_per_filter(), 3);
+        assert_eq!(c.groups().len(), 3);
+        assert_eq!(c.groups()[0].len(), 1, "36 rows fit one 64-row group");
+        assert_eq!(c.groups()[0][0].levels.len(), 3);
+        assert_eq!(c.groups()[0][0].levels[0].len(), 36);
+        assert_eq!(c.total_columns(), 9);
+    }
+
+    #[test]
+    fn long_filters_partition_into_row_groups() {
+        let layer = SynthLayer::linear(150, 2, 2).build();
+        let cfg = small_cfg();
+        let c =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        let gs = &c.groups()[0];
+        assert_eq!(gs.len(), 3, "150 rows over 64-row crossbars");
+        assert_eq!(gs[0].rows, 64);
+        assert_eq!(gs[1].rows, 64);
+        assert_eq!(gs[2].rows, 22);
+        assert_eq!(gs[2].row_start, 128);
+        // Each group solves its own center.
+        assert!(gs.iter().all(|g| (1..=255).contains(&g.center)));
+    }
+
+    #[test]
+    fn levels_reconstruct_signed_offsets() {
+        let layer = SynthLayer::conv(4, 2, 3, 3).build();
+        let cfg = small_cfg();
+        let slicing = Slicing::raella_default_weights();
+        let c = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).unwrap();
+        for (f, gs) in c.groups().iter().enumerate() {
+            let ws = layer.filter_weights(f);
+            for g in gs {
+                for r in 0..g.rows {
+                    let values: Vec<i64> =
+                        (0..slicing.num_slices()).map(|s| i64::from(g.levels[s][r])).collect();
+                    let rebuilt = slicing.reconstruct(&values);
+                    let expected = i64::from(ws[g.row_start + r]) - i64::from(g.center);
+                    assert_eq!(rebuilt, expected, "filter {f} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_offset_uses_quant_zero_point() {
+        let layer = SynthLayer::conv(4, 2, 3, 4).build();
+        let cfg = small_cfg().zero_offset();
+        let c =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        for (f, gs) in c.groups().iter().enumerate() {
+            let zp = i32::from(layer.quant().weight_zero_points[f]);
+            assert!(gs.iter().all(|g| g.center == zp));
+        }
+    }
+
+    #[test]
+    fn level_magnitudes_respect_cell_rating() {
+        let layer = SynthLayer::conv(8, 4, 3, 5).build();
+        let cfg = small_cfg();
+        for slicing in [
+            Slicing::raella_default_weights(),
+            Slicing::uniform(1, 8),
+            Slicing::new(&[4, 4], 8).unwrap(),
+        ] {
+            let c = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).unwrap();
+            let max_level = (1i16 << slicing.max_width()) - 1;
+            for gs in c.groups() {
+                for g in gs {
+                    for levels in &g.levels {
+                        assert!(levels.iter().all(|&l| l.abs() <= max_level));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_slicing_rejects_bad_slicings() {
+        let layer = SynthLayer::conv(4, 2, 3, 6).build();
+        let cfg = small_cfg();
+        // 4b slices on 2b cells.
+        let mut narrow = cfg.clone();
+        narrow.cell_bits = 2;
+        assert!(CompiledLayer::with_slicing(
+            &layer,
+            Slicing::new(&[4, 4], 8).unwrap(),
+            &narrow
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn last_layer_config_forces_bit_serial_weights() {
+        let layer = SynthLayer::linear(32, 4, 7).build();
+        let cfg = small_cfg().as_last_layer();
+        let c = CompiledLayer::compile(&layer, &cfg).unwrap();
+        assert_eq!(c.weight_slicing().num_slices(), 8);
+        assert_eq!(c.weight_slicing().max_width(), 1);
+        assert!(c.search_error().is_none());
+    }
+}

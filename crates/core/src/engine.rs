@@ -1,0 +1,689 @@
+//! The RAELLA execution engine: Dynamic Input Slicing (§4.3) over compiled
+//! crossbar columns.
+//!
+//! Per input vector and crossbar row-group, the engine runs the paper's
+//! Fig. 9 schedule:
+//!
+//! 1. **Speculation**: input slices 4b-2b-2b (three cycles). Every column's
+//!    analog sum is converted; an output pinned at an ADC rail (−64 or 63)
+//!    marks that column's speculation as failed.
+//! 2. **Recovery**: each speculative slice is re-run as 1b slices (eight
+//!    cycles total). The crossbar computes all columns (energy is counted
+//!    accordingly), but ADCs convert *only* failed columns. A saturation in
+//!    recovery is accepted and propagated (§3.4's bounded fidelity loss).
+//!
+//! The digital side adds the per-group center term `φ·ΣI` and requantizes.
+//! Signed inputs (BERT) are processed as positive/negative planes in
+//! separate passes, doubling cycle counts (§5.1).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use raella_nn::layers::MatVecEngine;
+use raella_nn::matrix::{Act, MatrixLayer};
+use raella_xbar::crossbar::EventCounts;
+use raella_xbar::noise::{NoiseModel, NoiseRng};
+use raella_xbar::slicing::{Slice, Slicing};
+
+use crate::compiler::CompiledLayer;
+use crate::config::{InputMode, RaellaConfig};
+
+/// Statistics accumulated while running layers on RAELLA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Hardware event counters (ADC converts, DAC pulses, charge, cycles).
+    pub events: EventCounts,
+    /// Speculative conversions attempted (columns × speculative slices).
+    pub spec_attempts: u64,
+    /// Speculative conversions that saturated (failed speculation).
+    pub spec_failures: u64,
+    /// Recovery conversions performed (failed columns × their 1b slices).
+    pub recovery_converts: u64,
+    /// Recovery conversions that still saturated (accepted fidelity loss).
+    pub recovery_saturations: u64,
+    /// Bit-serial conversions (no-speculation mode).
+    pub bitserial_converts: u64,
+    /// Bit-serial conversions that saturated.
+    pub bitserial_saturations: u64,
+    /// Input vectors processed.
+    pub vectors: u64,
+}
+
+impl RunStats {
+    /// Fraction of speculative conversions that failed (~2% in the paper).
+    pub fn spec_failure_rate(&self) -> f64 {
+        if self.spec_attempts == 0 {
+            0.0
+        } else {
+            self.spec_failures as f64 / self.spec_attempts as f64
+        }
+    }
+
+    /// Fraction of recovery conversions that still saturated (~0.1%).
+    pub fn recovery_saturation_rate(&self) -> f64 {
+        if self.recovery_converts == 0 {
+            0.0
+        } else {
+            self.recovery_saturations as f64 / self.recovery_converts as f64
+        }
+    }
+
+    /// ADC conversions per column per psum set (paper: ~3.3 with
+    /// speculation vs 8 bit-serial).
+    pub fn converts_per_column(&self) -> f64 {
+        let columns = self.spec_attempts / 3 + self.bitserial_converts / 8;
+        if columns == 0 {
+            0.0
+        } else {
+            self.events.adc_converts as f64 / columns as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.events.merge(&other.events);
+        self.spec_attempts += other.spec_attempts;
+        self.spec_failures += other.spec_failures;
+        self.recovery_converts += other.recovery_converts;
+        self.recovery_saturations += other.recovery_saturations;
+        self.bitserial_converts += other.bitserial_converts;
+        self.bitserial_saturations += other.bitserial_saturations;
+        self.vectors += other.vectors;
+    }
+}
+
+/// Precomputed input-slice planes for one input vector (one sign plane).
+struct SlicedInputs {
+    /// Per speculative slice: unshifted slice values per row.
+    spec: Vec<Vec<u16>>,
+    /// Per bit (MSB first, bit 7 down to 0): 0/1 per row.
+    bits: Vec<Vec<u16>>,
+    /// Per row: Σ over speculative slices of the slice value (for charge).
+    spec_mass: Vec<u16>,
+    /// Per row: popcount (total 1-bits, for recovery charge/pulses).
+    bit_mass: Vec<u16>,
+}
+
+impl SlicedInputs {
+    fn build(plane: &[u16], spec_slicing: &Slicing) -> Self {
+        let spec_slices = spec_slicing.slices();
+        let mut spec = vec![vec![0u16; plane.len()]; spec_slices.len()];
+        let mut bits = vec![vec![0u16; plane.len()]; 8];
+        let mut spec_mass = vec![0u16; plane.len()];
+        let mut bit_mass = vec![0u16; plane.len()];
+        for (r, &x) in plane.iter().enumerate() {
+            for (j, s) in spec_slices.iter().enumerate() {
+                let v = (x >> s.l) & ((1 << s.width()) - 1);
+                spec[j][r] = v;
+                spec_mass[r] += v;
+            }
+            for b in 0..8u32 {
+                bits[(7 - b) as usize][r] = (x >> b) & 1;
+            }
+            bit_mass[r] = x.count_ones() as u16;
+        }
+        SlicedInputs {
+            spec,
+            bits,
+            spec_mass,
+            bit_mass,
+        }
+    }
+
+    /// Bit plane for magnitude bit `b` (7 = MSB).
+    fn bit_plane(&self, b: u32) -> &[u16] {
+        &self.bits[(7 - b) as usize]
+    }
+}
+
+/// Ideal signed dot product `Σ xs·level` (i32 is safe: ≤ 512·15·255).
+fn dot(xs: &[u16], levels: &[i16]) -> i64 {
+    let mut sum = 0i32;
+    for (&x, &l) in xs.iter().zip(levels) {
+        sum += i32::from(x) * i32::from(l);
+    }
+    i64::from(sum)
+}
+
+/// Positive/negative charge split for the noise model.
+fn dot_charge(xs: &[u16], levels: &[i16]) -> (i64, i64) {
+    let mut pos = 0i64;
+    let mut neg = 0i64;
+    for (&x, &l) in xs.iter().zip(levels) {
+        let p = i64::from(x) * i64::from(l);
+        if p >= 0 {
+            pos += p;
+        } else {
+            neg -= p;
+        }
+    }
+    (pos, neg)
+}
+
+/// One analog column read: ideal or noisy sum.
+fn column_sum(xs: &[u16], levels: &[i16], noise: &NoiseModel, rng: &mut NoiseRng) -> i64 {
+    if noise.is_ideal() {
+        dot(xs, levels)
+    } else {
+        let (pos, neg) = dot_charge(xs, levels);
+        noise.sample(pos, neg, rng)
+    }
+}
+
+/// Runs a batch of input vectors through a compiled layer.
+///
+/// Input layout matches [`MatrixLayer::reference_outputs`]; the output has
+/// `filters` values per vector.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the layer's `filter_len`.
+pub fn run_batch(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    rng: &mut NoiseRng,
+) -> Vec<u8> {
+    assert_eq!(
+        inputs.len() % layer.filter_len(),
+        0,
+        "input batch must be a multiple of filter_len"
+    );
+    let cfg = layer.config();
+    let spec_slicing = Slicing::raella_speculative();
+    let mut out = Vec::with_capacity(inputs.len() / layer.filter_len() * layer.filters());
+    for vec in inputs.chunks_exact(layer.filter_len()) {
+        let outputs = run_vector(layer, cfg, &spec_slicing, vec, stats, rng);
+        out.extend_from_slice(&outputs);
+        stats.vectors += 1;
+        stats.events.macs += layer.filters() as u64 * layer.filter_len() as u64;
+    }
+    out
+}
+
+fn run_vector(
+    layer: &CompiledLayer,
+    cfg: &RaellaConfig,
+    spec_slicing: &Slicing,
+    input: &[Act],
+    stats: &mut RunStats,
+    rng: &mut NoiseRng,
+) -> Vec<u8> {
+    let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
+    let mut acc = vec![0i64; layer.filters()];
+
+    // Signed inputs are processed as positive/negative planes (§5.1).
+    let planes: Vec<(i64, Vec<u16>)> = if layer.signed_inputs() {
+        let pos: Vec<u16> = input.iter().map(|&x| x.max(0) as u16).collect();
+        let neg: Vec<u16> = input.iter().map(|&x| (-x).max(0) as u16).collect();
+        vec![(1, pos), (-1, neg)]
+    } else {
+        vec![(1, input.iter().map(|&x| x as u16).collect())]
+    };
+
+    let n_groups = layer.groups()[0].len();
+    let columns_needed = layer.filters() * layer.columns_per_filter();
+    let crossbars_per_group = columns_needed.div_ceil(cfg.crossbar_cols) as u64;
+
+    for (sign, plane) in &planes {
+        let sliced = SlicedInputs::build(plane, spec_slicing);
+        // Cycle/DAC/row event counting is per crossbar (shared across the
+        // columns it holds), not per column.
+        for gi in 0..n_groups {
+            let g0 = &layer.groups()[0][gi];
+            let range = g0.row_start..g0.row_start + g0.rows;
+            count_crossbar_events(cfg, &sliced, range, crossbars_per_group, stats);
+        }
+        for (f, acc_f) in acc.iter_mut().enumerate() {
+            for g in &layer.groups()[f] {
+                let range = g.row_start..g.row_start + g.rows;
+                let gsum: i64 = plane[range.clone()].iter().map(|&x| i64::from(x)).sum();
+                let mut total = i64::from(g.center) * gsum;
+                for (s, slice) in layer.weight_slicing().slices().iter().enumerate() {
+                    let levels = &g.levels[s];
+                    total += match cfg.input_mode {
+                        InputMode::Speculative => run_column_speculative(
+                            cfg,
+                            spec_slicing,
+                            &sliced,
+                            range.clone(),
+                            levels,
+                            slice.shift(),
+                            stats,
+                            rng,
+                        ),
+                        InputMode::BitSerial => run_column_bitserial(
+                            cfg,
+                            &sliced,
+                            range.clone(),
+                            levels,
+                            slice.shift(),
+                            stats,
+                            rng,
+                        ),
+                    };
+                    // Device charge: all cycles drive all columns, including
+                    // recovery cycles for columns that succeeded (§4.3.1).
+                    let mass: &[u16] = match cfg.input_mode {
+                        InputMode::Speculative => &sliced.spec_mass,
+                        InputMode::BitSerial => &sliced.bit_mass,
+                    };
+                    let charge: i64 = mass[range.clone()]
+                        .iter()
+                        .zip(levels)
+                        .map(|(&m, &l)| i64::from(m) * i64::from(l.unsigned_abs()))
+                        .sum();
+                    stats.events.device_charge += charge as u64;
+                    if cfg.input_mode == InputMode::Speculative {
+                        let rec_charge: i64 = sliced.bit_mass[range.clone()]
+                            .iter()
+                            .zip(levels)
+                            .map(|(&m, &l)| i64::from(m) * i64::from(l.unsigned_abs()))
+                            .sum();
+                        stats.events.device_charge += rec_charge as u64;
+                    }
+                }
+                *acc_f += sign * total;
+            }
+        }
+    }
+
+    (0..layer.filters())
+        .map(|f| layer.quant().requantize(f, acc[f], input_sum))
+        .collect()
+}
+
+/// Counts cycles, DAC pulses and row activations for one crossbar
+/// row-group processing one input plane.
+fn count_crossbar_events(
+    cfg: &RaellaConfig,
+    sliced: &SlicedInputs,
+    range: std::ops::Range<usize>,
+    crossbars: u64,
+    stats: &mut RunStats,
+) {
+    match cfg.input_mode {
+        InputMode::Speculative => {
+            stats.events.cycles += cfg.cycles_per_psum_set();
+            // Speculation pulses: slice values; recovery pulses: 1-bit.
+            let spec_pulses: u64 = sliced.spec_mass[range.clone()]
+                .iter()
+                .map(|&m| u64::from(m))
+                .sum();
+            let rec_pulses: u64 = sliced.bit_mass[range.clone()]
+                .iter()
+                .map(|&m| u64::from(m))
+                .sum();
+            stats.events.dac_pulses += (spec_pulses + rec_pulses) * crossbars;
+            let active: u64 = sliced
+                .spec
+                .iter()
+                .map(|xs| xs[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
+                .sum::<u64>()
+                + sliced
+                    .bits
+                    .iter()
+                    .map(|xb| xb[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
+                    .sum::<u64>();
+            stats.events.row_activations += active * crossbars;
+        }
+        InputMode::BitSerial => {
+            stats.events.cycles += 8;
+            let pulses: u64 = sliced.bit_mass[range.clone()]
+                .iter()
+                .map(|&m| u64::from(m))
+                .sum();
+            stats.events.dac_pulses += pulses * crossbars;
+            let active: u64 = sliced
+                .bits
+                .iter()
+                .map(|xb| xb[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
+                .sum();
+            stats.events.row_activations += active * crossbars;
+        }
+    }
+}
+
+/// Speculation + recovery for one column (one weight slice of one filter
+/// group). Returns the column's shifted psum contribution.
+#[allow(clippy::too_many_arguments)]
+fn run_column_speculative(
+    cfg: &RaellaConfig,
+    spec_slicing: &Slicing,
+    sliced: &SlicedInputs,
+    range: std::ops::Range<usize>,
+    levels: &[i16],
+    w_shift: u32,
+    stats: &mut RunStats,
+    rng: &mut NoiseRng,
+) -> i64 {
+    let mut total = 0i64;
+    for (j, spec_slice) in spec_slicing.slices().iter().enumerate() {
+        let xs = &sliced.spec[j][range.clone()];
+        let sum = column_sum(xs, levels, &cfg.noise, rng);
+        let out = cfg.adc.convert(sum);
+        stats.events.adc_converts += 1;
+        stats.spec_attempts += 1;
+        if cfg.adc.saturated(out) {
+            // Speculation failed: recover with 1b slices of this window.
+            stats.spec_failures += 1;
+            total += recover_window(cfg, sliced, range.clone(), levels, w_shift, *spec_slice, stats, rng);
+        } else {
+            total += out << (w_shift + spec_slice.shift());
+        }
+    }
+    total
+}
+
+/// Recovery: re-run one speculative window bit-serially, converting this
+/// (failed) column on every bit cycle.
+#[allow(clippy::too_many_arguments)]
+fn recover_window(
+    cfg: &RaellaConfig,
+    sliced: &SlicedInputs,
+    range: std::ops::Range<usize>,
+    levels: &[i16],
+    w_shift: u32,
+    window: Slice,
+    stats: &mut RunStats,
+    rng: &mut NoiseRng,
+) -> i64 {
+    let mut total = 0i64;
+    for b in (window.l..=window.h).rev() {
+        let xb = &sliced.bit_plane(b)[range.clone()];
+        let sum = column_sum(xb, levels, &cfg.noise, rng);
+        let out = cfg.adc.convert(sum);
+        stats.events.adc_converts += 1;
+        stats.recovery_converts += 1;
+        if cfg.adc.saturated(out) {
+            // Rare (§3.4): accept the clamped value and move on.
+            stats.recovery_saturations += 1;
+        }
+        total += out << (w_shift + b);
+    }
+    total
+}
+
+/// Bit-serial processing for one column: eight 1b input slices, every one
+/// converted (the no-speculation baseline, §4.3.2).
+fn run_column_bitserial(
+    cfg: &RaellaConfig,
+    sliced: &SlicedInputs,
+    range: std::ops::Range<usize>,
+    levels: &[i16],
+    w_shift: u32,
+    stats: &mut RunStats,
+    rng: &mut NoiseRng,
+) -> i64 {
+    let mut total = 0i64;
+    for b in (0..8).rev() {
+        let xb = &sliced.bit_plane(b)[range.clone()];
+        let sum = column_sum(xb, levels, &cfg.noise, rng);
+        let out = cfg.adc.convert(sum);
+        stats.events.adc_converts += 1;
+        stats.bitserial_converts += 1;
+        if cfg.adc.saturated(out) {
+            stats.bitserial_saturations += 1;
+        }
+        total += out << (w_shift + b);
+    }
+    total
+}
+
+/// A [`MatVecEngine`] that runs every layer through RAELLA, compiling and
+/// caching layers on first use. Drop-in replacement for the integer
+/// reference engine in graph execution — the accuracy experiments' engine.
+#[derive(Debug)]
+pub struct RaellaEngine {
+    cfg: RaellaConfig,
+    cache: HashMap<String, CompiledLayer>,
+    stats: RunStats,
+    rng: NoiseRng,
+}
+
+impl RaellaEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: RaellaConfig) -> Self {
+        let rng = NoiseRng::new(cfg.seed ^ 0xE61E);
+        RaellaEngine {
+            cfg,
+            cache: HashMap::new(),
+            stats: RunStats::default(),
+            rng,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Resets accumulated statistics (keeps compiled layers).
+    pub fn reset_stats(&mut self) {
+        self.stats = RunStats::default();
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RaellaConfig {
+        &self.cfg
+    }
+
+    /// Number of layers compiled and cached.
+    pub fn compiled_layers(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// FNV-1a over a layer's weights: distinct layers that happen to share a
+/// name and shape must not collide in the compile cache.
+fn weight_fingerprint(layer: &MatrixLayer) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in 0..layer.filters() {
+        for &w in layer.filter_weights(f) {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl MatVecEngine for RaellaEngine {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        let key = format!(
+            "{}/{}x{}/{:016x}",
+            layer.name(),
+            layer.filters(),
+            layer.filter_len(),
+            weight_fingerprint(layer)
+        );
+        if !self.cache.contains_key(&key) {
+            let compiled = CompiledLayer::compile(layer, &self.cfg)
+                .expect("engine configuration was validated at construction");
+            self.cache.insert(key.clone(), compiled);
+        }
+        let compiled = self.cache.get(&key).expect("just inserted");
+        run_batch(compiled, inputs, &mut self.stats, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::synth::SynthLayer;
+    use raella_xbar::adc::AdcSpec;
+
+    fn cfg_small() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 128,
+            crossbar_cols: 128,
+            ..RaellaConfig::default()
+        }
+    }
+
+    /// With an unbounded ADC and no noise, the analog pipeline must equal
+    /// the integer reference bit-for-bit.
+    #[test]
+    fn unbounded_adc_reproduces_reference_exactly() {
+        let layer = SynthLayer::conv(8, 6, 3, 11).build();
+        let mut cfg = cfg_small();
+        cfg.adc = AdcSpec::new(16, true);
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        let inputs = layer.sample_inputs(6, 3);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        assert_eq!(analog, layer.reference_outputs(&inputs));
+    }
+
+    #[test]
+    fn bitserial_and_speculative_agree_with_unbounded_adc() {
+        let layer = SynthLayer::conv(8, 4, 3, 13).build();
+        let mut cfg = cfg_small();
+        cfg.adc = AdcSpec::new(16, true);
+        let spec =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        let bs_cfg = cfg.without_speculation();
+        let bs =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &bs_cfg)
+                .unwrap();
+        let inputs = layer.sample_inputs(4, 9);
+        let mut s1 = RunStats::default();
+        let mut s2 = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        assert_eq!(
+            run_batch(&spec, &inputs, &mut s1, &mut rng),
+            run_batch(&bs, &inputs, &mut s2, &mut rng)
+        );
+    }
+
+    #[test]
+    fn speculation_reduces_adc_converts() {
+        let layer = SynthLayer::conv(32, 8, 3, 17).build();
+        let cfg = RaellaConfig::default();
+        let spec = CompiledLayer::compile(&layer, &cfg).unwrap();
+        let bs = CompiledLayer::with_slicing(
+            &layer,
+            spec.weight_slicing().clone(),
+            &cfg.clone().without_speculation(),
+        )
+        .unwrap();
+        let inputs = layer.sample_inputs(4, 5);
+        let mut s_spec = RunStats::default();
+        let mut s_bs = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        run_batch(&spec, &inputs, &mut s_spec, &mut rng);
+        run_batch(&bs, &inputs, &mut s_bs, &mut rng);
+        // Paper §4.3.2: speculation cuts ADC converts by ~60% vs
+        // recovery-only; synthetic distributions land in the same regime.
+        assert!(
+            (s_spec.events.adc_converts as f64) < 0.65 * s_bs.events.adc_converts as f64,
+            "spec {} vs bit-serial {}",
+            s_spec.events.adc_converts,
+            s_bs.events.adc_converts
+        );
+        // ~3 + small recovery tail per column per psum set (paper: ~3.3).
+        let per_col = s_spec.converts_per_column();
+        assert!((3.0..5.0).contains(&per_col), "converts/column {per_col}");
+    }
+
+    #[test]
+    fn speculation_failures_are_recovered_not_lost() {
+        // Force failures with a tiny 3b ADC: outputs must still be close to
+        // the reference because failed windows are re-read bit-serially.
+        let layer = SynthLayer::conv(16, 8, 3, 23).build();
+        let mut cfg = cfg_small();
+        cfg.adc = AdcSpec::new(5, true);
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::uniform(1, 8), &cfg).unwrap();
+        let inputs = layer.sample_inputs(3, 7);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        assert!(stats.spec_failures > 0, "tiny ADC must fail speculation");
+        assert!(stats.recovery_converts > 0);
+    }
+
+    #[test]
+    fn signed_inputs_double_cycles() {
+        let unsigned = SynthLayer::linear(64, 4, 31).build();
+        let signed = SynthLayer::linear(64, 4, 31).signed_inputs().build();
+        let cfg = cfg_small();
+        let cu = CompiledLayer::with_slicing(&unsigned, Slicing::raella_default_weights(), &cfg)
+            .unwrap();
+        let cs = CompiledLayer::with_slicing(&signed, Slicing::raella_default_weights(), &cfg)
+            .unwrap();
+        let mut su = RunStats::default();
+        let mut ss = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        run_batch(&cu, &unsigned.sample_inputs(2, 1), &mut su, &mut rng);
+        run_batch(&cs, &signed.sample_inputs(2, 1), &mut ss, &mut rng);
+        assert_eq!(ss.events.cycles, 2 * su.events.cycles);
+    }
+
+    #[test]
+    fn signed_inputs_still_match_reference_with_unbounded_adc() {
+        let layer = SynthLayer::linear(32, 6, 37).signed_inputs().build();
+        let mut cfg = cfg_small();
+        cfg.adc = AdcSpec::new(16, true);
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        let inputs = layer.sample_inputs(5, 2);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        assert_eq!(analog, layer.reference_outputs(&inputs));
+    }
+
+    #[test]
+    fn noise_perturbs_outputs_but_stays_bounded() {
+        let layer = SynthLayer::conv(16, 8, 3, 41).build();
+        let cfg = RaellaConfig::default().with_noise(0.08);
+        let compiled = CompiledLayer::compile(&layer, &cfg).unwrap();
+        let inputs = layer.sample_inputs(3, 3);
+        let reference = layer.reference_outputs(&inputs);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(5);
+        let noisy = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        assert_ne!(noisy, reference, "8% noise should perturb something");
+        let max_err = reference
+            .iter()
+            .zip(&noisy)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .max()
+            .unwrap();
+        assert!(max_err < 80, "errors should stay moderate, max {max_err}");
+    }
+
+    #[test]
+    fn engine_caches_compiled_layers() {
+        let layer = SynthLayer::conv(8, 4, 3, 43).build();
+        let mut engine = RaellaEngine::new(cfg_small());
+        let inputs = layer.sample_inputs(2, 1);
+        let _ = engine.layer_outputs(&layer, &inputs);
+        assert_eq!(engine.compiled_layers(), 1);
+        let _ = engine.layer_outputs(&layer, &inputs);
+        assert_eq!(engine.compiled_layers(), 1);
+        assert_eq!(engine.stats().vectors, 4);
+        engine.reset_stats();
+        assert_eq!(engine.stats().vectors, 0);
+        assert_eq!(engine.compiled_layers(), 1);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = RunStats {
+            spec_attempts: 10,
+            spec_failures: 1,
+            ..RunStats::default()
+        };
+        let b = RunStats {
+            spec_attempts: 30,
+            spec_failures: 0,
+            ..RunStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spec_attempts, 40);
+        assert!((a.spec_failure_rate() - 0.025).abs() < 1e-12);
+    }
+}

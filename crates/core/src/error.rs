@@ -1,0 +1,73 @@
+//! Error type for the RAELLA core.
+
+use std::fmt;
+
+use raella_nn::NnError;
+use raella_xbar::XbarError;
+
+/// Errors produced while compiling or running layers on RAELLA.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was out of its valid range.
+    InvalidConfig(String),
+    /// The adaptive search could not produce any slicing (should not happen
+    /// with a valid configuration; kept for defensive reporting).
+    NoFeasibleSlicing {
+        /// Layer whose search failed.
+        layer: String,
+    },
+    /// An error bubbled up from the DNN substrate.
+    Nn(NnError),
+    /// An error bubbled up from the crossbar simulator.
+    Xbar(XbarError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::NoFeasibleSlicing { layer } => {
+                write!(f, "no feasible weight slicing for layer {layer}")
+            }
+            CoreError::Nn(e) => write!(f, "dnn substrate: {e}"),
+            CoreError::Xbar(e) => write!(f, "crossbar: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Xbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<XbarError> for CoreError {
+    fn from(e: XbarError) -> Self {
+        CoreError::Xbar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_sources() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+        let e = CoreError::from(NnError::InvalidConfig("x".into()));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("dnn substrate"));
+    }
+}

@@ -1,0 +1,58 @@
+//! RAELLA's contribution: the three strategies that reshape analog column
+//! sums so a cheap 7b ADC reads them with near-perfect fidelity, plus the
+//! execution engine that runs DNN layers through them.
+//!
+//! * [`center`] — **Center+Offset encoding** (§4.1): per-filter centers
+//!   solved with Eq. (2); weights stored as signed offsets in 2T2R pairs so
+//!   positive and negative sliced products cancel in-column.
+//! * [`adaptive`] — **Adaptive Weight Slicing** (§4.2, Algorithm 1):
+//!   per-layer compile-time search over the 108 slicings of 8 bits into
+//!   ≤4b slices, guided by a measured error budget (0.09).
+//! * [`engine`] — **Dynamic Input Slicing** (§4.3) and the crossbar
+//!   pipeline: 4b-2b-2b speculative input slices, rail-detection of ADC
+//!   saturation, 1b recovery cycles converting only failed columns.
+//! * [`compiler`] — the preprocessing pipeline (Algorithm 1's
+//!   `SliceEncodeWeights`): slicing search → center solve → programmed
+//!   crossbar columns.
+//! * [`probe`] — column-sum distribution probes behind Figs. 3 and 5.
+//! * [`accuracy`] — fidelity reports (the paper's §4.2.1 error metric) and
+//!   proxy-accuracy measurement.
+//! * [`ablation`] — the four cumulative setups of §7 (ISAAC → +C+O →
+//!   +AWS → RAELLA) for the energy and noise ablations.
+//! * [`extensions`] — design-choice ablations the paper discusses but does
+//!   not adopt: per-column integer centers (§4.1.3) and LSB-dropping
+//!   Sum-Fidelity-Limited ADCs (footnote 4).
+//!
+//! ```
+//! use raella_core::{CompiledLayer, RaellaConfig};
+//! use raella_nn::synth::SynthLayer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let layer = SynthLayer::conv(64, 16, 3, 7).build();
+//! let cfg = RaellaConfig::default();
+//! let compiled = CompiledLayer::compile(&layer, &cfg)?;
+//! let report = compiled.check_fidelity(&layer, 4)?;
+//! assert!(report.mean_abs_error <= cfg.error_budget);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod accuracy;
+pub mod adaptive;
+pub mod center;
+pub mod compiler;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod extensions;
+pub mod probe;
+
+pub use accuracy::FidelityReport;
+pub use compiler::CompiledLayer;
+pub use config::{RaellaConfig, WeightEncoding};
+pub use engine::{RaellaEngine, RunStats};
+pub use error::CoreError;

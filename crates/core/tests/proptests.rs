@@ -1,0 +1,170 @@
+//! Property-based tests for RAELLA's core invariants.
+
+use proptest::prelude::*;
+
+use raella_core::center::{center_cost, offsets, optimal_center};
+use raella_core::compiler::CompiledLayer;
+use raella_core::engine::{run_batch, RunStats};
+use raella_core::RaellaConfig;
+use raella_nn::matrix::{InputProfile, MatrixLayer};
+use raella_nn::quant::OutputQuant;
+use raella_xbar::adc::AdcSpec;
+use raella_xbar::noise::NoiseRng;
+use raella_xbar::slicing::Slicing;
+
+proptest! {
+    /// `w⁺ − w⁻ = w − φ` and `w⁺·w⁻ = 0` for the whole domain.
+    #[test]
+    fn offsets_identity(w in 0u8..=255, phi in 0i32..=255) {
+        let (p, n) = offsets(w, phi);
+        prop_assert_eq!(i32::from(p) - i32::from(n), i32::from(w) - phi);
+        prop_assert!(p == 0 || n == 0);
+    }
+
+    /// The Eq. (2) optimum is never beaten by any other center.
+    #[test]
+    fn optimal_center_is_global_minimum(
+        weights in prop::collection::vec(0u8..=255, 8..64),
+        probe in 1i32..=255,
+    ) {
+        let slicing = Slicing::raella_default_weights();
+        let best = optimal_center(&weights, &slicing);
+        prop_assert!(
+            center_cost(&weights, &slicing, best)
+                <= center_cost(&weights, &slicing, probe) + 1e-6
+        );
+    }
+
+    /// Center cost is zero exactly when all offsets are zero (constant
+    /// filter at the center).
+    #[test]
+    fn constant_filter_has_zero_cost(v in 1u8..=255, n in 4usize..64) {
+        let weights = vec![v; n];
+        let slicing = Slicing::raella_default_weights();
+        let phi = optimal_center(&weights, &slicing);
+        prop_assert_eq!(phi, i32::from(v));
+        prop_assert_eq!(center_cost(&weights, &slicing, phi), 0.0);
+    }
+}
+
+/// A small random layer for engine equivalence properties.
+fn arb_layer() -> impl Strategy<Value = MatrixLayer> {
+    (2usize..5, 8usize..40, 0u64..1000).prop_map(|(filters, len, seed)| {
+        use raella_nn::synth::SynthLayer;
+        SynthLayer::linear(len, filters, seed).build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With an unbounded ADC and no noise, the full analog pipeline —
+    /// center+offset, slicing, speculation, recovery, requantization —
+    /// reproduces the integer reference bit for bit.
+    #[test]
+    fn unbounded_adc_is_exact(layer in arb_layer(), slicing_idx in 0usize..108, seed in 0u64..100) {
+        let all = Slicing::enumerate(8, 4);
+        let slicing = all[slicing_idx % all.len()].clone();
+        let mut cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        cfg.adc = AdcSpec::new(16, true);
+        let compiled = CompiledLayer::with_slicing(&layer, slicing, &cfg).expect("valid");
+        let inputs = layer.sample_inputs(2, seed);
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        prop_assert_eq!(analog, layer.reference_outputs(&inputs));
+    }
+
+    /// Speculative and bit-serial schedules agree whenever the ADC never
+    /// saturates (speculation only changes *how* sums are read).
+    #[test]
+    fn schedules_agree_without_saturation(layer in arb_layer(), seed in 0u64..100) {
+        let mut cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        cfg.adc = AdcSpec::new(16, true);
+        let slicing = Slicing::raella_default_weights();
+        let spec = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).expect("valid");
+        let bs_cfg = cfg.clone().without_speculation();
+        let bs = CompiledLayer::with_slicing(&layer, slicing, &bs_cfg).expect("valid");
+        let inputs = layer.sample_inputs(2, seed);
+        let mut s1 = RunStats::default();
+        let mut s2 = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        prop_assert_eq!(
+            run_batch(&spec, &inputs, &mut s1, &mut rng),
+            run_batch(&bs, &inputs, &mut s2, &mut rng)
+        );
+        // And speculation never converts more than bit-serial.
+        prop_assert!(s1.events.adc_converts <= s2.events.adc_converts);
+    }
+
+    /// Compiled levels always reconstruct `w − φ` exactly, for any layer.
+    #[test]
+    fn compiled_levels_reconstruct_offsets(layer in arb_layer()) {
+        let cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        let slicing = Slicing::raella_default_weights();
+        let compiled = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).expect("valid");
+        for (f, gs) in compiled.groups().iter().enumerate() {
+            let ws = layer.filter_weights(f);
+            for g in gs {
+                for r in 0..g.rows {
+                    let values: Vec<i64> = (0..slicing.num_slices())
+                        .map(|s| i64::from(g.levels[s][r]))
+                        .collect();
+                    prop_assert_eq!(
+                        slicing.reconstruct(&values),
+                        i64::from(ws[g.row_start + r]) - i64::from(g.center)
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Degenerate inputs (all zero) produce the reference outputs exactly —
+    /// nothing in the analog path invents charge from nothing.
+    #[test]
+    fn all_zero_inputs_are_exact(filters in 2usize..6, len in 8usize..40) {
+        let quant = OutputQuant::new(
+            vec![0.5; filters],
+            vec![10.0; filters],
+            vec![128; filters],
+        );
+        let layer = MatrixLayer::new(
+            "zeros",
+            filters,
+            len,
+            vec![128; filters * len],
+            quant,
+            InputProfile::relu_default(),
+        )
+        .expect("valid");
+        let cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg)
+                .expect("valid");
+        let inputs = vec![0i16; len * 2];
+        let mut stats = RunStats::default();
+        let mut rng = NoiseRng::new(0);
+        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        prop_assert_eq!(analog, layer.reference_outputs(&inputs));
+    }
+}

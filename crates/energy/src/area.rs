@@ -1,0 +1,199 @@
+//! Component area models (§6.1: 600 mm² budget; 743 RAELLA tiles vs 1024
+//! ISAAC/FORMS tiles).
+//!
+//! ADC area scales exponentially with resolution (Verhelst & Murmann);
+//! ReRAM crossbars are tiny (4F²-class cells) so trading crossbar area for
+//! ADC resolution is the good deal RAELLA exploits; 2T2R doubles the cell
+//! footprint but costs only ~10% at the system level (§4.1.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Component area price list, in square millimetres.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentAreas {
+    /// One 8b ADC; other resolutions scale as `2^(bits−8)`.
+    pub adc_8b_mm2: f64,
+    /// One 1T1R ReRAM cell (including access device share).
+    pub cell_1t1r_mm2: f64,
+    /// Area multiplier for a 2T2R cell pair (pessimistic 2 cells + 2
+    /// min-size transistors, §6.1.1).
+    pub two_t2r_factor: f64,
+    /// DAC + row driver, per crossbar row.
+    pub dac_row_mm2: f64,
+    /// Sample+hold + current buffer, per crossbar column.
+    pub sample_hold_col_mm2: f64,
+    /// SRAM per kilobyte.
+    pub sram_kb_mm2: f64,
+    /// eDRAM per kilobyte.
+    pub edram_kb_mm2: f64,
+    /// One router (shared by four tiles, §5.4).
+    pub router_mm2: f64,
+    /// Fixed digital overhead per tile (shift+add, quantize, control).
+    pub tile_digital_mm2: f64,
+}
+
+impl ComponentAreas {
+    /// The 32 nm area library.
+    ///
+    /// Calibrated so the §6.1 tile counts emerge: an ISAAC tile (8 IMAs ×
+    /// 8 crossbars × 128×128 1T1R, 8×8b ADCs/IMA) lands near
+    /// 600/1024 ≈ 0.59 mm², and a RAELLA tile (8 IMAs × 4 crossbars ×
+    /// 512×512 2T2R, 4×7b ADCs/crossbar) near 600/743 ≈ 0.81 mm².
+    pub fn cmos_32nm() -> Self {
+        ComponentAreas {
+            adc_8b_mm2: 0.004,
+            cell_1t1r_mm2: 1.2e-8,
+            two_t2r_factor: 2.2,
+            dac_row_mm2: 2.0e-7,
+            sample_hold_col_mm2: 4.0e-7,
+            sram_kb_mm2: 0.0015,
+            edram_kb_mm2: 0.0012,
+            router_mm2: 0.3,
+            tile_digital_mm2: 0.07,
+        }
+    }
+
+    /// ADC area at `bits` resolution: `adc_8b_mm2 · 2^(bits−8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn adc_mm2(&self, bits: u8) -> f64 {
+        assert!((1..=16).contains(&bits), "ADC bits must be 1–16, got {bits}");
+        self.adc_8b_mm2 * 2f64.powi(i32::from(bits) - 8)
+    }
+
+    /// Area of one crossbar array (cells + DACs + sample/holds).
+    pub fn crossbar_mm2(&self, rows: usize, cols: usize, two_t2r: bool) -> f64 {
+        let cell = if two_t2r {
+            self.cell_1t1r_mm2 * self.two_t2r_factor
+        } else {
+            self.cell_1t1r_mm2
+        };
+        (rows * cols) as f64 * cell
+            + rows as f64 * self.dac_row_mm2
+            + cols as f64 * self.sample_hold_col_mm2
+    }
+}
+
+/// Physical composition of one tile, for area accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TileGeometry {
+    /// IMAs per tile.
+    pub imas: usize,
+    /// Crossbars per IMA.
+    pub crossbars_per_ima: usize,
+    /// Crossbar rows.
+    pub rows: usize,
+    /// Crossbar columns.
+    pub cols: usize,
+    /// Signed 2T2R cells (RAELLA) vs 1T1R (ISAAC/FORMS).
+    pub two_t2r: bool,
+    /// ADCs per crossbar.
+    pub adcs_per_crossbar: usize,
+    /// ADC resolution.
+    pub adc_bits: u8,
+    /// SRAM per IMA in kilobytes (input + psum buffers).
+    pub ima_sram_kb: f64,
+    /// eDRAM per tile in kilobytes.
+    pub tile_edram_kb: f64,
+}
+
+impl TileGeometry {
+    /// Total tile area under the given area library, including the
+    /// one-quarter share of a router (§5.4: four tiles per router).
+    pub fn tile_mm2(&self, areas: &ComponentAreas) -> f64 {
+        let crossbar = areas.crossbar_mm2(self.rows, self.cols, self.two_t2r);
+        let adc = areas.adc_mm2(self.adc_bits) * self.adcs_per_crossbar as f64;
+        let per_ima = (crossbar + adc) * self.crossbars_per_ima as f64
+            + self.ima_sram_kb * areas.sram_kb_mm2;
+        per_ima * self.imas as f64
+            + self.tile_edram_kb * areas.edram_kb_mm2
+            + areas.router_mm2 / 4.0
+            + areas.tile_digital_mm2
+    }
+
+    /// How many tiles fit in an area budget (≥1).
+    pub fn tiles_in_budget(&self, areas: &ComponentAreas, budget_mm2: f64) -> usize {
+        (budget_mm2 / self.tile_mm2(areas)).floor().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isaac_tile() -> TileGeometry {
+        TileGeometry {
+            imas: 8,
+            crossbars_per_ima: 8,
+            rows: 128,
+            cols: 128,
+            two_t2r: false,
+            adcs_per_crossbar: 1,
+            adc_bits: 8,
+            ima_sram_kb: 3.0,
+            tile_edram_kb: 96.0,
+        }
+    }
+
+    fn raella_tile() -> TileGeometry {
+        TileGeometry {
+            imas: 8,
+            crossbars_per_ima: 4,
+            rows: 512,
+            cols: 512,
+            two_t2r: true,
+            adcs_per_crossbar: 4,
+            adc_bits: 7,
+            ima_sram_kb: 2.0 + 4.0 * 0.75, // input buffer + psum buffers
+            tile_edram_kb: 96.0,
+        }
+    }
+
+    #[test]
+    fn tile_counts_land_near_the_paper() {
+        let areas = ComponentAreas::cmos_32nm();
+        let isaac = isaac_tile().tiles_in_budget(&areas, 600.0);
+        let raella = raella_tile().tiles_in_budget(&areas, 600.0);
+        assert!(
+            (900..=1200).contains(&isaac),
+            "ISAAC tiles {isaac} (paper: 1024)"
+        );
+        assert!(
+            (650..=850).contains(&raella),
+            "RAELLA tiles {raella} (paper: 743)"
+        );
+        assert!(raella < isaac, "RAELLA tiles are bigger");
+    }
+
+    #[test]
+    fn adc_area_scales_exponentially() {
+        let areas = ComponentAreas::cmos_32nm();
+        assert!((areas.adc_mm2(9) / areas.adc_mm2(8) - 2.0).abs() < 1e-12);
+        assert!(areas.adc_mm2(7) < areas.adc_mm2(8));
+    }
+
+    #[test]
+    fn two_t2r_costs_about_double_cells() {
+        let areas = ComponentAreas::cmos_32nm();
+        let single = areas.crossbar_mm2(512, 512, false);
+        let double = areas.crossbar_mm2(512, 512, true);
+        assert!(double > single);
+        assert!(double < single * 2.5);
+    }
+
+    #[test]
+    fn crossbars_are_small_next_to_adcs() {
+        // §2.4: architectures spend 5–50× more area on ADCs than crossbars.
+        let areas = ComponentAreas::cmos_32nm();
+        let crossbar_cells = 128.0 * 128.0 * areas.cell_1t1r_mm2;
+        assert!(areas.adc_mm2(8) > 3.0 * crossbar_cells);
+    }
+
+    #[test]
+    fn tiles_in_budget_is_at_least_one() {
+        let areas = ComponentAreas::cmos_32nm();
+        assert_eq!(isaac_tile().tiles_in_budget(&areas, 0.0001), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Named energy breakdowns — the stacked bars of Figs. 1 and 14.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Energy by component, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Analog-to-digital conversion.
+    pub adc_pj: f64,
+    /// ReRAM crossbar reads (data-dependent charge).
+    pub crossbar_pj: f64,
+    /// Input DACs (pulse trains) and row drivers.
+    pub dac_pj: f64,
+    /// Sample+hold and current buffers.
+    pub sample_hold_pj: f64,
+    /// SRAM input/psum buffers.
+    pub sram_pj: f64,
+    /// eDRAM tile buffers.
+    pub edram_pj: f64,
+    /// On-chip network (routers/links).
+    pub router_pj: f64,
+    /// Digital shift+add, center processing, and control.
+    pub digital_pj: f64,
+    /// Output quantization (scale/bias/activation).
+    pub quant_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Component labels, in the order [`EnergyBreakdown::values`] reports.
+    pub const LABELS: [&'static str; 9] = [
+        "ADC",
+        "Crossbar",
+        "DAC",
+        "Sample+Hold",
+        "SRAM",
+        "eDRAM",
+        "Router",
+        "Digital",
+        "Quantize",
+    ];
+
+    /// Component values matching [`EnergyBreakdown::LABELS`].
+    pub fn values(&self) -> [f64; 9] {
+        [
+            self.adc_pj,
+            self.crossbar_pj,
+            self.dac_pj,
+            self.sample_hold_pj,
+            self.sram_pj,
+            self.edram_pj,
+            self.router_pj,
+            self.digital_pj,
+            self.quant_pj,
+        ]
+    }
+
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.values().iter().sum()
+    }
+
+    /// Fraction contributed by the ADC (the paper's headline statistic).
+    pub fn adc_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.adc_pj / total
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            adc_pj: self.adc_pj + other.adc_pj,
+            crossbar_pj: self.crossbar_pj + other.crossbar_pj,
+            dac_pj: self.dac_pj + other.dac_pj,
+            sample_hold_pj: self.sample_hold_pj + other.sample_hold_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            edram_pj: self.edram_pj + other.edram_pj,
+            router_pj: self.router_pj + other.router_pj,
+            digital_pj: self.digital_pj + other.digital_pj,
+            quant_pj: self.quant_pj + other.quant_pj,
+        }
+    }
+
+    /// Elementwise scaling (e.g. per-inference → per-batch).
+    pub fn scale(&self, k: f64) -> EnergyBreakdown {
+        EnergyBreakdown {
+            adc_pj: self.adc_pj * k,
+            crossbar_pj: self.crossbar_pj * k,
+            dac_pj: self.dac_pj * k,
+            sample_hold_pj: self.sample_hold_pj * k,
+            sram_pj: self.sram_pj * k,
+            edram_pj: self.edram_pj * k,
+            router_pj: self.router_pj * k,
+            digital_pj: self.digital_pj * k,
+            quant_pj: self.quant_pj * k,
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_pj();
+        write!(f, "total {:.3} µJ [", total / 1e6)?;
+        for (label, value) in Self::LABELS.iter().zip(self.values()) {
+            let pct = if total > 0.0 { 100.0 * value / total } else { 0.0 };
+            write!(f, " {label} {pct:.1}%")?;
+        }
+        write!(f, " ]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnergyBreakdown {
+        EnergyBreakdown {
+            adc_pj: 60.0,
+            crossbar_pj: 10.0,
+            dac_pj: 5.0,
+            sample_hold_pj: 1.0,
+            sram_pj: 4.0,
+            edram_pj: 10.0,
+            router_pj: 6.0,
+            digital_pj: 2.0,
+            quant_pj: 2.0,
+        }
+    }
+
+    #[test]
+    fn total_and_fraction() {
+        let b = sample();
+        assert!((b.total_pj() - 100.0).abs() < 1e-12);
+        assert!((b.adc_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().adc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn add_and_scale_are_elementwise() {
+        let b = sample();
+        let doubled = b.add(&b);
+        assert!((doubled.total_pj() - 200.0).abs() < 1e-12);
+        let halved = b.scale(0.5);
+        assert!((halved.adc_pj - 30.0).abs() < 1e-12);
+        assert!((halved.total_pj() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_values_len() {
+        assert_eq!(EnergyBreakdown::LABELS.len(), sample().values().len());
+    }
+
+    #[test]
+    fn display_reports_percentages() {
+        let s = sample().to_string();
+        assert!(s.contains("ADC 60.0%"), "{s}");
+    }
+}

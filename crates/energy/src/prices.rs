@@ -1,0 +1,151 @@
+//! Per-event component energies (§6.1.1 methodology).
+//!
+//! Values are grounded in the sources the paper cites: the 32 nm Kull SAR
+//! ADC (3.1 mW @ 1.28 GS/s ≈ 2.4 pJ/convert at 8b, scaled exponentially in
+//! resolution per Saberi et al.), NeuroSim-style data-dependent crossbar
+//! read energy at 0.2 V with 1 kΩ/20 kΩ devices, ISAAC's eDRAM/router
+//! figures, and TIMELY's 65 nm time-domain interfaces. Absolute joules are
+//! modeling choices (documented here); all architecture comparisons use
+//! this one library, so the *relative* results are apples-to-apples —
+//! exactly the paper's own methodology.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy price list, in picojoules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPrices {
+    /// Energy of one 8b ADC conversion; other resolutions scale as
+    /// `2^(bits−8)` (exponential-in-resolution, §2.5).
+    pub adc_8b_convert_pj: f64,
+    /// One DAC pulse (flip-flop + AND gate + row driver, §5.1).
+    pub dac_pulse_pj: f64,
+    /// One unit of ReRAM read charge (input pulse × conductance level).
+    /// An 8b MAC moves ~20–40 units, keeping it under the paper's
+    /// "<100 fJ per 8b MAC".
+    pub device_charge_unit_pj: f64,
+    /// Sample+hold + current buffer, per column sampled (§5.1, [24, 38]).
+    pub sample_hold_pj: f64,
+    /// SRAM access per byte (input/psum buffers; CACTI-class).
+    pub sram_byte_pj: f64,
+    /// eDRAM access per byte (64 kB tile buffers, ISAAC numbers).
+    pub edram_byte_pj: f64,
+    /// On-chip router/link transfer per byte (ISAAC numbers).
+    pub router_byte_pj: f64,
+    /// One 16b shift+add (psum assembly).
+    pub shift_add_pj: f64,
+    /// Center+Offset digital work per psum: one multiply + subtract
+    /// (§5.2; input-sum adds are priced per input via `shift_add_pj`).
+    pub center_mac_pj: f64,
+    /// Output quantization per 8b output: FP16 multiply + truncate + bias.
+    pub quant_output_pj: f64,
+    /// Programming one ReRAM cell (amortized over inferences; reported
+    /// separately, never added to inference energy).
+    pub reram_write_pj: f64,
+}
+
+impl ComponentPrices {
+    /// The 32 nm library used for RAELLA, ISAAC and FORMS (§6.1).
+    pub fn cmos_32nm() -> Self {
+        ComponentPrices {
+            adc_8b_convert_pj: 2.4,
+            dac_pulse_pj: 0.1,
+            device_charge_unit_pj: 0.0032,
+            sample_hold_pj: 0.05,
+            sram_byte_pj: 1.5,
+            edram_byte_pj: 5.5,
+            router_byte_pj: 9.5,
+            shift_add_pj: 0.25,
+            center_mac_pj: 1.2,
+            quant_output_pj: 4.0,
+            reram_write_pj: 10.0,
+        }
+    }
+
+    /// The 65 nm TIMELY-component variant (§6.4): time-domain converters
+    /// (TDC/charging+comparator) make converts ~10× cheaper than a SAR ADC,
+    /// while digital/buffer energies grow with the older node.
+    pub fn timely_65nm() -> Self {
+        ComponentPrices {
+            // TIMELY's TDC-based interfaces: very cheap converts.
+            adc_8b_convert_pj: 0.24,
+            dac_pulse_pj: 0.2,
+            device_charge_unit_pj: 0.007,
+            sample_hold_pj: 0.1,
+            sram_byte_pj: 3.0,
+            edram_byte_pj: 11.0,
+            router_byte_pj: 19.0,
+            shift_add_pj: 0.5,
+            center_mac_pj: 2.5,
+            quant_output_pj: 8.0,
+            reram_write_pj: 10.0,
+        }
+    }
+
+    /// Energy of one conversion at `bits` resolution:
+    /// `adc_8b_convert_pj · 2^(bits−8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn adc_convert_pj(&self, bits: u8) -> f64 {
+        assert!((1..=16).contains(&bits), "ADC bits must be 1–16, got {bits}");
+        self.adc_8b_convert_pj * 2f64.powi(i32::from(bits) - 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_energy_scales_exponentially() {
+        let p = ComponentPrices::cmos_32nm();
+        assert!((p.adc_convert_pj(8) - 2.4).abs() < 1e-12);
+        assert!((p.adc_convert_pj(7) - 1.2).abs() < 1e-12);
+        assert!((p.adc_convert_pj(10) - 9.6).abs() < 1e-12);
+        // Monotone in resolution.
+        for b in 2..=16u8 {
+            assert!(p.adc_convert_pj(b) > p.adc_convert_pj(b - 1));
+        }
+    }
+
+    #[test]
+    fn crossbar_mac_stays_under_100fj() {
+        // ~30 charge units per 8b MAC (paper §2.4: "<100 fJ").
+        let p = ComponentPrices::cmos_32nm();
+        let mac_pj = 30.0 * p.device_charge_unit_pj;
+        assert!(mac_pj < 0.1, "8b MAC ≈ {mac_pj} pJ");
+    }
+
+    #[test]
+    fn timely_converts_are_cheap_but_digital_is_dear() {
+        let t = ComponentPrices::timely_65nm();
+        let c = ComponentPrices::cmos_32nm();
+        assert!(t.adc_convert_pj(8) < c.adc_convert_pj(8) / 5.0);
+        assert!(t.edram_byte_pj > c.edram_byte_pj);
+        assert!(t.quant_output_pj > c.quant_output_pj);
+    }
+
+    #[test]
+    fn all_prices_are_positive() {
+        for p in [ComponentPrices::cmos_32nm(), ComponentPrices::timely_65nm()] {
+            assert!(p.adc_8b_convert_pj > 0.0);
+            assert!(p.dac_pulse_pj > 0.0);
+            assert!(p.device_charge_unit_pj > 0.0);
+            assert!(p.sample_hold_pj > 0.0);
+            assert!(p.sram_byte_pj > 0.0);
+            assert!(p.edram_byte_pj > 0.0);
+            assert!(p.router_byte_pj > 0.0);
+            assert!(p.shift_add_pj > 0.0);
+            assert!(p.center_mac_pj > 0.0);
+            assert!(p.quant_output_pj > 0.0);
+            assert!(p.reram_write_pj > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1–16")]
+    fn adc_convert_rejects_zero_bits() {
+        ComponentPrices::cmos_32nm().adc_convert_pj(0);
+    }
+}

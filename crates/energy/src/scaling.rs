@@ -1,0 +1,130 @@
+//! Technology-node scaling rules (§6.4's 32 nm ↔ 65 nm translation).
+//!
+//! The paper compares against TIMELY by scaling RAELLA to TIMELY's 65 nm
+//! node and adopting its analog components. This module captures the
+//! first-order scaling rules used to derive the 65 nm price table from the
+//! 32 nm one, so the relationship is explicit and testable rather than two
+//! unrelated constant sets:
+//!
+//! * **Digital/СMOS energy** scales roughly with `(node/32)²` (capacitance
+//!   × voltage² per switched gate).
+//! * **Wire-dominated transfers** (buffers, NoC) scale closer to linear ×
+//!   capacitance growth — modeled with the same quadratic factor as a
+//!   conservative bound.
+//! * **ReRAM read charge** is device-dominated, scaling weakly (~linear).
+//! * **Converter energy** does *not* follow CMOS scaling: TIMELY's
+//!   time-domain converters are a different circuit class entirely, an
+//!   order of magnitude cheaper per convert than a SAR ADC at the same
+//!   node. That substitution is the whole point of Fig. 13's comparison.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prices::ComponentPrices;
+
+/// A process node, by feature size in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub nm: f64,
+}
+
+impl TechNode {
+    /// The paper's primary node (§6.1).
+    pub fn n32() -> Self {
+        TechNode { nm: 32.0 }
+    }
+
+    /// TIMELY's node (§6.4).
+    pub fn n65() -> Self {
+        TechNode { nm: 65.0 }
+    }
+
+    /// Quadratic CMOS energy scaling factor from `self` to `to`.
+    pub fn cmos_energy_factor(&self, to: TechNode) -> f64 {
+        (to.nm / self.nm).powi(2)
+    }
+
+    /// Weak (linear) device-energy scaling factor from `self` to `to`.
+    pub fn device_energy_factor(&self, to: TechNode) -> f64 {
+        to.nm / self.nm
+    }
+}
+
+/// Scales a 32 nm price table to another node, keeping converter prices
+/// untouched (converters are swapped separately — see module docs).
+pub fn scale_prices(base: &ComponentPrices, from: TechNode, to: TechNode) -> ComponentPrices {
+    let cmos = from.cmos_energy_factor(to);
+    let device = from.device_energy_factor(to);
+    ComponentPrices {
+        adc_8b_convert_pj: base.adc_8b_convert_pj, // swapped, not scaled
+        dac_pulse_pj: base.dac_pulse_pj * cmos,
+        device_charge_unit_pj: base.device_charge_unit_pj * device,
+        sample_hold_pj: base.sample_hold_pj * cmos,
+        sram_byte_pj: base.sram_byte_pj * cmos,
+        edram_byte_pj: base.edram_byte_pj * cmos,
+        router_byte_pj: base.router_byte_pj * cmos,
+        shift_add_pj: base.shift_add_pj * cmos,
+        center_mac_pj: base.center_mac_pj * cmos,
+        quant_output_pj: base.quant_output_pj * cmos,
+        reram_write_pj: base.reram_write_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_factor_for_65_over_32() {
+        let f = TechNode::n32().cmos_energy_factor(TechNode::n65());
+        assert!((f - (65.0f64 / 32.0).powi(2)).abs() < 1e-12);
+        assert!((4.0..4.3).contains(&f));
+    }
+
+    #[test]
+    fn scaling_is_invertible() {
+        let base = ComponentPrices::cmos_32nm();
+        let up = scale_prices(&base, TechNode::n32(), TechNode::n65());
+        let back = scale_prices(&up, TechNode::n65(), TechNode::n32());
+        assert!((back.sram_byte_pj - base.sram_byte_pj).abs() < 1e-9);
+        assert!((back.device_charge_unit_pj - base.device_charge_unit_pj).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derived_65nm_prices_track_the_preset_table() {
+        // The hand-tuned 65 nm preset (§6.4) should agree with the scaling
+        // rules within a factor of ~2 on every scaled component — it was
+        // built from the same first-order reasoning.
+        let derived = scale_prices(
+            &ComponentPrices::cmos_32nm(),
+            TechNode::n32(),
+            TechNode::n65(),
+        );
+        let preset = ComponentPrices::timely_65nm();
+        for (d, p, name) in [
+            (derived.sram_byte_pj, preset.sram_byte_pj, "sram"),
+            (derived.edram_byte_pj, preset.edram_byte_pj, "edram"),
+            (derived.router_byte_pj, preset.router_byte_pj, "router"),
+            (derived.quant_output_pj, preset.quant_output_pj, "quant"),
+            (derived.shift_add_pj, preset.shift_add_pj, "shift+add"),
+        ] {
+            let ratio = d / p;
+            // Within ~2.5×: the preset also embeds circuit-level choices
+            // (e.g. TIMELY's local buffering) beyond pure node scaling.
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "{name}: derived {d} vs preset {p} (ratio {ratio})"
+            );
+        }
+        // Converters are a different circuit class: the preset is ~10×
+        // cheaper than a scaled SAR would be.
+        assert!(preset.adc_8b_convert_pj < derived.adc_8b_convert_pj / 5.0);
+    }
+
+    #[test]
+    fn device_energy_scales_weakly() {
+        let n32 = TechNode::n32();
+        let n65 = TechNode::n65();
+        assert!(n32.device_energy_factor(n65) < n32.cmos_energy_factor(n65));
+    }
+}

@@ -1,0 +1,121 @@
+//! The Titanium Law of ADC energy (Table 2):
+//!
+//! ```text
+//! ADC energy / DNN = Energy/Convert × Converts/MAC × MACs/DNN × 1/Utilization
+//! ```
+//!
+//! Energy/Convert is set by ADC resolution (exponential); Converts/MAC by
+//! crossbar rows and slice counts; MACs/DNN by the workload; utilization by
+//! the mapping. The law's tension — reducing Converts/MAC raises column-sum
+//! resolution and forces a costlier ADC — is what RAELLA's three strategies
+//! break.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prices::ComponentPrices;
+
+/// One evaluation of the Titanium Law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TitaniumLaw {
+    /// Energy per ADC conversion, picojoules.
+    pub energy_per_convert_pj: f64,
+    /// ADC conversions per MAC.
+    pub converts_per_mac: f64,
+    /// MACs per DNN inference.
+    pub macs_per_dnn: f64,
+    /// Crossbar row utilization in `(0, 1]`.
+    pub utilization: f64,
+}
+
+impl TitaniumLaw {
+    /// Builds the law from an architecture's parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    pub fn new(
+        prices: &ComponentPrices,
+        adc_bits: u8,
+        rows: usize,
+        weight_slices: usize,
+        input_slices_converted: f64,
+        macs_per_dnn: u64,
+        utilization: f64,
+    ) -> Self {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization {utilization} outside (0, 1]"
+        );
+        TitaniumLaw {
+            energy_per_convert_pj: prices.adc_convert_pj(adc_bits),
+            converts_per_mac: weight_slices as f64 * input_slices_converted / rows as f64,
+            macs_per_dnn: macs_per_dnn as f64,
+            utilization,
+        }
+    }
+
+    /// Converts/MAC for integer slice counts:
+    /// `weight_slices × input_slices / rows`.
+    pub fn converts_per_mac(rows: usize, weight_slices: usize, input_slices: usize) -> f64 {
+        weight_slices as f64 * input_slices as f64 / rows as f64
+    }
+
+    /// Total ADC energy per inference, picojoules.
+    pub fn adc_energy_pj(&self) -> f64 {
+        self.energy_per_convert_pj * self.converts_per_mac * self.macs_per_dnn
+            / self.utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isaac_converts_per_mac_is_quarter() {
+        assert!((TitaniumLaw::converts_per_mac(128, 4, 8) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn raella_speculation_converts_per_mac_matches_paper() {
+        // §7.1: RAELLA reaches 0.018 converts/MAC — 3 weight slices ×
+        // ~3.3 converted input slices over 512 rows.
+        let prices = ComponentPrices::cmos_32nm();
+        let law = TitaniumLaw::new(&prices, 7, 512, 3, 3.3, 1, 1.0);
+        assert!(
+            (law.converts_per_mac - 0.019).abs() < 0.002,
+            "{}",
+            law.converts_per_mac
+        );
+    }
+
+    #[test]
+    fn law_multiplies_through() {
+        let prices = ComponentPrices::cmos_32nm();
+        let law = TitaniumLaw::new(&prices, 8, 128, 4, 8.0, 1_000_000, 0.5);
+        let expected = 2.4 * 0.25 * 1e6 / 0.5;
+        assert!((law.adc_energy_pj() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_resolution_lowers_energy_at_same_converts() {
+        let prices = ComponentPrices::cmos_32nm();
+        let hi = TitaniumLaw::new(&prices, 8, 512, 3, 8.0, 1_000, 1.0);
+        let lo = TitaniumLaw::new(&prices, 7, 512, 3, 8.0, 1_000, 1.0);
+        assert!(lo.adc_energy_pj() < hi.adc_energy_pj());
+    }
+
+    #[test]
+    fn utilization_below_one_inflates_energy() {
+        let prices = ComponentPrices::cmos_32nm();
+        let full = TitaniumLaw::new(&prices, 8, 128, 4, 8.0, 1_000, 1.0);
+        let half = TitaniumLaw::new(&prices, 8, 128, 4, 8.0, 1_000, 0.5);
+        assert!((half.adc_energy_pj() / full.adc_energy_pj() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn zero_utilization_rejected() {
+        TitaniumLaw::new(&ComponentPrices::cmos_32nm(), 8, 128, 4, 8.0, 1, 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the DNN substrate.
+
+use std::fmt;
+
+/// Errors produced while building or executing DNN layers and graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor or layer was constructed with an inconsistent shape.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it received.
+        got: String,
+    },
+    /// A graph node referenced an input that does not exist.
+    InvalidNode {
+        /// Index of the offending node.
+        node: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            NnError::InvalidNode { node, reason } => {
+                write!(f, "invalid graph node {node}: {reason}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = NnError::ShapeMismatch {
+            expected: "[2, 3]".into(),
+            got: "[3, 2]".into(),
+        };
+        let s = err.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Batch-normalization folding (deployment-time transform).
+//!
+//! The paper runs deployed, quantized models: by the time weights reach a
+//! PIM crossbar, every batch-norm has been folded into the preceding
+//! convolution (`w' = γ·w/σ`, `b' = γ·(b−μ)/σ + β`) and the result
+//! re-quantized per channel. This module implements that transform over
+//! the real-valued view, producing a [`MatrixLayer`] whose stored weights
+//! already contain the normalization — the form every experiment in this
+//! repository consumes.
+
+use crate::error::NnError;
+use crate::matrix::{InputProfile, MatrixLayer};
+use crate::quant::{OutputQuant, QuantParams};
+
+/// Per-channel batch-norm parameters (inference form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    /// Learned scale γ.
+    pub gamma: Vec<f32>,
+    /// Learned shift β.
+    pub beta: Vec<f32>,
+    /// Running mean μ.
+    pub mean: Vec<f32>,
+    /// Running variance σ².
+    pub var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNorm {
+    /// Identity normalization over `channels` channels.
+    pub fn identity(channels: usize) -> Self {
+        BatchNorm {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// The effective per-channel multiplier `γ/√(σ²+ε)`.
+    pub fn scale(&self, c: usize) -> f32 {
+        self.gamma[c] / (self.var[c] + self.eps).sqrt()
+    }
+
+    /// The effective per-channel bias `β − γ·μ/√(σ²+ε)`.
+    pub fn bias(&self, c: usize) -> f32 {
+        self.beta[c] - self.scale(c) * self.mean[c]
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if vector lengths differ, any
+    /// variance is negative, or epsilon is not positive.
+    pub fn validate(&self) -> Result<(), NnError> {
+        let n = self.gamma.len();
+        if self.beta.len() != n || self.mean.len() != n || self.var.len() != n {
+            return Err(NnError::InvalidConfig(
+                "batch-norm parameter lengths differ".into(),
+            ));
+        }
+        if self.var.iter().any(|&v| v < 0.0) {
+            return Err(NnError::InvalidConfig("negative variance".into()));
+        }
+        if !(self.eps > 0.0) {
+            return Err(NnError::InvalidConfig("epsilon must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Folds a batch-norm into a real-valued weight matrix and re-quantizes
+/// the result per channel into a [`MatrixLayer`].
+///
+/// `real_weights` is `filters × filter_len` row-major in the real domain;
+/// the output layer's stored-domain weights are per-channel quantized with
+/// a symmetric zero point of 128, and the norm's bias lands in the
+/// requantizer's bias (the same place hardware keeps it — §5.3's 32b
+/// per-channel scale+bias).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the weight count is not
+/// `bn.channels() × filter_len`, and propagates [`BatchNorm::validate`]
+/// errors.
+pub fn fold_batch_norm(
+    name: &str,
+    real_weights: &[f32],
+    filter_len: usize,
+    bn: &BatchNorm,
+    input_profile: InputProfile,
+) -> Result<MatrixLayer, NnError> {
+    bn.validate()?;
+    let filters = bn.channels();
+    if real_weights.len() != filters * filter_len {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} weights ({filters}×{filter_len})", filters * filter_len),
+            got: format!("{}", real_weights.len()),
+        });
+    }
+    let mut stored = Vec::with_capacity(real_weights.len());
+    let mut scales = Vec::with_capacity(filters);
+    let mut biases = Vec::with_capacity(filters);
+    for f in 0..filters {
+        let row = &real_weights[f * filter_len..(f + 1) * filter_len];
+        let s = bn.scale(f);
+        // Folded real weights for this channel.
+        let folded: Vec<f32> = row.iter().map(|&w| w * s).collect();
+        // Symmetric per-channel quantization around zero point 128.
+        let max_abs = folded
+            .iter()
+            .fold(0.0f32, |m, &w| m.max(w.abs()))
+            .max(f32::EPSILON);
+        let q = QuantParams::new(max_abs / 127.0, 128);
+        stored.extend(folded.iter().map(|&w| q.quantize(w)));
+        // The requantizer's scale recovers the real dot product; the
+        // norm's bias rides along in output-quantized units.
+        scales.push(q.scale);
+        biases.push(bn.bias(f));
+    }
+    MatrixLayer::new(
+        name,
+        filters,
+        filter_len,
+        stored,
+        OutputQuant::new(scales, biases, vec![128; filters]),
+        input_profile,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SynthRng;
+
+    fn real_weights(filters: usize, len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SynthRng::new(seed);
+        (0..filters * len)
+            .map(|_| rng.normal(0.0, 0.1) as f32)
+            .collect()
+    }
+
+    #[test]
+    fn identity_norm_folds_to_plain_quantization() {
+        let ws = real_weights(4, 64, 1);
+        let bn = BatchNorm::identity(4);
+        let layer =
+            fold_batch_norm("conv", &ws, 64, &bn, InputProfile::relu_default()).unwrap();
+        assert_eq!(layer.filters(), 4);
+        assert_eq!(layer.filter_len(), 64);
+        // Stored weights are centered on the 128 zero point.
+        for f in 0..4 {
+            let row = layer.filter_weights(f);
+            let mean: f64 = row.iter().map(|&w| f64::from(w)).sum::<f64>() / 64.0;
+            assert!((mean - 128.0).abs() < 25.0, "filter {f} mean {mean}");
+        }
+        // Identity norm → zero biases.
+        assert!(layer.quant().biases.iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn folding_scales_weights_per_channel() {
+        let ws = real_weights(2, 8, 2);
+        let mut bn = BatchNorm::identity(2);
+        bn.gamma = vec![2.0, 0.5];
+        let layer =
+            fold_batch_norm("conv", &ws, 8, &bn, InputProfile::relu_default()).unwrap();
+        // A channel scaled 2× has a 2× larger dequant scale (same stored
+        // spread, larger real range).
+        let ratio = layer.quant().scales[0] / layer.quant().scales[1];
+        assert!((ratio - 4.0).abs() < 0.8, "scale ratio {ratio}");
+    }
+
+    #[test]
+    fn folded_bias_matches_closed_form() {
+        let mut bn = BatchNorm::identity(1);
+        bn.gamma = vec![2.0];
+        bn.mean = vec![3.0];
+        bn.beta = vec![1.0];
+        bn.var = vec![4.0];
+        // scale = 2/√(4+ε) ≈ 1, bias = 1 − 1·3 = −2.
+        assert!((bn.scale(0) - 1.0).abs() < 1e-3);
+        assert!((bn.bias(0) + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_norms() {
+        let mut bn = BatchNorm::identity(2);
+        bn.beta.pop();
+        assert!(bn.validate().is_err());
+
+        let mut bn = BatchNorm::identity(2);
+        bn.var[0] = -1.0;
+        assert!(bn.validate().is_err());
+
+        let mut bn = BatchNorm::identity(2);
+        bn.eps = 0.0;
+        assert!(bn.validate().is_err());
+
+        let ws = real_weights(2, 8, 3);
+        assert!(fold_batch_norm(
+            "x",
+            &ws[..8],
+            8,
+            &BatchNorm::identity(2),
+            InputProfile::relu_default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn folded_layer_computes_sane_dot_products() {
+        // End-to-end: reference outputs of a folded layer track the real
+        // computation within quantization error.
+        let ws = vec![0.1f32; 8];
+        let bn = BatchNorm::identity(1);
+        let mut layer =
+            fold_batch_norm("lin", &ws, 8, &bn, InputProfile::relu_default()).unwrap();
+        // Output scale: map the corrected acc to a visible range.
+        let q = layer.quant().clone();
+        layer
+            .set_quant(OutputQuant::new(
+                vec![q.scales[0]],
+                vec![0.0],
+                q.weight_zero_points.clone(),
+            ))
+            .unwrap();
+        let inputs: Vec<i16> = vec![10; 8];
+        let out = layer.reference_outputs(&inputs);
+        // Real dot product: 8 × 0.1 × 10 = 8.0 → output ≈ 8.
+        assert!((f64::from(out[0]) - 8.0).abs() <= 1.0, "out {}", out[0]);
+    }
+}

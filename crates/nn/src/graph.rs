@@ -1,0 +1,534 @@
+//! A small DAG executor for mini end-to-end models.
+//!
+//! The mini model zoo ([`crate::models`]) expresses each network family
+//! (residual chains, inception branches, shuffle blocks) as a graph of the
+//! operators in [`crate::layers`]. Running the same graph through the
+//! integer [`ReferenceEngine`] and through an analog PIM engine, then
+//! comparing predictions, is how the accuracy experiments (paper Table 4 and
+//! Fig. 15) are reproduced without a dataset.
+
+use crate::error::NnError;
+use crate::layers::{
+    concat_channels, global_avg_pool, max_pool2d, residual_add, Conv2d, Linear, MatVecEngine,
+    ReferenceEngine,
+};
+use crate::matrix::{Act, MatrixLayer};
+use crate::tensor::Tensor;
+
+/// One graph operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// The graph input placeholder (exactly one per graph, node 0).
+    Input,
+    /// 2-D convolution (with fused requantization + ReLU).
+    Conv(Conv2d),
+    /// Fully connected layer over the flattened input.
+    Linear(Linear),
+    /// Max pooling with square window `k` and stride.
+    MaxPool {
+        /// Window size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to one value per channel.
+    GlobalAvgPool,
+    /// Residual merge of two inputs (requantized average).
+    Add,
+    /// Channel concatenation of two or more inputs.
+    Concat,
+    /// Keeps channels `from..to` of a CHW input (group-conv plumbing).
+    SliceChannels {
+        /// First channel kept.
+        from: usize,
+        /// One past the last channel kept.
+        to: usize,
+    },
+    /// ShuffleNet channel shuffle with the given group count.
+    ShuffleChannels {
+        /// Number of groups to interleave.
+        groups: usize,
+    },
+}
+
+/// Keeps channels `from..to` of a CHW tensor.
+fn slice_channels(
+    input: &Tensor<u8>,
+    from: usize,
+    to: usize,
+) -> Result<Tensor<u8>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || from >= to || to > shape[0] {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("CHW input with at least {to} channels"),
+            got: format!("{shape:?} sliced [{from}..{to})"),
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let data = input.as_slice()[from * h * w..to * h * w].to_vec();
+    Tensor::from_vec(data, &[to - from, h, w])
+}
+
+/// ShuffleNet channel shuffle: reshape `(g, c/g, ...)` → transpose.
+fn shuffle_channels(input: &Tensor<u8>, groups: usize) -> Result<Tensor<u8>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || groups == 0 || !shape[0].is_multiple_of(groups) {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("CHW with channels divisible by {groups}"),
+            got: format!("{shape:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let per = c / groups;
+    let plane = h * w;
+    let src = input.as_slice();
+    let mut data = vec![0u8; c * plane];
+    for g in 0..groups {
+        for i in 0..per {
+            let src_ch = g * per + i;
+            let dst_ch = i * groups + g;
+            data[dst_ch * plane..(dst_ch + 1) * plane]
+                .copy_from_slice(&src[src_ch * plane..(src_ch + 1) * plane]);
+        }
+    }
+    Tensor::from_vec(data, &[c, h, w])
+}
+
+/// A node: an operation applied to earlier nodes' outputs.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operation.
+    pub op: Op,
+    /// Indices of input nodes (must all be `<` this node's index).
+    pub inputs: Vec<usize>,
+}
+
+/// A mini DNN as a topologically ordered DAG.
+///
+/// ```
+/// use raella_nn::graph::Graph;
+/// use raella_nn::layers::ReferenceEngine;
+/// use raella_nn::synth::SynthLayer;
+/// use raella_nn::Tensor;
+///
+/// # fn main() -> Result<(), raella_nn::NnError> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c1 = g.conv(input, SynthLayer::conv(3, 8, 3, 1).build(), 3, 3, 1, 1)?;
+/// let out = g.global_avg_pool(c1);
+/// g.set_output(out);
+///
+/// let image = Tensor::zeros(&[3, 8, 8]);
+/// let logits = g.run(&image, &mut ReferenceEngine)?;
+/// assert_eq!(logits.shape(), &[8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    output: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    fn push(&mut self, op: Op, inputs: Vec<usize>) -> usize {
+        self.nodes.push(Node { op, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Adds the input placeholder and returns its node id.
+    pub fn input(&mut self) -> usize {
+        self.push(Op::Input, vec![])
+    }
+
+    /// Adds a convolution node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Conv2d::new`] validation errors.
+    pub fn conv(
+        &mut self,
+        input: usize,
+        layer: MatrixLayer,
+        in_c: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<usize, NnError> {
+        let conv = Conv2d::new(layer, in_c, k, stride, padding)?;
+        Ok(self.push(Op::Conv(conv), vec![input]))
+    }
+
+    /// Adds a fully connected node.
+    pub fn linear(&mut self, input: usize, layer: MatrixLayer) -> usize {
+        self.push(Op::Linear(Linear { layer }), vec![input])
+    }
+
+    /// Adds a max-pool node.
+    pub fn max_pool(&mut self, input: usize, k: usize, stride: usize) -> usize {
+        self.push(Op::MaxPool { k, stride }, vec![input])
+    }
+
+    /// Adds a global-average-pool node.
+    pub fn global_avg_pool(&mut self, input: usize) -> usize {
+        self.push(Op::GlobalAvgPool, vec![input])
+    }
+
+    /// Adds a residual-add node.
+    pub fn add(&mut self, a: usize, b: usize) -> usize {
+        self.push(Op::Add, vec![a, b])
+    }
+
+    /// Adds a channel-concat node.
+    pub fn concat(&mut self, inputs: Vec<usize>) -> usize {
+        self.push(Op::Concat, inputs)
+    }
+
+    /// Adds a channel-slice node keeping channels `from..to`.
+    pub fn slice_channels(&mut self, input: usize, from: usize, to: usize) -> usize {
+        self.push(Op::SliceChannels { from, to }, vec![input])
+    }
+
+    /// Adds a channel-shuffle node.
+    pub fn shuffle_channels(&mut self, input: usize, groups: usize) -> usize {
+        self.push(Op::ShuffleChannels { groups }, vec![input])
+    }
+
+    /// Marks the node whose output the graph returns.
+    pub fn set_output(&mut self, node: usize) {
+        self.output = node;
+    }
+
+    /// All matrix layers in execution order (the PIM-mapped workload).
+    pub fn matrix_layers(&self) -> Vec<&MatrixLayer> {
+        self.nodes
+            .iter()
+            .filter_map(|n| match &n.op {
+                Op::Conv(c) => Some(&c.layer),
+                Op::Linear(l) => Some(&l.layer),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Runs the graph on a CHW input through the given engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] for malformed graphs (bad input
+    /// references, wrong arity) and propagates operator shape errors.
+    pub fn run(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+    ) -> Result<Tensor<u8>, NnError> {
+        let mut values: Vec<Option<Tensor<u8>>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                if inp >= i {
+                    return Err(NnError::InvalidNode {
+                        node: i,
+                        reason: format!("input {inp} is not an earlier node"),
+                    });
+                }
+            }
+            let arg = |j: usize| -> Result<&Tensor<u8>, NnError> {
+                let idx = *node.inputs.get(j).ok_or(NnError::InvalidNode {
+                    node: i,
+                    reason: format!("missing input {j}"),
+                })?;
+                values[idx].as_ref().ok_or(NnError::InvalidNode {
+                    node: i,
+                    reason: format!("input {idx} was never computed"),
+                })
+            };
+            let out = match &node.op {
+                Op::Input => input.clone(),
+                Op::Conv(conv) => conv.forward(arg(0)?, engine)?,
+                Op::Linear(lin) => lin.forward(arg(0)?, engine)?,
+                Op::MaxPool { k, stride } => max_pool2d(arg(0)?, *k, *stride)?,
+                Op::GlobalAvgPool => global_avg_pool(arg(0)?)?,
+                Op::Add => residual_add(arg(0)?, arg(1)?)?,
+                Op::Concat => {
+                    let parts: Result<Vec<&Tensor<u8>>, NnError> =
+                        (0..node.inputs.len()).map(arg).collect();
+                    concat_channels(&parts?)?
+                }
+                Op::SliceChannels { from, to } => slice_channels(arg(0)?, *from, *to)?,
+                Op::ShuffleChannels { groups } => shuffle_channels(arg(0)?, *groups)?,
+            };
+            values[i] = Some(out);
+        }
+        values
+            .into_iter()
+            .nth(self.output)
+            .flatten()
+            .ok_or(NnError::InvalidNode {
+                node: self.output,
+                reason: "output node missing".into(),
+            })
+    }
+
+    /// Runs the graph through the integer reference engine.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run`].
+    pub fn run_reference(&self, input: &Tensor<u8>) -> Result<Tensor<u8>, NnError> {
+        self.run(input, &mut ReferenceEngine)
+    }
+
+    /// Calibrates every matrix layer against the activations it actually
+    /// receives when the graph runs on `images` — the graph-level analogue
+    /// of post-training quantization calibration. Each layer's output
+    /// scales are refit and its [`InputProfile`] is replaced by measured
+    /// statistics, so downstream compile-time searches test with realistic
+    /// inputs.
+    ///
+    /// Layers are calibrated in execution order, each seeing activations
+    /// produced by already-calibrated upstream layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] for malformed graphs and
+    /// propagates operator shape errors.
+    ///
+    /// [`InputProfile`]: crate::matrix::InputProfile
+    pub fn calibrate(&mut self, images: &[Tensor<u8>]) -> Result<(), NnError> {
+        for i in 0..self.nodes.len() {
+            // Gather this node's input batch across all images by running
+            // the (partially calibrated) prefix of the graph.
+            let needs_calibration = matches!(self.nodes[i].op, Op::Conv(_) | Op::Linear(_));
+            if !needs_calibration {
+                continue;
+            }
+            let mut batch: Vec<Act> = Vec::new();
+            for image in images {
+                let input_idx = self.nodes[i].inputs[0];
+                let upstream = self.run_prefix(image, input_idx)?;
+                match &self.nodes[i].op {
+                    Op::Conv(conv) => batch.extend(conv.im2col(&upstream)?),
+                    Op::Linear(_) => {
+                        batch.extend(upstream.as_slice().iter().map(|&v| Act::from(v)));
+                    }
+                    _ => unreachable!("filtered above"),
+                }
+            }
+            let layer = match &mut self.nodes[i].op {
+                Op::Conv(conv) => &mut conv.layer,
+                Op::Linear(lin) => &mut lin.layer,
+                _ => unreachable!("filtered above"),
+            };
+            if !batch.is_empty() {
+                let profile =
+                    crate::matrix::MatrixLayer::measure_profile(&batch, layer.signed_inputs());
+                layer.set_input_profile(profile);
+                layer.calibrate(&batch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the graph up to (and including) `node`, returning its output.
+    fn run_prefix(&self, input: &Tensor<u8>, node: usize) -> Result<Tensor<u8>, NnError> {
+        let mut sub = self.clone();
+        sub.set_output(node);
+        sub.run(input, &mut ReferenceEngine)
+    }
+
+    /// Index of the maximum output (prediction) after running the graph.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run`].
+    pub fn predict(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+    ) -> Result<usize, NnError> {
+        let out = self.run(input, engine)?;
+        Ok(argmax(out.as_slice()))
+    }
+
+    /// Indices of the `k` largest outputs, best first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::run`].
+    pub fn predict_top_k(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+        k: usize,
+    ) -> Result<Vec<usize>, NnError> {
+        let out = self.run(input, engine)?;
+        Ok(top_k(out.as_slice(), k))
+    }
+}
+
+/// Index of the maximum element (first one on ties). Returns 0 for empty.
+pub fn argmax(xs: &[u8]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Indices of the `k` largest elements, best first (stable on ties).
+pub fn top_k(xs: &[u8], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].cmp(&xs[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthLayer;
+
+    fn small_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let c1 = g
+            .conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)
+            .unwrap();
+        let p = g.max_pool(c1, 2, 2);
+        let c2 = g
+            .conv(p, SynthLayer::conv(4, 4, 3, 2).build(), 4, 3, 1, 1)
+            .unwrap();
+        let merged = g.add(p, c2);
+        let gap = g.global_avg_pool(merged);
+        let fc = g.linear(gap, SynthLayer::linear(4, 6, 3).build());
+        g.set_output(fc);
+        g
+    }
+
+    fn sample_image(c: usize, hw: usize, seed: u64) -> Tensor<u8> {
+        use crate::rng::SynthRng;
+        let mut rng = SynthRng::new(seed);
+        let data: Vec<u8> = (0..c * hw * hw)
+            .map(|_| rng.exponential(30.0).min(255.0) as u8)
+            .collect();
+        Tensor::from_vec(data, &[c, hw, hw]).unwrap()
+    }
+
+    #[test]
+    fn graph_runs_end_to_end() {
+        let g = small_graph();
+        let out = g.run_reference(&sample_image(2, 8, 1)).unwrap();
+        assert_eq!(out.shape(), &[6]);
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let g = small_graph();
+        let img = sample_image(2, 8, 2);
+        assert_eq!(
+            g.run_reference(&img).unwrap(),
+            g.run_reference(&img).unwrap()
+        );
+    }
+
+    #[test]
+    fn matrix_layers_found_in_order() {
+        let g = small_graph();
+        let names: Vec<&str> = g.matrix_layers().iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names[0].starts_with("conv2x4"));
+        assert!(names[2].starts_with("fc4x6"));
+    }
+
+    #[test]
+    fn forward_reference_rejects_bad_node() {
+        let mut g = Graph::new();
+        let input = g.input();
+        // Add node referencing itself (index 1 == its own index).
+        g.nodes.push(Node {
+            op: Op::Add,
+            inputs: vec![input, 1],
+        });
+        g.set_output(1);
+        assert!(matches!(
+            g.run_reference(&Tensor::zeros(&[1, 2, 2])),
+            Err(NnError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn add_requires_two_inputs() {
+        let mut g = Graph::new();
+        let input = g.input();
+        g.nodes.push(Node {
+            op: Op::Add,
+            inputs: vec![input],
+        });
+        g.set_output(1);
+        assert!(g.run_reference(&Tensor::zeros(&[1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn argmax_and_top_k() {
+        assert_eq!(argmax(&[1, 9, 3]), 1);
+        assert_eq!(argmax(&[5, 5]), 0);
+        assert_eq!(top_k(&[1, 9, 3, 7], 2), vec![1, 3]);
+        assert_eq!(top_k(&[1], 5), vec![0]);
+    }
+
+    #[test]
+    fn slice_channels_keeps_range() {
+        let mut g = Graph::new();
+        let input = g.input();
+        let s = g.slice_channels(input, 1, 2);
+        g.set_output(s);
+        let t = Tensor::from_vec((0u8..12).collect(), &[3, 2, 2]).unwrap();
+        let out = g.run_reference(&t).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn shuffle_channels_interleaves_groups() {
+        let mut g = Graph::new();
+        let input = g.input();
+        let s = g.shuffle_channels(input, 2);
+        g.set_output(s);
+        // 4 channels of 1 pixel each: [0, 1, 2, 3] -> groups (0,1) (2,3)
+        // shuffle to [0, 2, 1, 3].
+        let t = Tensor::from_vec(vec![0u8, 1, 2, 3], &[4, 1, 1]).unwrap();
+        let out = g.run_reference(&t).unwrap();
+        assert_eq!(out.as_slice(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn shuffle_rejects_indivisible_groups() {
+        let mut g = Graph::new();
+        let input = g.input();
+        let s = g.shuffle_channels(input, 3);
+        g.set_output(s);
+        let t = Tensor::<u8>::zeros(&[4, 1, 1]);
+        assert!(g.run_reference(&t).is_err());
+    }
+
+    #[test]
+    fn concat_graph_node_works() {
+        let mut g = Graph::new();
+        let input = g.input();
+        let a = g
+            .conv(input, SynthLayer::conv(1, 2, 1, 1).build(), 1, 1, 1, 0)
+            .unwrap();
+        let b = g
+            .conv(input, SynthLayer::conv(1, 3, 1, 2).build(), 1, 1, 1, 0)
+            .unwrap();
+        let cat = g.concat(vec![a, b]);
+        g.set_output(cat);
+        let out = g.run_reference(&Tensor::zeros(&[1, 4, 4])).unwrap();
+        assert_eq!(out.shape(), &[5, 4, 4]);
+    }
+}

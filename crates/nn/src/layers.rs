@@ -1,0 +1,452 @@
+//! Layer operators for mini end-to-end models.
+//!
+//! Convolution is lowered to matrix–vector products over im2col columns —
+//! exactly the view a PIM crossbar has of the layer (paper §2.2, Fig. 1).
+//! The [`MatVecEngine`] trait abstracts *who* computes those products: the
+//! exact integer reference here, or an analog crossbar engine in
+//! `raella-core`. Accuracy experiments (paper Table 4, Fig. 15) swap the
+//! engine and compare outputs.
+
+use crate::error::NnError;
+use crate::matrix::{Act, MatrixLayer};
+use crate::tensor::Tensor;
+
+/// Computes a layer's 8b outputs for a batch of im2col input vectors.
+///
+/// Implementations may carry state (energy counters, ADC statistics), hence
+/// `&mut self`. The input layout matches
+/// [`MatrixLayer::reference_outputs`]: vectors of length
+/// [`MatrixLayer::filter_len`] back to back; the output holds
+/// [`MatrixLayer::filters`] values per vector.
+pub trait MatVecEngine {
+    /// Computes outputs for every input vector in the batch.
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8>;
+}
+
+/// The exact integer reference engine (no analog effects).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceEngine;
+
+impl MatVecEngine for ReferenceEngine {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        layer.reference_outputs(inputs)
+    }
+}
+
+/// A 2-D convolution over CHW `u8` feature maps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    /// The crossbar-form weights and requantizer.
+    pub layer: MatrixLayer,
+    /// Input channels.
+    pub in_c: usize,
+    /// Square kernel size.
+    pub k: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2d {
+    /// Wraps a [`MatrixLayer`] as a convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the layer's `filter_len` is not
+    /// `in_c·k·k`, or [`NnError::InvalidConfig`] if `k` or `stride` is zero.
+    pub fn new(
+        layer: MatrixLayer,
+        in_c: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self, NnError> {
+        if k == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "kernel {k} and stride {stride} must be nonzero"
+            )));
+        }
+        if layer.filter_len() != in_c * k * k {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("filter_len {} (= {in_c}·{k}·{k})", in_c * k * k),
+                got: format!("{}", layer.filter_len()),
+            });
+        }
+        Ok(Conv2d {
+            layer,
+            in_c,
+            k,
+            stride,
+            padding,
+        })
+    }
+
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the kernel does not fit.
+    pub fn out_hw(&self, h: usize, w: usize) -> Result<(usize, usize), NnError> {
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        if eff_h < self.k || eff_w < self.k {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("input at least {0}×{0} after padding", self.k),
+                got: format!("{eff_h}×{eff_w}"),
+            });
+        }
+        Ok(((eff_h - self.k) / self.stride + 1, (eff_w - self.k) / self.stride + 1))
+    }
+
+    /// Lowers a CHW input to im2col columns (one column per output pixel,
+    /// each `in_c·k·k` long, matching the weight layout `[c][ky][kx]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] on a rank/channel mismatch.
+    pub fn im2col(&self, input: &Tensor<u8>) -> Result<Vec<Act>, NnError> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[0] != self.in_c {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("CHW input with {} channels", self.in_c),
+                got: format!("{shape:?}"),
+            });
+        }
+        let (h, w) = (shape[1], shape[2]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let mut cols = Vec::with_capacity(oh * ow * self.layer.filter_len());
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for c in 0..self.in_c {
+                    for ky in 0..self.k {
+                        for kx in 0..self.k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                            let v = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
+                            {
+                                0
+                            } else {
+                                Act::from(input.get(&[c, iy as usize, ix as usize]))
+                            };
+                            cols.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cols)
+    }
+
+    /// Runs the convolution through an engine, producing a CHW output map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from [`Conv2d::im2col`].
+    pub fn forward(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+    ) -> Result<Tensor<u8>, NnError> {
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let (oh, ow) = self.out_hw(h, w)?;
+        let cols = self.im2col(input)?;
+        let flat = engine.layer_outputs(&self.layer, &cols);
+        // Engine output is [pixel][filter]; transpose to CHW.
+        let filters = self.layer.filters();
+        let mut out = Tensor::zeros(&[filters, oh, ow]);
+        for (pix, chunk) in flat.chunks_exact(filters).enumerate() {
+            let (oy, ox) = (pix / ow, pix % ow);
+            for (f, &v) in chunk.iter().enumerate() {
+                out.set(&[f, oy, ox], v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A fully connected layer over a flattened input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// The crossbar-form weights and requantizer
+    /// (`filter_len` = flattened input length).
+    pub layer: MatrixLayer,
+}
+
+impl Linear {
+    /// Runs the layer through an engine. The input tensor is flattened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the flattened input length is
+    /// not the layer's `filter_len`.
+    pub fn forward(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+    ) -> Result<Tensor<u8>, NnError> {
+        if input.len() != self.layer.filter_len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} inputs", self.layer.filter_len()),
+                got: format!("{}", input.len()),
+            });
+        }
+        let xs: Vec<Act> = input.as_slice().iter().map(|&v| Act::from(v)).collect();
+        let out = engine.layer_outputs(&self.layer, &xs);
+        Tensor::from_vec(out, &[self.layer.filters()])
+    }
+}
+
+/// Max-pooling over CHW maps.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for non-CHW input or a window that
+/// does not fit, and [`NnError::InvalidConfig`] for zero `k`/`stride`.
+pub fn max_pool2d(
+    input: &Tensor<u8>,
+    k: usize,
+    stride: usize,
+) -> Result<Tensor<u8>, NnError> {
+    if k == 0 || stride == 0 {
+        return Err(NnError::InvalidConfig(format!(
+            "pool kernel {k} and stride {stride} must be nonzero"
+        )));
+    }
+    let shape = input.shape();
+    if shape.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "CHW input".into(),
+            got: format!("{shape:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    if h < k || w < k {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("spatial size at least {k}×{k}"),
+            got: format!("{h}×{w}"),
+        });
+    }
+    let (oh, ow) = ((h - k) / stride + 1, (w - k) / stride + 1);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut m = 0u8;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        m = m.max(input.get(&[ch, oy * stride + ky, ox * stride + kx]));
+                    }
+                }
+                out.set(&[ch, oy, ox], m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Global average pooling: CHW → per-channel means (rounded).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for non-CHW input.
+pub fn global_avg_pool(input: &Tensor<u8>) -> Result<Tensor<u8>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "CHW input".into(),
+            got: format!("{shape:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let mut out = Tensor::zeros(&[c]);
+    let area = (h * w) as u32;
+    for ch in 0..c {
+        let mut sum = 0u32;
+        for y in 0..h {
+            for x in 0..w {
+                sum += u32::from(input.get(&[ch, y, x]));
+            }
+        }
+        out.set(&[ch], ((sum + area / 2) / area).min(255) as u8);
+    }
+    Ok(out)
+}
+
+/// Elementwise residual merge: rescaled average of two equal-shape maps,
+/// the requantized-add a deployed int8 model performs at skip connections.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+pub fn residual_add(a: &Tensor<u8>, b: &Tensor<u8>) -> Result<Tensor<u8>, NnError> {
+    if a.shape() != b.shape() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{:?}", a.shape()),
+            got: format!("{:?}", b.shape()),
+        });
+    }
+    let data: Vec<u8> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| ((u16::from(x) + u16::from(y)) / 2) as u8)
+        .collect();
+    Tensor::from_vec(data, a.shape())
+}
+
+/// Channel concatenation of CHW maps with equal spatial size.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if any input is not CHW or the
+/// spatial sizes differ, and [`NnError::InvalidConfig`] if `parts` is empty.
+pub fn concat_channels(parts: &[&Tensor<u8>]) -> Result<Tensor<u8>, NnError> {
+    let first = parts
+        .first()
+        .ok_or_else(|| NnError::InvalidConfig("concat of zero tensors".into()))?;
+    let shape = first.shape();
+    if shape.len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "CHW input".into(),
+            got: format!("{shape:?}"),
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let mut total_c = 0;
+    for p in parts {
+        let s = p.shape();
+        if s.len() != 3 || s[1] != h || s[2] != w {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("CHW with spatial {h}×{w}"),
+                got: format!("{s:?}"),
+            });
+        }
+        total_c += s[0];
+    }
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    Tensor::from_vec(data, &[total_c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::InputProfile;
+    use crate::quant::OutputQuant;
+
+    /// 1 input channel, 1 filter, 2×2 identity-ish kernel [1,0,0,0],
+    /// unit scale, zero zero-point: output = top-left of each window.
+    fn passthrough_conv() -> Conv2d {
+        let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
+        let layer = MatrixLayer::new(
+            "conv",
+            1,
+            4,
+            vec![1, 0, 0, 0],
+            quant,
+            InputProfile::relu_default(),
+        )
+        .unwrap();
+        Conv2d::new(layer, 1, 2, 1, 0).unwrap()
+    }
+
+    #[test]
+    fn conv_forward_matches_hand_result() {
+        let conv = passthrough_conv();
+        let input = Tensor::from_vec((1u8..=9).collect(), &[1, 3, 3]).unwrap();
+        let out = conv.forward(&input, &mut ReferenceEngine).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn conv_padding_pads_with_zero() {
+        let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
+        // Kernel that sums the full 3×3 window.
+        let layer = MatrixLayer::new(
+            "sum",
+            1,
+            9,
+            vec![1; 9],
+            quant,
+            InputProfile::relu_default(),
+        )
+        .unwrap();
+        let conv = Conv2d::new(layer, 1, 3, 1, 1).unwrap();
+        let input = Tensor::from_vec(vec![1u8; 9], &[1, 3, 3]).unwrap();
+        let out = conv.forward(&input, &mut ReferenceEngine).unwrap();
+        assert_eq!(out.shape(), &[1, 3, 3]);
+        // Center pixel sees all 9 ones; corners see only 4.
+        assert_eq!(out.get(&[0, 1, 1]), 9);
+        assert_eq!(out.get(&[0, 0, 0]), 4);
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channel_count() {
+        let conv = passthrough_conv();
+        let input = Tensor::<u8>::zeros(&[2, 3, 3]);
+        assert!(conv.im2col(&input).is_err());
+    }
+
+    #[test]
+    fn conv_rejects_too_small_input() {
+        let conv = passthrough_conv();
+        assert!(conv.out_hw(1, 1).is_err());
+    }
+
+    #[test]
+    fn linear_forward_flattens() {
+        let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
+        let layer = MatrixLayer::new(
+            "fc",
+            1,
+            4,
+            vec![1, 1, 1, 1],
+            quant,
+            InputProfile::relu_default(),
+        )
+        .unwrap();
+        let lin = Linear { layer };
+        let input = Tensor::from_vec(vec![1u8, 2, 3, 4], &[1, 2, 2]).unwrap();
+        let out = lin.forward(&input, &mut ReferenceEngine).unwrap();
+        assert_eq!(out.as_slice(), &[10]);
+    }
+
+    #[test]
+    fn max_pool_takes_window_max() {
+        let input = Tensor::from_vec((1u8..=16).collect(), &[1, 4, 4]).unwrap();
+        let out = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[6, 8, 14, 16]);
+    }
+
+    #[test]
+    fn global_avg_pool_rounds() {
+        let input = Tensor::from_vec(vec![1u8, 2, 3, 4], &[1, 2, 2]).unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.as_slice(), &[3]); // (10 + 2) / 4 = 3 after rounding
+    }
+
+    #[test]
+    fn residual_add_averages() {
+        let a = Tensor::from_vec(vec![10u8, 200], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![20u8, 255], &[2]).unwrap();
+        let out = residual_add(&a, &b).unwrap();
+        assert_eq!(out.as_slice(), &[15, 227]);
+        let c = Tensor::from_vec(vec![0u8], &[1]).unwrap();
+        assert!(residual_add(&a, &c).is_err());
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_vec(vec![1u8, 2, 3, 4], &[1, 2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5u8, 6, 7, 8], &[1, 2, 2]).unwrap();
+        let out = concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(out.shape(), &[2, 2, 2]);
+        assert_eq!(out.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(concat_channels(&[]).is_err());
+    }
+}

@@ -1,0 +1,421 @@
+//! [`MatrixLayer`]: a DNN layer as a PIM crossbar sees it.
+//!
+//! Convolutional and fully connected layers are both matrix–vector products
+//! after im2col (§2.1 of the paper). A `MatrixLayer` holds the
+//! `filters × filter_len` stored-domain `u8` weight matrix, the per-filter
+//! output requantizer, and a synthetic-input profile. It computes the exact
+//! integer reference that every analog simulation in this repository is
+//! checked against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::quant::OutputQuant;
+use crate::rng::SynthRng;
+
+/// Computational activation type.
+///
+/// Unsigned activations occupy `0..=255`; signed activations (BERT)
+/// occupy `-127..=127`. `i16` covers both without casts at use sites.
+pub type Act = i16;
+
+/// Statistical profile used to draw synthetic input vectors for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InputProfile {
+    /// Mean activation magnitude in the stored 8b domain.
+    pub mean_magnitude: f64,
+    /// Fraction of activations that are exactly zero (post-ReLU sparsity).
+    pub sparsity: f64,
+    /// Whether activations are signed (paper: BERT; processed as separate
+    /// positive/negative planes by the hardware).
+    pub signed: bool,
+}
+
+impl InputProfile {
+    /// Typical post-ReLU CNN activations: right-skewed, ~45% zeros,
+    /// mean magnitude ≈ 14 in the 8b domain — calibrated so per-bit
+    /// densities match the shape of paper Fig. 8's input distribution
+    /// (sparse high-order bits, low bits ≈ 0.25).
+    pub fn relu_default() -> Self {
+        InputProfile {
+            mean_magnitude: 14.0,
+            sparsity: 0.45,
+            signed: false,
+        }
+    }
+
+    /// Signed transformer activations (GELU outputs), lower sparsity.
+    pub fn signed_default() -> Self {
+        InputProfile {
+            mean_magnitude: 14.0,
+            sparsity: 0.25,
+            signed: true,
+        }
+    }
+
+    /// Draws one activation from the profile.
+    pub fn sample(&self, rng: &mut SynthRng) -> Act {
+        if rng.bernoulli(self.sparsity) {
+            return 0;
+        }
+        let mag = rng.exponential(self.mean_magnitude).min(255.0).round() as i16;
+        if self.signed {
+            let mag = mag.min(127);
+            if rng.bernoulli(0.5) {
+                -mag
+            } else {
+                mag
+            }
+        } else {
+            mag
+        }
+    }
+}
+
+/// A DNN layer in crossbar form: stored-domain `u8` weights,
+/// `filters × filter_len`, with per-filter requantization.
+///
+/// ```
+/// use raella_nn::synth::SynthLayer;
+///
+/// let layer = SynthLayer::linear(128, 16, 1).build();
+/// let inputs = layer.sample_inputs(2, 99);
+/// let out = layer.reference_outputs(&inputs);
+/// assert_eq!(out.len(), 2 * 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixLayer {
+    name: String,
+    filters: usize,
+    filter_len: usize,
+    /// Row-major `filters × filter_len`.
+    weights: Vec<u8>,
+    quant: OutputQuant,
+    input_profile: InputProfile,
+}
+
+impl MatrixLayer {
+    /// Builds a layer from its weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `weights` is not
+    /// `filters × filter_len` long or the requantizer covers a different
+    /// number of filters, and [`NnError::InvalidConfig`] if either dimension
+    /// is zero.
+    pub fn new(
+        name: impl Into<String>,
+        filters: usize,
+        filter_len: usize,
+        weights: Vec<u8>,
+        quant: OutputQuant,
+        input_profile: InputProfile,
+    ) -> Result<Self, NnError> {
+        if filters == 0 || filter_len == 0 {
+            return Err(NnError::InvalidConfig(format!(
+                "layer dimensions must be nonzero, got {filters}×{filter_len}"
+            )));
+        }
+        if weights.len() != filters * filter_len {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{} weights ({filters}×{filter_len})", filters * filter_len),
+                got: format!("{}", weights.len()),
+            });
+        }
+        if quant.filters() != filters {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("requantizer for {filters} filters"),
+                got: format!("{}", quant.filters()),
+            });
+        }
+        Ok(MatrixLayer {
+            name: name.into(),
+            filters,
+            filter_len,
+            weights,
+            quant,
+            input_profile,
+        })
+    }
+
+    /// Layer name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output channels (dot products / weight filters).
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Length of each dot product (rows a filter occupies in a crossbar).
+    pub fn filter_len(&self) -> usize {
+        self.filter_len
+    }
+
+    /// Stored-domain weights of one filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.filters()`.
+    pub fn filter_weights(&self, f: usize) -> &[u8] {
+        assert!(f < self.filters, "filter {f} out of range");
+        &self.weights[f * self.filter_len..(f + 1) * self.filter_len]
+    }
+
+    /// The per-filter output requantizer.
+    pub fn quant(&self) -> &OutputQuant {
+        &self.quant
+    }
+
+    /// Replaces the output requantizer (used by calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the filter counts differ.
+    pub fn set_quant(&mut self, quant: OutputQuant) -> Result<(), NnError> {
+        if quant.filters() != self.filters {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("requantizer for {} filters", self.filters),
+                got: format!("{}", quant.filters()),
+            });
+        }
+        self.quant = quant;
+        Ok(())
+    }
+
+    /// The layer's synthetic input profile.
+    pub fn input_profile(&self) -> InputProfile {
+        self.input_profile
+    }
+
+    /// Replaces the input profile — used by graph calibration to make the
+    /// profile match the activations the layer actually receives in its
+    /// network, so compile-time searches test with realistic inputs.
+    pub fn set_input_profile(&mut self, profile: InputProfile) {
+        self.input_profile = profile;
+    }
+
+    /// Measures an [`InputProfile`] from observed activations.
+    ///
+    /// Returns the default profile if `values` is empty.
+    pub fn measure_profile(values: &[Act], signed: bool) -> InputProfile {
+        if values.is_empty() {
+            return if signed {
+                InputProfile::signed_default()
+            } else {
+                InputProfile::relu_default()
+            };
+        }
+        let zeros = values.iter().filter(|&&x| x == 0).count();
+        let nonzero = values.len() - zeros;
+        let mean_magnitude = if nonzero == 0 {
+            1.0
+        } else {
+            values
+                .iter()
+                .map(|&x| f64::from(x).abs())
+                .sum::<f64>()
+                / nonzero as f64
+        };
+        InputProfile {
+            mean_magnitude: mean_magnitude.max(1.0),
+            sparsity: zeros as f64 / values.len() as f64,
+            signed,
+        }
+    }
+
+    /// Whether this layer receives signed activations.
+    pub fn signed_inputs(&self) -> bool {
+        self.input_profile.signed
+    }
+
+    /// Draws `n` synthetic input vectors (each `filter_len` long),
+    /// concatenated, deterministically from `seed`.
+    pub fn sample_inputs(&self, n: usize, seed: u64) -> Vec<Act> {
+        let mut rng = SynthRng::new(seed ^ 0x5EED_1234_ABCD_0001);
+        (0..n * self.filter_len)
+            .map(|_| self.input_profile.sample(&mut rng))
+            .collect()
+    }
+
+    /// Raw stored-domain accumulations `Σ xᵣ·w[f][r]` for one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.filter_len()`.
+    pub fn raw_accs(&self, input: &[Act]) -> Vec<i64> {
+        assert_eq!(input.len(), self.filter_len, "input vector length mismatch");
+        let mut accs = vec![0i64; self.filters];
+        for (f, acc) in accs.iter_mut().enumerate() {
+            let row = self.filter_weights(f);
+            let mut sum = 0i64;
+            for (&x, &w) in input.iter().zip(row) {
+                sum += i64::from(x) * i64::from(w);
+            }
+            *acc = sum;
+        }
+        accs
+    }
+
+    /// Reference 8b outputs for a batch of input vectors laid out
+    /// back-to-back (`inputs.len()` must be a multiple of `filter_len`).
+    ///
+    /// Output layout is `[vector 0: filters outputs][vector 1: ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `filter_len`.
+    pub fn reference_outputs(&self, inputs: &[Act]) -> Vec<u8> {
+        assert_eq!(
+            inputs.len() % self.filter_len,
+            0,
+            "input batch must be a multiple of filter_len"
+        );
+        let mut out = Vec::with_capacity(inputs.len() / self.filter_len * self.filters);
+        for vec in inputs.chunks_exact(self.filter_len) {
+            let input_sum: i64 = vec.iter().map(|&x| i64::from(x)).sum();
+            for (f, raw) in self.raw_accs(vec).into_iter().enumerate() {
+                out.push(self.quant.requantize(f, raw, input_sum));
+            }
+        }
+        out
+    }
+
+    /// Calibrates per-filter output scales so reference outputs span the 8b
+    /// range on the given inputs — standing in for the dataset calibration a
+    /// deployed quantized model ships with.
+    ///
+    /// After calibration, for each filter the 99th-percentile positive
+    /// corrected psum maps near 220 (leaving headroom as real calibrators
+    /// do). Filters that never go positive keep their previous scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `filter_len`.
+    pub fn calibrate(&mut self, inputs: &[Act]) {
+        assert_eq!(inputs.len() % self.filter_len, 0, "bad calibration batch");
+        let vectors: Vec<&[Act]> = inputs.chunks_exact(self.filter_len).collect();
+        let mut per_filter: Vec<Vec<i64>> = vec![Vec::new(); self.filters];
+        for vec in &vectors {
+            let input_sum: i64 = vec.iter().map(|&x| i64::from(x)).sum();
+            for (f, raw) in self.raw_accs(vec).into_iter().enumerate() {
+                per_filter[f].push(self.quant.corrected_acc(f, raw, input_sum));
+            }
+        }
+        let mut scales = self.quant.scales.clone();
+        for (f, accs) in per_filter.iter_mut().enumerate() {
+            accs.sort_unstable();
+            let hi = accs[(accs.len() - 1) * 99 / 100].max(0);
+            if hi > 0 {
+                scales[f] = 220.0 / hi as f32;
+            }
+        }
+        self.quant = OutputQuant::new(
+            scales,
+            self.quant.biases.clone(),
+            self.quant.weight_zero_points.clone(),
+        );
+    }
+
+    /// Number of MACs this layer performs per input vector.
+    pub fn macs_per_vector(&self) -> u64 {
+        self.filters as u64 * self.filter_len as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_layer() -> MatrixLayer {
+        // 2 filters × 3 weights; zero points 0 so raw acc == corrected acc.
+        let quant = OutputQuant::new(vec![1.0, 1.0], vec![0.0, 0.0], vec![0, 0]);
+        MatrixLayer::new(
+            "tiny",
+            2,
+            3,
+            vec![1, 2, 3, 10, 0, 5],
+            quant,
+            InputProfile::relu_default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn raw_accs_match_hand_computation() {
+        let layer = tiny_layer();
+        let accs = layer.raw_accs(&[1, 1, 2]);
+        assert_eq!(accs, vec![1 + 2 + 6, 10 + 10]);
+    }
+
+    #[test]
+    fn reference_outputs_requantize_each_vector() {
+        let layer = tiny_layer();
+        let out = layer.reference_outputs(&[1, 1, 2, 0, 0, 0]);
+        assert_eq!(out, vec![9, 20, 0, 0]);
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
+        assert!(matches!(
+            MatrixLayer::new("x", 0, 3, vec![], quant.clone(), InputProfile::relu_default()),
+            Err(NnError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            MatrixLayer::new("x", 1, 3, vec![1, 2], quant, InputProfile::relu_default()),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constructor_validates_quant_width() {
+        let quant = OutputQuant::new(vec![1.0; 3], vec![0.0; 3], vec![0; 3]);
+        assert!(MatrixLayer::new(
+            "x",
+            2,
+            2,
+            vec![0; 4],
+            quant,
+            InputProfile::relu_default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sample_inputs_respect_profile() {
+        let layer = tiny_layer();
+        let xs = layer.sample_inputs(2000, 5);
+        assert!(xs.iter().all(|&x| (0..=255).contains(&x)));
+        let zeros = xs.iter().filter(|&&x| x == 0).count() as f64 / xs.len() as f64;
+        // Sparsity 0.45 plus exponential draws that round to zero.
+        assert!((zeros - 0.47).abs() < 0.1, "sparsity {zeros}");
+    }
+
+    #[test]
+    fn signed_profile_draws_negatives() {
+        let p = InputProfile::signed_default();
+        let mut rng = SynthRng::new(3);
+        let xs: Vec<Act> = (0..1000).map(|_| p.sample(&mut rng)).collect();
+        assert!(xs.iter().any(|&x| x < 0));
+        assert!(xs.iter().all(|&x| (-127..=127).contains(&x)));
+    }
+
+    #[test]
+    fn calibration_brings_outputs_into_range() {
+        let mut layer = tiny_layer();
+        let inputs = layer.sample_inputs(64, 11);
+        layer.calibrate(&inputs);
+        let outs = layer.reference_outputs(&inputs);
+        let max = outs.iter().copied().max().unwrap();
+        assert!(max > 100, "outputs should use the 8b range, max {max}");
+    }
+
+    #[test]
+    fn sample_inputs_deterministic() {
+        let layer = tiny_layer();
+        assert_eq!(layer.sample_inputs(10, 1), layer.sample_inputs(10, 1));
+        assert_ne!(layer.sample_inputs(10, 1), layer.sample_inputs(10, 2));
+    }
+}

@@ -1,0 +1,17 @@
+//! The model zoo: the seven DNNs the paper evaluates (§6.2).
+//!
+//! * [`shapes`] — exact per-layer shape tables of ResNet18/50, GoogLeNet,
+//!   InceptionV3, MobileNetV2, ShuffleNetV2 (ImageNet configurations) and
+//!   BERT-Large's feed-forward layers (SQuAD, sequence length 384). These
+//!   drive the analytic energy/throughput experiments (Figs. 12–14), which
+//!   depend only on layer geometry.
+//! * [`mini`] — small functional variants of each family with matched
+//!   weight/activation statistics, used by the fidelity and accuracy
+//!   experiments (Fig. 3, Table 4, Fig. 15) where full-size functional
+//!   simulation would be prohibitive. `DESIGN.md` §5 records the
+//!   substitution.
+
+pub mod mini;
+pub mod shapes;
+
+pub use shapes::{DnnShape, LayerKind, LayerSpec};

@@ -1,0 +1,186 @@
+//! Deterministic random sampling for synthetic weights and activations.
+//!
+//! The reproduction substitutes pretrained checkpoints and dataset inputs
+//! with seeded synthetic distributions (see `DESIGN.md` §5). Everything here
+//! is deterministic given a seed so experiments are exactly repeatable.
+//!
+//! Gaussian and exponential variates are implemented in-repo (Box–Muller and
+//! inverse-CDF) because only `rand` itself is on the dependency allowlist.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distribution shapes the model zoo needs.
+///
+/// ```
+/// use raella_nn::rng::SynthRng;
+///
+/// let mut a = SynthRng::new(7);
+/// let mut b = SynthRng::new(7);
+/// assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthRng {
+    inner: StdRng,
+    /// Second Box–Muller variate cached between calls.
+    spare: Option<f64>,
+}
+
+impl SynthRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SynthRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_int(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Standard normal variate via Box–Muller, scaled to `mean`/`std`.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        let z = if let Some(z) = self.spare.take() {
+            z
+        } else {
+            // Box–Muller: two uniforms -> two independent standard normals.
+            let u1 = loop {
+                let u = self.uniform();
+                if u > f64::EPSILON {
+                    break u;
+                }
+            };
+            let u2 = self.uniform();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.spare = Some(r * theta.sin());
+            r * theta.cos()
+        };
+        mean + std * z
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF method).
+    ///
+    /// Post-ReLU activation magnitudes in quantized DNNs are strongly
+    /// right-skewed (paper Fig. 8); exponentials model that shape.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.uniform();
+            if u > f64::EPSILON {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Laplace (double-exponential) variate with location `mean` and scale
+    /// `b` (std = `b·√2`).
+    ///
+    /// Trained DNN weights are sharply peaked around their mode with
+    /// heavier-than-Gaussian tails; a Laplacian reproduces the sparse
+    /// high-order offset bits of paper Fig. 8.
+    pub fn laplace(&mut self, mean: f64, b: f64) -> f64 {
+        let u = self.uniform() - 0.5;
+        mean - b * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Derives an independent child generator; useful for giving every
+    /// layer/filter its own stream so adding layers does not perturb others.
+    pub fn fork(&mut self, salt: u64) -> SynthRng {
+        let seed = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SynthRng::new(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SynthRng::new(123);
+        let mut b = SynthRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = SynthRng::new(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_is_nonnegative_with_right_mean() {
+        let mut rng = SynthRng::new(9);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.exponential(3.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn laplace_moments_are_plausible() {
+        let mut rng = SynthRng::new(21);
+        let n = 40_000;
+        let b = 12.0;
+        let xs: Vec<f64> = (0..n).map(|_| rng.laplace(3.0, b)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.3, "mean {mean}");
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let expected_std = b * 2f64.sqrt();
+        assert!(
+            (var.sqrt() - expected_std).abs() / expected_std < 0.05,
+            "std {} vs {expected_std}",
+            var.sqrt()
+        );
+        // Leptokurtic: tails beyond 4b are much sparser than a Gaussian
+        // of the same std would the centre suggests.
+        let big = xs.iter().filter(|x| (*x - 3.0).abs() >= 64.0).count() as f64 / n as f64;
+        assert!(big < 0.01, "4-sigma-ish tail too fat: {big}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_later_draws() {
+        let mut a = SynthRng::new(77);
+        let mut fork1 = a.fork(1);
+        let v1 = fork1.normal(0.0, 1.0);
+
+        let mut b = SynthRng::new(77);
+        let mut fork2 = b.fork(1);
+        // Drawing more from the parent must not change the fork's stream.
+        let _ = b.uniform();
+        let v2 = fork2.normal(0.0, 1.0);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_int_rejects_empty_range() {
+        SynthRng::new(0).uniform_int(3, 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Synthetic layer generation: the stand-in for pretrained checkpoints.
+//!
+//! The paper evaluates Torchvision's quantized checkpoints; this
+//! reproduction has no checkpoint files, so [`SynthLayer`] draws weights
+//! from the distribution family those checkpoints exhibit (paper Fig. 8):
+//! per-filter Laplacians (sharply peaked, heavy-tailed — the shape trained
+//! weights exhibit) in the stored `u8` domain around a zero point of 128,
+//! with filter-to-filter variation in mean and scale — including the
+//! occasional strongly skewed (e.g. mostly-negative) filter that makes
+//! Zero+Offset encoding fail (paper Fig. 5). The Laplacian matters: its
+//! sparse high-order offset bits (paper Fig. 8) are what make 4b high-order
+//! weight slices and speculative 4b input slices viable. `DESIGN.md` §5
+//! records why this substitution preserves the behaviours RAELLA's
+//! mechanisms depend on.
+
+use crate::matrix::{InputProfile, MatrixLayer};
+use crate::quant::OutputQuant;
+use crate::rng::SynthRng;
+
+/// Weight zero point used by all synthetic layers (symmetric 8b storage).
+pub const WEIGHT_ZERO_POINT: u8 = 128;
+
+/// Builder for a synthetic [`MatrixLayer`] with realistic weight statistics.
+///
+/// ```
+/// use raella_nn::synth::SynthLayer;
+///
+/// let layer = SynthLayer::conv(32, 64, 3, 0xFEED)
+///     .skewed_filter_fraction(0.3)
+///     .build();
+/// assert_eq!(layer.filters(), 64);
+/// assert_eq!(layer.filter_len(), 32 * 3 * 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SynthLayer {
+    name: String,
+    filters: usize,
+    filter_len: usize,
+    seed: u64,
+    input_profile: InputProfile,
+    skewed_fraction: f64,
+    spread_range: (f64, f64),
+    calibration_vectors: usize,
+}
+
+impl SynthLayer {
+    /// A convolution layer: `in_c` input channels, `out_c` filters,
+    /// `k × k` kernels (filter length `in_c·k·k`).
+    pub fn conv(in_c: usize, out_c: usize, k: usize, seed: u64) -> Self {
+        SynthLayer {
+            name: format!("conv{in_c}x{out_c}k{k}"),
+            filters: out_c,
+            filter_len: in_c * k * k,
+            seed,
+            input_profile: InputProfile::relu_default(),
+            skewed_fraction: 0.15,
+            spread_range: (5.0, 10.0),
+            calibration_vectors: 8,
+        }
+    }
+
+    /// A fully connected layer (`in_features → out_features`).
+    pub fn linear(in_features: usize, out_features: usize, seed: u64) -> Self {
+        SynthLayer {
+            name: format!("fc{in_features}x{out_features}"),
+            filters: out_features,
+            filter_len: in_features,
+            seed,
+            input_profile: InputProfile::relu_default(),
+            skewed_fraction: 0.15,
+            spread_range: (5.0, 10.0),
+            calibration_vectors: 8,
+        }
+    }
+
+    /// Overrides the layer name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Uses signed (transformer-style) input activations.
+    pub fn signed_inputs(mut self) -> Self {
+        self.input_profile = InputProfile::signed_default();
+        self
+    }
+
+    /// Overrides the input activation profile.
+    pub fn input_profile(mut self, profile: InputProfile) -> Self {
+        self.input_profile = profile;
+        self
+    }
+
+    /// Fraction of filters given a strongly nonzero mean (exercises the
+    /// Zero+Offset failure mode of paper Fig. 5). Clamped to `[0, 1]`.
+    pub fn skewed_filter_fraction(mut self, fraction: f64) -> Self {
+        self.skewed_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Range the per-filter Laplacian scale `b` is drawn from
+    /// (stored-domain std = `b·√2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-positive.
+    pub fn spread_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo > 0.0 && lo <= hi, "bad spread range [{lo}, {hi}]");
+        self.spread_range = (lo, hi);
+        self
+    }
+
+    /// Number of sample vectors used to calibrate output scales
+    /// (0 disables calibration).
+    pub fn calibration_vectors(mut self, n: usize) -> Self {
+        self.calibration_vectors = n;
+        self
+    }
+
+    /// Generates the layer.
+    pub fn build(&self) -> MatrixLayer {
+        let mut rng = SynthRng::new(self.seed ^ 0x5EED_5EED_0000_0001);
+        let mut weights = Vec::with_capacity(self.filters * self.filter_len);
+        for f in 0..self.filters {
+            let mut frng = rng.fork(f as u64);
+            let spread = self.spread_range.0
+                + frng.uniform() * (self.spread_range.1 - self.spread_range.0);
+            let mean = if frng.bernoulli(self.skewed_fraction) {
+                // A skewed filter: strongly one-sided weight mass.
+                let sign = if frng.bernoulli(0.5) { 1.0 } else { -1.0 };
+                sign * (12.0 + frng.uniform() * 12.0)
+            } else {
+                frng.normal(0.0, 4.0)
+            };
+            for _ in 0..self.filter_len {
+                let w = f64::from(WEIGHT_ZERO_POINT) + frng.laplace(mean, spread);
+                weights.push(w.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        let quant = OutputQuant::new(
+            vec![1.0; self.filters],
+            vec![0.0; self.filters],
+            vec![WEIGHT_ZERO_POINT; self.filters],
+        );
+        let mut layer = MatrixLayer::new(
+            self.name.clone(),
+            self.filters,
+            self.filter_len,
+            weights,
+            quant,
+            self.input_profile,
+        )
+        .expect("builder dimensions are consistent by construction");
+        if self.calibration_vectors > 0 {
+            let cal = layer.sample_inputs(self.calibration_vectors, self.seed ^ 0xCA11);
+            layer.calibrate(&cal);
+        }
+        layer
+    }
+}
+
+/// Generates a filter whose weights are mostly below the zero point — the
+/// InceptionV3-style mostly-negative filter of paper Fig. 5.
+pub fn negative_skew_filter(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SynthRng::new(seed ^ 0x0FF5_E7);
+    (0..len)
+        .map(|_| {
+            let w = f64::from(WEIGHT_ZERO_POINT) + rng.laplace(-18.0, 9.0);
+            w.round().clamp(0.0, 255.0) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = SynthLayer::conv(16, 8, 3, 7).build();
+        let b = SynthLayer::conv(16, 8, 3, 7).build();
+        assert_eq!(a, b);
+        let c = SynthLayer::conv(16, 8, 3, 8).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_form_bell_curve_around_zero_point() {
+        let layer = SynthLayer::conv(32, 4, 3, 42)
+            .skewed_filter_fraction(0.0)
+            .build();
+        for f in 0..4 {
+            let ws = layer.filter_weights(f);
+            let mean: f64 =
+                ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
+            assert!(
+                (mean - f64::from(WEIGHT_ZERO_POINT)).abs() < 15.0,
+                "filter {f} mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_filters_have_shifted_means() {
+        let layer = SynthLayer::conv(64, 32, 3, 3)
+            .skewed_filter_fraction(1.0)
+            .build();
+        let shifted = (0..32)
+            .filter(|&f| {
+                let ws = layer.filter_weights(f);
+                let mean: f64 =
+                    ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
+                (mean - f64::from(WEIGHT_ZERO_POINT)).abs() > 8.0
+            })
+            .count();
+        assert!(shifted > 24, "only {shifted}/32 filters shifted");
+    }
+
+    #[test]
+    fn negative_skew_filter_is_mostly_below_center() {
+        let ws = negative_skew_filter(512, 1);
+        let below = ws.iter().filter(|&&w| w < WEIGHT_ZERO_POINT).count();
+        assert!(below > 350, "{below}/512 below center");
+    }
+
+    #[test]
+    fn signed_builder_sets_profile() {
+        let layer = SynthLayer::linear(64, 8, 5).signed_inputs().build();
+        assert!(layer.signed_inputs());
+    }
+
+    #[test]
+    fn calibrated_outputs_are_not_degenerate() {
+        let layer = SynthLayer::conv(32, 16, 3, 9).build();
+        let inputs = layer.sample_inputs(8, 123);
+        let outs = layer.reference_outputs(&inputs);
+        let nonzero = outs.iter().filter(|&&o| o != 0).count();
+        assert!(nonzero > outs.len() / 5, "too sparse: {nonzero}/{}", outs.len());
+        let max = outs.iter().copied().max().unwrap();
+        assert!(max >= 100, "max output {max} too small — calibration failed");
+    }
+}

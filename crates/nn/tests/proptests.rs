@@ -1,0 +1,93 @@
+//! Property-based tests for the quantization pipeline and statistics.
+
+use proptest::prelude::*;
+
+use raella_nn::quant::{mean_error_nonzero, OutputQuant, QuantParams};
+use raella_nn::stats::{fraction_within_bits, signed_resolution_bits, Histogram};
+
+proptest! {
+    /// Quantize→dequantize error is bounded by half a step.
+    #[test]
+    fn quant_round_trip_bounded(scale in 0.001f32..10.0, zp in 0u8..=255, x in -500.0f32..500.0) {
+        let q = QuantParams::new(scale, zp);
+        let stored = q.quantize(x);
+        let back = q.dequantize(stored);
+        // In-range values round-trip within half a step.
+        let lo = q.dequantize(0);
+        let hi = q.dequantize(255);
+        if x >= lo && x <= hi {
+            prop_assert!((back - x).abs() <= scale / 2.0 + 1e-4);
+        } else {
+            // Out-of-range values clamp to an endpoint.
+            prop_assert!(stored == 0 || stored == 255);
+        }
+    }
+
+    /// The zero-point correction makes an all-`zp` weight row contribute
+    /// exactly nothing, for any inputs.
+    #[test]
+    fn zero_point_mass_cancels(zp in 0u8..=255, xs in prop::collection::vec(0i64..=255, 1..64)) {
+        let oq = OutputQuant::new(vec![1.0], vec![0.0], vec![zp]);
+        let input_sum: i64 = xs.iter().sum();
+        let raw: i64 = xs.iter().map(|&x| x * i64::from(zp)).sum();
+        prop_assert_eq!(oq.corrected_acc(0, raw, input_sum), 0);
+    }
+
+    /// Mean error over nonzero refs is within [0, 255] and zero iff equal
+    /// on nonzero positions.
+    #[test]
+    fn mean_error_bounds(
+        reference in prop::collection::vec(0u8..=255, 1..64),
+        noise in prop::collection::vec(0u8..=255, 1..64),
+    ) {
+        let n = reference.len().min(noise.len());
+        let r = &reference[..n];
+        let o = &noise[..n];
+        let e = mean_error_nonzero(r, o);
+        prop_assert!((0.0..=255.0).contains(&e));
+        let equal_on_nonzero = r.iter().zip(o).all(|(&a, &b)| a == 0 || a == b);
+        prop_assert_eq!(e == 0.0, equal_on_nonzero);
+    }
+
+    /// `signed_resolution_bits` is the smallest b with value ∈ [−2^(b−1), 2^(b−1)).
+    #[test]
+    fn resolution_bits_is_minimal(v in -1_000_000i64..=1_000_000) {
+        let b = signed_resolution_bits(v);
+        let fits = |bits: u32| {
+            let half = 1i64 << (bits - 1);
+            (-half..half).contains(&v)
+        };
+        prop_assert!(fits(b), "value {} must fit {} bits", v, b);
+        if b > 1 {
+            prop_assert!(!fits(b - 1), "value {} must not fit {} bits", v, b - 1);
+        }
+    }
+
+    /// `fraction_within_bits` is monotone in the bit budget.
+    #[test]
+    fn fraction_within_bits_monotone(values in prop::collection::vec(-100_000i64..=100_000, 1..64)) {
+        let mut prev = 0.0;
+        for bits in 1..=20 {
+            let f = fraction_within_bits(&values, bits);
+            prop_assert!(f >= prev);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+        prop_assert!((fraction_within_bits(&values, 40) - 1.0).abs() < 1e-12);
+    }
+
+    /// Histograms never lose samples.
+    #[test]
+    fn histogram_conserves_mass(
+        lo in -100i64..100,
+        width in 1u64..20,
+        bins in 1usize..20,
+        values in prop::collection::vec(-500i64..=500, 0..100),
+    ) {
+        let mut h = Histogram::new(lo, width, bins);
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), values.len() as u64);
+    }
+}

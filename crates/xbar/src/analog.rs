@@ -1,0 +1,181 @@
+//! First-order analog nonideality analysis (paper §5.6).
+//!
+//! Two effects limit real crossbars:
+//!
+//! * **IR drop** — current from many on-devices accumulates along a column
+//!   wire; the resulting voltage droop skews products. RAELLA's 7b ADC
+//!   saturates at 64, i.e. fewer than five max-conductance devices' worth
+//!   of current, so its columns only ever need to tolerate ~5 devices of
+//!   current; an ISAAC-like design sums up to 128.
+//! * **Sneak current** — leakage through nominally-off devices. In 2T2R
+//!   columns the positive and negative cells' leakages cancel; in unsigned
+//!   1T1R columns they accumulate.
+//!
+//! These models quantify both effects for the §5.6 comparison; they are
+//! deliberately first-order (linear superposition on a single wire), the
+//! same altitude as the paper's discussion.
+
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of a crossbar column (paper §6.1.1 devices:
+/// 0.2 V read, 1 kΩ / 20 kΩ on/off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnElectrical {
+    /// Read voltage in volts.
+    pub read_voltage: f64,
+    /// On-state (max conductance) resistance in ohms.
+    pub r_on: f64,
+    /// Off-state resistance in ohms.
+    pub r_off: f64,
+    /// Wire resistance per crossbar cell along the column, in ohms.
+    pub r_wire_per_cell: f64,
+}
+
+impl ColumnElectrical {
+    /// The paper's device parameters ([13, 17]): 0.2 V, 1 kΩ/20 kΩ, with
+    /// a typical 32 nm wire resistance of ~2.5 Ω per cell pitch.
+    pub fn paper_devices() -> Self {
+        ColumnElectrical {
+            read_voltage: 0.2,
+            r_on: 1_000.0,
+            r_off: 20_000.0,
+            r_wire_per_cell: 2.5,
+        }
+    }
+
+    /// Current of one fully-on device at full input, in amperes.
+    pub fn on_current(&self) -> f64 {
+        self.read_voltage / self.r_on
+    }
+
+    /// Leakage current of one off device, in amperes.
+    pub fn off_current(&self) -> f64 {
+        self.read_voltage / self.r_off
+    }
+}
+
+/// Worst-case column current analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnCurrentReport {
+    /// Devices whose simultaneous on-current the column must tolerate.
+    pub worst_case_on_devices: f64,
+    /// Worst-case column current in amperes.
+    pub worst_case_current: f64,
+    /// Worst-case IR droop at the column's far end, in volts.
+    pub worst_case_ir_drop: f64,
+    /// Relative error the droop induces on the farthest cell's read.
+    pub relative_error: f64,
+}
+
+/// Worst-case current for an **unsigned** column that must faithfully sum
+/// `rows` devices (ISAAC-style: every activated row can be fully on).
+pub fn unsigned_column_current(e: &ColumnElectrical, rows: usize) -> ColumnCurrentReport {
+    report(e, rows as f64, rows)
+}
+
+/// Worst-case *meaningful* current for a RAELLA column: the ADC saturates
+/// at `adc_max` (64), so any column sum beyond `adc_max / max_level`
+/// fully-on devices is saturated anyway — the column only needs to
+/// tolerate that much current linearly (§5.6).
+pub fn raella_column_current(
+    e: &ColumnElectrical,
+    rows: usize,
+    adc_max: i64,
+    max_level: u8,
+) -> ColumnCurrentReport {
+    let devices = adc_max as f64 / f64::from(max_level.max(1));
+    report(e, devices, rows)
+}
+
+fn report(e: &ColumnElectrical, on_devices: f64, rows: usize) -> ColumnCurrentReport {
+    let current = on_devices * e.on_current();
+    // Worst case: all the current enters at the far end and traverses the
+    // whole wire.
+    let wire_r = rows as f64 * e.r_wire_per_cell;
+    let drop = current * wire_r;
+    ColumnCurrentReport {
+        worst_case_on_devices: on_devices,
+        worst_case_current: current,
+        worst_case_ir_drop: drop,
+        relative_error: drop / e.read_voltage,
+    }
+}
+
+/// Net sneak (leakage) current of a column with `off_devices` off cells.
+///
+/// For 2T2R columns the positive- and negative-wired leakages negate
+/// (§5.6, [81]); for unsigned columns they accumulate.
+pub fn sneak_current(e: &ColumnElectrical, off_devices: usize, two_t2r: bool) -> f64 {
+    if two_t2r {
+        0.0
+    } else {
+        off_devices as f64 * e.off_current()
+    }
+}
+
+/// Sneak current expressed in equivalent sliced-product units (how many
+/// LSBs of column sum the leakage fakes).
+pub fn sneak_in_lsb(e: &ColumnElectrical, off_devices: usize, two_t2r: bool, max_level: u8) -> f64 {
+    let per_unit = e.on_current() / f64::from(max_level.max(1));
+    sneak_current(e, off_devices, two_t2r) / per_unit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raella_tolerates_a_fraction_of_isaac_current() {
+        // §5.6: "RAELLA's columns must only tolerate current from five
+        // ReRAMs, compared to an ISAAC-like design that sums current for
+        // 128 ReRAMs."
+        let e = ColumnElectrical::paper_devices();
+        let isaac = unsigned_column_current(&e, 128);
+        let raella = raella_column_current(&e, 512, 64, 15);
+        assert!((isaac.worst_case_on_devices - 128.0).abs() < 1e-9);
+        assert!(
+            (raella.worst_case_on_devices - 64.0 / 15.0).abs() < 1e-9,
+            "≈4.3 devices"
+        );
+        assert!(raella.worst_case_current < isaac.worst_case_current / 25.0);
+    }
+
+    #[test]
+    fn ir_drop_grows_with_rows_and_current() {
+        let e = ColumnElectrical::paper_devices();
+        let small = unsigned_column_current(&e, 64);
+        let large = unsigned_column_current(&e, 256);
+        assert!(large.worst_case_ir_drop > small.worst_case_ir_drop);
+        assert!(large.relative_error > small.relative_error);
+    }
+
+    #[test]
+    fn raella_relative_error_is_small_despite_long_columns() {
+        // 512-row RAELLA columns still see less droop than 128-row
+        // unsigned columns because saturation caps the current.
+        let e = ColumnElectrical::paper_devices();
+        let isaac = unsigned_column_current(&e, 128);
+        let raella = raella_column_current(&e, 512, 64, 15);
+        assert!(raella.relative_error < isaac.relative_error);
+    }
+
+    #[test]
+    fn sneak_cancels_in_2t2r() {
+        let e = ColumnElectrical::paper_devices();
+        assert_eq!(sneak_current(&e, 500, true), 0.0);
+        assert!(sneak_current(&e, 500, false) > 0.0);
+        // With only a 20× on/off ratio, 500 leaking devices fake hundreds
+        // of LSB-units — exactly why unsigned designs need aggressive
+        // leakage control while 2T2R columns cancel it outright (§5.6).
+        let lsb = sneak_in_lsb(&e, 500, false, 15);
+        assert!((200.0..500.0).contains(&lsb), "sneak ≈ {lsb} LSB");
+        assert_eq!(sneak_in_lsb(&e, 500, true, 15), 0.0);
+    }
+
+    #[test]
+    fn device_currents_match_ohms_law() {
+        let e = ColumnElectrical::paper_devices();
+        assert!((e.on_current() - 0.2 / 1000.0).abs() < 1e-12);
+        assert!((e.off_current() - 0.2 / 20_000.0).abs() < 1e-12);
+    }
+}

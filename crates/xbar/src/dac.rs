@@ -1,0 +1,114 @@
+//! Pulse-train input DACs (paper §5.1).
+//!
+//! RAELLA feeds inputs through 4b pulse-train DACs: an N-bit input slice is
+//! encoded as up to `2^N − 1` unit pulses (1 ns on / 1 ns off), chosen for
+//! simple hardware and superior linearity. An N-bit slice therefore has a
+//! fixed time budget of `2^N − 1` pulse slots regardless of the value sent.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// A pulse-train DAC rated for `bits` bits per slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PulseTrainDac {
+    bits: u8,
+    /// Pulse on-time in nanoseconds.
+    pub pulse_on_ns: f64,
+    /// Pulse off-time in nanoseconds.
+    pub pulse_off_ns: f64,
+}
+
+impl PulseTrainDac {
+    /// RAELLA's 4b DAC with 1 ns on / 1 ns off pulses.
+    pub fn raella_4b() -> Self {
+        PulseTrainDac {
+            bits: 4,
+            pulse_on_ns: 1.0,
+            pulse_off_ns: 1.0,
+        }
+    }
+
+    /// A DAC rated for `bits` bits per slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 8.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "DAC bits must be 1–8, got {bits}");
+        PulseTrainDac {
+            bits,
+            pulse_on_ns: 1.0,
+            pulse_off_ns: 1.0,
+        }
+    }
+
+    /// Bits per slice this DAC is rated for.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of pulses emitted for a slice value. Sending a `w < bits`-bit
+    /// slice simply uses the lowest `2^w − 1` pulse counts (§4.3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ValueOutOfRange`] if the value needs more bits
+    /// than the DAC is rated for.
+    pub fn pulses(&self, value: u16) -> Result<u16, XbarError> {
+        let limit = (1u16 << self.bits) - 1;
+        if value > limit {
+            return Err(XbarError::ValueOutOfRange {
+                what: "DAC input slice",
+                value: i64::from(value),
+                limit: i64::from(limit),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Wall-clock time to stream the *worst-case* slice of `slice_bits`
+    /// bits: `(2^slice_bits − 1)` pulse slots. The paper's 4b slice takes
+    /// 30 ns (15 pulses × 2 ns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_bits` exceeds the DAC rating.
+    pub fn slice_time_ns(&self, slice_bits: u8) -> f64 {
+        assert!(slice_bits <= self.bits, "slice wider than DAC rating");
+        let slots = (1u32 << slice_bits) - 1;
+        f64::from(slots) * (self.pulse_on_ns + self.pulse_off_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulses_equal_value_within_rating() {
+        let dac = PulseTrainDac::raella_4b();
+        assert_eq!(dac.pulses(0).unwrap(), 0);
+        assert_eq!(dac.pulses(15).unwrap(), 15);
+        assert!(dac.pulses(16).is_err());
+    }
+
+    #[test]
+    fn four_bit_slice_takes_30ns() {
+        let dac = PulseTrainDac::raella_4b();
+        assert!((dac.slice_time_ns(4) - 30.0).abs() < 1e-12);
+        assert!((dac.slice_time_ns(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than DAC rating")]
+    fn slice_time_rejects_overwide_slice() {
+        PulseTrainDac::raella_4b().slice_time_ns(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "1–8")]
+    fn dac_rejects_bad_rating() {
+        PulseTrainDac::new(9);
+    }
+}

@@ -1,0 +1,167 @@
+//! ReRAM cell and 2T2R pair models (paper §2.2, §4.1.4, Fig. 6).
+//!
+//! A single ReRAM cell stores a small unsigned conductance level (up to 4b
+//! here, as RAELLA programs; up to 5b demonstrated in the literature). A
+//! 2T2R pair wires one cell to a positive source and one to a negative
+//! source, so a pair adds `input·(pos − neg)` to its column's analog sum —
+//! signed arithmetic in-crossbar. RAELLA programs the positive offset `w⁺`
+//! in one cell and the negative offset `w⁻` in the other; by construction
+//! one of the two is always zero (§4.1.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// One ReRAM cell holding an unsigned level of at most `bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReramCell {
+    level: u8,
+    bits: u8,
+}
+
+impl ReramCell {
+    /// An erased (zero, high-resistance) cell that can hold `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 5 (the demonstrated device
+    /// limit the paper cites).
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=5).contains(&bits), "ReRAM cells store 1–5 bits, got {bits}");
+        ReramCell { level: 0, bits }
+    }
+
+    /// Programs the cell.
+    ///
+    /// Programming a `w`-bit value into a cell rated for more bits simply
+    /// uses the lowest `2^w − 1` levels (§4.2.3) — no device change needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ValueOutOfRange`] if `level` needs more than
+    /// `bits` bits.
+    pub fn program(&mut self, level: u8) -> Result<(), XbarError> {
+        let limit = (1u16 << self.bits) - 1;
+        if u16::from(level) > limit {
+            return Err(XbarError::ValueOutOfRange {
+                what: "ReRAM level",
+                value: i64::from(level),
+                limit: i64::from(limit),
+            });
+        }
+        self.level = level;
+        Ok(())
+    }
+
+    /// The programmed level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Bits of storage this cell is rated for.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Analog contribution for a given input magnitude: `input · level`.
+    pub fn read(&self, input: u16) -> i64 {
+        i64::from(input) * i64::from(self.level)
+    }
+}
+
+/// A 2T2R pair: positive and negative cells computing signed products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoT2R {
+    pos: ReramCell,
+    neg: ReramCell,
+}
+
+impl TwoT2R {
+    /// An erased pair rated for `bits` bits per cell.
+    pub fn new(bits: u8) -> Self {
+        TwoT2R {
+            pos: ReramCell::new(bits),
+            neg: ReramCell::new(bits),
+        }
+    }
+
+    /// Programs the positive/negative offsets.
+    ///
+    /// RAELLA guarantees one of the two is zero; this model accepts any
+    /// pair (useful for fault-injection tests) but debug-asserts the
+    /// invariant so misuse is caught in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ValueOutOfRange`] if either level does not fit.
+    pub fn program(&mut self, pos: u8, neg: u8) -> Result<(), XbarError> {
+        debug_assert!(
+            pos == 0 || neg == 0,
+            "RAELLA offsets: one of pos ({pos})/neg ({neg}) must be zero"
+        );
+        self.pos.program(pos)?;
+        self.neg.program(neg)
+    }
+
+    /// The programmed (positive, negative) levels.
+    pub fn levels(&self) -> (u8, u8) {
+        (self.pos.level(), self.neg.level())
+    }
+
+    /// Signed analog contribution: `input · (pos − neg)`.
+    pub fn read(&self, input: u16) -> i64 {
+        self.pos.read(input) - self.neg.read(input)
+    }
+
+    /// Magnitude of charge moved: `input · (pos + neg)` — the quantity
+    /// analog noise scales with (§7.2) and device energy tracks.
+    pub fn charge(&self, input: u16) -> i64 {
+        self.pos.read(input) + self.neg.read(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_rejects_overfull_level() {
+        let mut c = ReramCell::new(4);
+        assert!(c.program(15).is_ok());
+        assert!(c.program(16).is_err());
+        let mut c2 = ReramCell::new(2);
+        assert!(c2.program(3).is_ok());
+        assert!(c2.program(4).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "1–5 bits")]
+    fn cell_rejects_bad_rating() {
+        ReramCell::new(6);
+    }
+
+    #[test]
+    fn cell_read_multiplies() {
+        let mut c = ReramCell::new(4);
+        c.program(11).unwrap();
+        assert_eq!(c.read(15), 165);
+        assert_eq!(c.read(0), 0);
+    }
+
+    #[test]
+    fn pair_computes_signed_products() {
+        let mut p = TwoT2R::new(4);
+        p.program(7, 0).unwrap();
+        assert_eq!(p.read(3), 21);
+        p.program(0, 7).unwrap();
+        assert_eq!(p.read(3), -21);
+        assert_eq!(p.charge(3), 21);
+    }
+
+    #[test]
+    fn erased_pair_reads_zero() {
+        let p = TwoT2R::new(4);
+        assert_eq!(p.read(15), 0);
+        assert_eq!(p.charge(15), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for the crossbar simulator.
+
+use std::fmt;
+
+/// Errors produced while configuring or driving crossbar hardware models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// A slicing was malformed (zero-width slice, over-wide slice, or the
+    /// widths do not cover the operand).
+    InvalidSlicing(String),
+    /// A value does not fit in the device/DAC/ADC it was given to.
+    ValueOutOfRange {
+        /// What was being programmed or converted.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+        /// The allowed inclusive maximum magnitude.
+        limit: i64,
+    },
+    /// A row/column index was outside the array.
+    IndexOutOfRange {
+        /// Which axis.
+        axis: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The array extent on that axis.
+        extent: usize,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::InvalidSlicing(msg) => write!(f, "invalid slicing: {msg}"),
+            XbarError::ValueOutOfRange { what, value, limit } => {
+                write!(f, "{what} value {value} exceeds limit {limit}")
+            }
+            XbarError::IndexOutOfRange { axis, index, extent } => {
+                write!(f, "{axis} index {index} out of range (extent {extent})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XbarError>();
+        let e = XbarError::ValueOutOfRange {
+            what: "device",
+            value: 16,
+            limit: 15,
+        };
+        assert!(e.to_string().contains("16"));
+    }
+}

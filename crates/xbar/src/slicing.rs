@@ -1,0 +1,372 @@
+//! Bit-sliced arithmetic (paper §2.3, Table 1, Eq. (2)).
+//!
+//! PIM architectures *slice* 8b operands into low-resolution pieces: weight
+//! slices land in separate crossbar columns, input slices in separate
+//! cycles, and shift+add circuits reassemble full-precision partial sums.
+//!
+//! The signed crop function [`crop_signed`] is the paper's `D(h, l, x)`:
+//! it extracts magnitude bits `[h..l]` of a signed number, preserving sign —
+//! the exact form RAELLA's Center+Offset optimization (Eq. (2)) and its
+//! 2T2R arithmetic need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// The paper's slicing function `D(h, l, x)`: crops signed `x` to magnitude
+/// bits `h..=l` (bit `l` becomes the least significant position), preserving
+/// the sign.
+///
+/// ```
+/// use raella_xbar::crop_signed;
+///
+/// // |x| = 0b1011_0110
+/// assert_eq!(crop_signed(0b1011_0110, 7, 4), 0b1011);
+/// assert_eq!(crop_signed(0b1011_0110, 3, 0), 0b0110);
+/// assert_eq!(crop_signed(-0b1011_0110, 7, 4), -0b1011);
+/// assert_eq!(crop_signed(0, 7, 0), 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `h < l` or `h >= 31`.
+pub fn crop_signed(x: i32, h: u32, l: u32) -> i32 {
+    assert!(h >= l, "slice [{h}..{l}] is empty");
+    assert!(h < 31, "slice msb {h} too large for i32 magnitudes");
+    let mag = x.unsigned_abs();
+    let width = h - l + 1;
+    let cropped = (mag >> l) & ((1u32 << width) - 1);
+    if x < 0 {
+        -(cropped as i32)
+    } else {
+        cropped as i32
+    }
+}
+
+/// One slice: inclusive magnitude-bit indices `[h ..= l]`, MSB to LSB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slice {
+    /// Most significant bit index covered.
+    pub h: u32,
+    /// Least significant bit index covered.
+    pub l: u32,
+}
+
+impl Slice {
+    /// Number of bits in the slice.
+    pub fn width(&self) -> u32 {
+        self.h - self.l + 1
+    }
+
+    /// The shift applied when reassembling (the slice's LSB position).
+    pub fn shift(&self) -> u32 {
+        self.l
+    }
+
+    /// Crops a signed value to this slice.
+    pub fn crop(&self, x: i32) -> i32 {
+        crop_signed(x, self.h, self.l)
+    }
+
+    /// Largest magnitude a value in this slice can take.
+    pub fn max_magnitude(&self) -> i32 {
+        (1 << self.width()) - 1
+    }
+}
+
+/// An operand slicing: ordered slice widths, most significant first,
+/// covering `total_bits` magnitude bits exactly.
+///
+/// ```
+/// use raella_xbar::Slicing;
+///
+/// let s = Slicing::new(&[4, 2, 2], 8)?;
+/// assert_eq!(s.num_slices(), 3);
+/// let values = s.slice_values(-0b1011_0110);
+/// assert_eq!(values, vec![-0b1011, -0b01, -0b10]);
+/// let wide: Vec<i64> = values.iter().map(|&v| i64::from(v)).collect();
+/// assert_eq!(s.reconstruct(&wide), -0b1011_0110);
+/// # Ok::<(), raella_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Slicing {
+    widths: Vec<u32>,
+    total_bits: u32,
+}
+
+impl Slicing {
+    /// Builds a slicing from widths (MSB first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidSlicing`] if any width is zero or the
+    /// widths do not sum to `total_bits`.
+    pub fn new(widths: &[u32], total_bits: u32) -> Result<Self, XbarError> {
+        if widths.contains(&0) {
+            return Err(XbarError::InvalidSlicing("zero-width slice".into()));
+        }
+        let sum: u32 = widths.iter().sum();
+        if sum != total_bits {
+            return Err(XbarError::InvalidSlicing(format!(
+                "widths {widths:?} sum to {sum}, expected {total_bits}"
+            )));
+        }
+        Ok(Slicing {
+            widths: widths.to_vec(),
+            total_bits,
+        })
+    }
+
+    /// `count` equal slices of `width` bits (e.g. eight 1b input slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `count == 0`.
+    pub fn uniform(width: u32, count: u32) -> Self {
+        assert!(width > 0 && count > 0, "degenerate uniform slicing");
+        Slicing {
+            widths: vec![width; count as usize],
+            total_bits: width * count,
+        }
+    }
+
+    /// RAELLA's speculative input slicing: 4b-2b-2b over 8 bits (§4.3).
+    pub fn raella_speculative() -> Self {
+        Slicing::new(&[4, 2, 2], 8).expect("constant slicing is valid")
+    }
+
+    /// RAELLA's most common weight slicing: 4b-2b-2b (§4.2, Fig. 7).
+    pub fn raella_default_weights() -> Self {
+        Slicing::new(&[4, 2, 2], 8).expect("constant slicing is valid")
+    }
+
+    /// ISAAC's weight slicing: four 2b slices (§7).
+    pub fn isaac_weights() -> Self {
+        Slicing::uniform(2, 4)
+    }
+
+    /// Slice widths, MSB first.
+    pub fn widths(&self) -> &[u32] {
+        &self.widths
+    }
+
+    /// Total magnitude bits covered.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Width of the widest slice.
+    pub fn max_width(&self) -> u32 {
+        *self.widths.iter().max().expect("slicings are nonempty")
+    }
+
+    /// The slices' bit ranges, MSB first.
+    pub fn slices(&self) -> Vec<Slice> {
+        let mut out = Vec::with_capacity(self.widths.len());
+        let mut h = self.total_bits;
+        for &w in &self.widths {
+            out.push(Slice { h: h - 1, l: h - w });
+            h -= w;
+        }
+        out
+    }
+
+    /// Crops a signed value into its slice values, MSB slice first.
+    pub fn slice_values(&self, x: i32) -> Vec<i32> {
+        self.slices().iter().map(|s| s.crop(x)).collect()
+    }
+
+    /// Shift+add reassembly: `Σ valuesᵢ · 2^{lᵢ}`.
+    ///
+    /// For values produced by [`Slicing::slice_values`] this inverts the
+    /// slicing exactly (as long as `|x| < 2^total_bits`). For values read
+    /// through a saturating ADC it reassembles whatever fidelity survived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_slices()`.
+    pub fn reconstruct(&self, values: &[i64]) -> i64 {
+        assert_eq!(values.len(), self.num_slices(), "slice count mismatch");
+        self.slices()
+            .iter()
+            .zip(values)
+            .map(|(s, &v)| v << s.shift())
+            .sum()
+    }
+
+    /// Re-slices slice `index` into 1-bit slices (RAELLA's recovery step:
+    /// a failed 4b speculative input slice is re-run as four 1b slices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_slices()`.
+    pub fn explode_to_bits(&self, index: usize) -> Vec<Slice> {
+        let s = self.slices()[index];
+        (s.l..=s.h).rev().map(|b| Slice { h: b, l: b }).collect()
+    }
+
+    /// Enumerates every slicing of `total_bits` into slices of width
+    /// `1..=max_width` — 108 for (8, 4), as the paper counts (§4.2.2).
+    pub fn enumerate(total_bits: u32, max_width: u32) -> Vec<Slicing> {
+        let mut out = Vec::new();
+        let mut current = Vec::new();
+        fn recurse(
+            remaining: u32,
+            max_width: u32,
+            total: u32,
+            current: &mut Vec<u32>,
+            out: &mut Vec<Slicing>,
+        ) {
+            if remaining == 0 {
+                out.push(Slicing {
+                    widths: current.clone(),
+                    total_bits: total,
+                });
+                return;
+            }
+            for w in 1..=max_width.min(remaining) {
+                current.push(w);
+                recurse(remaining - w, max_width, total, current, out);
+                current.pop();
+            }
+        }
+        recurse(total_bits, max_width, total_bits, &mut current, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for Slicing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.widths.iter().map(|w| format!("{w}b")).collect();
+        write!(f, "{}", parts.join("-"))
+    }
+}
+
+/// Converts a `i64` slice-value list to the `reconstruct` input type.
+/// Convenience for tests working with `i32` crops.
+pub fn widen(values: &[i32]) -> Vec<i64> {
+    values.iter().map(|&v| i64::from(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crop_preserves_sign_and_bits() {
+        assert_eq!(crop_signed(255, 7, 4), 15);
+        assert_eq!(crop_signed(255, 3, 0), 15);
+        assert_eq!(crop_signed(-255, 7, 4), -15);
+        assert_eq!(crop_signed(0b0001_0000, 4, 4), 1);
+        assert_eq!(crop_signed(0b0001_0000, 3, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn crop_rejects_inverted_range() {
+        crop_signed(1, 0, 3);
+    }
+
+    #[test]
+    fn slicing_validation() {
+        assert!(Slicing::new(&[4, 4], 8).is_ok());
+        assert!(Slicing::new(&[4, 3], 8).is_err());
+        assert!(Slicing::new(&[4, 0, 4], 8).is_err());
+        assert!(Slicing::new(&[8], 8).is_ok());
+    }
+
+    #[test]
+    fn slices_cover_bits_msb_first() {
+        let s = Slicing::new(&[4, 2, 2], 8).unwrap();
+        let slices = s.slices();
+        assert_eq!(slices[0], Slice { h: 7, l: 4 });
+        assert_eq!(slices[1], Slice { h: 3, l: 2 });
+        assert_eq!(slices[2], Slice { h: 1, l: 0 });
+    }
+
+    #[test]
+    fn reconstruct_inverts_slice_values_for_all_i9() {
+        for slicing in [
+            Slicing::new(&[4, 2, 2], 8).unwrap(),
+            Slicing::uniform(1, 8),
+            Slicing::uniform(4, 2),
+            Slicing::new(&[1, 2, 2, 3], 8).unwrap(),
+        ] {
+            for x in -255..=255 {
+                let values = widen(&slicing.slice_values(x));
+                assert_eq!(slicing.reconstruct(&values), i64::from(x), "{slicing} on {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_counts_108_for_8b_max4() {
+        let all = Slicing::enumerate(8, 4);
+        assert_eq!(all.len(), 108);
+        // All unique, all valid.
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            assert!(seen.insert(s.widths().to_vec()));
+            assert_eq!(s.widths().iter().sum::<u32>(), 8);
+            assert!(s.max_width() <= 4);
+        }
+    }
+
+    #[test]
+    fn enumerate_small_cases() {
+        assert_eq!(Slicing::enumerate(1, 4).len(), 1);
+        assert_eq!(Slicing::enumerate(2, 4).len(), 2);
+        assert_eq!(Slicing::enumerate(3, 4).len(), 4);
+        assert_eq!(Slicing::enumerate(4, 4).len(), 8);
+        // Bit-serial only:
+        assert_eq!(Slicing::enumerate(8, 1).len(), 1);
+    }
+
+    #[test]
+    fn explode_to_bits_is_bit_serial() {
+        let s = Slicing::raella_speculative();
+        let bits = s.explode_to_bits(0);
+        assert_eq!(
+            bits,
+            vec![
+                Slice { h: 7, l: 7 },
+                Slice { h: 6, l: 6 },
+                Slice { h: 5, l: 5 },
+                Slice { h: 4, l: 4 }
+            ]
+        );
+        assert_eq!(s.explode_to_bits(2).len(), 2);
+    }
+
+    #[test]
+    fn exploded_bits_reassemble_the_slice() {
+        let s = Slicing::raella_speculative();
+        let x = 0b1011_0110i32;
+        let coarse = s.slice_values(x)[0]; // 0b1011
+        let bits = s.explode_to_bits(0);
+        let fine: i64 = bits
+            .iter()
+            .map(|b| i64::from(b.crop(x)) << b.shift())
+            .sum();
+        assert_eq!(fine, i64::from(coarse) << 4);
+    }
+
+    #[test]
+    fn display_formats_widths() {
+        assert_eq!(Slicing::raella_default_weights().to_string(), "4b-2b-2b");
+        assert_eq!(Slicing::uniform(1, 3).to_string(), "1b-1b-1b");
+    }
+
+    #[test]
+    fn max_magnitude_matches_width() {
+        let s = Slice { h: 7, l: 4 };
+        assert_eq!(s.max_magnitude(), 15);
+        let s1 = Slice { h: 0, l: 0 };
+        assert_eq!(s1.max_magnitude(), 1);
+    }
+}

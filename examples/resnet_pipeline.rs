@@ -1,0 +1,62 @@
+//! ResNet18 end to end: compile the mini functional model, check accuracy
+//! against the integer reference, then evaluate the full-size network's
+//! energy and throughput on RAELLA vs ISAAC (the paper's Fig. 12 flow).
+//!
+//! ```sh
+//! cargo run --release --example resnet_pipeline
+//! ```
+
+use raella::arch::eval::evaluate_dnn;
+use raella::arch::spec::AccelSpec;
+use raella::core::engine::RaellaEngine;
+use raella::core::RaellaConfig;
+use raella::nn::models::mini::mini_resnet18;
+use raella::nn::models::shapes;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- functional tier: does RAELLA change ResNet18's predictions? ----
+    let model = mini_resnet18(42);
+    let mut engine = RaellaEngine::new(RaellaConfig {
+        search_vectors: 3,
+        ..RaellaConfig::default()
+    });
+    let images = 10;
+    let match_rate = model.top1_match_rate(&mut engine, images, 7);
+    println!(
+        "functional: {}/{} predictions match the integer reference",
+        (match_rate * images as f64).round() as usize,
+        images
+    );
+    println!(
+        "  {} layers compiled; speculation failure rate {:.1}%",
+        engine.compiled_layers(),
+        100.0 * engine.stats().spec_failure_rate()
+    );
+
+    // ---- analytic tier: full-size ResNet18 energy and throughput ----
+    let net = shapes::resnet18();
+    println!(
+        "\nanalytic: {} ({} layers, {:.2} GMACs)",
+        net.name,
+        net.layers.len(),
+        net.total_macs() as f64 / 1e9
+    );
+    let raella = evaluate_dnn(&AccelSpec::raella(), &net);
+    let isaac = evaluate_dnn(&AccelSpec::isaac(), &net);
+    for eval in [&isaac, &raella] {
+        println!(
+            "  {:<22} {:>9.1} µJ/inference  {:>9.0} inf/s  converts/MAC {:.4}",
+            eval.arch,
+            eval.energy.total_pj() / 1e6,
+            eval.throughput,
+            eval.converts_per_mac()
+        );
+    }
+    println!(
+        "\nRAELLA vs ISAAC: efficiency x{:.2}, throughput x{:.2} (paper Fig. 12: ~x4.2, ~x2.5)",
+        raella.efficiency_vs(&isaac),
+        raella.throughput_vs(&isaac)
+    );
+    println!("energy breakdown: {}", raella.energy);
+    Ok(())
+}

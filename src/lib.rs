@@ -1,0 +1,46 @@
+//! # RAELLA reproduction
+//!
+//! A from-scratch Rust reproduction of *RAELLA: Reforming the Arithmetic for
+//! Efficient, Low-Resolution, and Low-Loss Analog PIM: No Retraining
+//! Required!* (Andrulis, Emer, Sze — ISCA 2023).
+//!
+//! This meta-crate re-exports the workspace crates:
+//!
+//! * [`nn`] — quantized DNN substrate (tensors, per-channel 8b quantization,
+//!   conv/linear layers, synthetic model zoo for the seven evaluated DNNs).
+//! * [`xbar`] — ReRAM crossbar simulator (2T2R devices, pulse DACs,
+//!   saturating low-resolution ADCs, sliced arithmetic, analog noise).
+//! * [`core`] — RAELLA's contribution: Center+Offset encoding, Adaptive
+//!   Weight Slicing, Dynamic Input Slicing, and the execution engine.
+//! * [`energy`] — component energy/area models and the Titanium Law.
+//! * [`arch`] — full accelerator models (RAELLA, ISAAC, FORMS-8, TIMELY)
+//!   with mapping, replication, and the interlayer pipeline.
+//!
+//! # Quickstart
+//!
+//! Encode one DNN layer for RAELLA and verify that low-resolution analog
+//! reads stay faithful to the integer reference:
+//!
+//! ```
+//! use raella::core::{CompiledLayer, RaellaConfig};
+//! use raella::nn::synth::SynthLayer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A synthetic 64-input-channel conv layer with bell-curve weights.
+//! let layer = SynthLayer::conv(64, 32, 3, 0xC0FFEE).build();
+//! let cfg = RaellaConfig::default();
+//! let compiled = CompiledLayer::compile(&layer, &cfg)?;
+//! let report = compiled.check_fidelity(&layer, 4)?;
+//! assert!(report.mean_abs_error <= cfg.error_budget);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for full scenarios and `crates/bench/benches/` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+pub use raella_arch as arch;
+pub use raella_core as core;
+pub use raella_energy as energy;
+pub use raella_nn as nn;
+pub use raella_xbar as xbar;

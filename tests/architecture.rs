@@ -1,0 +1,138 @@
+//! Integration tests for the architecture models: the paper's headline
+//! comparisons must hold across the whole model zoo.
+
+use raella::arch::eval::{evaluate_dnn, geomean};
+use raella::arch::spec::AccelSpec;
+use raella::nn::models::shapes::DnnShape;
+
+#[test]
+fn raella_is_more_efficient_on_every_dnn() {
+    let raella = AccelSpec::raella();
+    let isaac = AccelSpec::isaac();
+    for net in DnnShape::all_evaluated() {
+        let r = evaluate_dnn(&raella, &net);
+        let i = evaluate_dnn(&isaac, &net);
+        assert!(
+            r.efficiency_vs(&i) > 1.5,
+            "{}: efficiency ratio {}",
+            net.name,
+            r.efficiency_vs(&i)
+        );
+    }
+}
+
+#[test]
+fn geomeans_land_in_the_papers_range() {
+    let raella = AccelSpec::raella();
+    let isaac = AccelSpec::isaac();
+    let (mut effs, mut thrs) = (vec![], vec![]);
+    for net in DnnShape::all_evaluated() {
+        let r = evaluate_dnn(&raella, &net);
+        let i = evaluate_dnn(&isaac, &net);
+        effs.push(r.efficiency_vs(&i));
+        thrs.push(r.throughput_vs(&i));
+    }
+    let ge = geomean(&effs);
+    let gt = geomean(&thrs);
+    assert!((3.0..5.0).contains(&ge), "geomean efficiency {ge} (paper 3.9)");
+    assert!((1.4..2.6).contains(&gt), "geomean throughput {gt} (paper 2.0)");
+}
+
+#[test]
+fn ablation_energy_ladder_is_monotone_everywhere() {
+    // Fig. 14: each added strategy must reduce total energy on every DNN.
+    let setups = AccelSpec::ablation_fig14();
+    for net in DnnShape::all_evaluated() {
+        let totals: Vec<f64> = setups
+            .iter()
+            .map(|s| evaluate_dnn(s, &net).energy.total_pj())
+            .collect();
+        assert!(
+            totals.windows(2).all(|w| w[1] < w[0]),
+            "{}: ablation ladder not monotone: {totals:?}",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn retraining_architectures_are_matched_without_retraining() {
+    // Fig. 13 orderings on the geomean of ResNet18/50.
+    let isaac = AccelSpec::isaac();
+    let pairs = |spec: &AccelSpec| {
+        let nets = [
+            raella::nn::models::shapes::resnet18(),
+            raella::nn::models::shapes::resnet50(),
+        ];
+        nets.map(|n| evaluate_dnn(spec, &n))
+    };
+    let i = pairs(&isaac);
+    let f = pairs(&AccelSpec::forms8());
+    let r = pairs(&AccelSpec::raella());
+    let eff =
+        |a: &[raella::arch::eval::DnnEval; 2], b: &[raella::arch::eval::DnnEval; 2]| {
+            geomean(&[a[0].efficiency_vs(&b[0]), a[1].efficiency_vs(&b[1])])
+        };
+    assert!(eff(&r, &i) > eff(&f, &i), "RAELLA must beat FORMS efficiency");
+
+    let t = pairs(&AccelSpec::timely_like());
+    let r65 = pairs(&AccelSpec::raella_65nm(false));
+    assert!(
+        eff(&r65, &t) >= 1.0,
+        "RAELLA-65nm (no spec) must match or beat TIMELY"
+    );
+}
+
+#[test]
+fn area_budget_is_respected() {
+    for spec in [
+        AccelSpec::raella(),
+        AccelSpec::raella_no_spec(),
+        AccelSpec::isaac(),
+        AccelSpec::forms8(),
+    ] {
+        for net in DnnShape::all_evaluated() {
+            let eval = evaluate_dnn(&spec, &net);
+            assert!(
+                eval.crossbars_used <= eval.crossbars_available,
+                "{} on {}: {} crossbars used of {}",
+                net.name,
+                spec.name,
+                eval.crossbars_used,
+                eval.crossbars_available
+            );
+            assert!(eval.throughput > 0.0);
+            assert!(eval.energy.total_pj() > 0.0);
+            assert!(eval.utilization > 0.0 && eval.utilization <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn signed_inputs_cost_raella_but_not_isaac() {
+    // §6.3: BERT's signed inputs halve RAELLA's throughput gain; ISAAC's
+    // biased encoding is single-pass.
+    let bert = raella::nn::models::shapes::bert_large_ff();
+    let raella = evaluate_dnn(&AccelSpec::raella(), &bert);
+    let ff = &raella.layers[0];
+    // 384 vectors × 11 cycles × 100 ns × 2 planes.
+    assert!((ff.base_latency_ns - 384.0 * 11.0 * 100.0 * 2.0).abs() < 1e-6);
+    let isaac = evaluate_dnn(&AccelSpec::isaac(), &bert);
+    assert!(
+        (isaac.layers[0].base_latency_ns - 384.0 * 8.0 * 100.0).abs() < 1e-6,
+        "ISAAC handles signed inputs natively"
+    );
+}
+
+#[test]
+fn converts_per_mac_spans_the_titanium_law_range() {
+    // The Titanium Law's converts/MAC term across architectures on
+    // ResNet50: ISAAC ~0.25, RAELLA ~0.02, TIMELY ~0.0005.
+    let net = raella::nn::models::shapes::resnet50();
+    let isaac = evaluate_dnn(&AccelSpec::isaac(), &net).converts_per_mac();
+    let raella = evaluate_dnn(&AccelSpec::raella(), &net).converts_per_mac();
+    let timely = evaluate_dnn(&AccelSpec::timely_like(), &net).converts_per_mac();
+    assert!((0.2..0.4).contains(&isaac), "isaac {isaac}");
+    assert!((0.01..0.06).contains(&raella), "raella {raella}");
+    assert!(timely < 0.001, "timely {timely}");
+}

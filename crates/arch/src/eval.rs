@@ -155,8 +155,7 @@ pub fn evaluate_layer(spec: &AccelSpec, layer: &LayerSpec, is_last: bool) -> Lay
 
     // Pruning (FORMS) compacts the weight footprint, freeing crossbars for
     // replication — that is where its throughput gain comes from.
-    let footprint =
-        ((m.crossbars_per_copy as f64 * prune).ceil() as usize).max(1);
+    let footprint = ((m.crossbars_per_copy as f64 * prune).ceil() as usize).max(1);
 
     LayerEval {
         name: layer.name.clone(),
@@ -213,7 +212,11 @@ pub fn evaluate_dnn(spec: &AccelSpec, net: &DnnShape) -> DnnEval {
         arch: spec.name.clone(),
         energy,
         interval_ns,
-        throughput: if interval_ns > 0.0 { 1e9 / interval_ns } else { 0.0 },
+        throughput: if interval_ns > 0.0 {
+            1e9 / interval_ns
+        } else {
+            0.0
+        },
         converts,
         macs,
         crossbars_used: used.min(available),

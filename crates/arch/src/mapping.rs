@@ -42,11 +42,7 @@ impl LayerMapping {
         } else {
             let extra_rows_per_copy = (layer.in_c / layer.groups) * layer.k * layer.stride;
             let spare = spec.rows - filter_len;
-            let extra = if extra_rows_per_copy == 0 {
-                0
-            } else {
-                spare / extra_rows_per_copy
-            };
+            let extra = spare.checked_div(extra_rows_per_copy).unwrap_or(0);
             (1 + extra).min(layer.k.max(1))
         };
 

@@ -168,7 +168,9 @@ fn required_input_row(consumer: &LayerSpec, y: usize, producer_rows: usize) -> u
             let pad = consumer.k / 2;
             let need = (y * consumer.stride + consumer.k - 1).saturating_sub(pad);
             let in_rows = (consumer.out_h * consumer.stride).max(1);
-            (need * producer_rows).div_ceil(in_rows).min(producer_rows - 1)
+            (need * producer_rows)
+                .div_ceil(in_rows)
+                .min(producer_rows - 1)
         }
     }
 }
@@ -192,17 +194,24 @@ fn peak_occupancy(
         let in_rows = (consumer.out_h * consumer.stride).max(1);
         (start * prows) / in_rows
     };
-    for r in 0..prows {
+    for (r, &produced_at) in produce.iter().enumerate().take(prows) {
         // Row r dies once the last consumer row whose window begins at or
         // before r has completed.
         let last_user = match consumer.kind {
             LayerKind::Linear => crows - 1,
-            _ => (0..crows).rev().find(|&y| window_start(y) <= r).unwrap_or(0),
+            _ => (0..crows)
+                .rev()
+                .find(|&y| window_start(y) <= r)
+                .unwrap_or(0),
         };
-        events.push((produce[r], 1));
+        events.push((produced_at, 1));
         events.push((consume[last_user], -1));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(b.1.cmp(&a.1)));
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite times")
+            .then(b.1.cmp(&a.1))
+    });
     let mut alive = 0i64;
     let mut peak = 0i64;
     for (_, delta) in events {

@@ -44,8 +44,12 @@ pub fn write_report(spec: &AccelSpec, net: &DnnShape, eval: &DnnEval) -> WriteRe
     let cells_per_weight: u64 = {
         // One cell per weight slice; 2T2R pairs program both cells (one of
         // them to zero, which still costs a write pulse).
-        
-        if spec.two_t2r { 2 } else { 1 }
+
+        if spec.two_t2r {
+            2
+        } else {
+            1
+        }
     };
     let mut cells = 0u64;
     for (i, layer) in net.layers.iter().enumerate() {
@@ -120,10 +124,8 @@ mod tests {
         let wr = write_report(&raella, &net, &er);
         let wi = write_report(&isaac, &net, &ei);
         // Per weight-slice-replica, RAELLA writes two cells, ISAAC one.
-        let per_r = wr.cells_written as f64
-            / er.replicas.iter().map(|&r| r as f64).sum::<f64>();
-        let per_i = wi.cells_written as f64
-            / ei.replicas.iter().map(|&r| r as f64).sum::<f64>();
+        let per_r = wr.cells_written as f64 / er.replicas.iter().map(|&r| r as f64).sum::<f64>();
+        let per_i = wi.cells_written as f64 / ei.replicas.iter().map(|&r| r as f64).sum::<f64>();
         assert!(per_r > per_i * 0.8, "2T2R writes {per_r} vs 1T1R {per_i}");
     }
 }

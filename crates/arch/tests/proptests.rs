@@ -11,13 +11,13 @@ use raella_nn::models::shapes::{DnnShape, LayerKind, LayerSpec};
 /// An arbitrary plausible conv/linear layer.
 fn arb_layer() -> impl Strategy<Value = LayerSpec> {
     (
-        1usize..512,        // in_c
-        1usize..512,        // out_c
+        1usize..512, // in_c
+        1usize..512, // out_c
         prop::sample::select(vec![1usize, 3, 5, 7]),
-        1usize..=2,         // stride
-        1usize..56,         // out_h
-        1usize..56,         // out_w
-        any::<bool>(),      // depthwise?
+        1usize..=2,    // stride
+        1usize..56,    // out_h
+        1usize..56,    // out_w
+        any::<bool>(), // depthwise?
     )
         .prop_map(|(in_c, out_c, k, stride, out_h, out_w, dw)| {
             let (kind, groups, in_c, out_c) = if dw && k > 1 {

@@ -40,9 +40,15 @@ fn main() {
     let stepped_wide = SteppedAdc::new(7, true, 8);
 
     let mut rows = Vec::new();
-    for (dist_name, sums) in [("reshaped (RAELLA)", &reshaped), ("unshaped 4b/4b", &unshaped)] {
+    for (dist_name, sums) in [
+        ("reshaped (RAELLA)", &reshaped),
+        ("unshaped 4b/4b", &unshaped),
+    ] {
         for (policy, conv) in [
-            ("7b capture", Box::new(|s| capture.convert(s)) as Box<dyn Fn(i64) -> i64>),
+            (
+                "7b capture",
+                Box::new(|s| capture.convert(s)) as Box<dyn Fn(i64) -> i64>,
+            ),
             ("7b step ×16", Box::new(|s| stepped.convert(s))),
             ("7b step ×256", Box::new(|s| stepped_wide.convert(s))),
         ] {
@@ -54,7 +60,10 @@ fn main() {
             ]);
         }
     }
-    table(&["distribution", "policy", "mean |read error|", "exact reads"], &rows);
+    table(
+        &["distribution", "policy", "mean |read error|", "exact reads"],
+        &rows,
+    );
 
     // The footnote-4 claims, asserted.
     let cap_reshaped = mean_read_error(&reshaped, |s| capture.convert(s));
@@ -70,9 +79,10 @@ fn main() {
         "on unshaped sums stepping ({step_unshaped}) must beat capture ({cap_unshaped})"
     );
     let exact = exact_read_fraction(&reshaped, |s| capture.convert(s));
-    assert!(exact > 0.9, "capture must read reshaped sums exactly: {exact}");
-    println!(
-        "\n  reshaping the distribution is what makes the cheap exact ADC possible —"
+    assert!(
+        exact > 0.9,
+        "capture must read reshaped sums exactly: {exact}"
     );
+    println!("\n  reshaping the distribution is what makes the cheap exact ADC possible —");
     println!("  without it, LSB-dropping (and its universal fidelity loss) is forced");
 }

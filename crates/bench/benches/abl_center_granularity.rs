@@ -51,10 +51,14 @@ fn main() {
         let slices = slicing.slices();
         let phi = optimal_center(ws, &slicing);
         for (si, slice) in slices.iter().enumerate() {
-            let levels_zero: Vec<i16> =
-                ws.iter().map(|&w| slice.crop(i32::from(w) - 128) as i16).collect();
-            let levels_filt: Vec<i16> =
-                ws.iter().map(|&w| slice.crop(i32::from(w) - phi) as i16).collect();
+            let levels_zero: Vec<i16> = ws
+                .iter()
+                .map(|&w| slice.crop(i32::from(w) - 128) as i16)
+                .collect();
+            let levels_filt: Vec<i16> = ws
+                .iter()
+                .map(|&w| slice.crop(i32::from(w) - phi) as i16)
+                .collect();
             let (levels_trim, rec) = column_bias_trim(&levels_filt);
             residual_filter += rec.mean_before.abs();
             residual_trim += rec.mean_after.abs();
@@ -68,7 +72,11 @@ fn main() {
     table(
         &["centering", "≤7b column sums", "mean |column bias|"],
         &[
-            vec!["zero point (differential)".into(), pct(zero_w7 / n), "-".into()],
+            vec![
+                "zero point (differential)".into(),
+                pct(zero_w7 / n),
+                "-".into(),
+            ],
             vec![
                 "per-filter Eq.(2) (RAELLA)".into(),
                 pct(filt_w7 / n),

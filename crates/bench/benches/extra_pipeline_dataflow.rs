@@ -21,7 +21,11 @@ fn main() {
     );
     let spec = AccelSpec::raella();
     let mut rows = Vec::new();
-    for net in [shapes::resnet18(), shapes::resnet50(), shapes::bert_large_ff()] {
+    for net in [
+        shapes::resnet18(),
+        shapes::resnet50(),
+        shapes::bert_large_ff(),
+    ] {
         let eval = evaluate_dnn(&spec, &net);
         let report = simulate(&spec, &net, &eval.replicas);
         let writes = write_report(&spec, &net, &eval);

@@ -13,7 +13,6 @@ use raella_core::probe::{Probe, ProbeEncoding};
 use raella_core::RaellaConfig;
 use raella_nn::stats::{fraction_within_bits, max_resolution_bits, percentile};
 use raella_nn::synth::SynthLayer;
-use raella_xbar::noise::NoiseRng;
 use raella_xbar::slicing::Slicing;
 
 fn main() {
@@ -69,7 +68,7 @@ fn main() {
     let mut within7 = Vec::new();
     for (name, probe) in &stages {
         let sums = probe
-            .column_sums(&layer, vectors, 0xF16_3)
+            .column_sums(&layer, vectors, 0xF163)
             .expect("probe config is valid");
         let w7 = fraction_within_bits(&sums, 7);
         within7.push(w7);
@@ -84,7 +83,15 @@ fn main() {
             pct(w7),
         ]);
     }
-    table(&["stage", "max resolution", "p0.5–p99.5 range", "≤7b (ADC-exact)"], &rows);
+    table(
+        &[
+            "stage",
+            "max resolution",
+            "p0.5–p99.5 range",
+            "≤7b (ADC-exact)",
+        ],
+        &rows,
+    );
 
     // Each strategy must tighten the distribution.
     assert!(
@@ -97,10 +104,9 @@ fn main() {
     // End-to-end saturation rate through the real engine (ADC in place).
     let cfg = RaellaConfig::default();
     let compiled = CompiledLayer::compile(&layer, &cfg).expect("compiles");
-    let inputs = layer.sample_inputs(16, 0xF16_3E);
+    let inputs = layer.sample_inputs(16, 0x000F_163E);
     let mut stats = RunStats::default();
-    let mut rng = NoiseRng::new(1);
-    compiled.run(&inputs, &mut stats, &mut rng);
+    compiled.run(&inputs, &mut stats, 1);
     println!(
         "\n  engine: speculation failure rate {} (paper ~2%), residual recovery saturation {} (paper ~0.1%)",
         pct(stats.spec_failure_rate()),

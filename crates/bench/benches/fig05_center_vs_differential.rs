@@ -29,9 +29,7 @@ fn main() {
     );
 
     let phi = optimal_center(&filter, &slicing);
-    println!(
-        "  4) per-filter center: Eq.(2) optimum φ = {phi} (zero point = {WEIGHT_ZERO_POINT})"
-    );
+    println!("  4) per-filter center: Eq.(2) optimum φ = {phi} (zero point = {WEIGHT_ZERO_POINT})");
 
     // 2) Slice balance: mean signed slice value per column.
     let diff_bias = column_biases(&filter, &slicing, i32::from(WEIGHT_ZERO_POINT));
@@ -44,7 +42,10 @@ fn main() {
             format!("{c:+.3}"),
         ]);
     }
-    table(&["weight slice", "differential bias", "center+offset bias"], &rows);
+    table(
+        &["weight slice", "differential bias", "center+offset bias"],
+        &rows,
+    );
     let d_mass: f64 = diff_bias.iter().map(|b| b.abs()).sum();
     let c_mass: f64 = co_bias.iter().map(|b| b.abs()).sum();
     assert!(c_mass < d_mass, "C+O must reduce per-column bias");
@@ -86,7 +87,10 @@ fn main() {
             ],
         ],
     );
-    assert!(zs.mean.abs() > cs.mean.abs(), "C+O must de-bias column sums");
+    assert!(
+        zs.mean.abs() > cs.mean.abs(),
+        "C+O must de-bias column sums"
+    );
     assert!(
         fraction_within_bits(&co, 7) > fraction_within_bits(&zo, 7),
         "C+O must reduce saturation"

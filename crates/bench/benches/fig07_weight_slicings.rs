@@ -58,9 +58,8 @@ fn main() {
             *histogram.entry(slicing.num_slices()).or_default() += 1;
             *counts.entry(slicing.to_string()).or_default() += 1;
         }
-        let mut summary: Vec<(usize, String)> =
-            counts.into_iter().map(|(s, c)| (c, s)).collect();
-        summary.sort_by(|a, b| b.0.cmp(&a.0));
+        let mut summary: Vec<(usize, String)> = counts.into_iter().map(|(s, c)| (c, s)).collect();
+        summary.sort_by_key(|e| std::cmp::Reverse(e.0));
         let text: Vec<String> = summary
             .into_iter()
             .map(|(c, s)| format!("{s}×{c}"))
@@ -96,7 +95,5 @@ fn main() {
         7,
         "each network's last layer uses 8×1b: {histogram:?}"
     );
-    println!(
-        "\n  {three}/{total} layers chose three weight slices (paper: most layers 4b-2b-2b)"
-    );
+    println!("\n  {three}/{total} layers chose three weight slices (paper: most layers 4b-2b-2b)");
 }

@@ -53,14 +53,14 @@ fn main() {
             bar(weight_density[b], 24),
         ]);
     }
-    table(
-        &["", "input density", "", "offset density", ""],
-        &rows,
-    );
+    table(&["", "input density", "", "offset density", ""], &rows);
 
     let mean_in = inputs.iter().map(|&x| f64::from(x)).sum::<f64>() / inputs.len() as f64;
     let zeros = inputs.iter().filter(|&&x| x == 0).count() as f64 / inputs.len() as f64;
-    println!("\n  input mean {mean_in:.1}, zeros {:.1}% (right-skewed)", zeros * 100.0);
+    println!(
+        "\n  input mean {mean_in:.1}, zeros {:.1}% (right-skewed)",
+        zeros * 100.0
+    );
 
     // The paper's qualitative shape: sparse high-order bits on both sides.
     assert!(input_density[7] < 0.1, "input bit 7 must be sparse");

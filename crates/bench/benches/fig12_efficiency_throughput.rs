@@ -48,15 +48,28 @@ fn main() {
         String::new(),
     ]);
     table(
-        &["DNN", "efficiency", "(no spec)", "throughput", "(no spec)", "converts/MAC"],
+        &[
+            "DNN",
+            "efficiency",
+            "(no spec)",
+            "throughput",
+            "(no spec)",
+            "converts/MAC",
+        ],
         &rows,
     );
 
     // The paper's shape claims.
     let ge = geomean(&effs);
     let gt = geomean(&thrs);
-    assert!((3.0..5.0).contains(&ge), "geomean efficiency {ge} (paper 3.9)");
-    assert!((1.4..2.6).contains(&gt), "geomean throughput {gt} (paper 2.0)");
+    assert!(
+        (3.0..5.0).contains(&ge),
+        "geomean efficiency {ge} (paper 3.9)"
+    );
+    assert!(
+        (1.4..2.6).contains(&gt),
+        "geomean throughput {gt} (paper 2.0)"
+    );
     assert!(
         geomean(&effs_ns) < ge,
         "speculation must improve geomean efficiency"

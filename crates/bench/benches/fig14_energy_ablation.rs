@@ -47,7 +47,10 @@ fn main() {
     let net = shapes::resnet18();
     let evals: Vec<_> = setups.iter().map(|s| evaluate_dnn(s, &net)).collect();
     let cpm: Vec<f64> = evals.iter().map(|e| e.converts_per_mac()).collect();
-    assert!(cpm.windows(2).all(|w| w[1] < w[0]), "converts/MAC ladder {cpm:?}");
+    assert!(
+        cpm.windows(2).all(|w| w[1] < w[0]),
+        "converts/MAC ladder {cpm:?}"
+    );
     let totals: Vec<f64> = evals.iter().map(|e| e.energy.total_pj()).collect();
     assert!(
         totals.windows(2).all(|w| w[1] < w[0]),

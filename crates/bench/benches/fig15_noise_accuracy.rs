@@ -36,7 +36,10 @@ fn main() {
             rows.push(row);
         }
         let mut headers = vec!["setup"];
-        let labels: Vec<String> = noise_levels.iter().map(|n| format!("{:.0}%", n * 100.0)).collect();
+        let labels: Vec<String> = noise_levels
+            .iter()
+            .map(|n| format!("{:.0}%", n * 100.0))
+            .collect();
         headers.extend(labels.iter().map(String::as_str));
         table(&headers, &rows);
 

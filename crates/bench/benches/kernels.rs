@@ -8,23 +8,21 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use raella_core::adaptive::find_best_slicing;
 use raella_core::center::optimal_center;
 use raella_core::compiler::CompiledLayer;
-use raella_core::engine::RunStats;
+use raella_core::engine::{run_batch, RunStats};
 use raella_core::RaellaConfig;
 use raella_nn::synth::SynthLayer;
-use raella_xbar::noise::NoiseRng;
 use raella_xbar::slicing::Slicing;
 
 fn bench_crossbar_run(c: &mut Criterion) {
     let layer = SynthLayer::linear(512, 32, 0xBE).build();
     let cfg = RaellaConfig::default();
-    let compiled =
-        CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg)
-            .expect("valid");
+    let compiled = CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg)
+        .expect("valid");
     let inputs = layer.sample_inputs(4, 1);
     c.bench_function("kernel_crossbar_run_512x32x4vec", |b| {
         b.iter_batched(
-            || (RunStats::default(), NoiseRng::new(0)),
-            |(mut stats, mut rng)| compiled.run(&inputs, &mut stats, &mut rng),
+            RunStats::default,
+            |mut stats| run_batch(&compiled, &inputs, &mut stats, 0),
             BatchSize::SmallInput,
         )
     });

@@ -41,7 +41,13 @@ fn main() {
         ]);
     }
     table(
-        &["case", "input slices", "weight slices", "bits/MAC", "converts/MAC"],
+        &[
+            "case",
+            "input slices",
+            "weight slices",
+            "bits/MAC",
+            "converts/MAC",
+        ],
         &rows,
     );
 

@@ -52,7 +52,13 @@ fn main() {
         ]);
     }
     table(
-        &["design point", "lossless ADC", "E/convert", "converts/MAC", "ADC energy (ResNet18)"],
+        &[
+            "design point",
+            "lossless ADC",
+            "E/convert",
+            "converts/MAC",
+            "ADC energy (ResNet18)",
+        ],
         &rows_out,
     );
 

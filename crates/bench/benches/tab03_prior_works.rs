@@ -38,7 +38,13 @@ fn main() {
         ]);
     }
     table(
-        &["architecture", "high-cost ADC", "limits weights", "fidelity loss", "needs retraining"],
+        &[
+            "architecture",
+            "high-cost ADC",
+            "limits weights",
+            "fidelity loss",
+            "needs retraining",
+        ],
         &rows,
     );
     // The paper's Table 3 rows for these four architectures.

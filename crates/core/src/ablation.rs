@@ -126,12 +126,17 @@ impl MatVecEngine for SetupEngine {
 /// integer reference exactly. Its weakness under noise is exactly what the
 /// paper shows: unsigned weights have dense high-order bits, so column
 /// sums carry more charge and noise couples into high-order slices.
+///
+/// Like [`RaellaEngine`], noise streams are derived per vector from
+/// `(seed, global vector index)`, so runs are deterministic for a given
+/// call sequence.
 #[derive(Debug)]
 pub struct IsaacEngine {
     rows: usize,
     weight_slicing: Slicing,
     noise: NoiseModel,
-    rng: NoiseRng,
+    noise_seed: u64,
+    next_vector: u64,
     /// Event statistics (converts, cycles, charge).
     pub stats: RunStats,
 }
@@ -143,12 +148,13 @@ impl IsaacEngine {
             rows: 128,
             weight_slicing: Slicing::isaac_weights(),
             noise: NoiseModel::new(noise),
-            rng: NoiseRng::new(seed ^ 0x15AAC),
+            noise_seed: seed ^ 0x15AAC,
+            next_vector: 0,
             stats: RunStats::default(),
         }
     }
 
-    fn run_vector(&mut self, layer: &MatrixLayer, input: &[Act]) -> Vec<u8> {
+    fn run_vector(&mut self, layer: &MatrixLayer, input: &[Act], rng: &mut NoiseRng) -> Vec<u8> {
         let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
         let w_slices = self.weight_slicing.slices();
         // Signed inputs processed as two planes (the §7.2 BERT
@@ -183,7 +189,7 @@ impl IsaacEngine {
                             let read = if self.noise.is_ideal() {
                                 sum
                             } else {
-                                self.noise.sample(sum, 0, &mut self.rng)
+                                self.noise.sample(sum, 0, rng)
                             };
                             self.stats.events.adc_converts += 1;
                             self.stats.events.device_charge += sum.max(0) as u64;
@@ -211,7 +217,9 @@ impl MatVecEngine for IsaacEngine {
         );
         let mut out = Vec::new();
         for vec in inputs.chunks_exact(layer.filter_len()) {
-            out.extend(self.run_vector(layer, vec));
+            let mut rng = NoiseRng::for_stream(self.noise_seed, self.next_vector);
+            out.extend(self.run_vector(layer, vec, &mut rng));
+            self.next_vector += 1;
             self.stats.vectors += 1;
             self.stats.events.macs += layer.macs_per_vector();
         }

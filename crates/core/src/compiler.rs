@@ -11,14 +11,13 @@ use serde::{Deserialize, Serialize};
 
 use raella_nn::matrix::{Act, MatrixLayer};
 use raella_nn::quant::OutputQuant;
-use raella_xbar::noise::NoiseRng;
 use raella_xbar::slicing::Slicing;
 
 use crate::accuracy::FidelityReport;
 use crate::adaptive;
 use crate::center::{offsets, optimal_center};
 use crate::config::{RaellaConfig, WeightEncoding};
-use crate::engine::{run_batch, RunStats};
+use crate::engine::{run_batch_parallel, RunStats};
 use crate::error::CoreError;
 
 /// One filter's slice columns within one crossbar row-group.
@@ -114,9 +113,7 @@ impl CompiledLayer {
                 let group_weights = &weights[row_start..row_start + rows];
                 let center = match cfg.encoding {
                     WeightEncoding::CenterOffset => optimal_center(group_weights, &slicing),
-                    WeightEncoding::ZeroOffset => {
-                        i32::from(layer.quant().weight_zero_points[f])
-                    }
+                    WeightEncoding::ZeroOffset => i32::from(layer.quant().weight_zero_points[f]),
                 };
                 let mut levels = vec![vec![0i16; rows]; slices.len()];
                 for (r, &w) in group_weights.iter().enumerate() {
@@ -209,13 +206,16 @@ impl CompiledLayer {
     }
 
     /// Runs a batch of input vectors through the analog engine, collecting
-    /// statistics into `stats`.
+    /// statistics into `stats`. Vectors fan out across worker threads;
+    /// per-vector noise streams are derived from `noise_seed`, so results
+    /// are bit-identical at any thread count (see
+    /// [`crate::engine::run_batch_parallel`]).
     ///
     /// # Panics
     ///
     /// Panics if `inputs.len()` is not a multiple of `filter_len`.
-    pub fn run(&self, inputs: &[Act], stats: &mut RunStats, rng: &mut NoiseRng) -> Vec<u8> {
-        run_batch(self, inputs, stats, rng)
+    pub fn run(&self, inputs: &[Act], stats: &mut RunStats, noise_seed: u64) -> Vec<u8> {
+        run_batch_parallel(self, inputs, stats, noise_seed)
     }
 
     /// Compares analog outputs against the integer reference on `vectors`
@@ -233,8 +233,7 @@ impl CompiledLayer {
         let inputs = layer.sample_inputs(vectors, self.cfg.seed ^ 0xF1DE);
         let reference = layer.reference_outputs(&inputs);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(self.cfg.seed ^ 0x0153);
-        let observed = self.run(&inputs, &mut stats, &mut rng);
+        let observed = self.run(&inputs, &mut stats, self.cfg.seed ^ 0x0153);
         Ok(FidelityReport::compare(&reference, &observed, &stats))
     }
 }
@@ -293,8 +292,9 @@ mod tests {
             let ws = layer.filter_weights(f);
             for g in gs {
                 for r in 0..g.rows {
-                    let values: Vec<i64> =
-                        (0..slicing.num_slices()).map(|s| i64::from(g.levels[s][r])).collect();
+                    let values: Vec<i64> = (0..slicing.num_slices())
+                        .map(|s| i64::from(g.levels[s][r]))
+                        .collect();
                     let rebuilt = slicing.reconstruct(&values);
                     let expected = i64::from(ws[g.row_start + r]) - i64::from(g.center);
                     assert_eq!(rebuilt, expected, "filter {f} row {r}");
@@ -343,12 +343,10 @@ mod tests {
         // 4b slices on 2b cells.
         let mut narrow = cfg.clone();
         narrow.cell_bits = 2;
-        assert!(CompiledLayer::with_slicing(
-            &layer,
-            Slicing::new(&[4, 4], 8).unwrap(),
-            &narrow
-        )
-        .is_err());
+        assert!(
+            CompiledLayer::with_slicing(&layer, Slicing::new(&[4, 4], 8).unwrap(), &narrow)
+                .is_err()
+        );
     }
 
     #[test]

@@ -221,31 +221,34 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut cfg = RaellaConfig::default();
-        cfg.crossbar_rows = 0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = RaellaConfig::default();
-        cfg.cell_bits = 6;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = RaellaConfig::default();
-        cfg.error_budget = f64::NAN;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = RaellaConfig::default();
-        cfg.search_vectors = 0;
-        assert!(cfg.validate().is_err());
+        for broken in [
+            RaellaConfig {
+                crossbar_rows: 0,
+                ..RaellaConfig::default()
+            },
+            RaellaConfig {
+                cell_bits: 6,
+                ..RaellaConfig::default()
+            },
+            RaellaConfig {
+                error_budget: f64::NAN,
+                ..RaellaConfig::default()
+            },
+            RaellaConfig {
+                search_vectors: 0,
+                ..RaellaConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err());
+        }
     }
 
     #[test]
     fn validation_checks_fixed_slicing_against_cells() {
-        let cfg = RaellaConfig::default()
-            .with_fixed_slicing(Slicing::new(&[4, 4], 8).unwrap());
+        let cfg = RaellaConfig::default().with_fixed_slicing(Slicing::new(&[4, 4], 8).unwrap());
         assert!(cfg.validate().is_ok());
 
-        let mut cfg = RaellaConfig::default()
-            .with_fixed_slicing(Slicing::new(&[4, 4], 8).unwrap());
+        let mut cfg = RaellaConfig::default().with_fixed_slicing(Slicing::new(&[4, 4], 8).unwrap());
         cfg.cell_bits = 2;
         assert!(cfg.validate().is_err());
     }

@@ -15,6 +15,19 @@
 //! The digital side adds the per-group center term `φ·ΣI` and requantizes.
 //! Signed inputs (BERT) are processed as positive/negative planes in
 //! separate passes, doubling cycle counts (§5.1).
+//!
+//! # Execution model
+//!
+//! The unit of work is one input vector. [`run_vector`] is a pure kernel:
+//! it reads the compiled layer and one vector, scribbles only in a
+//! caller-owned [`VectorScratch`] (no per-vector allocation), draws noise
+//! from a per-vector counter-derived stream
+//! ([`NoiseRng::for_stream`]`(seed, vector_index)`), writes the vector's
+//! outputs into a caller-provided slice, and returns a local [`RunStats`]
+//! delta. Nothing is shared between vectors, so [`run_batch_parallel`]
+//! fans vectors across threads and merges the deltas — producing output
+//! bytes and statistics bit-identical to serial [`run_batch`] at any
+//! thread count, noisy or not.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -23,10 +36,12 @@ use raella_nn::layers::MatVecEngine;
 use raella_nn::matrix::{Act, MatrixLayer};
 use raella_xbar::crossbar::EventCounts;
 use raella_xbar::noise::{NoiseModel, NoiseRng};
-use raella_xbar::slicing::{Slice, Slicing};
+use raella_xbar::slicing::Slice;
 
 use crate::compiler::CompiledLayer;
 use crate::config::{InputMode, RaellaConfig};
+use crate::parallel::{run_blocks, worker_count};
+use crate::scratch::{SlicedView, VectorScratch};
 
 /// Statistics accumulated while running layers on RAELLA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -80,6 +95,11 @@ impl RunStats {
     }
 
     /// Merges another stats block into this one.
+    ///
+    /// Every field is an additive counter, so `merge` is associative and
+    /// commutative — parallel workers may merge their local deltas in any
+    /// grouping and reach the same totals (property-tested in
+    /// `tests/proptests.rs`).
     pub fn merge(&mut self, other: &RunStats) {
         self.events.merge(&other.events);
         self.spec_attempts += other.spec_attempts;
@@ -89,50 +109,6 @@ impl RunStats {
         self.bitserial_converts += other.bitserial_converts;
         self.bitserial_saturations += other.bitserial_saturations;
         self.vectors += other.vectors;
-    }
-}
-
-/// Precomputed input-slice planes for one input vector (one sign plane).
-struct SlicedInputs {
-    /// Per speculative slice: unshifted slice values per row.
-    spec: Vec<Vec<u16>>,
-    /// Per bit (MSB first, bit 7 down to 0): 0/1 per row.
-    bits: Vec<Vec<u16>>,
-    /// Per row: Σ over speculative slices of the slice value (for charge).
-    spec_mass: Vec<u16>,
-    /// Per row: popcount (total 1-bits, for recovery charge/pulses).
-    bit_mass: Vec<u16>,
-}
-
-impl SlicedInputs {
-    fn build(plane: &[u16], spec_slicing: &Slicing) -> Self {
-        let spec_slices = spec_slicing.slices();
-        let mut spec = vec![vec![0u16; plane.len()]; spec_slices.len()];
-        let mut bits = vec![vec![0u16; plane.len()]; 8];
-        let mut spec_mass = vec![0u16; plane.len()];
-        let mut bit_mass = vec![0u16; plane.len()];
-        for (r, &x) in plane.iter().enumerate() {
-            for (j, s) in spec_slices.iter().enumerate() {
-                let v = (x >> s.l) & ((1 << s.width()) - 1);
-                spec[j][r] = v;
-                spec_mass[r] += v;
-            }
-            for b in 0..8u32 {
-                bits[(7 - b) as usize][r] = (x >> b) & 1;
-            }
-            bit_mass[r] = x.count_ones() as u16;
-        }
-        SlicedInputs {
-            spec,
-            bits,
-            spec_mass,
-            bit_mass,
-        }
-    }
-
-    /// Bit plane for magnitude bit `b` (7 = MSB).
-    fn bit_plane(&self, b: u32) -> &[u16] {
-        &self.bits[(7 - b) as usize]
     }
 }
 
@@ -170,10 +146,23 @@ fn column_sum(xs: &[u16], levels: &[i16], noise: &NoiseModel, rng: &mut NoiseRng
     }
 }
 
-/// Runs a batch of input vectors through a compiled layer.
+/// Crossbar charge of one column-cycle set: `Σ mass·|level|` over the rows
+/// a column holds. All cycles drive all columns — including recovery
+/// cycles for columns whose speculation succeeded (§4.3.1) — so the same
+/// fold prices speculation, recovery, and bit-serial passes.
+fn device_charge(mass: &[u16], levels: &[i16]) -> u64 {
+    mass.iter()
+        .zip(levels)
+        .map(|(&m, &l)| u64::from(m) * u64::from(l.unsigned_abs()))
+        .sum()
+}
+
+/// Runs a batch of input vectors through a compiled layer, serially.
 ///
 /// Input layout matches [`MatrixLayer::reference_outputs`]; the output has
-/// `filters` values per vector.
+/// `filters` values per vector. Per-vector noise streams are derived from
+/// `noise_seed` and the vector's index, so the result is bit-identical to
+/// [`run_batch_parallel`] with the same arguments.
 ///
 /// # Panics
 ///
@@ -182,74 +171,196 @@ pub fn run_batch(
     layer: &CompiledLayer,
     inputs: &[Act],
     stats: &mut RunStats,
-    rng: &mut NoiseRng,
+    noise_seed: u64,
 ) -> Vec<u8> {
+    run_batch_at(layer, inputs, stats, noise_seed, 0)
+}
+
+/// [`run_batch`] with the batch's first global vector index, for engines
+/// that stream multiple batches and want fresh noise per batch.
+pub fn run_batch_at(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+) -> Vec<u8> {
+    let n_vectors = batch_vectors(layer, inputs);
+    let mut out = vec![0u8; n_vectors * layer.filters()];
+    let mut scratch = VectorScratch::for_layer(layer);
+    for (i, (vec, out_chunk)) in inputs
+        .chunks_exact(layer.filter_len())
+        .zip(out.chunks_exact_mut(layer.filters()))
+        .enumerate()
+    {
+        let mut rng = NoiseRng::for_stream(noise_seed, first_vector + i as u64);
+        let local = run_vector(layer, vec, &mut scratch, &mut rng, out_chunk);
+        stats.merge(&local);
+    }
+    out
+}
+
+/// Runs a batch of input vectors through a compiled layer, fanning vectors
+/// across worker threads.
+///
+/// Bit-identical to [`run_batch`] — outputs *and* statistics — at any
+/// thread count (set `RAELLA_THREADS` to pin it), including under a noisy
+/// [`NoiseModel`], because each vector's noise stream depends only on
+/// `(noise_seed, vector index)` and [`RunStats::merge`] is commutative.
+/// This is the default path used by [`CompiledLayer::check_fidelity`] and
+/// [`RaellaEngine`].
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the layer's `filter_len`.
+pub fn run_batch_parallel(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    noise_seed: u64,
+) -> Vec<u8> {
+    run_batch_parallel_at(layer, inputs, stats, noise_seed, 0)
+}
+
+/// [`run_batch_parallel`] with the batch's first global vector index.
+pub fn run_batch_parallel_at(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+) -> Vec<u8> {
+    let n_vectors = batch_vectors(layer, inputs);
+    let threads = worker_count(n_vectors);
+    if threads <= 1 {
+        return run_batch_at(layer, inputs, stats, noise_seed, first_vector);
+    }
+    let filters = layer.filters();
+    let filter_len = layer.filter_len();
+    let mut out = vec![0u8; n_vectors * filters];
+    let locals = run_blocks(&mut out, n_vectors, filters, threads, |first, n, block| {
+        let mut scratch = VectorScratch::for_layer(layer);
+        let mut local = RunStats::default();
+        let in_block = &inputs[first * filter_len..(first + n) * filter_len];
+        for (k, (vec, out_chunk)) in in_block
+            .chunks_exact(filter_len)
+            .zip(block.chunks_exact_mut(filters))
+            .enumerate()
+        {
+            let index = first_vector + (first + k) as u64;
+            let mut rng = NoiseRng::for_stream(noise_seed, index);
+            local.merge(&run_vector(layer, vec, &mut scratch, &mut rng, out_chunk));
+        }
+        local
+    });
+    for local in &locals {
+        stats.merge(local);
+    }
+    out
+}
+
+/// Validates the batch shape and returns the vector count.
+fn batch_vectors(layer: &CompiledLayer, inputs: &[Act]) -> usize {
     assert_eq!(
         inputs.len() % layer.filter_len(),
         0,
         "input batch must be a multiple of filter_len"
     );
-    let cfg = layer.config();
-    let spec_slicing = Slicing::raella_speculative();
-    let mut out = Vec::with_capacity(inputs.len() / layer.filter_len() * layer.filters());
-    for vec in inputs.chunks_exact(layer.filter_len()) {
-        let outputs = run_vector(layer, cfg, &spec_slicing, vec, stats, rng);
-        out.extend_from_slice(&outputs);
-        stats.vectors += 1;
-        stats.events.macs += layer.filters() as u64 * layer.filter_len() as u64;
-    }
-    out
+    inputs.len() / layer.filter_len()
 }
 
-fn run_vector(
+/// The pure per-vector kernel: runs one input vector through the layer's
+/// crossbar schedule, writing `layer.filters()` outputs into `out` and
+/// returning this vector's statistics delta.
+///
+/// All working memory lives in `scratch` (reused across calls); the only
+/// other state read is the compiled layer and the noise stream, so calls
+/// are independent and may run on any thread in any order.
+///
+/// # Panics
+///
+/// Panics if `input.len() != layer.filter_len()` or
+/// `out.len() != layer.filters()`.
+pub fn run_vector(
     layer: &CompiledLayer,
-    cfg: &RaellaConfig,
-    spec_slicing: &Slicing,
     input: &[Act],
-    stats: &mut RunStats,
+    scratch: &mut VectorScratch,
     rng: &mut NoiseRng,
-) -> Vec<u8> {
+    out: &mut [u8],
+) -> RunStats {
+    assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
+    assert_eq!(out.len(), layer.filters(), "output length mismatch");
+    scratch.resize_for(layer);
+
+    let cfg = layer.config();
+    let mut stats = RunStats::default();
     let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
-    let mut acc = vec![0i64; layer.filters()];
+    scratch.acc.fill(0);
 
     // Signed inputs are processed as positive/negative planes (§5.1).
-    let planes: Vec<(i64, Vec<u16>)> = if layer.signed_inputs() {
-        let pos: Vec<u16> = input.iter().map(|&x| x.max(0) as u16).collect();
-        let neg: Vec<u16> = input.iter().map(|&x| (-x).max(0) as u16).collect();
-        vec![(1, pos), (-1, neg)]
+    let signs: &[i64] = if layer.signed_inputs() {
+        &[1, -1]
     } else {
-        vec![(1, input.iter().map(|&x| x as u16).collect())]
+        &[1]
     };
 
     let n_groups = layer.groups()[0].len();
     let columns_needed = layer.filters() * layer.columns_per_filter();
     let crossbars_per_group = columns_needed.div_ceil(cfg.crossbar_cols) as u64;
+    let weight_slices = layer.weight_slicing().slices();
 
-    for (sign, plane) in &planes {
-        let sliced = SlicedInputs::build(plane, spec_slicing);
+    for &sign in signs {
+        scratch.load_plane(input, sign);
+        scratch.slice_plane();
+        // Split borrow: the sliced planes are read-only while `acc`
+        // accumulates — `sliced()` borrows disjoint fields.
+        let (sliced, spec_slices, acc) = {
+            let VectorScratch {
+                spec,
+                bits,
+                spec_mass,
+                bit_mass,
+                acc,
+                spec_slices,
+                len,
+                ..
+            } = scratch;
+            (
+                SlicedView {
+                    spec,
+                    bits,
+                    spec_mass,
+                    bit_mass,
+                    len: *len,
+                },
+                &spec_slices[..],
+                acc,
+            )
+        };
         // Cycle/DAC/row event counting is per crossbar (shared across the
         // columns it holds), not per column.
         for gi in 0..n_groups {
             let g0 = &layer.groups()[0][gi];
             let range = g0.row_start..g0.row_start + g0.rows;
-            count_crossbar_events(cfg, &sliced, range, crossbars_per_group, stats);
+            count_crossbar_events(cfg, &sliced, range, crossbars_per_group, &mut stats);
         }
         for (f, acc_f) in acc.iter_mut().enumerate() {
             for g in &layer.groups()[f] {
                 let range = g.row_start..g.row_start + g.rows;
-                let gsum: i64 = plane[range.clone()].iter().map(|&x| i64::from(x)).sum();
+                let plane = &scratch.plane[range.clone()];
+                let gsum: i64 = plane.iter().map(|&x| i64::from(x)).sum();
                 let mut total = i64::from(g.center) * gsum;
-                for (s, slice) in layer.weight_slicing().slices().iter().enumerate() {
+                for (s, slice) in weight_slices.iter().enumerate() {
                     let levels = &g.levels[s];
                     total += match cfg.input_mode {
                         InputMode::Speculative => run_column_speculative(
                             cfg,
-                            spec_slicing,
+                            spec_slices,
                             &sliced,
                             range.clone(),
                             levels,
                             slice.shift(),
-                            stats,
+                            &mut stats,
                             rng,
                         ),
                         InputMode::BitSerial => run_column_bitserial(
@@ -258,46 +369,40 @@ fn run_vector(
                             range.clone(),
                             levels,
                             slice.shift(),
-                            stats,
+                            &mut stats,
                             rng,
                         ),
                     };
                     // Device charge: all cycles drive all columns, including
                     // recovery cycles for columns that succeeded (§4.3.1).
-                    let mass: &[u16] = match cfg.input_mode {
-                        InputMode::Speculative => &sliced.spec_mass,
-                        InputMode::BitSerial => &sliced.bit_mass,
+                    stats.events.device_charge += match cfg.input_mode {
+                        InputMode::Speculative => {
+                            device_charge(&sliced.spec_mass[range.clone()], levels)
+                                + device_charge(&sliced.bit_mass[range.clone()], levels)
+                        }
+                        InputMode::BitSerial => {
+                            device_charge(&sliced.bit_mass[range.clone()], levels)
+                        }
                     };
-                    let charge: i64 = mass[range.clone()]
-                        .iter()
-                        .zip(levels)
-                        .map(|(&m, &l)| i64::from(m) * i64::from(l.unsigned_abs()))
-                        .sum();
-                    stats.events.device_charge += charge as u64;
-                    if cfg.input_mode == InputMode::Speculative {
-                        let rec_charge: i64 = sliced.bit_mass[range.clone()]
-                            .iter()
-                            .zip(levels)
-                            .map(|(&m, &l)| i64::from(m) * i64::from(l.unsigned_abs()))
-                            .sum();
-                        stats.events.device_charge += rec_charge as u64;
-                    }
                 }
                 *acc_f += sign * total;
             }
         }
     }
 
-    (0..layer.filters())
-        .map(|f| layer.quant().requantize(f, acc[f], input_sum))
-        .collect()
+    for (f, o) in out.iter_mut().enumerate() {
+        *o = layer.quant().requantize(f, scratch.acc[f], input_sum);
+    }
+    stats.vectors += 1;
+    stats.events.macs += layer.filters() as u64 * layer.filter_len() as u64;
+    stats
 }
 
 /// Counts cycles, DAC pulses and row activations for one crossbar
 /// row-group processing one input plane.
 fn count_crossbar_events(
     cfg: &RaellaConfig,
-    sliced: &SlicedInputs,
+    sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     crossbars: u64,
     stats: &mut RunStats,
@@ -316,13 +421,11 @@ fn count_crossbar_events(
                 .sum();
             stats.events.dac_pulses += (spec_pulses + rec_pulses) * crossbars;
             let active: u64 = sliced
-                .spec
-                .iter()
+                .spec_planes()
                 .map(|xs| xs[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
                 .sum::<u64>()
                 + sliced
-                    .bits
-                    .iter()
+                    .bit_planes()
                     .map(|xb| xb[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
                     .sum::<u64>();
             stats.events.row_activations += active * crossbars;
@@ -335,8 +438,7 @@ fn count_crossbar_events(
                 .sum();
             stats.events.dac_pulses += pulses * crossbars;
             let active: u64 = sliced
-                .bits
-                .iter()
+                .bit_planes()
                 .map(|xb| xb[range.clone()].iter().filter(|&&x| x > 0).count() as u64)
                 .sum();
             stats.events.row_activations += active * crossbars;
@@ -349,8 +451,8 @@ fn count_crossbar_events(
 #[allow(clippy::too_many_arguments)]
 fn run_column_speculative(
     cfg: &RaellaConfig,
-    spec_slicing: &Slicing,
-    sliced: &SlicedInputs,
+    spec_slices: &[Slice],
+    sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     levels: &[i16],
     w_shift: u32,
@@ -358,8 +460,8 @@ fn run_column_speculative(
     rng: &mut NoiseRng,
 ) -> i64 {
     let mut total = 0i64;
-    for (j, spec_slice) in spec_slicing.slices().iter().enumerate() {
-        let xs = &sliced.spec[j][range.clone()];
+    for (j, spec_slice) in spec_slices.iter().enumerate() {
+        let xs = &sliced.spec_plane(j)[range.clone()];
         let sum = column_sum(xs, levels, &cfg.noise, rng);
         let out = cfg.adc.convert(sum);
         stats.events.adc_converts += 1;
@@ -367,7 +469,16 @@ fn run_column_speculative(
         if cfg.adc.saturated(out) {
             // Speculation failed: recover with 1b slices of this window.
             stats.spec_failures += 1;
-            total += recover_window(cfg, sliced, range.clone(), levels, w_shift, *spec_slice, stats, rng);
+            total += recover_window(
+                cfg,
+                sliced,
+                range.clone(),
+                levels,
+                w_shift,
+                *spec_slice,
+                stats,
+                rng,
+            );
         } else {
             total += out << (w_shift + spec_slice.shift());
         }
@@ -380,7 +491,7 @@ fn run_column_speculative(
 #[allow(clippy::too_many_arguments)]
 fn recover_window(
     cfg: &RaellaConfig,
-    sliced: &SlicedInputs,
+    sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     levels: &[i16],
     w_shift: u32,
@@ -408,7 +519,7 @@ fn recover_window(
 /// converted (the no-speculation baseline, §4.3.2).
 fn run_column_bitserial(
     cfg: &RaellaConfig,
-    sliced: &SlicedInputs,
+    sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     levels: &[i16],
     w_shift: u32,
@@ -433,23 +544,30 @@ fn run_column_bitserial(
 /// A [`MatVecEngine`] that runs every layer through RAELLA, compiling and
 /// caching layers on first use. Drop-in replacement for the integer
 /// reference engine in graph execution — the accuracy experiments' engine.
+///
+/// Batches execute through [`run_batch_parallel`]. Results are
+/// deterministic for a given construction seed and call sequence: the
+/// engine assigns every processed vector a global index, and each vector's
+/// noise stream is derived from `(seed, index)` alone.
 #[derive(Debug)]
 pub struct RaellaEngine {
     cfg: RaellaConfig,
     cache: HashMap<String, CompiledLayer>,
     stats: RunStats,
-    rng: NoiseRng,
+    noise_seed: u64,
+    next_vector: u64,
 }
 
 impl RaellaEngine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: RaellaConfig) -> Self {
-        let rng = NoiseRng::new(cfg.seed ^ 0xE61E);
+        let noise_seed = cfg.seed ^ 0xE61E;
         RaellaEngine {
             cfg,
             cache: HashMap::new(),
             stats: RunStats::default(),
-            rng,
+            noise_seed,
+            next_vector: 0,
         }
     }
 
@@ -458,7 +576,8 @@ impl RaellaEngine {
         &self.stats
     }
 
-    /// Resets accumulated statistics (keeps compiled layers).
+    /// Resets accumulated statistics (keeps compiled layers and the noise
+    /// stream position).
     pub fn reset_stats(&mut self) {
         self.stats = RunStats::default();
     }
@@ -502,7 +621,15 @@ impl MatVecEngine for RaellaEngine {
             self.cache.insert(key.clone(), compiled);
         }
         let compiled = self.cache.get(&key).expect("just inserted");
-        run_batch(compiled, inputs, &mut self.stats, &mut self.rng)
+        let out = run_batch_parallel_at(
+            compiled,
+            inputs,
+            &mut self.stats,
+            self.noise_seed,
+            self.next_vector,
+        );
+        self.next_vector += (inputs.len() / layer.filter_len()) as u64;
+        out
     }
 }
 
@@ -511,6 +638,7 @@ mod tests {
     use super::*;
     use raella_nn::synth::SynthLayer;
     use raella_xbar::adc::AdcSpec;
+    use raella_xbar::slicing::Slicing;
 
     fn cfg_small() -> RaellaConfig {
         RaellaConfig {
@@ -531,8 +659,7 @@ mod tests {
             CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
         let inputs = layer.sample_inputs(6, 3);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        let analog = run_batch(&compiled, &inputs, &mut stats, 0);
         assert_eq!(analog, layer.reference_outputs(&inputs));
     }
 
@@ -544,16 +671,14 @@ mod tests {
         let spec =
             CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
         let bs_cfg = cfg.without_speculation();
-        let bs =
-            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &bs_cfg)
-                .unwrap();
+        let bs = CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &bs_cfg)
+            .unwrap();
         let inputs = layer.sample_inputs(4, 9);
         let mut s1 = RunStats::default();
         let mut s2 = RunStats::default();
-        let mut rng = NoiseRng::new(0);
         assert_eq!(
-            run_batch(&spec, &inputs, &mut s1, &mut rng),
-            run_batch(&bs, &inputs, &mut s2, &mut rng)
+            run_batch(&spec, &inputs, &mut s1, 0),
+            run_batch(&bs, &inputs, &mut s2, 0)
         );
     }
 
@@ -571,9 +696,8 @@ mod tests {
         let inputs = layer.sample_inputs(4, 5);
         let mut s_spec = RunStats::default();
         let mut s_bs = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        run_batch(&spec, &inputs, &mut s_spec, &mut rng);
-        run_batch(&bs, &inputs, &mut s_bs, &mut rng);
+        run_batch(&spec, &inputs, &mut s_spec, 0);
+        run_batch(&bs, &inputs, &mut s_bs, 0);
         // Paper §4.3.2: speculation cuts ADC converts by ~60% vs
         // recovery-only; synthetic distributions land in the same regime.
         assert!(
@@ -594,12 +718,10 @@ mod tests {
         let layer = SynthLayer::conv(16, 8, 3, 23).build();
         let mut cfg = cfg_small();
         cfg.adc = AdcSpec::new(5, true);
-        let compiled =
-            CompiledLayer::with_slicing(&layer, Slicing::uniform(1, 8), &cfg).unwrap();
+        let compiled = CompiledLayer::with_slicing(&layer, Slicing::uniform(1, 8), &cfg).unwrap();
         let inputs = layer.sample_inputs(3, 7);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        run_batch(&compiled, &inputs, &mut stats, 0);
         assert!(stats.spec_failures > 0, "tiny ADC must fail speculation");
         assert!(stats.recovery_converts > 0);
     }
@@ -611,13 +733,12 @@ mod tests {
         let cfg = cfg_small();
         let cu = CompiledLayer::with_slicing(&unsigned, Slicing::raella_default_weights(), &cfg)
             .unwrap();
-        let cs = CompiledLayer::with_slicing(&signed, Slicing::raella_default_weights(), &cfg)
-            .unwrap();
+        let cs =
+            CompiledLayer::with_slicing(&signed, Slicing::raella_default_weights(), &cfg).unwrap();
         let mut su = RunStats::default();
         let mut ss = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        run_batch(&cu, &unsigned.sample_inputs(2, 1), &mut su, &mut rng);
-        run_batch(&cs, &signed.sample_inputs(2, 1), &mut ss, &mut rng);
+        run_batch(&cu, &unsigned.sample_inputs(2, 1), &mut su, 0);
+        run_batch(&cs, &signed.sample_inputs(2, 1), &mut ss, 0);
         assert_eq!(ss.events.cycles, 2 * su.events.cycles);
     }
 
@@ -630,8 +751,7 @@ mod tests {
             CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
         let inputs = layer.sample_inputs(5, 2);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        let analog = run_batch(&compiled, &inputs, &mut stats, 0);
         assert_eq!(analog, layer.reference_outputs(&inputs));
     }
 
@@ -643,8 +763,7 @@ mod tests {
         let inputs = layer.sample_inputs(3, 3);
         let reference = layer.reference_outputs(&inputs);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(5);
-        let noisy = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        let noisy = run_batch(&compiled, &inputs, &mut stats, 5);
         assert_ne!(noisy, reference, "8% noise should perturb something");
         let max_err = reference
             .iter()
@@ -653,6 +772,44 @@ mod tests {
             .max()
             .unwrap();
         assert!(max_err < 80, "errors should stay moderate, max {max_err}");
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Noisy mode is the hard case: every ADC read consumes noise
+        // samples, so any stream-sharing across vectors would diverge.
+        let layer = SynthLayer::conv(16, 6, 3, 47).build();
+        let cfg = cfg_small().with_noise(0.06);
+        let compiled = CompiledLayer::compile(&layer, &cfg).unwrap();
+        let inputs = layer.sample_inputs(12, 21);
+        let mut s_serial = RunStats::default();
+        let mut s_par = RunStats::default();
+        let serial = run_batch(&compiled, &inputs, &mut s_serial, 3);
+        let parallel = run_batch_parallel(&compiled, &inputs, &mut s_par, 3);
+        assert_eq!(serial, parallel);
+        assert_eq!(s_serial, s_par);
+    }
+
+    #[test]
+    fn batch_offset_shifts_noise_streams() {
+        // The conv layer's calibrated outputs are well away from the u8
+        // clamp rails, so noise differences survive requantization.
+        let layer = SynthLayer::conv(16, 8, 3, 41).build();
+        let cfg = cfg_small().with_noise(0.10);
+        let compiled = CompiledLayer::compile(&layer, &cfg).unwrap();
+        let inputs = layer.sample_inputs(4, 2);
+        let mut s0 = RunStats::default();
+        let mut s1 = RunStats::default();
+        let at0 = run_batch_at(&compiled, &inputs, &mut s0, 7, 0);
+        let at4 = run_batch_at(&compiled, &inputs, &mut s1, 7, 4);
+        assert_ne!(at0, at4, "different stream offsets must differ under noise");
+        // And the split [0..2)+[2..4) equals the whole [0..4).
+        let mut sa = RunStats::default();
+        let half = inputs.len() / 2;
+        let mut first = run_batch_at(&compiled, &inputs[..half], &mut sa, 7, 0);
+        first.extend(run_batch_at(&compiled, &inputs[half..], &mut sa, 7, 2));
+        assert_eq!(first, at0);
+        assert_eq!(sa, s0);
     }
 
     #[test]

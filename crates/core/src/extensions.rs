@@ -40,8 +40,7 @@ pub fn column_bias_trim(levels: &[i16]) -> (Vec<i16>, ColumnTrim) {
     let mean = levels.iter().map(|&l| f64::from(l)).sum::<f64>() / levels.len() as f64;
     let bias = mean.round() as i32;
     let trimmed: Vec<i16> = levels.iter().map(|&l| l - bias as i16).collect();
-    let mean_after =
-        trimmed.iter().map(|&l| f64::from(l)).sum::<f64>() / trimmed.len() as f64;
+    let mean_after = trimmed.iter().map(|&l| f64::from(l)).sum::<f64>() / trimmed.len() as f64;
     (
         trimmed,
         ColumnTrim {

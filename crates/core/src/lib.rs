@@ -22,6 +22,11 @@
 //! * [`extensions`] — design-choice ablations the paper discusses but does
 //!   not adopt: per-column integer centers (§4.1.3) and LSB-dropping
 //!   Sum-Fidelity-Limited ADCs (footnote 4).
+//! * [`scratch`] — reusable per-vector working memory: the engine's hot
+//!   loop allocates nothing per vector.
+//! * [`parallel`] — the deterministic batch fan-out behind
+//!   [`engine::run_batch_parallel`]: contiguous blocks, per-vector noise
+//!   streams, bit-identical results at any thread count.
 //!
 //! ```
 //! use raella_core::{CompiledLayer, RaellaConfig};
@@ -49,10 +54,13 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod extensions;
+pub mod parallel;
 pub mod probe;
+pub mod scratch;
 
 pub use accuracy::FidelityReport;
 pub use compiler::CompiledLayer;
 pub use config::{RaellaConfig, WeightEncoding};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
+pub use scratch::VectorScratch;

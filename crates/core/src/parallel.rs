@@ -1,0 +1,131 @@
+//! Deterministic data-parallel fan-out for batch execution.
+//!
+//! Work items (input vectors) are split into contiguous blocks, one per
+//! worker; each worker writes its own disjoint output region and returns a
+//! local accumulator that the caller merges in block order. Because every
+//! item's result depends only on `(layer, item, item index)` — noise
+//! streams are derived per item, see
+//! [`raella_xbar::noise::NoiseRng::for_stream`] — the output bytes and the
+//! merged statistics are bit-identical at any thread count, including 1.
+//!
+//! Built on `std::thread::scope`: no dependency, no unsafe, no pool state.
+//! Spawning threads per batch costs ~10 µs/thread, which the engine
+//! amortizes over whole batches (thousands of column reads per vector);
+//! batches smaller than [`MIN_ITEMS_PER_THREAD`] items per worker shrink
+//! the worker count instead.
+
+/// Minimum items per worker before another thread pays for itself.
+pub const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Number of worker threads for `items` work items: the available
+/// parallelism, capped so each worker gets at least
+/// [`MIN_ITEMS_PER_THREAD`] items, overridable with the
+/// `RAELLA_THREADS` environment variable (useful for benchmarking and for
+/// pinning CI).
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::env::var("RAELLA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    hw.min(items.div_ceil(MIN_ITEMS_PER_THREAD)).max(1)
+}
+
+/// Runs `work` over `items` work items fanned out across `threads`
+/// contiguous blocks, writing into disjoint `stride`-sized regions of
+/// `out`.
+///
+/// `work(first_item, n_items, out_block)` processes items
+/// `first_item .. first_item + n_items`, writing `n_items × stride` bytes
+/// into `out_block`, and returns a block-local accumulator. Accumulators
+/// are returned in block order (deterministic regardless of scheduling).
+///
+/// # Panics
+///
+/// Panics if `out.len() != items × stride`, or if a worker panics.
+pub fn run_blocks<A, F>(
+    out: &mut [u8],
+    items: usize,
+    stride: usize,
+    threads: usize,
+    work: F,
+) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize, &mut [u8]) -> A + Sync,
+{
+    assert_eq!(out.len(), items * stride, "output size mismatch");
+    if items == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items);
+    let block_items = items.div_ceil(threads);
+    if threads == 1 {
+        return vec![work(0, items, out)];
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = out
+            .chunks_mut(block_items * stride)
+            .enumerate()
+            .map(|(b, out_block)| {
+                let first = b * block_items;
+                let n = out_block.len() / stride;
+                scope.spawn(move || work(first, n, out_block))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel engine worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_item_exactly_once_at_any_thread_count() {
+        let items = 37;
+        let stride = 3;
+        for threads in [1, 2, 3, 4, 8, 37, 64] {
+            let mut out = vec![0u8; items * stride];
+            let counts = run_blocks(&mut out, items, stride, threads, |first, n, block| {
+                for (k, chunk) in block.chunks_exact_mut(stride).enumerate() {
+                    let item = first + k;
+                    chunk.fill(item as u8);
+                }
+                n
+            });
+            assert_eq!(counts.iter().sum::<usize>(), items, "threads={threads}");
+            for (i, chunk) in out.chunks_exact(stride).enumerate() {
+                assert!(chunk.iter().all(|&v| v == i as u8), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn accumulators_come_back_in_block_order() {
+        let items = 16;
+        let mut out = vec![0u8; items];
+        let firsts = run_blocks(&mut out, items, 1, 4, |first, _n, _block| first);
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        assert_eq!(firsts, sorted);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut out = vec![0u8; 0];
+        let r: Vec<u32> = run_blocks(&mut out, 0, 4, 8, |_, _, _| 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn worker_count_respects_small_batches() {
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(2) <= 1.max(2 / MIN_ITEMS_PER_THREAD));
+        assert!(worker_count(10_000) >= 1);
+    }
+}

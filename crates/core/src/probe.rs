@@ -88,12 +88,8 @@ impl Probe {
                     let group = &weights[start..end];
                     let center = match self.encoding {
                         ProbeEncoding::Unsigned => 0,
-                        ProbeEncoding::ZeroOffset => {
-                            i32::from(layer.quant().weight_zero_points[f])
-                        }
-                        ProbeEncoding::CenterOffset => {
-                            optimal_center(group, &self.weight_slicing)
-                        }
+                        ProbeEncoding::ZeroOffset => i32::from(layer.quant().weight_zero_points[f]),
+                        ProbeEncoding::CenterOffset => optimal_center(group, &self.weight_slicing),
                     };
                     for ws in &w_slices {
                         // Signed (or unsigned, center 0) slice levels.
@@ -218,7 +214,7 @@ mod tests {
     fn sample_count_matches_structure() {
         let layer = SynthLayer::linear(100, 3, 5).build();
         let probe = Probe {
-            rows: 40, // 100 rows -> 3 groups
+            rows: 40,                                          // 100 rows -> 3 groups
             weight_slicing: Slicing::raella_default_weights(), // 3 slices
             input_slicing: Slicing::uniform(4, 2),             // 2 slices
             encoding: ProbeEncoding::CenterOffset,

@@ -1,0 +1,225 @@
+//! Reusable per-vector working memory for the execution engine.
+//!
+//! The engine's per-vector kernel ([`crate::engine::run_vector`]) is pure:
+//! it reads a compiled layer and one input vector, and writes outputs plus
+//! a local [`crate::engine::RunStats`] delta. All intermediate state — the
+//! sign plane, the speculative and 1b input-slice planes, their mass
+//! vectors, and the output accumulators — lives in a [`VectorScratch`]
+//! that the caller allocates once and reuses across vectors, so the hot
+//! loop performs no heap allocation. Each worker thread owns one scratch.
+
+use raella_nn::matrix::Act;
+use raella_xbar::slicing::{Slice, Slicing};
+
+use crate::compiler::CompiledLayer;
+
+/// Number of 1b input slices (inputs are 8b magnitudes).
+pub(crate) const INPUT_BITS: usize = 8;
+
+/// Reusable buffers for one in-flight input vector.
+///
+/// Sized for one specific compiled layer; see
+/// [`VectorScratch::for_layer`]. Reusing a scratch across layers with
+/// different shapes re-sizes the buffers on first use of each shape.
+#[derive(Debug, Clone)]
+pub struct VectorScratch {
+    /// The speculative input slicing (4b-2b-2b), resolved once.
+    pub(crate) spec_slices: Vec<Slice>,
+    /// The current sign plane: `x⁺` or `x⁻` magnitudes per row.
+    pub(crate) plane: Vec<u16>,
+    /// Speculative slice planes, flat `[slice × row]`.
+    pub(crate) spec: Vec<u16>,
+    /// 1b slice planes, flat `[bit × row]`, MSB (bit 7) first.
+    pub(crate) bits: Vec<u16>,
+    /// Per row: Σ over speculative slices of the slice value (charge).
+    pub(crate) spec_mass: Vec<u16>,
+    /// Per row: popcount (recovery charge/pulses).
+    pub(crate) bit_mass: Vec<u16>,
+    /// Per filter: signed output accumulator.
+    pub(crate) acc: Vec<i64>,
+    /// Rows per vector this scratch is currently sized for.
+    pub(crate) len: usize,
+}
+
+impl VectorScratch {
+    /// Allocates scratch buffers sized for `layer`.
+    pub fn for_layer(layer: &CompiledLayer) -> Self {
+        let spec_slices = Slicing::raella_speculative().slices();
+        let len = layer.filter_len();
+        VectorScratch {
+            plane: vec![0; len],
+            spec: vec![0; spec_slices.len() * len],
+            bits: vec![0; INPUT_BITS * len],
+            spec_mass: vec![0; len],
+            bit_mass: vec![0; len],
+            acc: vec![0; layer.filters()],
+            len,
+            spec_slices,
+        }
+    }
+
+    /// Re-sizes for a different layer shape if needed (no-op when equal).
+    pub fn resize_for(&mut self, layer: &CompiledLayer) {
+        let len = layer.filter_len();
+        if self.len != len {
+            self.len = len;
+            self.plane.resize(len, 0);
+            self.spec.resize(self.spec_slices.len() * len, 0);
+            self.bits.resize(INPUT_BITS * len, 0);
+            self.spec_mass.resize(len, 0);
+            self.bit_mass.resize(len, 0);
+        }
+        if self.acc.len() != layer.filters() {
+            self.acc.resize(layer.filters(), 0);
+        }
+    }
+
+    /// Loads one sign plane of `input` into `plane`: the positive
+    /// (`sign > 0`) or negative magnitudes.
+    pub(crate) fn load_plane(&mut self, input: &[Act], sign: i64) {
+        debug_assert_eq!(input.len(), self.len);
+        if sign > 0 {
+            for (p, &x) in self.plane.iter_mut().zip(input) {
+                *p = x.max(0) as u16;
+            }
+        } else {
+            for (p, &x) in self.plane.iter_mut().zip(input) {
+                *p = (-x).max(0) as u16;
+            }
+        }
+    }
+
+    /// Slices the loaded plane into speculative and 1b planes plus their
+    /// mass vectors.
+    pub(crate) fn slice_plane(&mut self) {
+        let len = self.len;
+        for (j, s) in self.spec_slices.iter().enumerate() {
+            let mask = (1u16 << s.width()) - 1;
+            let dst = &mut self.spec[j * len..(j + 1) * len];
+            for (d, &x) in dst.iter_mut().zip(&self.plane) {
+                *d = (x >> s.l) & mask;
+            }
+        }
+        for b in 0..INPUT_BITS as u32 {
+            let dst = &mut self.bits[(7 - b as usize) * len..(8 - b as usize) * len];
+            for (d, &x) in dst.iter_mut().zip(&self.plane) {
+                *d = (x >> b) & 1;
+            }
+        }
+        for (m, &x) in self.spec_mass.iter_mut().zip(&self.plane) {
+            // 4b-2b-2b slices partition the 8 bits, so the per-slice sum
+            // equals the sum of disjoint crops; computed directly per row.
+            *m = self
+                .spec_slices
+                .iter()
+                .map(|s| (x >> s.l) & ((1 << s.width()) - 1))
+                .sum();
+        }
+        for (m, &x) in self.bit_mass.iter_mut().zip(&self.plane) {
+            *m = x.count_ones() as u16;
+        }
+    }
+
+    /// Read-only view of the sliced planes (disjoint from `acc`). The
+    /// engine splits borrows field-by-field instead; this helper serves
+    /// unit tests.
+    #[cfg(test)]
+    pub(crate) fn sliced(&self) -> SlicedView<'_> {
+        SlicedView {
+            spec: &self.spec,
+            bits: &self.bits,
+            spec_mass: &self.spec_mass,
+            bit_mass: &self.bit_mass,
+            len: self.len,
+        }
+    }
+}
+
+/// Borrowed view of one sign plane's sliced inputs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlicedView<'a> {
+    pub(crate) spec: &'a [u16],
+    pub(crate) bits: &'a [u16],
+    pub(crate) spec_mass: &'a [u16],
+    pub(crate) bit_mass: &'a [u16],
+    pub(crate) len: usize,
+}
+
+impl<'a> SlicedView<'a> {
+    /// Speculative slice plane `j` (0 = the 4b MSB slice).
+    pub(crate) fn spec_plane(&self, j: usize) -> &'a [u16] {
+        &self.spec[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Bit plane for magnitude bit `b` (7 = MSB).
+    pub(crate) fn bit_plane(&self, b: u32) -> &'a [u16] {
+        let j = 7 - b as usize;
+        &self.bits[j * self.len..(j + 1) * self.len]
+    }
+
+    /// All 1b planes, MSB first.
+    pub(crate) fn bit_planes(&self) -> impl Iterator<Item = &'a [u16]> + '_ {
+        self.bits.chunks_exact(self.len)
+    }
+
+    /// All speculative planes, MSB slice first.
+    pub(crate) fn spec_planes(&self) -> impl Iterator<Item = &'a [u16]> + '_ {
+        self.spec.chunks_exact(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RaellaConfig;
+    use raella_nn::synth::SynthLayer;
+    use raella_xbar::slicing::Slicing;
+
+    fn scratch_for_small_layer() -> (VectorScratch, usize) {
+        let layer = SynthLayer::linear(16, 3, 5).build();
+        let cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        (VectorScratch::for_layer(&compiled), 16)
+    }
+
+    #[test]
+    fn slice_plane_matches_definitions() {
+        let (mut scratch, len) = scratch_for_small_layer();
+        let input: Vec<i16> = (0..len as i16).map(|i| i * 16 + 3).collect();
+        scratch.load_plane(&input, 1);
+        scratch.slice_plane();
+        let view = scratch.sliced();
+        for (r, &x) in input.iter().enumerate() {
+            let x = x as u16;
+            // 4b-2b-2b speculative slices.
+            assert_eq!(view.spec_plane(0)[r], (x >> 4) & 0xF);
+            assert_eq!(view.spec_plane(1)[r], (x >> 2) & 0x3);
+            assert_eq!(view.spec_plane(2)[r], x & 0x3);
+            for b in 0..8 {
+                assert_eq!(view.bit_plane(b)[r], (x >> b) & 1);
+            }
+            assert_eq!(
+                view.spec_mass[r],
+                ((x >> 4) & 0xF) + ((x >> 2) & 0x3) + (x & 0x3)
+            );
+            assert_eq!(view.bit_mass[r], x.count_ones() as u16);
+        }
+    }
+
+    #[test]
+    fn negative_plane_takes_magnitudes() {
+        let (mut scratch, len) = scratch_for_small_layer();
+        let input: Vec<i16> = (0..len as i16).map(|i| -(i * 3)).collect();
+        scratch.load_plane(&input, -1);
+        for (r, &x) in input.iter().enumerate() {
+            assert_eq!(scratch.plane[r], (-x).max(0) as u16);
+        }
+        scratch.load_plane(&input, 1);
+        assert!(scratch.plane.iter().skip(1).all(|&p| p == 0));
+    }
+}

@@ -4,12 +4,11 @@ use proptest::prelude::*;
 
 use raella_core::center::{center_cost, offsets, optimal_center};
 use raella_core::compiler::CompiledLayer;
-use raella_core::engine::{run_batch, RunStats};
+use raella_core::engine::{run_batch, run_batch_parallel, RunStats};
 use raella_core::RaellaConfig;
 use raella_nn::matrix::{InputProfile, MatrixLayer};
 use raella_nn::quant::OutputQuant;
 use raella_xbar::adc::AdcSpec;
-use raella_xbar::noise::NoiseRng;
 use raella_xbar::slicing::Slicing;
 
 proptest! {
@@ -74,8 +73,7 @@ proptest! {
         let compiled = CompiledLayer::with_slicing(&layer, slicing, &cfg).expect("valid");
         let inputs = layer.sample_inputs(2, seed);
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        let analog = run_batch(&compiled, &inputs, &mut stats, 0);
         prop_assert_eq!(analog, layer.reference_outputs(&inputs));
     }
 
@@ -96,10 +94,9 @@ proptest! {
         let inputs = layer.sample_inputs(2, seed);
         let mut s1 = RunStats::default();
         let mut s2 = RunStats::default();
-        let mut rng = NoiseRng::new(0);
         prop_assert_eq!(
-            run_batch(&spec, &inputs, &mut s1, &mut rng),
-            run_batch(&bs, &inputs, &mut s2, &mut rng)
+            run_batch(&spec, &inputs, &mut s1, 0),
+            run_batch(&bs, &inputs, &mut s2, 0)
         );
         // And speculation never converts more than bit-serial.
         prop_assert!(s1.events.adc_converts <= s2.events.adc_converts);
@@ -132,8 +129,110 @@ proptest! {
     }
 }
 
+/// An arbitrary statistics block (every counter independently drawn).
+fn arb_stats() -> impl Strategy<Value = RunStats> {
+    (
+        (
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+        ),
+        (
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+            0u64..1000,
+        ),
+    )
+        .prop_map(|(e, r)| {
+            let mut s = RunStats::default();
+            s.events.adc_converts = e.0;
+            s.events.dac_pulses = e.1;
+            s.events.row_activations = e.2;
+            s.events.device_charge = e.3;
+            s.events.cycles = e.4;
+            s.events.macs = e.5;
+            s.spec_attempts = r.0;
+            s.spec_failures = r.1;
+            s.recovery_converts = r.2;
+            s.recovery_saturations = r.3;
+            s.bitserial_converts = r.4;
+            s.bitserial_saturations = r.5;
+            s.vectors = r.6;
+            s
+        })
+}
+
+proptest! {
+    /// `RunStats::merge` is commutative: a⊕b = b⊕a. This is what lets
+    /// parallel workers merge their local deltas in any order.
+    #[test]
+    fn runstats_merge_is_commutative(a in arb_stats(), b in arb_stats()) {
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// `RunStats::merge` is associative: (a⊕b)⊕c = a⊕(b⊕c). This is what
+    /// lets the batch executor group vectors into blocks arbitrarily.
+    #[test]
+    fn runstats_merge_is_associative(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The default stats block is the merge identity.
+    #[test]
+    fn runstats_merge_identity(a in arb_stats()) {
+        let mut merged = a;
+        merged.merge(&RunStats::default());
+        prop_assert_eq!(merged, a);
+        let mut from_zero = RunStats::default();
+        from_zero.merge(&a);
+        prop_assert_eq!(from_zero, a);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serial and parallel batch execution agree bit-for-bit — outputs and
+    /// statistics — on arbitrary layers, with and without analog noise.
+    #[test]
+    fn parallel_batch_matches_serial(layer in arb_layer(), noisy: bool, seed in 0u64..100) {
+        let mut cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        if noisy {
+            cfg = cfg.with_noise(0.08);
+        }
+        let compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg)
+                .expect("valid");
+        let inputs = layer.sample_inputs(6, seed);
+        let mut s_serial = RunStats::default();
+        let mut s_par = RunStats::default();
+        let serial = run_batch(&compiled, &inputs, &mut s_serial, seed);
+        let parallel = run_batch_parallel(&compiled, &inputs, &mut s_par, seed);
+        prop_assert_eq!(serial, parallel);
+        prop_assert_eq!(s_serial, s_par);
+    }
 
     /// Degenerate inputs (all zero) produce the reference outputs exactly —
     /// nothing in the analog path invents charge from nothing.
@@ -163,8 +262,7 @@ proptest! {
                 .expect("valid");
         let inputs = vec![0i16; len * 2];
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        let analog = run_batch(&compiled, &inputs, &mut stats, &mut rng);
+        let analog = run_batch(&compiled, &inputs, &mut stats, 0);
         prop_assert_eq!(analog, layer.reference_outputs(&inputs));
     }
 }

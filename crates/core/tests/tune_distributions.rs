@@ -8,7 +8,6 @@ use raella_core::engine::{run_batch, RunStats};
 use raella_core::RaellaConfig;
 use raella_nn::matrix::InputProfile;
 use raella_nn::synth::SynthLayer;
-use raella_xbar::noise::NoiseRng;
 
 #[test]
 #[ignore = "manual calibration harness"]
@@ -33,8 +32,7 @@ fn tune() {
                 CompiledLayer::with_slicing(&layer, found.slicing.clone(), &cfg).unwrap();
             let inputs = layer.sample_inputs(8, 1);
             let mut stats = RunStats::default();
-            let mut rng = NoiseRng::new(0);
-            run_batch(&compiled, &inputs, &mut stats, &mut rng);
+            run_batch(&compiled, &inputs, &mut stats, 0);
             println!(
                 "b=[{b_lo},{b_hi}] in=({mean},{sparsity}): slicing={} err={:.3} specfail={:.2}% recsat={:.3}% conv/col={:.2}",
                 found.slicing,

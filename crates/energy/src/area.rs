@@ -59,7 +59,10 @@ impl ComponentAreas {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn adc_mm2(&self, bits: u8) -> f64 {
-        assert!((1..=16).contains(&bits), "ADC bits must be 1–16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "ADC bits must be 1–16, got {bits}"
+        );
         self.adc_8b_mm2 * 2f64.powi(i32::from(bits) - 8)
     }
 
@@ -105,8 +108,8 @@ impl TileGeometry {
     pub fn tile_mm2(&self, areas: &ComponentAreas) -> f64 {
         let crossbar = areas.crossbar_mm2(self.rows, self.cols, self.two_t2r);
         let adc = areas.adc_mm2(self.adc_bits) * self.adcs_per_crossbar as f64;
-        let per_ima = (crossbar + adc) * self.crossbars_per_ima as f64
-            + self.ima_sram_kb * areas.sram_kb_mm2;
+        let per_ima =
+            (crossbar + adc) * self.crossbars_per_ima as f64 + self.ima_sram_kb * areas.sram_kb_mm2;
         per_ima * self.imas as f64
             + self.tile_edram_kb * areas.edram_kb_mm2
             + areas.router_mm2 / 4.0

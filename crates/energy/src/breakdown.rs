@@ -106,7 +106,11 @@ impl fmt::Display for EnergyBreakdown {
         let total = self.total_pj();
         write!(f, "total {:.3} µJ [", total / 1e6)?;
         for (label, value) in Self::LABELS.iter().zip(self.values()) {
-            let pct = if total > 0.0 { 100.0 * value / total } else { 0.0 };
+            let pct = if total > 0.0 {
+                100.0 * value / total
+            } else {
+                0.0
+            };
             write!(f, " {label} {pct:.1}%")?;
         }
         write!(f, " ]")

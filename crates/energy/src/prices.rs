@@ -88,7 +88,10 @@ impl ComponentPrices {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn adc_convert_pj(&self, bits: u8) -> f64 {
-        assert!((1..=16).contains(&bits), "ADC bits must be 1–16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "ADC bits must be 1–16, got {bits}"
+        );
         self.adc_8b_convert_pj * 2f64.powi(i32::from(bits) - 8)
     }
 }

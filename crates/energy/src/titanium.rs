@@ -62,8 +62,7 @@ impl TitaniumLaw {
 
     /// Total ADC energy per inference, picojoules.
     pub fn adc_energy_pj(&self) -> f64 {
-        self.energy_per_convert_pj * self.converts_per_mac * self.macs_per_dnn
-            / self.utilization
+        self.energy_per_convert_pj * self.converts_per_mac * self.macs_per_dnn / self.utilization
     }
 }
 

@@ -70,7 +70,8 @@ impl BatchNorm {
         if self.var.iter().any(|&v| v < 0.0) {
             return Err(NnError::InvalidConfig("negative variance".into()));
         }
-        if !(self.eps > 0.0) {
+        // NaN must fail too, so compare through partial_cmp rather than `>`.
+        if self.eps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(NnError::InvalidConfig("epsilon must be positive".into()));
         }
         Ok(())
@@ -152,8 +153,7 @@ mod tests {
     fn identity_norm_folds_to_plain_quantization() {
         let ws = real_weights(4, 64, 1);
         let bn = BatchNorm::identity(4);
-        let layer =
-            fold_batch_norm("conv", &ws, 64, &bn, InputProfile::relu_default()).unwrap();
+        let layer = fold_batch_norm("conv", &ws, 64, &bn, InputProfile::relu_default()).unwrap();
         assert_eq!(layer.filters(), 4);
         assert_eq!(layer.filter_len(), 64);
         // Stored weights are centered on the 128 zero point.
@@ -168,11 +168,12 @@ mod tests {
 
     #[test]
     fn folding_scales_weights_per_channel() {
-        let ws = real_weights(2, 8, 2);
+        // 64 weights per channel so the per-channel max-abs statistic
+        // concentrates (8 was too noisy to pin the ratio across PRNGs).
+        let ws = real_weights(2, 64, 2);
         let mut bn = BatchNorm::identity(2);
         bn.gamma = vec![2.0, 0.5];
-        let layer =
-            fold_batch_norm("conv", &ws, 8, &bn, InputProfile::relu_default()).unwrap();
+        let layer = fold_batch_norm("conv", &ws, 64, &bn, InputProfile::relu_default()).unwrap();
         // A channel scaled 2× has a 2× larger dequant scale (same stored
         // spread, larger real range).
         let ratio = layer.quant().scales[0] / layer.quant().scales[1];
@@ -222,8 +223,7 @@ mod tests {
         // computation within quantization error.
         let ws = vec![0.1f32; 8];
         let bn = BatchNorm::identity(1);
-        let mut layer =
-            fold_batch_norm("lin", &ws, 8, &bn, InputProfile::relu_default()).unwrap();
+        let mut layer = fold_batch_norm("lin", &ws, 8, &bn, InputProfile::relu_default()).unwrap();
         // Output scale: map the corrected acc to a visible range.
         let q = layer.quant().clone();
         layer

@@ -52,11 +52,7 @@ pub enum Op {
 }
 
 /// Keeps channels `from..to` of a CHW tensor.
-fn slice_channels(
-    input: &Tensor<u8>,
-    from: usize,
-    to: usize,
-) -> Result<Tensor<u8>, NnError> {
+fn slice_channels(input: &Tensor<u8>, from: usize, to: usize) -> Result<Tensor<u8>, NnError> {
     let shape = input.shape();
     if shape.len() != 3 || from >= to || to > shape[0] {
         return Err(NnError::ShapeMismatch {

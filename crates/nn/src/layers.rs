@@ -96,7 +96,10 @@ impl Conv2d {
                 got: format!("{eff_h}×{eff_w}"),
             });
         }
-        Ok(((eff_h - self.k) / self.stride + 1, (eff_w - self.k) / self.stride + 1))
+        Ok((
+            (eff_h - self.k) / self.stride + 1,
+            (eff_w - self.k) / self.stride + 1,
+        ))
     }
 
     /// Lowers a CHW input to im2col columns (one column per output pixel,
@@ -123,8 +126,7 @@ impl Conv2d {
                         for kx in 0..self.k {
                             let iy = (oy * self.stride + ky) as isize - self.padding as isize;
                             let ix = (ox * self.stride + kx) as isize - self.padding as isize;
-                            let v = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize
-                            {
+                            let v = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                 0
                             } else {
                                 Act::from(input.get(&[c, iy as usize, ix as usize]))
@@ -203,11 +205,7 @@ impl Linear {
 ///
 /// Returns [`NnError::ShapeMismatch`] for non-CHW input or a window that
 /// does not fit, and [`NnError::InvalidConfig`] for zero `k`/`stride`.
-pub fn max_pool2d(
-    input: &Tensor<u8>,
-    k: usize,
-    stride: usize,
-) -> Result<Tensor<u8>, NnError> {
+pub fn max_pool2d(input: &Tensor<u8>, k: usize, stride: usize) -> Result<Tensor<u8>, NnError> {
     if k == 0 || stride == 0 {
         return Err(NnError::InvalidConfig(format!(
             "pool kernel {k} and stride {stride} must be nonzero"
@@ -366,15 +364,8 @@ mod tests {
     fn conv_padding_pads_with_zero() {
         let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
         // Kernel that sums the full 3×3 window.
-        let layer = MatrixLayer::new(
-            "sum",
-            1,
-            9,
-            vec![1; 9],
-            quant,
-            InputProfile::relu_default(),
-        )
-        .unwrap();
+        let layer =
+            MatrixLayer::new("sum", 1, 9, vec![1; 9], quant, InputProfile::relu_default()).unwrap();
         let conv = Conv2d::new(layer, 1, 3, 1, 1).unwrap();
         let input = Tensor::from_vec(vec![1u8; 9], &[1, 3, 3]).unwrap();
         let out = conv.forward(&input, &mut ReferenceEngine).unwrap();

@@ -212,11 +212,7 @@ impl MatrixLayer {
         let mean_magnitude = if nonzero == 0 {
             1.0
         } else {
-            values
-                .iter()
-                .map(|&x| f64::from(x).abs())
-                .sum::<f64>()
-                / nonzero as f64
+            values.iter().map(|&x| f64::from(x).abs()).sum::<f64>() / nonzero as f64
         };
         InputProfile {
             mean_magnitude: mean_magnitude.max(1.0),
@@ -360,7 +356,14 @@ mod tests {
     fn constructor_validates_dimensions() {
         let quant = OutputQuant::new(vec![1.0], vec![0.0], vec![0]);
         assert!(matches!(
-            MatrixLayer::new("x", 0, 3, vec![], quant.clone(), InputProfile::relu_default()),
+            MatrixLayer::new(
+                "x",
+                0,
+                3,
+                vec![],
+                quant.clone(),
+                InputProfile::relu_default()
+            ),
             Err(NnError::InvalidConfig(_))
         ));
         assert!(matches!(
@@ -372,15 +375,9 @@ mod tests {
     #[test]
     fn constructor_validates_quant_width() {
         let quant = OutputQuant::new(vec![1.0; 3], vec![0.0; 3], vec![0; 3]);
-        assert!(MatrixLayer::new(
-            "x",
-            2,
-            2,
-            vec![0; 4],
-            quant,
-            InputProfile::relu_default()
-        )
-        .is_err());
+        assert!(
+            MatrixLayer::new("x", 2, 2, vec![0; 4], quant, InputProfile::relu_default()).is_err()
+        );
     }
 
     #[test]

@@ -206,13 +206,34 @@ pub fn mini_resnet50(seed: u64) -> MiniModel {
     let mut x = stem;
     for blk in 0..2u64 {
         let a = g
-            .conv(x, SynthLayer::conv(32, 8, 1, s(1 + 3 * blk)).build(), 32, 1, 1, 0)
+            .conv(
+                x,
+                SynthLayer::conv(32, 8, 1, s(1 + 3 * blk)).build(),
+                32,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         let b = g
-            .conv(a, SynthLayer::conv(8, 8, 3, s(2 + 3 * blk)).build(), 8, 3, 1, 1)
+            .conv(
+                a,
+                SynthLayer::conv(8, 8, 3, s(2 + 3 * blk)).build(),
+                8,
+                3,
+                1,
+                1,
+            )
             .expect("consistent");
         let c = g
-            .conv(b, SynthLayer::conv(8, 32, 1, s(3 + 3 * blk)).build(), 8, 1, 1, 0)
+            .conv(
+                b,
+                SynthLayer::conv(8, 32, 1, s(3 + 3 * blk)).build(),
+                8,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         x = g.add(x, c);
     }
@@ -242,22 +263,64 @@ pub fn mini_googlenet(seed: u64) -> MiniModel {
     let mut c_in = 16;
     for m in 0..2u64 {
         let b1 = g
-            .conv(x, SynthLayer::conv(c_in, 8, 1, s(1 + 10 * m)).build(), c_in, 1, 1, 0)
+            .conv(
+                x,
+                SynthLayer::conv(c_in, 8, 1, s(1 + 10 * m)).build(),
+                c_in,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         let b2r = g
-            .conv(x, SynthLayer::conv(c_in, 8, 1, s(2 + 10 * m)).build(), c_in, 1, 1, 0)
+            .conv(
+                x,
+                SynthLayer::conv(c_in, 8, 1, s(2 + 10 * m)).build(),
+                c_in,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         let b2 = g
-            .conv(b2r, SynthLayer::conv(8, 12, 3, s(3 + 10 * m)).build(), 8, 3, 1, 1)
+            .conv(
+                b2r,
+                SynthLayer::conv(8, 12, 3, s(3 + 10 * m)).build(),
+                8,
+                3,
+                1,
+                1,
+            )
             .expect("consistent");
         let b3r = g
-            .conv(x, SynthLayer::conv(c_in, 4, 1, s(4 + 10 * m)).build(), c_in, 1, 1, 0)
+            .conv(
+                x,
+                SynthLayer::conv(c_in, 4, 1, s(4 + 10 * m)).build(),
+                c_in,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         let b3 = g
-            .conv(b3r, SynthLayer::conv(4, 8, 3, s(5 + 10 * m)).build(), 4, 3, 1, 1)
+            .conv(
+                b3r,
+                SynthLayer::conv(4, 8, 3, s(5 + 10 * m)).build(),
+                4,
+                3,
+                1,
+                1,
+            )
             .expect("consistent");
         let b4 = g
-            .conv(x, SynthLayer::conv(c_in, 4, 1, s(6 + 10 * m)).build(), c_in, 1, 1, 0)
+            .conv(
+                x,
+                SynthLayer::conv(c_in, 4, 1, s(6 + 10 * m)).build(),
+                c_in,
+                1,
+                1,
+                0,
+            )
             .expect("consistent");
         x = g.concat(vec![b1, b2, b3, b4]);
         c_in = 8 + 12 + 8 + 4;
@@ -286,7 +349,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let stem = g
         .conv(
             input,
-            SynthLayer::conv(3, 16, 3, s(0)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(3, 16, 3, s(0))
+                .skewed_filter_fraction(skew)
+                .build(),
             3,
             3,
             1,
@@ -296,7 +361,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b1 = g
         .conv(
             stem,
-            SynthLayer::conv(16, 12, 1, s(1)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(16, 12, 1, s(1))
+                .skewed_filter_fraction(skew)
+                .build(),
             16,
             1,
             1,
@@ -306,7 +373,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b2r = g
         .conv(
             stem,
-            SynthLayer::conv(16, 8, 1, s(2)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(16, 8, 1, s(2))
+                .skewed_filter_fraction(skew)
+                .build(),
             16,
             1,
             1,
@@ -316,7 +385,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b2 = g
         .conv(
             b2r,
-            SynthLayer::conv(8, 12, 5, s(3)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(8, 12, 5, s(3))
+                .skewed_filter_fraction(skew)
+                .build(),
             8,
             5,
             1,
@@ -326,7 +397,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b3r = g
         .conv(
             stem,
-            SynthLayer::conv(16, 8, 1, s(4)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(16, 8, 1, s(4))
+                .skewed_filter_fraction(skew)
+                .build(),
             16,
             1,
             1,
@@ -336,7 +409,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b3a = g
         .conv(
             b3r,
-            SynthLayer::conv(8, 12, 3, s(5)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(8, 12, 3, s(5))
+                .skewed_filter_fraction(skew)
+                .build(),
             8,
             3,
             1,
@@ -346,7 +421,9 @@ pub fn mini_inception_v3(seed: u64) -> MiniModel {
     let b3b = g
         .conv(
             b3a,
-            SynthLayer::conv(12, 12, 3, s(6)).skewed_filter_fraction(skew).build(),
+            SynthLayer::conv(12, 12, 3, s(6))
+                .skewed_filter_fraction(skew)
+                .build(),
             12,
             3,
             1,
@@ -576,7 +653,11 @@ mod tests {
         }
         // ResNet50 mini must contain 1×1 bottleneck layers.
         let rn50 = mini_resnet50(1);
-        assert!(rn50.graph.matrix_layers().iter().any(|l| l.filter_len() == 32));
+        assert!(rn50
+            .graph
+            .matrix_layers()
+            .iter()
+            .any(|l| l.filter_len() == 32));
     }
 
     #[test]

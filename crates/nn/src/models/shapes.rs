@@ -283,7 +283,13 @@ pub fn resnet50() -> DnnShape {
     b.finish()
 }
 
-fn bottleneck_stage(b: &mut ShapeBuilder, stage: usize, width: usize, blocks: usize, stride: usize) {
+fn bottleneck_stage(
+    b: &mut ShapeBuilder,
+    stage: usize,
+    width: usize,
+    blocks: usize,
+    stride: usize,
+) {
     let expansion = 4;
     for blk in 0..blocks {
         let s = if blk == 0 { stride } else { 1 };
@@ -304,7 +310,13 @@ fn bottleneck_stage(b: &mut ShapeBuilder, stage: usize, width: usize, blocks: us
         }
         b.conv(&format!("layer{stage}.{blk}.conv1"), width, 1, 1, 0);
         b.conv(&format!("layer{stage}.{blk}.conv2"), width, 3, s, 1);
-        b.conv(&format!("layer{stage}.{blk}.conv3"), width * expansion, 1, 1, 0);
+        b.conv(
+            &format!("layer{stage}.{blk}.conv3"),
+            width * expansion,
+            1,
+            1,
+            0,
+        );
     }
 }
 
@@ -318,12 +330,12 @@ pub fn googlenet() -> DnnShape {
     b.pool(3, 2, 1);
     // (1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj) per module.
     let modules: [(usize, usize, usize, usize, usize, usize); 9] = [
-        (64, 96, 128, 16, 32, 32),    // 3a
-        (128, 128, 192, 32, 96, 64),  // 3b
-        (192, 96, 208, 16, 48, 64),   // 4a
-        (160, 112, 224, 24, 64, 64),  // 4b
-        (128, 128, 256, 24, 64, 64),  // 4c
-        (112, 144, 288, 32, 64, 64),  // 4d
+        (64, 96, 128, 16, 32, 32),     // 3a
+        (128, 128, 192, 32, 96, 64),   // 3b
+        (192, 96, 208, 16, 48, 64),    // 4a
+        (160, 112, 224, 24, 64, 64),   // 4b
+        (128, 128, 256, 24, 64, 64),   // 4c
+        (112, 144, 288, 32, 64, 64),   // 4d
         (256, 160, 320, 32, 128, 128), // 4e
         (256, 160, 320, 32, 128, 128), // 5a
         (384, 192, 384, 48, 128, 128), // 5b

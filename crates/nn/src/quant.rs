@@ -67,7 +67,10 @@ impl QuantParams {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn fit_range(lo: f32, hi: f32) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi}]");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi}]"
+        );
         let scale = (hi - lo) / 255.0;
         let zp = (-lo / scale).round().clamp(0.0, 255.0) as u8;
         QuantParams::new(scale, zp)

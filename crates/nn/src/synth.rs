@@ -123,8 +123,8 @@ impl SynthLayer {
         let mut weights = Vec::with_capacity(self.filters * self.filter_len);
         for f in 0..self.filters {
             let mut frng = rng.fork(f as u64);
-            let spread = self.spread_range.0
-                + frng.uniform() * (self.spread_range.1 - self.spread_range.0);
+            let spread =
+                self.spread_range.0 + frng.uniform() * (self.spread_range.1 - self.spread_range.0);
             let mean = if frng.bernoulli(self.skewed_fraction) {
                 // A skewed filter: strongly one-sided weight mass.
                 let sign = if frng.bernoulli(0.5) { 1.0 } else { -1.0 };
@@ -162,7 +162,7 @@ impl SynthLayer {
 /// Generates a filter whose weights are mostly below the zero point — the
 /// InceptionV3-style mostly-negative filter of paper Fig. 5.
 pub fn negative_skew_filter(len: usize, seed: u64) -> Vec<u8> {
-    let mut rng = SynthRng::new(seed ^ 0x0FF5_E7);
+    let mut rng = SynthRng::new(seed ^ 0x000F_F5E7);
     (0..len)
         .map(|_| {
             let w = f64::from(WEIGHT_ZERO_POINT) + rng.laplace(-18.0, 9.0);
@@ -191,8 +191,7 @@ mod tests {
             .build();
         for f in 0..4 {
             let ws = layer.filter_weights(f);
-            let mean: f64 =
-                ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
+            let mean: f64 = ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
             assert!(
                 (mean - f64::from(WEIGHT_ZERO_POINT)).abs() < 15.0,
                 "filter {f} mean {mean}"
@@ -208,8 +207,7 @@ mod tests {
         let shifted = (0..32)
             .filter(|&f| {
                 let ws = layer.filter_weights(f);
-                let mean: f64 =
-                    ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
+                let mean: f64 = ws.iter().map(|&w| f64::from(w)).sum::<f64>() / ws.len() as f64;
                 (mean - f64::from(WEIGHT_ZERO_POINT)).abs() > 8.0
             })
             .count();
@@ -235,8 +233,15 @@ mod tests {
         let inputs = layer.sample_inputs(8, 123);
         let outs = layer.reference_outputs(&inputs);
         let nonzero = outs.iter().filter(|&&o| o != 0).count();
-        assert!(nonzero > outs.len() / 5, "too sparse: {nonzero}/{}", outs.len());
+        assert!(
+            nonzero > outs.len() / 5,
+            "too sparse: {nonzero}/{}",
+            outs.len()
+        );
         let max = outs.iter().copied().max().unwrap();
-        assert!(max >= 100, "max output {max} too small — calibration failed");
+        assert!(
+            max >= 100,
+            "max output {max} too small — calibration failed"
+        );
     }
 }

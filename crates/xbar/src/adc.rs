@@ -44,7 +44,10 @@ impl AdcSpec {
     ///
     /// Panics if `bits` is 0 or greater than 16.
     pub fn new(bits: u8, signed: bool) -> Self {
-        assert!((1..=16).contains(&bits), "ADC bits must be 1–16, got {bits}");
+        assert!(
+            (1..=16).contains(&bits),
+            "ADC bits must be 1–16, got {bits}"
+        );
         AdcSpec { bits, signed }
     }
 

@@ -27,7 +27,10 @@ impl ReramCell {
     /// Panics if `bits` is 0 or greater than 5 (the demonstrated device
     /// limit the paper cites).
     pub fn new(bits: u8) -> Self {
-        assert!((1..=5).contains(&bits), "ReRAM cells store 1–5 bits, got {bits}");
+        assert!(
+            (1..=5).contains(&bits),
+            "ReRAM cells store 1–5 bits, got {bits}"
+        );
         ReramCell { level: 0, bits }
     }
 

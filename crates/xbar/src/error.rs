@@ -36,7 +36,11 @@ impl fmt::Display for XbarError {
             XbarError::ValueOutOfRange { what, value, limit } => {
                 write!(f, "{what} value {value} exceeds limit {limit}")
             }
-            XbarError::IndexOutOfRange { axis, index, extent } => {
+            XbarError::IndexOutOfRange {
+                axis,
+                index,
+                extent,
+            } => {
                 write!(f, "{axis} index {index} out of range (extent {extent})")
             }
         }

@@ -299,7 +299,11 @@ mod tests {
         ] {
             for x in -255..=255 {
                 let values = widen(&slicing.slice_values(x));
-                assert_eq!(slicing.reconstruct(&values), i64::from(x), "{slicing} on {x}");
+                assert_eq!(
+                    slicing.reconstruct(&values),
+                    i64::from(x),
+                    "{slicing} on {x}"
+                );
             }
         }
     }
@@ -349,10 +353,7 @@ mod tests {
         let x = 0b1011_0110i32;
         let coarse = s.slice_values(x)[0]; // 0b1011
         let bits = s.explode_to_bits(0);
-        let fine: i64 = bits
-            .iter()
-            .map(|b| i64::from(b.crop(x)) << b.shift())
-            .sum();
+        let fine: i64 = bits.iter().map(|b| i64::from(b.crop(x)) << b.shift()).sum();
         assert_eq!(fine, i64::from(coarse) << 4);
     }
 

@@ -34,8 +34,14 @@ fn geomeans_land_in_the_papers_range() {
     }
     let ge = geomean(&effs);
     let gt = geomean(&thrs);
-    assert!((3.0..5.0).contains(&ge), "geomean efficiency {ge} (paper 3.9)");
-    assert!((1.4..2.6).contains(&gt), "geomean throughput {gt} (paper 2.0)");
+    assert!(
+        (3.0..5.0).contains(&ge),
+        "geomean efficiency {ge} (paper 3.9)"
+    );
+    assert!(
+        (1.4..2.6).contains(&gt),
+        "geomean throughput {gt} (paper 2.0)"
+    );
 }
 
 #[test]
@@ -69,11 +75,13 @@ fn retraining_architectures_are_matched_without_retraining() {
     let i = pairs(&isaac);
     let f = pairs(&AccelSpec::forms8());
     let r = pairs(&AccelSpec::raella());
-    let eff =
-        |a: &[raella::arch::eval::DnnEval; 2], b: &[raella::arch::eval::DnnEval; 2]| {
-            geomean(&[a[0].efficiency_vs(&b[0]), a[1].efficiency_vs(&b[1])])
-        };
-    assert!(eff(&r, &i) > eff(&f, &i), "RAELLA must beat FORMS efficiency");
+    let eff = |a: &[raella::arch::eval::DnnEval; 2], b: &[raella::arch::eval::DnnEval; 2]| {
+        geomean(&[a[0].efficiency_vs(&b[0]), a[1].efficiency_vs(&b[1])])
+    };
+    assert!(
+        eff(&r, &i) > eff(&f, &i),
+        "RAELLA must beat FORMS efficiency"
+    );
 
     let t = pairs(&AccelSpec::timely_like());
     let r65 = pairs(&AccelSpec::raella_65nm(false));

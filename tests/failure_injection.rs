@@ -10,25 +10,28 @@ use raella::nn::matrix::{Act, InputProfile, MatrixLayer};
 use raella::nn::quant::OutputQuant;
 use raella::nn::synth::SynthLayer;
 use raella::xbar::adc::AdcSpec;
-use raella::xbar::noise::NoiseRng;
 use raella::xbar::slicing::Slicing;
 
 #[test]
 fn tiny_adc_forces_recovery_but_not_collapse() {
     // A 4b ADC saturates constantly; recovery must keep outputs bounded.
     let layer = SynthLayer::conv(16, 8, 3, 0xFA11).build();
-    let mut cfg = RaellaConfig::default();
-    cfg.adc = AdcSpec::new(4, true);
+    let cfg = RaellaConfig {
+        adc: AdcSpec::new(4, true),
+        ..RaellaConfig::default()
+    };
     let compiled =
         CompiledLayer::with_slicing(&layer, Slicing::uniform(1, 8), &cfg).expect("compiles");
     let inputs = layer.sample_inputs(3, 1);
     let mut stats = RunStats::default();
-    let mut rng = NoiseRng::new(0);
-    let out = compiled.run(&inputs, &mut stats, &mut rng);
+    let out = compiled.run(&inputs, &mut stats, 0);
     assert!(stats.spec_failures > 0, "4b ADC must fail speculation");
     let reference = layer.reference_outputs(&inputs);
     let mean = raella::nn::quant::mean_error_nonzero(&reference, &out);
-    assert!(mean < 128.0, "even a 4b ADC must not produce garbage: {mean}");
+    assert!(
+        mean < 128.0,
+        "even a 4b ADC must not produce garbage: {mean}"
+    );
 }
 
 #[test]
@@ -39,8 +42,7 @@ fn saturating_inputs_stay_in_range() {
     let compiled = CompiledLayer::compile(&layer, &cfg).expect("compiles");
     let inputs = vec![255 as Act; 512 * 2];
     let mut stats = RunStats::default();
-    let mut rng = NoiseRng::new(0);
-    let out = compiled.run(&inputs, &mut stats, &mut rng);
+    let out = compiled.run(&inputs, &mut stats, 0);
     assert_eq!(out.len(), 8);
     // Outputs are u8 by construction; the engine must simply not panic
     // and the ADC must have been exercised at its rails.
@@ -51,21 +53,27 @@ fn saturating_inputs_stay_in_range() {
 fn invalid_configs_error_cleanly() {
     let layer = SynthLayer::linear(32, 2, 0xFA13).build();
 
-    let mut cfg = RaellaConfig::default();
-    cfg.crossbar_rows = 0;
+    let cfg = RaellaConfig {
+        crossbar_rows: 0,
+        ..RaellaConfig::default()
+    };
     assert!(matches!(
         CompiledLayer::compile(&layer, &cfg),
         Err(CoreError::InvalidConfig(_))
     ));
 
-    let mut cfg = RaellaConfig::default();
-    cfg.error_budget = f64::INFINITY;
+    let cfg = RaellaConfig {
+        error_budget: f64::INFINITY,
+        ..RaellaConfig::default()
+    };
     assert!(CompiledLayer::compile(&layer, &cfg).is_err());
 
     // A fixed slicing wider than the cells.
-    let mut cfg = RaellaConfig::default();
-    cfg.cell_bits = 2;
-    cfg.fixed_weight_slicing = Some(Slicing::new(&[4, 4], 8).expect("valid"));
+    let cfg = RaellaConfig {
+        cell_bits: 2,
+        fixed_weight_slicing: Some(Slicing::new(&[4, 4], 8).expect("valid")),
+        ..RaellaConfig::default()
+    };
     assert!(CompiledLayer::compile(&layer, &cfg).is_err());
 }
 
@@ -121,15 +129,13 @@ fn empty_and_mismatched_batches_are_rejected_loudly() {
     };
     let compiled = CompiledLayer::compile(&layer, &cfg).expect("compiles");
     let mut stats = RunStats::default();
-    let mut rng = NoiseRng::new(0);
     // Empty batch: zero vectors is fine (no outputs).
-    let out = compiled.run(&[], &mut stats, &mut rng);
+    let out = compiled.run(&[], &mut stats, 0);
     assert!(out.is_empty());
     // Mismatched batch: must panic with a clear message, not corrupt.
     let result = std::panic::catch_unwind(move || {
         let mut stats = RunStats::default();
-        let mut rng = NoiseRng::new(0);
-        compiled.run(&[1, 2, 3], &mut stats, &mut rng)
+        compiled.run(&[1, 2, 3], &mut stats, 0)
     });
     assert!(result.is_err(), "length mismatch must be rejected");
 }

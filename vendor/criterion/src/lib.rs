@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace benches use — `Criterion`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring wall-clock
+//! time with `std::time::Instant`. There is no statistical analysis or
+//! HTML report: each benchmark prints its per-iteration mean, median-ish
+//! best sample, and throughput-friendly iterations/second.
+//!
+//! The numbers are indicative (good enough for ratio comparisons like
+//! serial-vs-parallel speedups); swap in the real criterion for
+//! publication-grade confidence intervals.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup outputs are sized (accepted for API compatibility;
+/// the shim times each batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One measured sample set for a named benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Iterations per second implied by the mean.
+    pub iters_per_sec: f64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    last: Option<Estimate>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+            last: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time across samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        let est = bencher.estimate();
+        println!(
+            "bench {name}: {:>12.1} ns/iter (best {:>12.1}), {:>12.0} iters/s",
+            est.mean_ns, est.best_ns, est.iters_per_sec
+        );
+        self.last = Some(est);
+        self
+    }
+
+    /// The estimate from the most recent [`Criterion::bench_function`] —
+    /// a shim extension used by benches that persist baselines.
+    pub fn last_estimate(&self) -> Option<Estimate> {
+        self.last
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    /// (iterations, elapsed) per sample.
+    samples: Vec<(u64, Duration)>,
+    budget: Duration,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times a closure, amortizing over automatically-chosen iteration
+    /// counts.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations fit one sample slot.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget / self.target_samples as u32;
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push((iters, start.elapsed()));
+        }
+    }
+
+    /// Times a closure with untimed per-batch setup.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((1, start.elapsed()));
+        }
+    }
+
+    fn estimate(&self) -> Estimate {
+        assert!(
+            !self.samples.is_empty(),
+            "benchmark closure never called iter/iter_batched"
+        );
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(n, d)| d.as_nanos() as f64 / *n as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        Estimate {
+            mean_ns,
+            best_ns: per_iter[0],
+            iters_per_sec: if mean_ns > 0.0 { 1e9 / mean_ns } else { 0.0 },
+        }
+    }
+}
+
+/// Declares a group of benchmarks, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_sane_estimates() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let est = c.last_estimate().expect("estimate recorded");
+        assert!(est.mean_ns > 0.0);
+        assert!(est.best_ns <= est.mean_ns);
+        assert!(est.iters_per_sec > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_counts_each_batch_once() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert!(c.last_estimate().is_some());
+    }
+}

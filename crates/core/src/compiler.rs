@@ -7,6 +7,9 @@
 //! the crossbar are partitioned over row groups, each with its own center —
 //! the paper's footnote 5 definition of "filter".
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use raella_nn::matrix::{Act, MatrixLayer};
@@ -238,6 +241,139 @@ impl CompiledLayer {
     }
 }
 
+/// FNV-1a over a layer's weights: distinct layers that happen to share a
+/// name and shape must not collide in the compile cache.
+fn weight_fingerprint(layer: &MatrixLayer) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for f in 0..layer.filters() {
+        for &w in layer.filter_weights(f) {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// FNV-1a over a string (used to fingerprint the configuration).
+fn str_fingerprint(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the layer's digital-side state: requantizer, input
+/// profile, and input signedness. Calibration mutates these without
+/// touching weights, and compilation reads all of them (zero points for
+/// Zero+Offset centers, the profile for search-input sampling, the quant
+/// cloned into the compiled layer) — so they are part of layer identity.
+fn calibration_fingerprint(layer: &MatrixLayer) -> u64 {
+    str_fingerprint(&format!(
+        "{:?}/{:?}/{}",
+        layer.quant(),
+        layer.input_profile(),
+        layer.signed_inputs()
+    ))
+}
+
+/// Cache key for one (layer, configuration) compilation: layer identity
+/// (name, shape, weight + calibration fingerprints) plus a fingerprint of
+/// every compile-relevant configuration field (`RaellaConfig`'s `Debug`
+/// output covers all of them, including slicing overrides, encoding, and
+/// seed).
+pub fn layer_cache_key(layer: &MatrixLayer, cfg: &RaellaConfig) -> String {
+    layer_key_with_cfg(layer, str_fingerprint(&format!("{cfg:?}")))
+}
+
+/// [`layer_cache_key`] with a precomputed configuration fingerprint.
+fn layer_key_with_cfg(layer: &MatrixLayer, cfg_fp: u64) -> String {
+    format!(
+        "{}/{}x{}/{:016x}/{:016x}/{:016x}",
+        layer.name(),
+        layer.filters(),
+        layer.filter_len(),
+        weight_fingerprint(layer),
+        calibration_fingerprint(layer),
+        cfg_fp
+    )
+}
+
+/// A compilation cache: each distinct (layer identity, configuration) pair
+/// compiles exactly once; later requests share the same
+/// [`Arc<CompiledLayer>`].
+///
+/// Whole-model compilation ([`crate::model::CompiledModel`]) and the
+/// layer-streaming [`crate::engine::RaellaEngine`] both sit on this, so a
+/// layer reused across a network — or a model recompiled under the same
+/// configuration — never pays the Algorithm 1 search twice.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: HashMap<String, Arc<CompiledLayer>>,
+    hits: u64,
+    /// Memoized configuration fingerprint: lookups on the per-image hot
+    /// path (the streaming engine) keep passing the same configuration,
+    /// so it is equality-checked, not re-formatted, per call.
+    cfg_fp: Option<(RaellaConfig, u64)>,
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The fingerprint of `cfg`, memoized for the common same-config case.
+    fn config_fingerprint(&mut self, cfg: &RaellaConfig) -> u64 {
+        match &self.cfg_fp {
+            Some((cached, fp)) if cached == cfg => *fp,
+            _ => {
+                let fp = str_fingerprint(&format!("{cfg:?}"));
+                self.cfg_fp = Some((cfg.clone(), fp));
+                fp
+            }
+        }
+    }
+
+    /// Returns the compiled form of `layer` under `cfg`, compiling on the
+    /// first request and sharing the cached result afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledLayer::compile`] errors (the failed key is not
+    /// cached, so a later request retries).
+    pub fn get_or_compile(
+        &mut self,
+        layer: &MatrixLayer,
+        cfg: &RaellaConfig,
+    ) -> Result<Arc<CompiledLayer>, CoreError> {
+        let key = layer_key_with_cfg(layer, self.config_fingerprint(cfg));
+        if let Some(hit) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        let compiled = Arc::new(CompiledLayer::compile(layer, cfg)?);
+        self.entries.insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Number of distinct compiled layers held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no compiled layers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of requests served from the cache (no compilation).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +483,54 @@ mod tests {
             CompiledLayer::with_slicing(&layer, Slicing::new(&[4, 4], 8).unwrap(), &narrow)
                 .is_err()
         );
+    }
+
+    #[test]
+    fn compile_cache_compiles_each_identity_once() {
+        let layer = SynthLayer::conv(4, 3, 3, 9).build();
+        let cfg = small_cfg();
+        let mut cache = CompileCache::new();
+        let a = cache.get_or_compile(&layer, &cfg).unwrap();
+        let b = cache.get_or_compile(&layer, &cfg).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "repeat compile must share the Arc");
+    }
+
+    #[test]
+    fn compile_cache_distinguishes_weights_and_config() {
+        // Same name and shape, different weights: distinct entries.
+        let l1 = SynthLayer::conv(4, 3, 3, 9).name("same").build();
+        let l2 = SynthLayer::conv(4, 3, 3, 10).name("same").build();
+        let cfg = small_cfg();
+        let mut cache = CompileCache::new();
+        cache.get_or_compile(&l1, &cfg).unwrap();
+        cache.get_or_compile(&l2, &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Same layer, different config: a third entry.
+        cache
+            .get_or_compile(&l1, &cfg.clone().without_speculation())
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn compile_cache_distinguishes_calibration_state() {
+        // Same name, shape, and weights — but recalibrated: graph-level
+        // calibration gives each position its own requantizer, and the
+        // cache must not serve one position's compile to the other.
+        let base = SynthLayer::conv(4, 3, 3, 9).name("same").build();
+        let mut recal = base.clone();
+        let mut quant = base.quant().clone();
+        quant.scales[0] *= 2.0;
+        recal.set_quant(quant).expect("filter count unchanged");
+        let cfg = small_cfg();
+        let mut cache = CompileCache::new();
+        let a = cache.get_or_compile(&base, &cfg).unwrap();
+        let b = cache.get_or_compile(&recal, &cfg).unwrap();
+        assert_eq!(cache.len(), 2, "calibration state must split entries");
+        assert!(!Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -30,7 +30,6 @@
 //! thread count, noisy or not.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 use raella_nn::layers::MatVecEngine;
 use raella_nn::matrix::{Act, MatrixLayer};
@@ -38,7 +37,7 @@ use raella_xbar::crossbar::EventCounts;
 use raella_xbar::noise::{NoiseModel, NoiseRng};
 use raella_xbar::slicing::Slice;
 
-use crate::compiler::CompiledLayer;
+use crate::compiler::{CompileCache, CompiledLayer};
 use crate::config::{InputMode, RaellaConfig};
 use crate::parallel::{run_blocks, worker_count};
 use crate::scratch::{SlicedView, VectorScratch};
@@ -552,7 +551,7 @@ fn run_column_bitserial(
 #[derive(Debug)]
 pub struct RaellaEngine {
     cfg: RaellaConfig,
-    cache: HashMap<String, CompiledLayer>,
+    cache: CompileCache,
     stats: RunStats,
     noise_seed: u64,
     next_vector: u64,
@@ -561,10 +560,10 @@ pub struct RaellaEngine {
 impl RaellaEngine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: RaellaConfig) -> Self {
-        let noise_seed = cfg.seed ^ 0xE61E;
+        let noise_seed = noise_seed_for(&cfg);
         RaellaEngine {
             cfg,
-            cache: HashMap::new(),
+            cache: CompileCache::new(),
             stats: RunStats::default(),
             noise_seed,
             next_vector: 0,
@@ -593,36 +592,22 @@ impl RaellaEngine {
     }
 }
 
-/// FNV-1a over a layer's weights: distinct layers that happen to share a
-/// name and shape must not collide in the compile cache.
-fn weight_fingerprint(layer: &MatrixLayer) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for f in 0..layer.filters() {
-        for &w in layer.filter_weights(f) {
-            h ^= u64::from(w);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-    h
+/// The noise-stream seed every execution front end derives from a
+/// configuration. [`RaellaEngine`] and [`crate::model::CompiledModel`]
+/// share it, which is what makes whole-model batched runs bit-identical to
+/// per-image engine runs.
+pub(crate) fn noise_seed_for(cfg: &RaellaConfig) -> u64 {
+    cfg.seed ^ 0xE61E
 }
 
 impl MatVecEngine for RaellaEngine {
     fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
-        let key = format!(
-            "{}/{}x{}/{:016x}",
-            layer.name(),
-            layer.filters(),
-            layer.filter_len(),
-            weight_fingerprint(layer)
-        );
-        if !self.cache.contains_key(&key) {
-            let compiled = CompiledLayer::compile(layer, &self.cfg)
-                .expect("engine configuration was validated at construction");
-            self.cache.insert(key.clone(), compiled);
-        }
-        let compiled = self.cache.get(&key).expect("just inserted");
+        let compiled = self
+            .cache
+            .get_or_compile(layer, &self.cfg)
+            .expect("engine configuration was validated at construction");
         let out = run_batch_parallel_at(
-            compiled,
+            &compiled,
             inputs,
             &mut self.stats,
             self.noise_seed,

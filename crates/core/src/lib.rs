@@ -13,7 +13,11 @@
 //!   saturation, 1b recovery cycles converting only failed columns.
 //! * [`compiler`] — the preprocessing pipeline (Algorithm 1's
 //!   `SliceEncodeWeights`): slicing search → center solve → programmed
-//!   crossbar columns.
+//!   crossbar columns — plus the [`compiler::CompileCache`] that
+//!   deduplicates compiles across a whole model.
+//! * [`model`] — whole-model serving: [`model::CompiledModel`] compiles a
+//!   graph's layers once and streams image batches across workers with
+//!   bit-exact, batch-composition-independent results.
 //! * [`probe`] — column-sum distribution probes behind Figs. 3 and 5.
 //! * [`accuracy`] — fidelity reports (the paper's §4.2.1 error metric) and
 //!   proxy-accuracy measurement.
@@ -54,13 +58,15 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod extensions;
+pub mod model;
 pub mod parallel;
 pub mod probe;
 pub mod scratch;
 
 pub use accuracy::FidelityReport;
-pub use compiler::CompiledLayer;
+pub use compiler::{CompileCache, CompiledLayer};
 pub use config::{RaellaConfig, WeightEncoding};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
+pub use model::{BatchResult, CompiledModel};
 pub use scratch::VectorScratch;

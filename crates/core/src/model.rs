@@ -1,0 +1,376 @@
+//! Whole-model compilation and deterministic image-level batching.
+//!
+//! [`CompiledModel`] is the compile-once / run-batch split simulator stacks
+//! converge on: every `Conv`/`Linear` layer of a [`Graph`] goes through
+//! Algorithm 1 exactly once up front (deduplicated by a [`CompileCache`]),
+//! and then images stream through [`CompiledModel::run_batch`], which fans
+//! whole images across `std::thread::scope` workers.
+//!
+//! # Determinism contract
+//!
+//! Each image executes against its own noise-stream state: the stream seed
+//! is derived from the configuration alone ([`RaellaConfig::seed`]), and
+//! the per-image vector counter restarts at zero, exactly as a fresh
+//! [`RaellaEngine`] walking that one image would count. Consequently:
+//!
+//! * batched outputs are bit-identical to per-image [`Graph::run`] with a
+//!   fresh [`RaellaEngine`] under the same configuration,
+//! * an image's result does not depend on its batch position, the batch
+//!   size, or the surrounding images, and
+//! * results are bit-identical at any worker count (`RAELLA_THREADS` pins
+//!   it), noisy or not, because image work items are fully independent and
+//!   [`RunStats::merge`] is associative and commutative.
+//!
+//! [`RaellaEngine`]: crate::engine::RaellaEngine
+
+use std::sync::Arc;
+
+use raella_nn::graph::{argmax, ExecPlan, Graph, ValueArena};
+use raella_nn::layers::MatVecEngine;
+use raella_nn::matrix::{Act, MatrixLayer};
+use raella_nn::tensor::Tensor;
+
+use crate::compiler::{CompileCache, CompiledLayer};
+use crate::config::RaellaConfig;
+use crate::engine::{noise_seed_for, run_batch_at, run_batch_parallel_at, RunStats};
+use crate::error::CoreError;
+use crate::parallel::{run_chunks, worker_count_for};
+
+/// Outputs and merged statistics of one [`CompiledModel::run_batch`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One output tensor per input image, in input order.
+    pub outputs: Vec<Tensor<u8>>,
+    /// Statistics merged across all images of the batch.
+    pub stats: RunStats,
+}
+
+/// A whole DNN graph compiled for RAELLA: every matrix layer's crossbar
+/// program plus the execution plan, ready to serve image batches.
+///
+/// ```
+/// use raella_core::model::CompiledModel;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::graph::Graph;
+/// use raella_nn::synth::SynthLayer;
+/// use raella_nn::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+/// let gap = g.global_avg_pool(c);
+/// g.set_output(gap);
+///
+/// let cfg = RaellaConfig {
+///     search_vectors: 2,
+///     ..RaellaConfig::default()
+/// };
+/// let model = CompiledModel::compile(&g, &cfg)?;
+/// let images = vec![Tensor::zeros(&[2, 6, 6]), Tensor::zeros(&[2, 6, 6])];
+/// let batch = model.run_batch(&images)?;
+/// assert_eq!(batch.outputs.len(), 2);
+/// assert_eq!(batch.outputs[0], batch.outputs[1]); // identical images
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompiledModel {
+    graph: Graph,
+    plan: ExecPlan,
+    /// Compiled matrix layers in execution order (one entry per matrix
+    /// node; repeated layers share an [`Arc`]).
+    layers: Vec<Arc<CompiledLayer>>,
+    cfg: RaellaConfig,
+    noise_seed: u64,
+    unique_layers: usize,
+}
+
+impl CompiledModel {
+    /// Compiles every matrix layer of `graph` under `cfg`.
+    ///
+    /// Layers are deduplicated through a [`CompileCache`], so a layer
+    /// appearing several times in the graph (or shared between branches)
+    /// runs the Algorithm 1 search once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an invalid configuration,
+    /// [`CoreError::Nn`] for a structurally invalid graph, and propagates
+    /// per-layer compilation errors.
+    pub fn compile(graph: &Graph, cfg: &RaellaConfig) -> Result<Self, CoreError> {
+        cfg.validate()?;
+        let plan = graph.plan()?;
+        let mut cache = CompileCache::new();
+        let mut layers = Vec::new();
+        for layer in graph.matrix_layers() {
+            layers.push(cache.get_or_compile(layer, cfg)?);
+        }
+        Ok(CompiledModel {
+            graph: graph.clone(),
+            plan,
+            layers,
+            noise_seed: noise_seed_for(cfg),
+            unique_layers: cache.len(),
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// The configuration the model was compiled for.
+    pub fn config(&self) -> &RaellaConfig {
+        &self.cfg
+    }
+
+    /// The compiled graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Matrix-layer nodes in the graph (PIM-mapped workload size).
+    pub fn matrix_layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Distinct compiled layers (after cache deduplication).
+    pub fn unique_layer_count(&self) -> usize {
+        self.unique_layers
+    }
+
+    /// Total crossbar columns the model occupies across all layers.
+    pub fn total_columns(&self) -> usize {
+        self.layers.iter().map(|l| l.total_columns()).sum()
+    }
+
+    /// Runs one image, using vector-level parallelism inside each layer.
+    ///
+    /// Bit-identical to the same image inside any [`run_batch`] call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    ///
+    /// [`run_batch`]: CompiledModel::run_batch
+    pub fn run_image(&self, image: &Tensor<u8>) -> Result<(Tensor<u8>, RunStats), CoreError> {
+        let mut arena = ValueArena::new();
+        self.run_image_with(image, &mut arena, true)
+    }
+
+    /// Runs a batch of images, fanning whole images across worker threads
+    /// (`RAELLA_THREADS` or the available parallelism, capped at one
+    /// worker per image).
+    ///
+    /// Outputs come back in input order; statistics are merged across the
+    /// batch. See the module docs for the determinism contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for mis-shaped images (the batch
+    /// fails as a whole).
+    pub fn run_batch(&self, images: &[Tensor<u8>]) -> Result<BatchResult, CoreError> {
+        self.run_batch_threaded(images, worker_count_for(images.len(), 1))
+    }
+
+    /// [`run_batch`] with an explicit image-level worker count — the
+    /// benchmarking entry point (results are bit-identical at any count).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run_batch`].
+    ///
+    /// [`run_batch`]: CompiledModel::run_batch
+    pub fn run_batch_threaded(
+        &self,
+        images: &[Tensor<u8>],
+        threads: usize,
+    ) -> Result<BatchResult, CoreError> {
+        // Clamp to the real worker count first (run_chunks caps at one
+        // worker per image): with no image-level fan-out the vector-level
+        // fan-out inside each layer takes over. Both paths produce
+        // identical bytes, so this is purely a scheduling choice.
+        let threads = threads.clamp(1, images.len().max(1));
+        let inner_parallel = threads <= 1;
+        let blocks = run_chunks(images.len(), threads, |first, n| {
+            let mut arena = ValueArena::new();
+            images[first..first + n]
+                .iter()
+                .map(|img| self.run_image_with(img, &mut arena, inner_parallel))
+                .collect::<Vec<_>>()
+        });
+        let mut outputs = Vec::with_capacity(images.len());
+        let mut stats = RunStats::default();
+        for result in blocks.into_iter().flatten() {
+            let (out, local) = result?;
+            stats.merge(&local);
+            outputs.push(out);
+        }
+        Ok(BatchResult { outputs, stats })
+    }
+
+    /// Top-1 predictions for a batch of images.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledModel::run_batch`].
+    pub fn predict_batch(&self, images: &[Tensor<u8>]) -> Result<Vec<usize>, CoreError> {
+        Ok(self
+            .run_batch(images)?
+            .outputs
+            .iter()
+            .map(|out| argmax(out.as_slice()))
+            .collect())
+    }
+
+    /// Runs one image against a worker-owned arena. Every image gets a
+    /// fresh noise-stream state (seed from the configuration, vector
+    /// counter at zero), which is the whole determinism story.
+    fn run_image_with(
+        &self,
+        image: &Tensor<u8>,
+        arena: &mut ValueArena,
+        parallel_vectors: bool,
+    ) -> Result<(Tensor<u8>, RunStats), CoreError> {
+        let mut engine = PlannedEngine {
+            layers: &self.layers,
+            cursor: 0,
+            stats: RunStats::default(),
+            next_vector: 0,
+            noise_seed: self.noise_seed,
+            parallel_vectors,
+        };
+        let out = self
+            .graph
+            .run_planned(&self.plan, image, &mut engine, arena)?;
+        Ok((out, engine.stats))
+    }
+}
+
+/// Per-image engine adapter: serves the graph's matrix-layer calls from
+/// the precompiled list. Calls arrive in execution order — the same order
+/// [`Graph::matrix_layers`] reports (property-tested in
+/// `crates/nn/tests/graph_proptests.rs`) — so a cursor suffices.
+struct PlannedEngine<'m> {
+    layers: &'m [Arc<CompiledLayer>],
+    cursor: usize,
+    stats: RunStats,
+    next_vector: u64,
+    noise_seed: u64,
+    parallel_vectors: bool,
+}
+
+impl MatVecEngine for PlannedEngine<'_> {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        let compiled = &self.layers[self.cursor];
+        self.cursor += 1;
+        debug_assert_eq!(compiled.name(), layer.name(), "layer order drifted");
+        let out = if self.parallel_vectors {
+            run_batch_parallel_at(
+                compiled,
+                inputs,
+                &mut self.stats,
+                self.noise_seed,
+                self.next_vector,
+            )
+        } else {
+            run_batch_at(
+                compiled,
+                inputs,
+                &mut self.stats,
+                self.noise_seed,
+                self.next_vector,
+            )
+        };
+        self.next_vector += (inputs.len() / layer.filter_len()) as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::synth::SynthLayer;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let c1 = g
+            .conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)
+            .unwrap();
+        let p = g.max_pool(c1, 2, 2);
+        let gap = g.global_avg_pool(p);
+        let fc = g.linear(gap, SynthLayer::linear(4, 6, 3).build());
+        g.set_output(fc);
+        g
+    }
+
+    fn tiny_cfg() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            search_vectors: 2,
+            ..RaellaConfig::default()
+        }
+    }
+
+    fn sample_image(seed: u64) -> Tensor<u8> {
+        use raella_nn::rng::SynthRng;
+        let mut rng = SynthRng::new(seed);
+        let data: Vec<u8> = (0..2 * 8 * 8)
+            .map(|_| rng.exponential(30.0).min(255.0) as u8)
+            .collect();
+        Tensor::from_vec(data, &[2, 8, 8]).unwrap()
+    }
+
+    #[test]
+    fn compile_counts_layers() {
+        let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
+        assert_eq!(model.matrix_layer_count(), 2);
+        assert_eq!(model.unique_layer_count(), 2);
+        assert!(model.total_columns() > 0);
+    }
+
+    #[test]
+    fn repeated_layers_compile_once() {
+        // The same MatrixLayer object used twice must share one compile.
+        let shared = SynthLayer::conv(2, 2, 3, 5).build();
+        let mut g = Graph::new();
+        let input = g.input();
+        let a = g.conv(input, shared.clone(), 2, 3, 1, 1).unwrap();
+        let b = g.conv(a, shared, 2, 3, 1, 1).unwrap();
+        g.set_output(b);
+        let model = CompiledModel::compile(&g, &tiny_cfg()).unwrap();
+        assert_eq!(model.matrix_layer_count(), 2);
+        assert_eq!(model.unique_layer_count(), 1);
+        assert!(Arc::ptr_eq(&model.layers[0], &model.layers[1]));
+    }
+
+    #[test]
+    fn batch_outputs_match_single_runs() {
+        let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
+        let images: Vec<Tensor<u8>> = (0..3).map(sample_image).collect();
+        let batch = model.run_batch(&images).unwrap();
+        assert_eq!(batch.outputs.len(), 3);
+        let mut merged = RunStats::default();
+        for (img, expected) in images.iter().zip(&batch.outputs) {
+            let (single, stats) = model.run_image(img).unwrap();
+            assert_eq!(&single, expected);
+            merged.merge(&stats);
+        }
+        assert_eq!(merged, batch.stats);
+    }
+
+    #[test]
+    fn misshaped_image_fails_the_batch() {
+        let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
+        let bad = Tensor::zeros(&[5, 8, 8]);
+        assert!(model.run_batch(&[bad]).is_err());
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected_at_compile_time() {
+        let mut g = Graph::new();
+        let _input = g.input();
+        g.set_output(99); // not a node
+        let err = CompiledModel::compile(&g, &tiny_cfg()).unwrap_err();
+        assert!(matches!(err, CoreError::Nn(_)), "{err}");
+    }
+}

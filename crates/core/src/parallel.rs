@@ -23,12 +23,22 @@ pub const MIN_ITEMS_PER_THREAD: usize = 2;
 /// `RAELLA_THREADS` environment variable (useful for benchmarking and for
 /// pinning CI).
 pub fn worker_count(items: usize) -> usize {
+    worker_count_for(items, MIN_ITEMS_PER_THREAD)
+}
+
+/// [`worker_count`] with an explicit minimum-items-per-worker policy.
+///
+/// Small work items (engine vectors) want [`MIN_ITEMS_PER_THREAD`] per
+/// worker before another thread pays for itself; heavyweight items (whole
+/// images through a model) justify one worker each — pass
+/// `min_per_worker = 1`.
+pub fn worker_count_for(items: usize, min_per_worker: usize) -> usize {
     let hw = std::env::var("RAELLA_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    hw.min(items.div_ceil(MIN_ITEMS_PER_THREAD)).max(1)
+    hw.min(items.div_ceil(min_per_worker.max(1))).max(1)
 }
 
 /// Runs `work` over `items` work items fanned out across `threads`
@@ -81,6 +91,48 @@ where
     })
 }
 
+/// Runs `work` over `items` work items fanned out across `threads`
+/// contiguous blocks, with no shared output buffer.
+///
+/// `work(first_item, n_items)` processes items
+/// `first_item .. first_item + n_items` and returns a block-local result;
+/// results come back in block order (deterministic regardless of
+/// scheduling). This is the fan-out for work whose output size is not
+/// known up front — e.g. whole images through a compiled model, where each
+/// block returns its own tensors.
+///
+/// # Panics
+///
+/// Panics if a worker panics.
+pub fn run_chunks<A, F>(items: usize, threads: usize, work: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(usize, usize) -> A + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items);
+    let block_items = items.div_ceil(threads);
+    if threads == 1 {
+        return vec![work(0, items)];
+    }
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..items)
+            .step_by(block_items)
+            .map(|first| {
+                let n = block_items.min(items - first);
+                scope.spawn(move || work(first, n))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel batch worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +179,33 @@ mod tests {
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(2) <= 1.max(2 / MIN_ITEMS_PER_THREAD));
         assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn worker_count_for_heavy_items_allows_one_each() {
+        // With min_per_worker = 1 the cap is the item count itself.
+        assert!(worker_count_for(3, 1) <= 3);
+        assert_eq!(worker_count_for(0, 1), 1);
+        assert_eq!(worker_count_for(5, 0), worker_count_for(5, 1));
+    }
+
+    #[test]
+    fn run_chunks_covers_items_in_block_order() {
+        for threads in [1, 2, 3, 4, 8, 37, 64] {
+            let blocks = run_chunks(37, threads, |first, n| (first, n));
+            let total: usize = blocks.iter().map(|&(_, n)| n).sum();
+            assert_eq!(total, 37, "threads={threads}");
+            let mut next = 0;
+            for &(first, n) in &blocks {
+                assert_eq!(first, next, "threads={threads}");
+                next = first + n;
+            }
+        }
+    }
+
+    #[test]
+    fn run_chunks_empty_is_a_no_op() {
+        let r: Vec<u32> = run_chunks(0, 8, |_, _| 1);
+        assert!(r.is_empty());
     }
 }

@@ -1,0 +1,127 @@
+//! `CompiledModel` determinism contract, on a graph that exercises every
+//! operator (conv, linear, max-pool, global-avg-pool, residual add,
+//! channel slice/concat/shuffle):
+//!
+//! * batched outputs are bit-identical to per-image `Graph::run` through a
+//!   fresh `RaellaEngine` — the compile-once/run-batch path changes the
+//!   schedule, never the bytes;
+//! * results are invariant across `RAELLA_THREADS` ∈ {1, 2, 4, 8}, in
+//!   both ideal and noisy modes, statistics included;
+//! * a per-image result does not depend on batch position, batch size, or
+//!   the surrounding images.
+//!
+//! Worker count is pinned through the `RAELLA_THREADS` environment
+//! variable; this file keeps a single `#[test]` so the variable is never
+//! mutated concurrently (integration-test binaries are separate
+//! processes, so nothing outside this file observes it either).
+
+use raella_core::engine::RaellaEngine;
+use raella_core::model::CompiledModel;
+use raella_core::RaellaConfig;
+use raella_nn::graph::Graph;
+use raella_nn::rng::SynthRng;
+use raella_nn::synth::SynthLayer;
+use raella_nn::tensor::Tensor;
+
+/// A compact graph touching all nine operators (kept small so the whole
+/// sweep stays cheap in debug builds).
+fn all_ops_graph() -> Graph {
+    let mut g = Graph::new();
+    let input = g.input();
+    let stem = g
+        .conv(input, SynthLayer::conv(4, 8, 3, 11).build(), 4, 3, 1, 1)
+        .expect("consistent");
+    let pooled = g.max_pool(stem, 2, 2);
+    let left = g.slice_channels(pooled, 0, 4);
+    let right = g.slice_channels(pooled, 4, 8);
+    let pw = g
+        .conv(right, SynthLayer::conv(4, 4, 1, 13).build(), 4, 1, 1, 0)
+        .expect("consistent");
+    let merged = g.add(left, pw);
+    let cat = g.concat(vec![left, merged]);
+    let shuffled = g.shuffle_channels(cat, 2);
+    let gap = g.global_avg_pool(shuffled);
+    let fc = g.linear(gap, SynthLayer::linear(8, 10, 17).build());
+    g.set_output(fc);
+    g
+}
+
+fn sample_image(seed: u64) -> Tensor<u8> {
+    let mut rng = SynthRng::new(seed ^ 0xD0D0);
+    let data: Vec<u8> = (0..4 * 8 * 8)
+        .map(|_| rng.exponential(40.0).min(255.0) as u8)
+        .collect();
+    Tensor::from_vec(data, &[4, 8, 8]).expect("consistent")
+}
+
+#[test]
+fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
+    let graph = all_ops_graph();
+    for noise in [0.0, 0.06] {
+        let cfg = RaellaConfig {
+            crossbar_rows: 128,
+            crossbar_cols: 128,
+            search_vectors: 2,
+            ..RaellaConfig::default()
+        }
+        .with_noise(noise);
+        let model = CompiledModel::compile(&graph, &cfg).expect("compiles");
+        let images: Vec<Tensor<u8>> = (0..3).map(|i| sample_image(100 + i)).collect();
+
+        // Acceptance bar: every image of the batch matches a fresh
+        // per-image engine walking the graph the pre-CompiledModel way.
+        let baseline: Vec<Tensor<u8>> = images
+            .iter()
+            .map(|img| {
+                let mut engine = RaellaEngine::new(cfg.clone());
+                graph.run(img, &mut engine).expect("runs")
+            })
+            .collect();
+        let batch = model.run_batch(&images).expect("runs");
+        assert_eq!(
+            batch.outputs, baseline,
+            "batch diverged from per-image Graph::run at noise {noise}"
+        );
+
+        // Thread-count invariance, via the env knob and directly.
+        for threads in ["1", "2", "4", "8"] {
+            std::env::set_var("RAELLA_THREADS", threads);
+            let sweep = model.run_batch(&images).expect("runs");
+            assert_eq!(
+                sweep.outputs, batch.outputs,
+                "outputs diverged at noise {noise}, {threads} threads"
+            );
+            assert_eq!(
+                sweep.stats, batch.stats,
+                "stats diverged at noise {noise}, {threads} threads"
+            );
+        }
+        std::env::remove_var("RAELLA_THREADS");
+        for threads in [1, 3] {
+            let sweep = model.run_batch_threaded(&images, threads).expect("runs");
+            assert_eq!(sweep.outputs, batch.outputs, "{threads} workers");
+            assert_eq!(sweep.stats, batch.stats, "{threads} workers");
+        }
+
+        // Batch-composition independence: position, size, and neighbors
+        // must not leak into an image's result.
+        let singleton = model.run_batch(&images[2..3]).expect("runs");
+        assert_eq!(singleton.outputs[0], baseline[2], "singleton run");
+
+        let reversed: Vec<Tensor<u8>> = images.iter().rev().cloned().collect();
+        let rev_batch = model.run_batch(&reversed).expect("runs");
+        for (i, out) in rev_batch.outputs.iter().enumerate() {
+            assert_eq!(
+                out,
+                &baseline[images.len() - 1 - i],
+                "image moved to position {i} changed"
+            );
+        }
+
+        let duplicated = vec![images[0].clone(), images[1].clone(), images[0].clone()];
+        let dup_batch = model.run_batch(&duplicated).expect("runs");
+        assert_eq!(dup_batch.outputs[0], baseline[0], "dup first");
+        assert_eq!(dup_batch.outputs[2], baseline[0], "dup last");
+        assert_eq!(dup_batch.outputs[1], baseline[1], "dup middle");
+    }
+}

@@ -9,8 +9,8 @@
 
 use crate::error::NnError;
 use crate::layers::{
-    concat_channels, global_avg_pool, max_pool2d, residual_add, Conv2d, Linear, MatVecEngine,
-    ReferenceEngine,
+    concat_channels, global_avg_pool, max_pool2d, residual_add, shuffle_channels, slice_channels,
+    Conv2d, Linear, MatVecEngine, ReferenceEngine,
 };
 use crate::matrix::{Act, MatrixLayer};
 use crate::tensor::Tensor;
@@ -51,43 +51,19 @@ pub enum Op {
     },
 }
 
-/// Keeps channels `from..to` of a CHW tensor.
-fn slice_channels(input: &Tensor<u8>, from: usize, to: usize) -> Result<Tensor<u8>, NnError> {
-    let shape = input.shape();
-    if shape.len() != 3 || from >= to || to > shape[0] {
-        return Err(NnError::ShapeMismatch {
-            expected: format!("CHW input with at least {to} channels"),
-            got: format!("{shape:?} sliced [{from}..{to})"),
-        });
+/// Short operation name for diagnostics.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Input => "input",
+        Op::Conv(_) => "conv",
+        Op::Linear(_) => "linear",
+        Op::MaxPool { .. } => "max_pool",
+        Op::GlobalAvgPool => "global_avg_pool",
+        Op::Add => "add",
+        Op::Concat => "concat",
+        Op::SliceChannels { .. } => "slice_channels",
+        Op::ShuffleChannels { .. } => "shuffle_channels",
     }
-    let (h, w) = (shape[1], shape[2]);
-    let data = input.as_slice()[from * h * w..to * h * w].to_vec();
-    Tensor::from_vec(data, &[to - from, h, w])
-}
-
-/// ShuffleNet channel shuffle: reshape `(g, c/g, ...)` → transpose.
-fn shuffle_channels(input: &Tensor<u8>, groups: usize) -> Result<Tensor<u8>, NnError> {
-    let shape = input.shape();
-    if shape.len() != 3 || groups == 0 || !shape[0].is_multiple_of(groups) {
-        return Err(NnError::ShapeMismatch {
-            expected: format!("CHW with channels divisible by {groups}"),
-            got: format!("{shape:?}"),
-        });
-    }
-    let (c, h, w) = (shape[0], shape[1], shape[2]);
-    let per = c / groups;
-    let plane = h * w;
-    let src = input.as_slice();
-    let mut data = vec![0u8; c * plane];
-    for g in 0..groups {
-        for i in 0..per {
-            let src_ch = g * per + i;
-            let dst_ch = i * groups + g;
-            data[dst_ch * plane..(dst_ch + 1) * plane]
-                .copy_from_slice(&src[src_ch * plane..(src_ch + 1) * plane]);
-        }
-    }
-    Tensor::from_vec(data, &[c, h, w])
 }
 
 /// A node: an operation applied to earlier nodes' outputs.
@@ -97,6 +73,64 @@ pub struct Node {
     pub op: Op,
     /// Indices of input nodes (must all be `<` this node's index).
     pub inputs: Vec<usize>,
+}
+
+/// A validated execution plan for a [`Graph`].
+///
+/// Planning runs the structural checks once — every input must reference an
+/// earlier node, every operation must have its expected arity, and the
+/// output must name a node — and precomputes, for every node in the
+/// executed prefix, the last node that consumes its value, so execution can
+/// free intermediate tensors the moment they are dead. Build one with
+/// [`Graph::plan`] and reuse it across images via [`Graph::run_planned`].
+#[derive(Debug, Clone)]
+pub struct ExecPlan {
+    /// Node count of the graph the plan was built from (guards reuse
+    /// against a different graph).
+    nodes: usize,
+    /// The node whose value the plan returns.
+    output: usize,
+    /// `last_use[i]` = index of the last node in `0..=output` consuming
+    /// node `i`'s value; the output itself is pinned past the end so it is
+    /// never freed early.
+    last_use: Vec<usize>,
+}
+
+impl ExecPlan {
+    /// The node whose value this plan returns.
+    pub fn output(&self) -> usize {
+        self.output
+    }
+
+    /// Node count of the graph this plan was built from.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+/// Reusable per-worker storage for intermediate node values.
+///
+/// One arena per executing thread: [`Graph::run_planned`] clears and
+/// refills the slots in place, so streaming many images through the same
+/// graph re-uses the bookkeeping allocation, and dead intermediates are
+/// dropped as soon as their last consumer has run (instead of all living
+/// until the end of the image).
+#[derive(Debug, Default)]
+pub struct ValueArena {
+    values: Vec<Option<Tensor<u8>>>,
+}
+
+impl ValueArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        ValueArena::default()
+    }
+
+    /// Clears all slots and ensures capacity for `nodes` values.
+    fn reset(&mut self, nodes: usize) {
+        self.values.clear();
+        self.values.resize(nodes, None);
+    }
 }
 
 /// A mini DNN as a topologically ordered DAG.
@@ -140,6 +174,13 @@ impl Graph {
     /// Adds the input placeholder and returns its node id.
     pub fn input(&mut self) -> usize {
         self.push(Op::Input, vec![])
+    }
+
+    /// Appends a raw node without structural checks — wiring is validated
+    /// at plan time. The escape hatch for graph deserializers and the
+    /// validation property tests; prefer the typed builders below.
+    pub fn push_node(&mut self, op: Op, inputs: Vec<usize>) -> usize {
+        self.push(op, inputs)
     }
 
     /// Adds a convolution node.
@@ -212,7 +253,105 @@ impl Graph {
             .collect()
     }
 
+    /// Validates the graph's structure: every input references an earlier
+    /// node, every operation has its expected arity, and the output marks
+    /// an existing node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] naming the first offending node.
+    pub fn validate(&self) -> Result<(), NnError> {
+        self.plan().map(|_| ())
+    }
+
+    /// Builds the execution plan for the graph's marked output.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::validate`].
+    pub fn plan(&self) -> Result<ExecPlan, NnError> {
+        self.plan_for(self.output)
+    }
+
+    /// Builds an execution plan returning `output`'s value instead of the
+    /// graph's marked output — only nodes `0..=output` are executed (the
+    /// prefix runs behind graph-level calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] if `output` is not a node or any
+    /// node in the prefix is structurally invalid.
+    pub fn plan_for(&self, output: usize) -> Result<ExecPlan, NnError> {
+        if output >= self.nodes.len() {
+            return Err(NnError::InvalidNode {
+                node: output,
+                reason: format!(
+                    "output is not a node (graph has {} nodes)",
+                    self.nodes.len()
+                ),
+            });
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &inp in &node.inputs {
+                if inp >= i {
+                    return Err(NnError::InvalidNode {
+                        node: i,
+                        reason: format!("input {inp} is not an earlier node"),
+                    });
+                }
+            }
+            let expected = match &node.op {
+                Op::Input => Some(0),
+                Op::Conv(_)
+                | Op::Linear(_)
+                | Op::MaxPool { .. }
+                | Op::GlobalAvgPool
+                | Op::SliceChannels { .. }
+                | Op::ShuffleChannels { .. } => Some(1),
+                Op::Add => Some(2),
+                Op::Concat => None, // variadic, at least one
+            };
+            match expected {
+                Some(n) if node.inputs.len() != n => {
+                    return Err(NnError::InvalidNode {
+                        node: i,
+                        reason: format!(
+                            "{} takes {n} input(s), got {}",
+                            op_name(&node.op),
+                            node.inputs.len()
+                        ),
+                    });
+                }
+                None if node.inputs.is_empty() => {
+                    return Err(NnError::InvalidNode {
+                        node: i,
+                        reason: "concat needs at least one input".into(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        // Last consumer of each value within the executed prefix; the
+        // output is pinned past the end so it survives to extraction.
+        let mut last_use: Vec<usize> = (0..self.nodes.len()).collect();
+        for (i, node) in self.nodes.iter().enumerate().take(output + 1) {
+            for &inp in &node.inputs {
+                last_use[inp] = i;
+            }
+        }
+        last_use[output] = self.nodes.len();
+        Ok(ExecPlan {
+            nodes: self.nodes.len(),
+            output,
+            last_use,
+        })
+    }
+
     /// Runs the graph on a CHW input through the given engine.
+    ///
+    /// Plans, allocates a fresh [`ValueArena`], and executes. Callers
+    /// streaming many inputs should plan once and call
+    /// [`Graph::run_planned`] with a reused arena instead.
     ///
     /// # Errors
     ///
@@ -223,49 +362,93 @@ impl Graph {
         input: &Tensor<u8>,
         engine: &mut dyn MatVecEngine,
     ) -> Result<Tensor<u8>, NnError> {
-        let mut values: Vec<Option<Tensor<u8>>> = vec![None; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            for &inp in &node.inputs {
-                if inp >= i {
-                    return Err(NnError::InvalidNode {
-                        node: i,
-                        reason: format!("input {inp} is not an earlier node"),
-                    });
-                }
-            }
+        let plan = self.plan()?;
+        let mut arena = ValueArena::new();
+        self.run_planned(&plan, input, engine, &mut arena)
+    }
+
+    /// Runs the graph with a prebuilt plan and a reusable arena.
+    ///
+    /// The input tensor is *borrowed* by `Op::Input` nodes (no per-node
+    /// clone); intermediates are freed at their last use. Structural
+    /// validation already happened at planning time, so per-run overhead is
+    /// one arena reset.
+    ///
+    /// The plan must come from this graph's [`Graph::plan`]/
+    /// [`Graph::plan_for`]. A foreign plan is detected on a best-effort
+    /// basis (node-count mismatch); a different graph of the *same* size
+    /// yields an error or a well-formed but wrong node's output — never a
+    /// panic or undefined behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidNode`] if the plan's node count does not
+    /// match this graph, and propagates operator shape errors.
+    pub fn run_planned(
+        &self,
+        plan: &ExecPlan,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+        arena: &mut ValueArena,
+    ) -> Result<Tensor<u8>, NnError> {
+        if plan.nodes != self.nodes.len() {
+            return Err(NnError::InvalidNode {
+                node: plan.output,
+                reason: format!(
+                    "plan covers {} nodes but graph has {}",
+                    plan.nodes,
+                    self.nodes.len()
+                ),
+            });
+        }
+        arena.reset(self.nodes.len());
+        for (i, node) in self.nodes.iter().enumerate().take(plan.output + 1) {
+            // Input nodes resolve to the borrowed image; everything else
+            // reads the arena slot its producer filled.
             let arg = |j: usize| -> Result<&Tensor<u8>, NnError> {
                 let idx = *node.inputs.get(j).ok_or(NnError::InvalidNode {
                     node: i,
                     reason: format!("missing input {j}"),
                 })?;
-                values[idx].as_ref().ok_or(NnError::InvalidNode {
+                if matches!(self.nodes[idx].op, Op::Input) {
+                    return Ok(input);
+                }
+                arena.values[idx].as_ref().ok_or(NnError::InvalidNode {
                     node: i,
                     reason: format!("input {idx} was never computed"),
                 })
             };
             let out = match &node.op {
-                Op::Input => input.clone(),
-                Op::Conv(conv) => conv.forward(arg(0)?, engine)?,
-                Op::Linear(lin) => lin.forward(arg(0)?, engine)?,
-                Op::MaxPool { k, stride } => max_pool2d(arg(0)?, *k, *stride)?,
-                Op::GlobalAvgPool => global_avg_pool(arg(0)?)?,
-                Op::Add => residual_add(arg(0)?, arg(1)?)?,
+                Op::Input => None,
+                Op::Conv(conv) => Some(conv.forward(arg(0)?, engine)?),
+                Op::Linear(lin) => Some(lin.forward(arg(0)?, engine)?),
+                Op::MaxPool { k, stride } => Some(max_pool2d(arg(0)?, *k, *stride)?),
+                Op::GlobalAvgPool => Some(global_avg_pool(arg(0)?)?),
+                Op::Add => Some(residual_add(arg(0)?, arg(1)?)?),
                 Op::Concat => {
                     let parts: Result<Vec<&Tensor<u8>>, NnError> =
                         (0..node.inputs.len()).map(arg).collect();
-                    concat_channels(&parts?)?
+                    Some(concat_channels(&parts?)?)
                 }
-                Op::SliceChannels { from, to } => slice_channels(arg(0)?, *from, *to)?,
-                Op::ShuffleChannels { groups } => shuffle_channels(arg(0)?, *groups)?,
+                Op::SliceChannels { from, to } => Some(slice_channels(arg(0)?, *from, *to)?),
+                Op::ShuffleChannels { groups } => Some(shuffle_channels(arg(0)?, *groups)?),
             };
-            values[i] = Some(out);
+            arena.values[i] = out;
+            // Free values whose last consumer just ran.
+            for &inp in &node.inputs {
+                if plan.last_use[inp] == i {
+                    arena.values[inp] = None;
+                }
+            }
         }
-        values
-            .into_iter()
-            .nth(self.output)
-            .flatten()
+        if matches!(self.nodes[plan.output].op, Op::Input) {
+            // The only case that clones: the graph returns its input.
+            return Ok(input.clone());
+        }
+        arena.values[plan.output]
+            .take()
             .ok_or(NnError::InvalidNode {
-                node: self.output,
+                node: plan.output,
                 reason: "output node missing".into(),
             })
     }
@@ -332,9 +515,9 @@ impl Graph {
 
     /// Runs the graph up to (and including) `node`, returning its output.
     fn run_prefix(&self, input: &Tensor<u8>, node: usize) -> Result<Tensor<u8>, NnError> {
-        let mut sub = self.clone();
-        sub.set_output(node);
-        sub.run(input, &mut ReferenceEngine)
+        let plan = self.plan_for(node)?;
+        let mut arena = ValueArena::new();
+        self.run_planned(&plan, input, &mut ReferenceEngine, &mut arena)
     }
 
     /// Index of the maximum output (prediction) after running the graph.

@@ -293,6 +293,55 @@ pub fn residual_add(a: &Tensor<u8>, b: &Tensor<u8>) -> Result<Tensor<u8>, NnErro
     Tensor::from_vec(data, a.shape())
 }
 
+/// Keeps channels `from..to` of a CHW tensor (group-conv plumbing).
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for non-CHW input, an empty range,
+/// or a range past the channel count.
+pub fn slice_channels(input: &Tensor<u8>, from: usize, to: usize) -> Result<Tensor<u8>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || from >= to || to > shape[0] {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("CHW input with at least {to} channels"),
+            got: format!("{shape:?} sliced [{from}..{to})"),
+        });
+    }
+    let (h, w) = (shape[1], shape[2]);
+    let data = input.as_slice()[from * h * w..to * h * w].to_vec();
+    Tensor::from_vec(data, &[to - from, h, w])
+}
+
+/// ShuffleNet channel shuffle: reshape `(g, c/g, ...)` → transpose.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] for non-CHW input or a channel count
+/// not divisible by `groups`.
+pub fn shuffle_channels(input: &Tensor<u8>, groups: usize) -> Result<Tensor<u8>, NnError> {
+    let shape = input.shape();
+    if shape.len() != 3 || groups == 0 || !shape[0].is_multiple_of(groups) {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("CHW with channels divisible by {groups}"),
+            got: format!("{shape:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let per = c / groups;
+    let plane = h * w;
+    let src = input.as_slice();
+    let mut data = vec![0u8; c * plane];
+    for g in 0..groups {
+        for i in 0..per {
+            let src_ch = g * per + i;
+            let dst_ch = i * groups + g;
+            data[dst_ch * plane..(dst_ch + 1) * plane]
+                .copy_from_slice(&src[src_ch * plane..(src_ch + 1) * plane]);
+        }
+    }
+    Tensor::from_vec(data, &[c, h, w])
+}
+
 /// Channel concatenation of CHW maps with equal spatial size.
 ///
 /// # Errors

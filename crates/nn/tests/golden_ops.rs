@@ -1,0 +1,155 @@
+//! Golden regression tests for the pure (weight-free) graph operators.
+//!
+//! Every expected tensor here is hand-computed from the operator's
+//! definition, so any plan/arena refactor of graph execution that silently
+//! changes operator semantics fails loudly. The same ops are also
+//! exercised through `Graph` nodes to pin the graph-level wiring.
+
+use raella_nn::graph::Graph;
+use raella_nn::layers::{
+    concat_channels, global_avg_pool, max_pool2d, residual_add, shuffle_channels, slice_channels,
+};
+use raella_nn::Tensor;
+
+fn chw(data: Vec<u8>, c: usize, h: usize, w: usize) -> Tensor<u8> {
+    Tensor::from_vec(data, &[c, h, w]).expect("consistent test tensor")
+}
+
+#[test]
+fn max_pool2d_golden() {
+    // 1×4×4 ramp; 2×2 window, stride 2: max of each quadrant.
+    let t = chw((1..=16).collect(), 1, 4, 4);
+    let out = max_pool2d(&t, 2, 2).unwrap();
+    assert_eq!(out.shape(), &[1, 2, 2]);
+    assert_eq!(out.as_slice(), &[6, 8, 14, 16]);
+
+    // Overlapping windows (stride 1): 3×3 output.
+    let out = max_pool2d(&t, 2, 1).unwrap();
+    assert_eq!(out.shape(), &[1, 3, 3]);
+    assert_eq!(out.as_slice(), &[6, 7, 8, 10, 11, 12, 14, 15, 16]);
+
+    // Two channels pool independently.
+    let t2 = chw(vec![9, 1, 1, 1, 1, 1, 1, 7], 2, 2, 2);
+    let out = max_pool2d(&t2, 2, 2).unwrap();
+    assert_eq!(out.shape(), &[2, 1, 1]);
+    assert_eq!(out.as_slice(), &[9, 7]);
+}
+
+#[test]
+fn global_avg_pool_golden() {
+    // Channel 0 mean 2.5 → rounds to 3; channel 1 mean 252.5 → 253.
+    let t = chw(vec![1, 2, 3, 4, 251, 252, 253, 254], 2, 2, 2);
+    let out = global_avg_pool(&t).unwrap();
+    assert_eq!(out.shape(), &[2]);
+    assert_eq!(out.as_slice(), &[3, 253]);
+
+    // 1×1 spatial: identity per channel.
+    let t = chw(vec![7, 0, 200], 3, 1, 1);
+    assert_eq!(global_avg_pool(&t).unwrap().as_slice(), &[7, 0, 200]);
+}
+
+#[test]
+fn residual_add_golden() {
+    // Requantized average, truncating: (a + b) / 2.
+    let a = chw(vec![0, 1, 254, 255], 1, 2, 2);
+    let b = chw(vec![0, 2, 255, 255], 1, 2, 2);
+    let out = residual_add(&a, &b).unwrap();
+    assert_eq!(out.as_slice(), &[0, 1, 254, 255]);
+    // (1 + 2) / 2 truncates to 1; no overflow at the u8 rails.
+}
+
+#[test]
+fn concat_channels_golden() {
+    let a = chw(vec![1, 2, 3, 4], 1, 2, 2);
+    let b = chw(vec![5, 6, 7, 8, 9, 10, 11, 12], 2, 2, 2);
+    let out = concat_channels(&[&a, &b]).unwrap();
+    assert_eq!(out.shape(), &[3, 2, 2]);
+    assert_eq!(out.as_slice(), &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+}
+
+#[test]
+fn slice_channels_golden() {
+    let t = chw((0..12).collect(), 3, 2, 2);
+    let mid = slice_channels(&t, 1, 2).unwrap();
+    assert_eq!(mid.shape(), &[1, 2, 2]);
+    assert_eq!(mid.as_slice(), &[4, 5, 6, 7]);
+
+    let tail = slice_channels(&t, 1, 3).unwrap();
+    assert_eq!(tail.shape(), &[2, 2, 2]);
+    assert_eq!(tail.as_slice(), &[4, 5, 6, 7, 8, 9, 10, 11]);
+
+    // Full range is the identity.
+    assert_eq!(slice_channels(&t, 0, 3).unwrap(), t);
+}
+
+#[test]
+fn shuffle_channels_golden() {
+    // 6 channels of one pixel, 2 groups: (0,1,2)(3,4,5) → 0,3,1,4,2,5.
+    let t = chw(vec![0, 1, 2, 3, 4, 5], 6, 1, 1);
+    let out = shuffle_channels(&t, 2).unwrap();
+    assert_eq!(out.as_slice(), &[0, 3, 1, 4, 2, 5]);
+
+    // 3 groups: (0,1)(2,3)(4,5) → 0,2,4,1,3,5.
+    let out = shuffle_channels(&t, 3).unwrap();
+    assert_eq!(out.as_slice(), &[0, 2, 4, 1, 3, 5]);
+
+    // Shuffle moves whole spatial planes, not single pixels.
+    let t = chw(vec![1, 2, 3, 4, 5, 6, 7, 8], 4, 1, 2);
+    let out = shuffle_channels(&t, 2).unwrap();
+    assert_eq!(out.as_slice(), &[1, 2, 5, 6, 3, 4, 7, 8]);
+
+    // groups = 1 and groups = channels are both the identity.
+    assert_eq!(shuffle_channels(&t, 1).unwrap(), t);
+    assert_eq!(shuffle_channels(&t, 4).unwrap(), t);
+}
+
+#[test]
+fn ops_reject_malformed_inputs() {
+    let flat = Tensor::<u8>::zeros(&[4]);
+    assert!(max_pool2d(&flat, 2, 2).is_err());
+    assert!(global_avg_pool(&flat).is_err());
+    assert!(slice_channels(&flat, 0, 1).is_err());
+    assert!(shuffle_channels(&flat, 2).is_err());
+
+    let t = chw(vec![0; 8], 2, 2, 2);
+    assert!(max_pool2d(&t, 0, 1).is_err(), "zero window");
+    assert!(max_pool2d(&t, 3, 1).is_err(), "window larger than input");
+    assert!(slice_channels(&t, 1, 1).is_err(), "empty channel range");
+    assert!(slice_channels(&t, 0, 3).is_err(), "range past channels");
+    assert!(shuffle_channels(&t, 3).is_err(), "indivisible groups");
+    assert!(shuffle_channels(&t, 0).is_err(), "zero groups");
+    let other = chw(vec![0; 4], 1, 2, 2);
+    assert!(residual_add(&t, &other).is_err(), "shape mismatch");
+    assert!(concat_channels(&[]).is_err(), "empty concat");
+}
+
+/// The same golden values through graph nodes: the executor must not
+/// change operator semantics (it borrows inputs and frees dead values).
+#[test]
+fn graph_wiring_preserves_op_semantics() {
+    let mut g = Graph::new();
+    let input = g.input();
+    let left = g.slice_channels(input, 0, 1);
+    let right = g.slice_channels(input, 1, 2);
+    let merged = g.add(left, right);
+    let cat = g.concat(vec![merged, left]);
+    let shuffled = g.shuffle_channels(cat, 2);
+    let pooled = g.max_pool(shuffled, 2, 2);
+    let gap = g.global_avg_pool(pooled);
+    g.set_output(gap);
+
+    // Channel 0 = ramp 0..16, channel 1 = constant 10.
+    let mut data: Vec<u8> = (0..16).collect();
+    data.extend([10u8; 16]);
+    let image = chw(data, 2, 4, 4);
+
+    // Hand-computed: add → (ramp + 10)/2; concat(add, ramp); shuffle of 2
+    // channels with 2 groups is the identity; pool then average.
+    let added: Vec<u8> = (0u16..16).map(|v| ((v + 10) / 2) as u8).collect();
+    assert_eq!(added[..4], [5, 5, 6, 6]);
+    // max_pool2d(added, 2, 2) = [7, 8, 11, 12]; mean 9.5 → rounds to 10.
+    // max_pool2d(ramp, 2, 2)  = [5, 7, 13, 15]; mean 10 → 10.
+    let out = g.run_reference(&image).unwrap();
+    assert_eq!(out.shape(), &[2]);
+    assert_eq!(out.as_slice(), &[10, 10]);
+}

@@ -1,4 +1,5 @@
-//! ResNet18 end to end: compile the mini functional model, check accuracy
+//! ResNet18 end to end: compile the mini functional model **once**, serve
+//! an image batch through `CompiledModel::run_batch`, check accuracy
 //! against the integer reference, then evaluate the full-size network's
 //! energy and throughput on RAELLA vs ISAAC (the paper's Fig. 12 flow).
 //!
@@ -6,31 +7,59 @@
 //! cargo run --release --example resnet_pipeline
 //! ```
 
+use std::time::Instant;
+
 use raella::arch::eval::evaluate_dnn;
 use raella::arch::spec::AccelSpec;
-use raella::core::engine::RaellaEngine;
+use raella::core::model::CompiledModel;
 use raella::core::RaellaConfig;
+use raella::nn::graph::argmax;
 use raella::nn::models::mini::mini_resnet18;
 use raella::nn::models::shapes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- functional tier: does RAELLA change ResNet18's predictions? ----
+    // Compile every layer once up front, then stream image batches — the
+    // serving flow (see README "Model serving").
     let model = mini_resnet18(42);
-    let mut engine = RaellaEngine::new(RaellaConfig {
+    let cfg = RaellaConfig {
         search_vectors: 3,
         ..RaellaConfig::default()
-    });
-    let images = 10;
-    let match_rate = model.top1_match_rate(&mut engine, images, 7);
+    };
+    let t0 = Instant::now();
+    let compiled = CompiledModel::compile(&model.graph, &cfg)?;
     println!(
-        "functional: {}/{} predictions match the integer reference",
-        (match_rate * images as f64).round() as usize,
-        images
+        "compile: {} matrix layers ({} distinct) in {:.2?}, {} crossbar columns",
+        compiled.matrix_layer_count(),
+        compiled.unique_layer_count(),
+        t0.elapsed(),
+        compiled.total_columns()
+    );
+
+    let images: Vec<_> = (0..10).map(|i| model.sample_image(7 + i)).collect();
+    let t1 = Instant::now();
+    let batch = compiled.run_batch(&images)?;
+    let elapsed = t1.elapsed();
+    let matches = images
+        .iter()
+        .zip(&batch.outputs)
+        .filter(|(img, out)| {
+            let reference = model.graph.run_reference(img).expect("mini graph runs");
+            argmax(reference.as_slice()) == argmax(out.as_slice())
+        })
+        .count();
+    println!(
+        "serve: {} images in {:.2?} ({:.1} images/s); {}/{} predictions match the integer reference",
+        images.len(),
+        elapsed,
+        images.len() as f64 / elapsed.as_secs_f64(),
+        matches,
+        images.len()
     );
     println!(
-        "  {} layers compiled; speculation failure rate {:.1}%",
-        engine.compiled_layers(),
-        100.0 * engine.stats().spec_failure_rate()
+        "  speculation failure rate {:.1}% over {} vectors",
+        100.0 * batch.stats.spec_failure_rate(),
+        batch.stats.vectors
     );
 
     // ---- analytic tier: full-size ResNet18 energy and throughput ----

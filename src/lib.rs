@@ -11,7 +11,8 @@
 //! * [`xbar`] — ReRAM crossbar simulator (2T2R devices, pulse DACs,
 //!   saturating low-resolution ADCs, sliced arithmetic, analog noise).
 //! * [`core`] — RAELLA's contribution: Center+Offset encoding, Adaptive
-//!   Weight Slicing, Dynamic Input Slicing, and the execution engine.
+//!   Weight Slicing, Dynamic Input Slicing, the execution engine, and the
+//!   compile-once/run-batch model server (`core::model::CompiledModel`).
 //! * [`energy`] — component energy/area models and the Titanium Law.
 //! * [`arch`] — full accelerator models (RAELLA, ISAAC, FORMS-8, TIMELY)
 //!   with mapping, replication, and the interlayer pipeline.
@@ -32,6 +33,33 @@
 //! let compiled = CompiledLayer::compile(&layer, &cfg)?;
 //! let report = compiled.check_fidelity(&layer, 4)?;
 //! assert!(report.mean_abs_error <= cfg.error_budget);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Whole networks serve through the compile-once/run-batch flow: compile a
+//! [`nn::graph::Graph`] into a [`core::model::CompiledModel`] and stream
+//! image batches through it — outputs are bit-identical to per-image
+//! execution at any worker count:
+//!
+//! ```
+//! use raella::core::model::CompiledModel;
+//! use raella::core::RaellaConfig;
+//! use raella::nn::graph::Graph;
+//! use raella::nn::synth::SynthLayer;
+//! use raella::nn::Tensor;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = Graph::new();
+//! let input = g.input();
+//! let conv = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+//! let gap = g.global_avg_pool(conv);
+//! g.set_output(gap);
+//!
+//! let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
+//! let model = CompiledModel::compile(&g, &cfg)?;
+//! let batch = model.run_batch(&[Tensor::zeros(&[2, 6, 6])])?;
+//! assert_eq!(batch.outputs[0].shape(), &[4]);
 //! # Ok(())
 //! # }
 //! ```

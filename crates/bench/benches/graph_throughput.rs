@@ -55,11 +55,13 @@ fn main() {
     // Sanity: the parallel path must agree bit-for-bit before we time it.
     let parallel_ref = model.run_batch(&images).expect("runs");
     assert_eq!(
-        serial_ref.outputs, parallel_ref.outputs,
+        serial_ref.outputs(),
+        parallel_ref.outputs(),
         "parallel model serving diverged from serial"
     );
     assert_eq!(
-        serial_ref.stats, parallel_ref.stats,
+        serial_ref.stats(),
+        parallel_ref.stats(),
         "parallel serving stats diverged from serial"
     );
 

@@ -1,0 +1,154 @@
+//! Serving-surface throughput baseline: requests/second and queue-latency
+//! percentiles through a `RaellaServer` at several batch budgets, on the
+//! mini ResNet18 model.
+//!
+//! Run with `cargo bench --bench serve_throughput`. Writes the measured
+//! baseline to `BENCH_serve.json` at the repository root — the third
+//! CI-gated perf vector alongside `BENCH_engine.json` / `BENCH_graph.json`.
+//! *Every* worker-parallel configuration (including the coalescing ones,
+//! max_batch > 1) must hold a ≥2× requests/sec speedup over a fully
+//! serial server on a 4-core runner — the gated `speedup` is the worst
+//! config's, so a regression in the coalescing path can't hide behind the
+//! no-coalescing config. The JSON records per-config ratios, the worker
+//! count, and p50/p99 queue latency per batch budget.
+
+use std::io::Write;
+use std::time::Instant;
+
+use raella_core::server::RaellaServer;
+use raella_core::{RaellaConfig, SharedCompileCache};
+use raella_nn::models::mini::mini_resnet18;
+use raella_nn::tensor::Tensor;
+
+/// Requests per measured burst (divides evenly across the 4 workers CI
+/// pins, and gives every max_batch setting several batches to coalesce).
+const REQUESTS: usize = 24;
+/// Measurement repetitions per configuration (best-of to shed scheduler
+/// noise).
+const REPS: usize = 3;
+
+/// Submits one burst and waits for every response; returns (elapsed
+/// seconds, sorted queue latencies in ticks).
+fn run_burst(server: &RaellaServer, images: &[Tensor<u8>]) -> (f64, Vec<u64>) {
+    let t0 = Instant::now();
+    let handles = server.submit_many(images.iter().cloned());
+    let responses = RaellaServer::wait_all(handles).expect("requests succeed");
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut queue: Vec<u64> = responses.iter().map(|r| r.queue_ticks()).collect();
+    queue.sort_unstable();
+    (elapsed, queue)
+}
+
+/// Index of the `p`-th percentile in a sorted sample of length `n`.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let mini = mini_resnet18(0xBE);
+    let cfg = RaellaConfig {
+        search_vectors: 3,
+        ..RaellaConfig::default()
+    };
+    let images: Vec<Tensor<u8>> = (0..REQUESTS)
+        .map(|i| mini.sample_image(1 + i as u64))
+        .collect();
+    // One shared cache for the whole bench: every server build after the
+    // first pays zero compiles.
+    let cache = SharedCompileCache::new();
+    let build = |workers: usize, max_batch: usize, budget: u64| {
+        RaellaServer::builder()
+            .model(&mini.graph, &cfg)
+            .compile_cache(cache.clone())
+            .workers(workers)
+            .max_batch(max_batch)
+            .latency_budget_ticks(budget)
+            .build()
+            .expect("mini resnet server builds")
+    };
+
+    // Serial reference: one worker, engine threads pinned to 1.
+    let ambient = std::env::var("RAELLA_THREADS").ok();
+    std::env::set_var("RAELLA_THREADS", "1");
+    let serial_server = build(1, 8, 200);
+    let serial_outputs: Vec<_> = {
+        let handles = serial_server.submit_many(images.iter().cloned());
+        RaellaServer::wait_all(handles)
+            .expect("serial burst succeeds")
+            .into_iter()
+            .map(|r| r.into_output())
+            .collect()
+    };
+    let mut serial_rps = 0f64;
+    for _ in 0..REPS {
+        let (elapsed, _) = run_burst(&serial_server, &images);
+        serial_rps = serial_rps.max(REQUESTS as f64 / elapsed);
+    }
+    serial_server.shutdown();
+    match &ambient {
+        Some(v) => std::env::set_var("RAELLA_THREADS", v),
+        None => std::env::remove_var("RAELLA_THREADS"),
+    }
+
+    // Parallel servers at several batch budgets, ambient worker count.
+    // The gated speedup is the WORST config's, so a regression in the
+    // coalescing path (max_batch > 1) fails CI even while the
+    // no-coalescing config still scales.
+    let mut entries = Vec::new();
+    let mut best_rps = 0f64;
+    let mut worst_rps = f64::INFINITY;
+    for &(max_batch, budget) in &[(1usize, 0u64), (4, 200), (8, 1_000)] {
+        let server = build(0, max_batch, budget);
+        let workers = server.worker_count();
+
+        // Sanity: coalesced serving must agree with the serial server
+        // bit-for-bit before we time it.
+        let handles = server.submit_many(images.iter().cloned());
+        let parallel = RaellaServer::wait_all(handles).expect("burst succeeds");
+        for (i, (resp, want)) in parallel.iter().zip(&serial_outputs).enumerate() {
+            assert_eq!(
+                resp.output(),
+                want,
+                "parallel serving diverged from serial at request {i}"
+            );
+        }
+
+        let mut rps = 0f64;
+        let mut queue: Vec<u64> = Vec::new();
+        for _ in 0..REPS {
+            let (elapsed, q) = run_burst(&server, &images);
+            let burst_rps = REQUESTS as f64 / elapsed;
+            if burst_rps > rps {
+                rps = burst_rps;
+                queue = q;
+            }
+        }
+        server.shutdown();
+        best_rps = best_rps.max(rps);
+        worst_rps = worst_rps.min(rps);
+        let (p50, p99) = (percentile(&queue, 50.0), percentile(&queue, 99.0));
+        let config_speedup = rps / serial_rps;
+        println!(
+            "max_batch {max_batch} budget {budget} ticks: {rps:.1} req/s (x{config_speedup:.2}), queue p50 {p50} µs p99 {p99} µs ({workers} workers)"
+        );
+        entries.push(format!(
+            "    {{ \"max_batch\": {max_batch}, \"latency_budget_ticks\": {budget}, \"requests_per_sec\": {rps:.1}, \"speedup\": {config_speedup:.3}, \"queue_ticks\": {{ \"p50\": {p50}, \"p99\": {p99} }} }}"
+        ));
+    }
+
+    let workers = raella_core::parallel::worker_count_for(usize::MAX, 1);
+    let speedup = worst_rps / serial_rps;
+    println!(
+        "serial {serial_rps:.1} req/s, parallel best {best_rps:.1} / worst {worst_rps:.1} req/s, gated (worst) speedup x{speedup:.2} ({workers} workers)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let mut f = std::fs::File::create(path).expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes()).expect("write baseline");
+    println!("baseline written to BENCH_serve.json");
+}

@@ -8,7 +8,7 @@
 //! the paper's footnote 5 definition of "filter".
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -312,11 +312,19 @@ fn layer_key_with_cfg(layer: &MatrixLayer, cfg_fp: u64) -> String {
 pub struct CompileCache {
     entries: HashMap<String, Arc<CompiledLayer>>,
     hits: u64,
-    /// Memoized configuration fingerprint: lookups on the per-image hot
-    /// path (the streaming engine) keep passing the same configuration,
-    /// so it is equality-checked, not re-formatted, per call.
-    cfg_fp: Option<(RaellaConfig, u64)>,
+    misses: u64,
+    /// Memoized configuration fingerprints: lookups on the per-image hot
+    /// path (the streaming engines) keep passing the same few
+    /// configurations, so each is equality-checked, not re-formatted, per
+    /// call. A shared cache may serve engines with *different* configs
+    /// interleaved, hence a small scan list rather than a single slot
+    /// (bounded so a config sweep can't grow it without limit).
+    cfg_fps: Vec<(RaellaConfig, u64)>,
 }
+
+/// Upper bound on memoized configuration fingerprints (real processes
+/// hold a handful of configurations; sweeps evict oldest-first).
+const MAX_CFG_FPS: usize = 16;
 
 impl CompileCache {
     /// Creates an empty cache.
@@ -324,16 +332,17 @@ impl CompileCache {
         CompileCache::default()
     }
 
-    /// The fingerprint of `cfg`, memoized for the common same-config case.
+    /// The fingerprint of `cfg`, memoized for the common few-configs case.
     fn config_fingerprint(&mut self, cfg: &RaellaConfig) -> u64 {
-        match &self.cfg_fp {
-            Some((cached, fp)) if cached == cfg => *fp,
-            _ => {
-                let fp = str_fingerprint(&format!("{cfg:?}"));
-                self.cfg_fp = Some((cfg.clone(), fp));
-                fp
-            }
+        if let Some((_, fp)) = self.cfg_fps.iter().find(|(cached, _)| cached == cfg) {
+            return *fp;
         }
+        let fp = str_fingerprint(&format!("{cfg:?}"));
+        if self.cfg_fps.len() >= MAX_CFG_FPS {
+            self.cfg_fps.remove(0);
+        }
+        self.cfg_fps.push((cfg.clone(), fp));
+        fp
     }
 
     /// Returns the compiled form of `layer` under `cfg`, compiling on the
@@ -354,6 +363,7 @@ impl CompileCache {
             return Ok(Arc::clone(hit));
         }
         let compiled = Arc::new(CompiledLayer::compile(layer, cfg)?);
+        self.misses += 1;
         self.entries.insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
@@ -371,6 +381,108 @@ impl CompileCache {
     /// Number of requests served from the cache (no compilation).
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Number of requests that ran a compilation (cache misses).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// A thread-safe, shareable [`CompileCache`] handle.
+///
+/// Cloning shares the underlying cache (`Arc<Mutex<_>>`), so every
+/// [`crate::model::CompiledModel`] / [`crate::engine::RaellaEngine`] /
+/// [`crate::server::RaellaServer`] built on the same handle deduplicates
+/// compiles — including across *different* models that share layers.
+/// [`SharedCompileCache::global`] returns the process-wide instance that
+/// [`crate::model::CompiledModel::compile`] uses by default.
+///
+/// The mutex is held for the duration of a compilation, so two threads
+/// racing on the same layer identity compile it exactly once (the loser
+/// gets a cache hit); threads compiling disjoint layers serialize, which
+/// is acceptable because compilation is one-time preprocessing.
+///
+/// ```
+/// use raella_core::compiler::SharedCompileCache;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::synth::SynthLayer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cache = SharedCompileCache::new();
+/// let layer = SynthLayer::conv(4, 3, 3, 9).build();
+/// let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
+/// let a = cache.get_or_compile(&layer, &cfg)?;
+/// let b = cache.get_or_compile(&layer, &cfg)?; // served from cache
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedCompileCache {
+    inner: Arc<Mutex<CompileCache>>,
+}
+
+/// The process-wide compile cache singleton.
+static GLOBAL_CACHE: OnceLock<SharedCompileCache> = OnceLock::new();
+
+impl SharedCompileCache {
+    /// Creates a fresh, empty shared cache (independent of the global one).
+    pub fn new() -> Self {
+        SharedCompileCache::default()
+    }
+
+    /// The process-wide cache: every call returns a handle to the same
+    /// underlying [`CompileCache`], so all default-compiled models in the
+    /// process dedupe shared layers. Entries are keyed on layer identity
+    /// *and* configuration fingerprint, so distinct configurations never
+    /// collide; entries are never evicted.
+    pub fn global() -> SharedCompileCache {
+        GLOBAL_CACHE.get_or_init(SharedCompileCache::new).clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CompileCache> {
+        // A panic mid-compile leaves no partial entry (insertion happens
+        // after a successful compile), so a poisoned lock is recoverable.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Returns the compiled form of `layer` under `cfg`, compiling at most
+    /// once per identity across all threads sharing this handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompiledLayer::compile`] errors (the failed key is not
+    /// cached, so a later request retries).
+    pub fn get_or_compile(
+        &self,
+        layer: &MatrixLayer,
+        cfg: &RaellaConfig,
+    ) -> Result<Arc<CompiledLayer>, CoreError> {
+        self.lock().get_or_compile(layer, cfg)
+    }
+
+    /// Number of distinct compiled layers held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache holds no compiled layers.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Number of requests served from the cache (no compilation).
+    pub fn hits(&self) -> u64 {
+        self.lock().hits()
+    }
+
+    /// Number of requests that ran a compilation (cache misses).
+    pub fn misses(&self) -> u64 {
+        self.lock().misses()
     }
 }
 

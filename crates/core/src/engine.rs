@@ -37,7 +37,7 @@ use raella_xbar::crossbar::EventCounts;
 use raella_xbar::noise::{NoiseModel, NoiseRng};
 use raella_xbar::slicing::Slice;
 
-use crate::compiler::{CompileCache, CompiledLayer};
+use crate::compiler::{CompiledLayer, SharedCompileCache};
 use crate::config::{InputMode, RaellaConfig};
 use crate::parallel::{run_blocks, worker_count};
 use crate::scratch::{SlicedView, VectorScratch};
@@ -551,19 +551,42 @@ fn run_column_bitserial(
 #[derive(Debug)]
 pub struct RaellaEngine {
     cfg: RaellaConfig,
-    cache: CompileCache,
+    cache: SharedCompileCache,
     stats: RunStats,
     noise_seed: u64,
     next_vector: u64,
 }
 
 impl RaellaEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration and a private
+    /// compile cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see
+    /// [`RaellaEngine::with_cache`]).
     pub fn new(cfg: RaellaConfig) -> Self {
+        Self::with_cache(cfg, SharedCompileCache::new())
+    }
+
+    /// Creates an engine that compiles through `cache` — pass
+    /// [`SharedCompileCache::global`] (or any shared handle) to dedupe
+    /// compiles with other engines and [`crate::model::CompiledModel`]s in
+    /// the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration — the streaming
+    /// [`MatVecEngine`] interface has no per-call error channel, so the
+    /// configuration is checked here, at construction, where the mistake
+    /// is local and the message is clear.
+    pub fn with_cache(cfg: RaellaConfig, cache: SharedCompileCache) -> Self {
+        cfg.validate()
+            .expect("RaellaEngine requires a valid configuration");
         let noise_seed = noise_seed_for(&cfg);
         RaellaEngine {
             cfg,
-            cache: CompileCache::new(),
+            cache,
             stats: RunStats::default(),
             noise_seed,
             next_vector: 0,

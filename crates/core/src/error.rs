@@ -21,6 +21,9 @@ pub enum CoreError {
     Nn(NnError),
     /// An error bubbled up from the crossbar simulator.
     Xbar(XbarError),
+    /// A serving-surface failure: unknown model handle, or a request whose
+    /// worker disappeared before responding.
+    Server(String),
 }
 
 impl fmt::Display for CoreError {
@@ -32,6 +35,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Nn(e) => write!(f, "dnn substrate: {e}"),
             CoreError::Xbar(e) => write!(f, "crossbar: {e}"),
+            CoreError::Server(msg) => write!(f, "server: {msg}"),
         }
     }
 }

@@ -15,9 +15,14 @@
 //!   `SliceEncodeWeights`): slicing search → center solve → programmed
 //!   crossbar columns — plus the [`compiler::CompileCache`] that
 //!   deduplicates compiles across a whole model.
-//! * [`model`] — whole-model serving: [`model::CompiledModel`] compiles a
-//!   graph's layers once and streams image batches across workers with
+//! * [`model`] — whole-model compilation: [`model::CompiledModel`] compiles
+//!   a graph's layers once and streams image batches across workers with
 //!   bit-exact, batch-composition-independent results.
+//! * [`server`] — the serving front door: [`server::RaellaServer`] owns
+//!   worker threads fed by a coalescing request queue; submit images, get
+//!   typed [`server::RequestHandle`]s, wait for [`server::Response`]s that
+//!   are bit-identical to static batching. Models compile through the
+//!   process-wide [`compiler::SharedCompileCache`].
 //! * [`probe`] — column-sum distribution probes behind Figs. 3 and 5.
 //! * [`accuracy`] — fidelity reports (the paper's §4.2.1 error metric) and
 //!   proxy-accuracy measurement.
@@ -62,11 +67,13 @@ pub mod model;
 pub mod parallel;
 pub mod probe;
 pub mod scratch;
+pub mod server;
 
 pub use accuracy::FidelityReport;
-pub use compiler::{CompileCache, CompiledLayer};
+pub use compiler::{CompileCache, CompiledLayer, SharedCompileCache};
 pub use config::{RaellaConfig, WeightEncoding};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
 pub use model::{BatchResult, CompiledModel};
 pub use scratch::VectorScratch;
+pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder};

@@ -30,7 +30,7 @@ use raella_nn::layers::MatVecEngine;
 use raella_nn::matrix::{Act, MatrixLayer};
 use raella_nn::tensor::Tensor;
 
-use crate::compiler::{CompileCache, CompiledLayer};
+use crate::compiler::{CompiledLayer, SharedCompileCache};
 use crate::config::RaellaConfig;
 use crate::engine::{noise_seed_for, run_batch_at, run_batch_parallel_at, RunStats};
 use crate::error::CoreError;
@@ -39,10 +39,48 @@ use crate::parallel::{run_chunks, worker_count_for};
 /// Outputs and merged statistics of one [`CompiledModel::run_batch`] call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchResult {
+    outputs: Vec<Tensor<u8>>,
+    stats: RunStats,
+}
+
+impl BatchResult {
     /// One output tensor per input image, in input order.
-    pub outputs: Vec<Tensor<u8>>,
+    pub fn outputs(&self) -> &[Tensor<u8>] {
+        &self.outputs
+    }
+
     /// Statistics merged across all images of the batch.
-    pub stats: RunStats,
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Top-1 prediction (argmax) per image, in input order.
+    pub fn predictions(&self) -> Vec<usize> {
+        self.outputs
+            .iter()
+            .map(|out| argmax(out.as_slice()))
+            .collect()
+    }
+
+    /// Consumes the result, yielding the output tensors.
+    pub fn into_outputs(self) -> Vec<Tensor<u8>> {
+        self.outputs
+    }
+
+    /// Consumes the result, yielding outputs and merged statistics.
+    pub fn into_parts(self) -> (Vec<Tensor<u8>>, RunStats) {
+        (self.outputs, self.stats)
+    }
 }
 
 /// A whole DNN graph compiled for RAELLA: every matrix layer's crossbar
@@ -69,8 +107,8 @@ pub struct BatchResult {
 /// let model = CompiledModel::compile(&g, &cfg)?;
 /// let images = vec![Tensor::zeros(&[2, 6, 6]), Tensor::zeros(&[2, 6, 6])];
 /// let batch = model.run_batch(&images)?;
-/// assert_eq!(batch.outputs.len(), 2);
-/// assert_eq!(batch.outputs[0], batch.outputs[1]); // identical images
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch.outputs()[0], batch.outputs()[1]); // identical images
 /// # Ok(())
 /// # }
 /// ```
@@ -87,11 +125,13 @@ pub struct CompiledModel {
 }
 
 impl CompiledModel {
-    /// Compiles every matrix layer of `graph` under `cfg`.
+    /// Compiles every matrix layer of `graph` under `cfg` through the
+    /// process-wide [`SharedCompileCache::global`] cache.
     ///
-    /// Layers are deduplicated through a [`CompileCache`], so a layer
-    /// appearing several times in the graph (or shared between branches)
-    /// runs the Algorithm 1 search once.
+    /// Layers are deduplicated by identity, so a layer appearing several
+    /// times in the graph, shared between branches, or already compiled by
+    /// *any other model in the process* under the same configuration runs
+    /// the Algorithm 1 search once.
     ///
     /// # Errors
     ///
@@ -99,19 +139,52 @@ impl CompiledModel {
     /// [`CoreError::Nn`] for a structurally invalid graph, and propagates
     /// per-layer compilation errors.
     pub fn compile(graph: &Graph, cfg: &RaellaConfig) -> Result<Self, CoreError> {
+        Self::compile_with_cache(graph, cfg, &SharedCompileCache::global())
+    }
+
+    /// [`CompiledModel::compile`] through an explicit cache handle — use a
+    /// fresh [`SharedCompileCache::new`] to isolate compiles (tests,
+    /// configuration sweeps that should not populate the global cache).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledModel::compile`].
+    pub fn compile_with_cache(
+        graph: &Graph,
+        cfg: &RaellaConfig,
+        cache: &SharedCompileCache,
+    ) -> Result<Self, CoreError> {
+        Self::compile_owned(graph.clone(), cfg, cache)
+    }
+
+    /// Compilation taking graph ownership — the build path for callers
+    /// that already hold a graph by value (the server builder), avoiding
+    /// a second whole-graph clone.
+    pub(crate) fn compile_owned(
+        graph: Graph,
+        cfg: &RaellaConfig,
+        cache: &SharedCompileCache,
+    ) -> Result<Self, CoreError> {
         cfg.validate()?;
         let plan = graph.plan()?;
-        let mut cache = CompileCache::new();
-        let mut layers = Vec::new();
+        let mut layers: Vec<Arc<CompiledLayer>> = Vec::new();
         for layer in graph.matrix_layers() {
             layers.push(cache.get_or_compile(layer, cfg)?);
         }
+        // Distinct compiles *within this model* (the cache handle may hold
+        // arbitrarily many other models' layers).
+        let unique_layers = {
+            let mut seen: Vec<*const CompiledLayer> = layers.iter().map(Arc::as_ptr).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        };
         Ok(CompiledModel {
-            graph: graph.clone(),
+            graph,
             plan,
             layers,
             noise_seed: noise_seed_for(cfg),
-            unique_layers: cache.len(),
+            unique_layers,
             cfg: cfg.clone(),
         })
     }
@@ -152,7 +225,7 @@ impl CompiledModel {
     /// [`run_batch`]: CompiledModel::run_batch
     pub fn run_image(&self, image: &Tensor<u8>) -> Result<(Tensor<u8>, RunStats), CoreError> {
         let mut arena = ValueArena::new();
-        self.run_image_with(image, &mut arena, true)
+        self.run_image_in(image, &mut arena, true)
     }
 
     /// Runs a batch of images, fanning whole images across worker threads
@@ -193,7 +266,7 @@ impl CompiledModel {
             let mut arena = ValueArena::new();
             images[first..first + n]
                 .iter()
-                .map(|img| self.run_image_with(img, &mut arena, inner_parallel))
+                .map(|img| self.run_image_in(img, &mut arena, inner_parallel))
                 .collect::<Vec<_>>()
         });
         let mut outputs = Vec::with_capacity(images.len());
@@ -206,24 +279,31 @@ impl CompiledModel {
         Ok(BatchResult { outputs, stats })
     }
 
-    /// Top-1 predictions for a batch of images.
+    /// Top-1 predictions for a batch of images — a thin argmax over
+    /// [`CompiledModel::run_batch`]'s shared execution path.
     ///
     /// # Errors
     ///
     /// Same as [`CompiledModel::run_batch`].
     pub fn predict_batch(&self, images: &[Tensor<u8>]) -> Result<Vec<usize>, CoreError> {
-        Ok(self
-            .run_batch(images)?
-            .outputs
-            .iter()
-            .map(|out| argmax(out.as_slice()))
-            .collect())
+        Ok(self.run_batch(images)?.predictions())
     }
 
-    /// Runs one image against a worker-owned arena. Every image gets a
-    /// fresh noise-stream state (seed from the configuration, vector
-    /// counter at zero), which is the whole determinism story.
-    fn run_image_with(
+    /// Runs one image against a caller-pooled arena — the serving hot
+    /// path: a long-lived worker (e.g. a [`crate::server::RaellaServer`]
+    /// worker thread) keeps one [`ValueArena`] for its lifetime, so
+    /// steady-state execution allocates nothing per image beyond the
+    /// output tensors. `parallel_vectors` selects vector-level fan-out
+    /// inside each layer (pass `false` when the caller already provides
+    /// image- or request-level parallelism); both settings produce
+    /// identical bytes. Every image gets a fresh noise-stream state (seed
+    /// from the configuration, vector counter at zero), which is the
+    /// whole determinism story.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn run_image_in(
         &self,
         image: &Tensor<u8>,
         arena: &mut ValueArena,
@@ -348,14 +428,15 @@ mod tests {
         let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
         let images: Vec<Tensor<u8>> = (0..3).map(sample_image).collect();
         let batch = model.run_batch(&images).unwrap();
-        assert_eq!(batch.outputs.len(), 3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.predictions().len(), 3);
         let mut merged = RunStats::default();
-        for (img, expected) in images.iter().zip(&batch.outputs) {
+        for (img, expected) in images.iter().zip(batch.outputs()) {
             let (single, stats) = model.run_image(img).unwrap();
             assert_eq!(&single, expected);
             merged.merge(&stats);
         }
-        assert_eq!(merged, batch.stats);
+        assert_eq!(&merged, batch.stats());
     }
 
     #[test]

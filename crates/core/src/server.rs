@@ -1,0 +1,796 @@
+//! The serving front door: [`RaellaServer`], a coalescing request queue
+//! over one or more [`CompiledModel`]s.
+//!
+//! The paper evaluates whole DNNs served end-to-end on the accelerator —
+//! "hand me images, get predictions" — not hand-fed static batches. This
+//! module is that contract: a [`ServerBuilder`] compiles the model(s)
+//! through the process-wide [`SharedCompileCache`] and spawns a pool of
+//! worker threads fed by a multi-producer submission queue;
+//! [`RaellaServer::submit`] enqueues one image and returns a typed
+//! [`RequestHandle`] whose [`RequestHandle::wait`] blocks for the
+//! [`Response`] (output tensor, predicted class, per-request [`RunStats`],
+//! queue/compute timing).
+//!
+//! # Coalescing
+//!
+//! Pending requests are coalesced into batches before execution: a worker
+//! takes up to [`ServerBuilder::max_batch`] consecutive same-model
+//! requests from the queue head, but only once the batch is *ready* — it
+//! is full, the oldest request has waited its latency budget
+//! ([`ServerBuilder::latency_budget_ticks`], one tick = 1 µs), a request
+//! for a different model is queued behind it, or the server is shutting
+//! down. Small budgets favor latency; large budgets let sparse traffic
+//! accumulate into bigger batches.
+//!
+//! # Determinism contract
+//!
+//! Coalescing never changes results. Every image executes against its own
+//! noise-stream state, derived from the model's configuration alone (see
+//! [`crate::model`]) — never from the request's queue position, the batch
+//! it was coalesced into, or the worker that ran it. Consequently a
+//! response's output tensor and [`RunStats`] are bit-identical to
+//! [`CompiledModel::run_batch`] over the same images in submission order
+//! (and to per-image [`CompiledModel::run_image`]), at any worker count,
+//! `max_batch`, latency budget, and submission interleaving — pinned by
+//! `crates/core/tests/model_determinism.rs`. Timing fields are measured
+//! wall clock and are the only non-deterministic part of a [`Response`].
+//!
+//! # Shutdown
+//!
+//! [`RaellaServer::shutdown`] (and `Drop`) stops accepting work, drains
+//! every request already submitted, joins the workers, and only then
+//! returns — no submitted request is ever dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use raella_nn::graph::{argmax, Graph, ValueArena};
+use raella_nn::tensor::Tensor;
+
+use crate::compiler::SharedCompileCache;
+use crate::config::RaellaConfig;
+use crate::engine::RunStats;
+use crate::error::CoreError;
+use crate::model::CompiledModel;
+use crate::parallel::worker_count_for;
+
+/// One scheduler tick — the granularity of the coalescing latency budget.
+pub const TICK: Duration = Duration::from_micros(1);
+
+/// Builds a [`RaellaServer`]: models, worker budget, batch coalescing
+/// policy, and the compile cache to dedupe through.
+///
+/// ```
+/// use raella_core::server::RaellaServer;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::graph::Graph;
+/// use raella_nn::synth::SynthLayer;
+/// use raella_nn::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+/// let gap = g.global_avg_pool(c);
+/// g.set_output(gap);
+///
+/// let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
+/// let server = RaellaServer::builder()
+///     .model(&g, &cfg)
+///     .workers(2)
+///     .max_batch(4)
+///     .latency_budget_ticks(100)
+///     .build()?;
+/// let response = server.submit(Tensor::zeros(&[2, 6, 6])).wait()?;
+/// assert_eq!(response.output().shape(), &[4]);
+/// server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ServerBuilder {
+    models: Vec<(Graph, RaellaConfig)>,
+    workers: usize,
+    max_batch: Option<usize>,
+    latency_budget_ticks: Option<u64>,
+    cache: Option<SharedCompileCache>,
+}
+
+impl ServerBuilder {
+    /// Creates a builder with no models, automatic worker count, a
+    /// `max_batch` of 8, and a latency budget of 200 ticks (200 µs).
+    pub fn new() -> Self {
+        ServerBuilder::default()
+    }
+
+    /// Adds a model to serve. The first added model is the default target
+    /// of [`RaellaServer::submit`]; later ones are addressed by index via
+    /// [`RaellaServer::submit_to`] (in the order they were added).
+    #[must_use]
+    pub fn model(mut self, graph: &Graph, cfg: &RaellaConfig) -> Self {
+        self.models.push((graph.clone(), cfg.clone()));
+        self
+    }
+
+    /// Worker-thread budget. `0` (the default) resolves to
+    /// `RAELLA_THREADS` or the machine's available parallelism. A worker
+    /// that is the only busy one switches to vector-level parallelism
+    /// inside each layer, so sparse traffic (and a lone coalesced batch)
+    /// still uses the whole machine — either way results are
+    /// bit-identical.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Maximum requests coalesced into one executed batch (≥ 1;
+    /// default 8).
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = Some(n);
+        self
+    }
+
+    /// How long the oldest pending request may wait for the batch to fill
+    /// before the batch executes anyway, in [`TICK`]s (default 200). A
+    /// budget of 0 flushes every poll — maximum parallelism, no
+    /// coalescing of sparse traffic.
+    #[must_use]
+    pub fn latency_budget_ticks(mut self, ticks: u64) -> Self {
+        self.latency_budget_ticks = Some(ticks);
+        self
+    }
+
+    /// Compile through an explicit cache handle instead of the
+    /// process-wide [`SharedCompileCache::global`] default.
+    #[must_use]
+    pub fn compile_cache(mut self, cache: SharedCompileCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Compiles every model and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] if no model was added, and propagates
+    /// [`CompiledModel::compile`] errors.
+    pub fn build(self) -> Result<RaellaServer, CoreError> {
+        if self.models.is_empty() {
+            return Err(CoreError::Server(
+                "a server needs at least one model".into(),
+            ));
+        }
+        let cache = self.cache.unwrap_or_else(SharedCompileCache::global);
+        let mut models = Vec::with_capacity(self.models.len());
+        // Moves each builder-owned graph into its CompiledModel — no
+        // second whole-graph clone on the build path.
+        for (graph, cfg) in self.models {
+            models.push(CompiledModel::compile_owned(graph, &cfg, &cache)?);
+        }
+        let workers = if self.workers == 0 {
+            // `usize::MAX` items: resolve to the full hardware /
+            // RAELLA_THREADS budget.
+            worker_count_for(usize::MAX, 1)
+        } else {
+            self.workers
+        };
+        let max_batch = self.max_batch.unwrap_or(8).max(1);
+        let budget_ticks = self.latency_budget_ticks.unwrap_or(200);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            models,
+            max_batch,
+            budget: Duration::from_micros(budget_ticks),
+            busy: AtomicUsize::new(0),
+            cache,
+        });
+        let threads = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(RaellaServer {
+            shared,
+            workers: threads,
+            next_seq: AtomicU64::new(0),
+        })
+    }
+}
+
+/// The result of one served request.
+///
+/// Output tensor, prediction, and statistics are deterministic (see the
+/// [module docs](crate::server)); the timing fields are measured wall
+/// clock.
+#[derive(Debug, Clone)]
+pub struct Response {
+    output: Tensor<u8>,
+    predicted: usize,
+    stats: RunStats,
+    seq: u64,
+    model: usize,
+    queue_ticks: u64,
+    compute_ticks: u64,
+    batch_size: usize,
+}
+
+impl Response {
+    /// The model's output tensor for this request's image.
+    pub fn output(&self) -> &Tensor<u8> {
+        &self.output
+    }
+
+    /// Top-1 prediction (argmax of the output).
+    pub fn predicted(&self) -> usize {
+        self.predicted
+    }
+
+    /// Per-request execution statistics (this image only).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The request's submission sequence number (server-wide order).
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// Index of the model that served the request.
+    pub fn model_index(&self) -> usize {
+        self.model
+    }
+
+    /// Time the request spent queued before its batch started, in
+    /// [`TICK`]s.
+    pub fn queue_ticks(&self) -> u64 {
+        self.queue_ticks
+    }
+
+    /// Time spent executing this request's image, in [`TICK`]s.
+    pub fn compute_ticks(&self) -> u64 {
+        self.compute_ticks
+    }
+
+    /// Number of requests coalesced into the batch that served this one.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Consumes the response, yielding the output tensor.
+    pub fn into_output(self) -> Tensor<u8> {
+        self.output
+    }
+}
+
+/// A typed handle to one submitted request. [`RequestHandle::wait`]
+/// blocks until the server has executed the request and consumes the
+/// handle.
+#[derive(Debug)]
+pub struct RequestHandle {
+    seq: u64,
+    model: usize,
+    rx: mpsc::Receiver<Result<Response, CoreError>>,
+    /// Set once `try_wait` has yielded the result, so the handle can't
+    /// misreport an already-delivered response as dropped.
+    done: bool,
+}
+
+impl RequestHandle {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors (e.g. a mis-shaped image), or
+    /// [`CoreError::Server`] if the serving worker disappeared without
+    /// responding or the result was already taken by
+    /// [`RequestHandle::try_wait`].
+    pub fn wait(self) -> Result<Response, CoreError> {
+        if self.done {
+            return Err(CoreError::Server(format!(
+                "request {}'s result was already taken by try_wait",
+                self.seq
+            )));
+        }
+        self.rx.recv().map_err(|_| {
+            CoreError::Server(format!(
+                "request {} was dropped before completion",
+                self.seq
+            ))
+        })?
+    }
+
+    /// Returns the response if the request has already completed, without
+    /// blocking; `None` while it is still queued or executing. Once this
+    /// returns `Some`, the handle is spent: later `try_wait` calls return
+    /// `None` and [`RequestHandle::wait`] errors.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RequestHandle::wait`], surfaced once the request
+    /// finishes.
+    pub fn try_wait(&mut self) -> Option<Result<Response, CoreError>> {
+        if self.done {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(result) => {
+                self.done = true;
+                Some(result)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.done = true;
+                Some(Err(CoreError::Server(format!(
+                    "request {} was dropped before completion",
+                    self.seq
+                ))))
+            }
+        }
+    }
+
+    /// The request's submission sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// Index of the model the request targets.
+    pub fn model_index(&self) -> usize {
+        self.model
+    }
+}
+
+/// One queued request.
+#[derive(Debug)]
+struct Request {
+    model: usize,
+    seq: u64,
+    image: Tensor<u8>,
+    submitted: Instant,
+    tx: mpsc::SyncSender<Result<Response, CoreError>>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    models: Vec<CompiledModel>,
+    max_batch: usize,
+    budget: Duration,
+    /// Workers currently executing a batch. When a worker is the *only*
+    /// busy one, it enables vector-level parallelism inside each layer
+    /// (sparse traffic gets `run_image`-class latency, and a lone
+    /// coalesced batch doesn't serialize the machine); when siblings are
+    /// busy, image/request-level parallelism already covers the cores.
+    /// Both execution modes produce identical bytes, so this is purely a
+    /// scheduling choice.
+    busy: AtomicUsize,
+    cache: SharedCompileCache,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What a worker should do with the current queue head.
+enum Readiness {
+    /// Pop this many requests and execute them as one batch.
+    Take(usize),
+    /// The head batch needs more time to fill; wait at most this long.
+    After(Duration),
+    /// Nothing queued.
+    Idle,
+}
+
+/// Evaluates the coalescing policy for the queue head: up to `max_batch`
+/// consecutive requests for the same model, released when full, timed
+/// out, blocked by a model switch, or draining for shutdown.
+fn readiness(state: &QueueState, shared: &Shared, now: Instant) -> Readiness {
+    let Some(front) = state.pending.front() else {
+        return Readiness::Idle;
+    };
+    let prefix = state
+        .pending
+        .iter()
+        .take(shared.max_batch)
+        .take_while(|r| r.model == front.model)
+        .count();
+    if prefix >= shared.max_batch
+        || prefix < state.pending.len().min(shared.max_batch)
+        || state.shutdown
+    {
+        return Readiness::Take(prefix);
+    }
+    let waited = now.saturating_duration_since(front.submitted);
+    if waited >= shared.budget {
+        Readiness::Take(prefix)
+    } else {
+        Readiness::After(shared.budget - waited)
+    }
+}
+
+/// Worker thread body: pop ready batches, run each request against the
+/// worker's pooled arena, respond. The arena lives for the worker's whole
+/// lifetime, so per-image steady-state allocation is zero (ROADMAP "arena
+/// reuse across batches").
+///
+/// A panic inside one request's execution is caught and answered as a
+/// [`CoreError::Server`] response — the worker survives and later
+/// requests (queued or future) are still served, so no submitted request
+/// is ever stranded. (`run_planned` resets the arena up front, so a
+/// half-executed image cannot poison the next one.)
+fn worker_loop(shared: &Shared) {
+    let mut arena = ValueArena::new();
+    loop {
+        let batch: Vec<Request> = {
+            let mut state = shared.lock();
+            loop {
+                match readiness(&state, shared, Instant::now()) {
+                    Readiness::Take(n) => break state.pending.drain(..n).collect(),
+                    Readiness::After(wait) => {
+                        let (next, _) = shared
+                            .ready
+                            .wait_timeout(state, wait)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        state = next;
+                    }
+                    Readiness::Idle => {
+                        if state.shutdown {
+                            return;
+                        }
+                        state = shared
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        // More work may remain ready behind the popped prefix (e.g. a
+        // different model's requests): wake a sibling before computing.
+        shared.ready.notify_one();
+        shared.busy.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let batch_size = batch.len();
+        for req in batch {
+            let compute_start = Instant::now();
+            // Re-checked per image: siblings may pick up or finish work
+            // mid-batch.
+            let alone = shared.busy.load(Ordering::Relaxed) == 1;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shared.models[req.model].run_image_in(&req.image, &mut arena, alone)
+            }))
+            .unwrap_or_else(|_| {
+                Err(CoreError::Server(format!(
+                    "execution panicked serving request {}",
+                    req.seq
+                )))
+            })
+            .map(|(output, stats)| Response {
+                predicted: argmax(output.as_slice()),
+                output,
+                stats,
+                seq: req.seq,
+                model: req.model,
+                queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
+                compute_ticks: ticks(compute_start.elapsed()),
+                batch_size,
+            });
+            // A dropped handle is fine — the requester walked away.
+            let _ = req.tx.send(result);
+        }
+        shared.busy.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Duration → whole [`TICK`]s.
+fn ticks(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// A running RAELLA serving instance: compiled models, a coalescing
+/// submission queue, and a pool of worker threads.
+///
+/// Submission is `&self` and thread-safe — share the server by reference
+/// (or `Arc`) across submitter threads. See the [module
+/// docs](crate::server) for the coalescing and determinism contracts.
+///
+/// ```
+/// use raella_core::server::RaellaServer;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::graph::Graph;
+/// use raella_nn::synth::SynthLayer;
+/// use raella_nn::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+/// let gap = g.global_avg_pool(c);
+/// g.set_output(gap);
+/// let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
+///
+/// let server = RaellaServer::builder().model(&g, &cfg).build()?;
+/// let handles = server.submit_many((0..3).map(|_| Tensor::zeros(&[2, 6, 6])));
+/// let responses = RaellaServer::wait_all(handles)?;
+/// assert_eq!(responses.len(), 3);
+/// assert_eq!(responses[0].output(), responses[2].output());
+/// server.shutdown(); // drains in-flight work, joins the workers
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RaellaServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_seq: AtomicU64,
+}
+
+impl RaellaServer {
+    /// Starts building a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// Submits one image to the default (first) model. Returns
+    /// immediately; block on the handle for the response.
+    pub fn submit(&self, image: Tensor<u8>) -> RequestHandle {
+        self.submit_to(0, image)
+            .expect("model 0 always exists: the builder refuses zero models")
+    }
+
+    /// Submits one image to the model at `model` (builder insertion
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] for an out-of-range model index.
+    pub fn submit_to(&self, model: usize, image: Tensor<u8>) -> Result<RequestHandle, CoreError> {
+        if model >= self.shared.models.len() {
+            return Err(CoreError::Server(format!(
+                "no model {model} (server holds {})",
+                self.shared.models.len()
+            )));
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut state = self.shared.lock();
+            state.pending.push_back(Request {
+                model,
+                seq,
+                image,
+                submitted: Instant::now(),
+                tx,
+            });
+        }
+        self.shared.ready.notify_one();
+        Ok(RequestHandle {
+            seq,
+            model,
+            rx,
+            done: false,
+        })
+    }
+
+    /// Submits a stream of images to the default model, returning one
+    /// handle per image in submission order.
+    pub fn submit_many(&self, images: impl IntoIterator<Item = Tensor<u8>>) -> Vec<RequestHandle> {
+        images.into_iter().map(|img| self.submit(img)).collect()
+    }
+
+    /// Waits on many handles, returning responses in handle order
+    /// (= submission order for [`RaellaServer::submit_many`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure ([`RequestHandle::wait`] semantics).
+    pub fn wait_all(
+        handles: impl IntoIterator<Item = RequestHandle>,
+    ) -> Result<Vec<Response>, CoreError> {
+        handles.into_iter().map(RequestHandle::wait).collect()
+    }
+
+    /// The compiled model at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (see
+    /// [`RaellaServer::model_count`]).
+    pub fn model(&self, index: usize) -> &CompiledModel {
+        &self.shared.models[index]
+    }
+
+    /// Number of models served.
+    pub fn model_count(&self) -> usize {
+        self.shared.models.len()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Requests currently queued (excludes requests already executing).
+    pub fn pending(&self) -> usize {
+        self.shared.lock().pending.len()
+    }
+
+    /// The compile cache this server's models were compiled through.
+    pub fn compile_cache(&self) -> &SharedCompileCache {
+        &self.shared.cache
+    }
+
+    /// Graceful shutdown: stops accepting work, drains every already
+    /// submitted request, and joins the workers. Also runs on `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RaellaServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raella_nn::synth::SynthLayer;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let c = g
+            .conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)
+            .unwrap();
+        let gap = g.global_avg_pool(c);
+        let fc = g.linear(gap, SynthLayer::linear(4, 6, 3).build());
+        g.set_output(fc);
+        g
+    }
+
+    fn tiny_cfg() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            search_vectors: 2,
+            ..RaellaConfig::default()
+        }
+    }
+
+    fn sample_image(seed: u64) -> Tensor<u8> {
+        use raella_nn::rng::SynthRng;
+        let mut rng = SynthRng::new(seed);
+        let data: Vec<u8> = (0..2 * 8 * 8)
+            .map(|_| rng.exponential(30.0).min(255.0) as u8)
+            .collect();
+        Tensor::from_vec(data, &[2, 8, 8]).unwrap()
+    }
+
+    fn build_tiny(workers: usize, max_batch: usize, budget: u64) -> RaellaServer {
+        RaellaServer::builder()
+            .model(&tiny_graph(), &tiny_cfg())
+            .compile_cache(SharedCompileCache::new())
+            .workers(workers)
+            .max_batch(max_batch)
+            .latency_budget_ticks(budget)
+            .build()
+            .expect("tiny server builds")
+    }
+
+    #[test]
+    fn builder_rejects_zero_models() {
+        let err = RaellaServer::builder().build().unwrap_err();
+        assert!(matches!(err, CoreError::Server(_)), "{err}");
+    }
+
+    #[test]
+    fn responses_match_run_batch_in_submission_order() {
+        let server = build_tiny(2, 2, 100);
+        let images: Vec<Tensor<u8>> = (0..5).map(sample_image).collect();
+        let expected = server.model(0).run_batch(&images).unwrap();
+        let handles = server.submit_many(images);
+        let responses = RaellaServer::wait_all(handles).unwrap();
+        for (i, (resp, want)) in responses.iter().zip(expected.outputs()).enumerate() {
+            assert_eq!(resp.output(), want, "request {i}");
+            assert_eq!(resp.predicted(), argmax(want.as_slice()));
+            assert_eq!(resp.sequence(), i as u64);
+            assert!(resp.batch_size() >= 1 && resp.batch_size() <= 2);
+        }
+        let mut merged = RunStats::default();
+        for resp in &responses {
+            merged.merge(resp.stats());
+        }
+        assert_eq!(&merged, expected.stats());
+        server.shutdown();
+    }
+
+    #[test]
+    fn misshaped_image_fails_only_its_request() {
+        let server = build_tiny(1, 4, 0);
+        let good = server.submit(sample_image(1));
+        let bad = server.submit(Tensor::zeros(&[7, 8, 8]));
+        assert!(good.wait().is_ok());
+        assert!(bad.wait().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_to_unknown_model_errors() {
+        let server = build_tiny(1, 1, 0);
+        assert!(server.submit_to(1, sample_image(0)).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        // A long budget and large batch leave requests parked in the
+        // queue; shutdown must still flush them.
+        let server = build_tiny(1, 64, 5_000_000);
+        let handles = server.submit_many((0..3).map(sample_image));
+        let (out0, _) = server.model(0).run_image(&sample_image(0)).unwrap();
+        server.shutdown();
+        let responses = RaellaServer::wait_all(handles).unwrap();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].output(), &out0);
+    }
+
+    #[test]
+    fn two_models_route_by_index() {
+        let mut g2 = Graph::new();
+        let input = g2.input();
+        let c = g2
+            .conv(input, SynthLayer::conv(2, 3, 3, 5).build(), 2, 3, 1, 1)
+            .unwrap();
+        let gap = g2.global_avg_pool(c);
+        g2.set_output(gap);
+        let server = RaellaServer::builder()
+            .model(&tiny_graph(), &tiny_cfg())
+            .model(&g2, &tiny_cfg())
+            .compile_cache(SharedCompileCache::new())
+            .workers(2)
+            .max_batch(2)
+            .latency_budget_ticks(50)
+            .build()
+            .unwrap();
+        assert_eq!(server.model_count(), 2);
+        let a = server.submit_to(0, sample_image(3)).unwrap();
+        let b = server.submit_to(1, sample_image(3)).unwrap();
+        let (ra, rb) = (a.wait().unwrap(), b.wait().unwrap());
+        assert_eq!(ra.model_index(), 0);
+        assert_eq!(rb.model_index(), 1);
+        assert_eq!(ra.output().shape(), &[6]);
+        assert_eq!(rb.output().shape(), &[3]);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,135 @@
+//! Shared compile-cache contract: a [`SharedCompileCache`] handed to many
+//! models / threads compiles each distinct layer identity exactly once,
+//! and layer identity includes calibration state (recalibrated same-weight
+//! layers must not collide).
+
+use std::sync::Arc;
+
+use raella_core::model::CompiledModel;
+use raella_core::{RaellaConfig, SharedCompileCache};
+use raella_nn::graph::Graph;
+use raella_nn::matrix::MatrixLayer;
+use raella_nn::synth::SynthLayer;
+
+fn cfg() -> RaellaConfig {
+    RaellaConfig {
+        crossbar_rows: 64,
+        crossbar_cols: 64,
+        search_vectors: 2,
+        ..RaellaConfig::default()
+    }
+}
+
+/// A two-layer graph: `stem` (possibly shared with another graph) followed
+/// by a private head.
+fn graph_with_stem(stem: MatrixLayer, head_seed: u64) -> Graph {
+    let mut g = Graph::new();
+    let input = g.input();
+    let c = g.conv(input, stem, 2, 3, 1, 1).expect("consistent stem");
+    let gap = g.global_avg_pool(c);
+    let fc = g.linear(gap, SynthLayer::linear(4, 6, head_seed).build());
+    g.set_output(fc);
+    g
+}
+
+#[test]
+fn concurrent_models_dedupe_shared_layers_exactly_once() {
+    // Two models share the stem layer (same weights, same calibration)
+    // but have distinct heads: 4 layer requests, 3 distinct identities.
+    let stem = SynthLayer::conv(2, 4, 3, 77).build();
+    let g1 = graph_with_stem(stem.clone(), 1);
+    let g2 = graph_with_stem(stem, 2);
+    let cache = SharedCompileCache::new();
+
+    let (m1, m2) = std::thread::scope(|scope| {
+        let c1 = cache.clone();
+        let c2 = cache.clone();
+        let g1 = &g1;
+        let g2 = &g2;
+        let h1 = scope.spawn(move || CompiledModel::compile_with_cache(g1, &cfg(), &c1));
+        let h2 = scope.spawn(move || CompiledModel::compile_with_cache(g2, &cfg(), &c2));
+        (h1.join().expect("no panic"), h2.join().expect("no panic"))
+    });
+    let (m1, m2) = (m1.expect("compiles"), m2.expect("compiles"));
+
+    assert_eq!(cache.len(), 3, "stem must compile once, heads once each");
+    assert_eq!(cache.misses(), 3);
+    assert_eq!(cache.hits(), 1, "the second stem request is a hit");
+    assert_eq!(m1.unique_layer_count(), 2);
+    assert_eq!(m2.unique_layer_count(), 2);
+}
+
+#[test]
+fn many_threads_compiling_one_model_compile_each_layer_once() {
+    let stem = SynthLayer::conv(2, 4, 3, 88).build();
+    let graph = graph_with_stem(stem, 9);
+    let cache = SharedCompileCache::new();
+    const THREADS: usize = 4;
+
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let cache = cache.clone();
+            let graph = &graph;
+            scope.spawn(move || {
+                CompiledModel::compile_with_cache(graph, &cfg(), &cache).expect("compiles")
+            });
+        }
+    });
+
+    assert_eq!(cache.len(), 2, "two layers in the graph");
+    assert_eq!(cache.misses(), 2, "each identity compiles exactly once");
+    assert_eq!(
+        cache.hits(),
+        (THREADS as u64) * 2 - 2,
+        "every other request is served from the cache"
+    );
+}
+
+#[test]
+fn shared_models_share_compiled_layer_storage() {
+    // Models compiled through the same cache must share the stem's
+    // compiled Arc, not hold equal copies.
+    let stem = SynthLayer::conv(2, 4, 3, 99).build();
+    let g1 = graph_with_stem(stem.clone(), 3);
+    let g2 = graph_with_stem(stem.clone(), 4);
+    let cache = SharedCompileCache::new();
+    let m1 = CompiledModel::compile_with_cache(&g1, &cfg(), &cache).expect("compiles");
+    let m2 = CompiledModel::compile_with_cache(&g2, &cfg(), &cache).expect("compiles");
+    // Re-requesting the stem yields the single cached Arc: three strong
+    // references live outside the cache (one per model + the fresh one).
+    let again = cache.get_or_compile(&stem, &cfg()).expect("cached");
+    assert!(Arc::strong_count(&again) >= 4);
+    drop((m1, m2));
+}
+
+#[test]
+fn recalibrated_same_weight_layers_get_distinct_entries() {
+    // Same name, shape, and weights — but a recalibrated requantizer:
+    // graph-level calibration gives each graph position its own quant
+    // state, so the shared cache must keep both compiles.
+    let base = SynthLayer::conv(2, 4, 3, 55).name("stem").build();
+    let mut recal = base.clone();
+    let mut quant = base.quant().clone();
+    quant.scales[0] *= 2.0;
+    recal.set_quant(quant).expect("filter count unchanged");
+
+    let cache = SharedCompileCache::new();
+    let a = cache.get_or_compile(&base, &cfg()).expect("compiles");
+    let b = cache.get_or_compile(&recal, &cfg()).expect("compiles");
+    assert_eq!(cache.len(), 2, "calibration state splits entries");
+    assert_eq!(cache.misses(), 2);
+    assert_eq!(cache.hits(), 0);
+    assert!(!Arc::ptr_eq(&a, &b));
+}
+
+#[test]
+fn global_cache_is_one_process_wide_instance() {
+    let a = SharedCompileCache::global();
+    let b = SharedCompileCache::global();
+    let before = a.len();
+    let layer = SynthLayer::conv(2, 4, 3, 0xBEEF)
+        .name("global-probe")
+        .build();
+    a.get_or_compile(&layer, &cfg()).expect("compiles");
+    assert_eq!(b.len(), before + 1, "both handles see the same cache");
+}

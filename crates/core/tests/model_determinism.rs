@@ -1,6 +1,6 @@
-//! `CompiledModel` determinism contract, on a graph that exercises every
-//! operator (conv, linear, max-pool, global-avg-pool, residual add,
-//! channel slice/concat/shuffle):
+//! `CompiledModel` / `RaellaServer` determinism contract, on a graph that
+//! exercises every operator (conv, linear, max-pool, global-avg-pool,
+//! residual add, channel slice/concat/shuffle):
 //!
 //! * batched outputs are bit-identical to per-image `Graph::run` through a
 //!   fresh `RaellaEngine` — the compile-once/run-batch path changes the
@@ -8,7 +8,12 @@
 //! * results are invariant across `RAELLA_THREADS` ∈ {1, 2, 4, 8}, in
 //!   both ideal and noisy modes, statistics included;
 //! * a per-image result does not depend on batch position, batch size, or
-//!   the surrounding images.
+//!   the surrounding images;
+//! * `RaellaServer` responses (outputs *and* per-request stats) are
+//!   bit-identical to per-image `CompiledModel::run_batch` for every
+//!   combination of worker count, `max_batch`, latency budget,
+//!   `RAELLA_THREADS`, and submission interleaving — queue coalescing is
+//!   pure scheduling, never arithmetic.
 //!
 //! Worker count is pinned through the `RAELLA_THREADS` environment
 //! variable; this file keeps a single `#[test]` so the variable is never
@@ -17,7 +22,8 @@
 
 use raella_core::engine::RaellaEngine;
 use raella_core::model::CompiledModel;
-use raella_core::RaellaConfig;
+use raella_core::server::RaellaServer;
+use raella_core::{RaellaConfig, RunStats, SharedCompileCache};
 use raella_nn::graph::Graph;
 use raella_nn::rng::SynthRng;
 use raella_nn::synth::SynthLayer;
@@ -79,7 +85,8 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
             .collect();
         let batch = model.run_batch(&images).expect("runs");
         assert_eq!(
-            batch.outputs, baseline,
+            batch.outputs(),
+            &baseline[..],
             "batch diverged from per-image Graph::run at noise {noise}"
         );
 
@@ -88,29 +95,31 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
             std::env::set_var("RAELLA_THREADS", threads);
             let sweep = model.run_batch(&images).expect("runs");
             assert_eq!(
-                sweep.outputs, batch.outputs,
+                sweep.outputs(),
+                batch.outputs(),
                 "outputs diverged at noise {noise}, {threads} threads"
             );
             assert_eq!(
-                sweep.stats, batch.stats,
+                sweep.stats(),
+                batch.stats(),
                 "stats diverged at noise {noise}, {threads} threads"
             );
         }
         std::env::remove_var("RAELLA_THREADS");
         for threads in [1, 3] {
             let sweep = model.run_batch_threaded(&images, threads).expect("runs");
-            assert_eq!(sweep.outputs, batch.outputs, "{threads} workers");
-            assert_eq!(sweep.stats, batch.stats, "{threads} workers");
+            assert_eq!(sweep.outputs(), batch.outputs(), "{threads} workers");
+            assert_eq!(sweep.stats(), batch.stats(), "{threads} workers");
         }
 
         // Batch-composition independence: position, size, and neighbors
         // must not leak into an image's result.
         let singleton = model.run_batch(&images[2..3]).expect("runs");
-        assert_eq!(singleton.outputs[0], baseline[2], "singleton run");
+        assert_eq!(singleton.outputs()[0], baseline[2], "singleton run");
 
         let reversed: Vec<Tensor<u8>> = images.iter().rev().cloned().collect();
         let rev_batch = model.run_batch(&reversed).expect("runs");
-        for (i, out) in rev_batch.outputs.iter().enumerate() {
+        for (i, out) in rev_batch.outputs().iter().enumerate() {
             assert_eq!(
                 out,
                 &baseline[images.len() - 1 - i],
@@ -120,8 +129,90 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
 
         let duplicated = vec![images[0].clone(), images[1].clone(), images[0].clone()];
         let dup_batch = model.run_batch(&duplicated).expect("runs");
-        assert_eq!(dup_batch.outputs[0], baseline[0], "dup first");
-        assert_eq!(dup_batch.outputs[2], baseline[0], "dup last");
-        assert_eq!(dup_batch.outputs[1], baseline[1], "dup middle");
+        assert_eq!(dup_batch.outputs()[0], baseline[0], "dup first");
+        assert_eq!(dup_batch.outputs()[2], baseline[0], "dup last");
+        assert_eq!(dup_batch.outputs()[1], baseline[1], "dup middle");
+
+        // ---- serving surface: coalescing is scheduling, not arithmetic ----
+        // Per-image baseline stats, for per-request comparison.
+        let per_image: Vec<(Tensor<u8>, RunStats)> = images
+            .iter()
+            .map(|img| model.run_image(img).expect("runs"))
+            .collect();
+
+        // Sweep the coalescing policy space: worker counts, batch
+        // budgets, latency budgets (0 = flush immediately; huge = always
+        // wait to fill), and the engine-thread knob.
+        let sweep: &[(usize, usize, u64, Option<&str>)] = &[
+            (1, 4, 200, None),
+            (2, 1, 0, None),
+            (4, 2, 100, Some("2")),
+            (3, 8, 50_000, None),
+            (0, 3, 0, Some("1")),
+        ];
+        for &(workers, max_batch, budget, threads) in sweep {
+            match threads {
+                Some(t) => std::env::set_var("RAELLA_THREADS", t),
+                None => std::env::remove_var("RAELLA_THREADS"),
+            }
+            let server = RaellaServer::builder()
+                .model(&graph, &cfg)
+                .compile_cache(SharedCompileCache::new())
+                .workers(workers)
+                .max_batch(max_batch)
+                .latency_budget_ticks(budget)
+                .build()
+                .expect("server builds");
+            let tag =
+                format!("noise {noise}, {workers} workers, max_batch {max_batch}, budget {budget}");
+            let handles = server.submit_many(images.iter().cloned());
+            for (i, handle) in handles.into_iter().enumerate() {
+                assert_eq!(handle.sequence(), i as u64, "{tag}");
+                let resp = handle.wait().expect("request succeeds");
+                assert_eq!(resp.output(), &per_image[i].0, "output {i} — {tag}");
+                assert_eq!(resp.stats(), &per_image[i].1, "stats {i} — {tag}");
+            }
+            server.shutdown();
+        }
+        std::env::remove_var("RAELLA_THREADS");
+
+        // Interleaved submitters: two threads racing submissions must not
+        // change any request's result (order only decides sequence
+        // numbers, and each submitter checks its own responses).
+        let server = RaellaServer::builder()
+            .model(&graph, &cfg)
+            .compile_cache(SharedCompileCache::new())
+            .workers(2)
+            .max_batch(2)
+            .latency_budget_ticks(100)
+            .build()
+            .expect("server builds");
+        std::thread::scope(|scope| {
+            for submitter in 0..2 {
+                let server = &server;
+                let images = &images;
+                let per_image = &per_image;
+                scope.spawn(move || {
+                    for round in 0..2 {
+                        let idx = (submitter + round) % images.len();
+                        let resp = server
+                            .submit(images[idx].clone())
+                            .wait()
+                            .expect("request succeeds");
+                        assert_eq!(
+                            resp.output(),
+                            &per_image[idx].0,
+                            "interleaved output, noise {noise}"
+                        );
+                        assert_eq!(
+                            resp.stats(),
+                            &per_image[idx].1,
+                            "interleaved stats, noise {noise}"
+                        );
+                    }
+                });
+            }
+        });
+        server.shutdown();
     }
 }

@@ -83,11 +83,18 @@ pub struct Node {
 /// executed prefix, the last node that consumes its value, so execution can
 /// free intermediate tensors the moment they are dead. Build one with
 /// [`Graph::plan`] and reuse it across images via [`Graph::run_planned`].
+///
+/// A plan carries the identity fingerprint of the graph it was built from
+/// ([`Graph::fingerprint`]); [`Graph::run_planned`] rejects a plan built
+/// from a different graph — even one with the same node count — with
+/// [`NnError::InvalidNode`].
 #[derive(Debug, Clone)]
 pub struct ExecPlan {
-    /// Node count of the graph the plan was built from (guards reuse
-    /// against a different graph).
+    /// Node count of the graph the plan was built from.
     nodes: usize,
+    /// Structural fingerprint of the source graph (the plan identity
+    /// token checked by [`Graph::run_planned`]).
+    graph_fp: u64,
     /// The node whose value the plan returns.
     output: usize,
     /// `last_use[i]` = index of the last node in `0..=output` consuming
@@ -106,18 +113,30 @@ impl ExecPlan {
     pub fn nodes(&self) -> usize {
         self.nodes
     }
+
+    /// Fingerprint of the graph this plan was built from (matches that
+    /// graph's [`Graph::fingerprint`]).
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.graph_fp
+    }
 }
 
-/// Reusable per-worker storage for intermediate node values.
+/// Reusable per-worker storage for intermediate node values and matrix-op
+/// activation scratch.
 ///
 /// One arena per executing thread: [`Graph::run_planned`] clears and
 /// refills the slots in place, so streaming many images through the same
 /// graph re-uses the bookkeeping allocation, and dead intermediates are
 /// dropped as soon as their last consumer has run (instead of all living
-/// until the end of the image).
+/// until the end of the image). The arena also owns the im2col /
+/// flattened-activation buffer every `Conv`/`Linear` node lowers into, so
+/// a worker that keeps its arena across batches reaches zero steady-state
+/// allocation on the matrix-op hot path.
 #[derive(Debug, Default)]
 pub struct ValueArena {
     values: Vec<Option<Tensor<u8>>>,
+    /// im2col columns / flattened activations, reused by every matrix node.
+    act_scratch: Vec<Act>,
 }
 
 impl ValueArena {
@@ -130,6 +149,12 @@ impl ValueArena {
     fn reset(&mut self, nodes: usize) {
         self.values.clear();
         self.values.resize(nodes, None);
+    }
+
+    /// Capacity of the pooled activation-scratch buffer (observable for
+    /// allocation-reuse tests).
+    pub fn act_scratch_capacity(&self) -> usize {
+        self.act_scratch.capacity()
     }
 }
 
@@ -158,6 +183,11 @@ impl ValueArena {
 pub struct Graph {
     nodes: Vec<Node>,
     output: usize,
+    /// Memoized [`Graph::fingerprint`]; cleared by structural mutation
+    /// (every node append funnels through [`Graph::push`]). Calibration
+    /// mutates layer quant state only, which the fingerprint deliberately
+    /// excludes.
+    fp: std::sync::OnceLock<u64>,
 }
 
 impl Graph {
@@ -167,6 +197,7 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, inputs: Vec<usize>) -> usize {
+        self.fp.take();
         self.nodes.push(Node { op, inputs });
         self.nodes.len() - 1
     }
@@ -342,9 +373,65 @@ impl Graph {
         last_use[output] = self.nodes.len();
         Ok(ExecPlan {
             nodes: self.nodes.len(),
+            graph_fp: self.fingerprint(),
             output,
             last_use,
         })
+    }
+
+    /// Structural identity fingerprint: FNV-1a over every node's operation
+    /// kind, operation parameters, wiring, and — for matrix nodes — the
+    /// layer's name and shape. Weights and quantization state are
+    /// deliberately excluded (the hash guards plan reuse, not weight
+    /// integrity). Memoized after the first call and invalidated by
+    /// structural mutation, so the per-image check in
+    /// [`Graph::run_planned`] is one integer compare.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fp.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for node in &self.nodes {
+            let (tag, a, b) = match &node.op {
+                Op::Input => (1u64, 0, 0),
+                Op::Conv(c) => (
+                    2,
+                    (c.in_c * 31 + c.k) as u64,
+                    (c.stride * 31 + c.padding) as u64,
+                ),
+                Op::Linear(_) => (3, 0, 0),
+                Op::MaxPool { k, stride } => (4, *k as u64, *stride as u64),
+                Op::GlobalAvgPool => (5, 0, 0),
+                Op::Add => (6, 0, 0),
+                Op::Concat => (7, node.inputs.len() as u64, 0),
+                Op::SliceChannels { from, to } => (8, *from as u64, *to as u64),
+                Op::ShuffleChannels { groups } => (9, *groups as u64, 0),
+            };
+            mix(tag);
+            mix(a);
+            mix(b);
+            for &inp in &node.inputs {
+                mix(inp as u64 ^ 0x5EED);
+            }
+            let layer = match &node.op {
+                Op::Conv(c) => Some(&c.layer),
+                Op::Linear(l) => Some(&l.layer),
+                _ => None,
+            };
+            if let Some(layer) = layer {
+                for byte in layer.name().bytes() {
+                    mix(u64::from(byte));
+                }
+                mix(layer.filters() as u64);
+                mix(layer.filter_len() as u64);
+            }
+        }
+        h
     }
 
     /// Runs the graph on a CHW input through the given engine.
@@ -375,15 +462,14 @@ impl Graph {
     /// one arena reset.
     ///
     /// The plan must come from this graph's [`Graph::plan`]/
-    /// [`Graph::plan_for`]. A foreign plan is detected on a best-effort
-    /// basis (node-count mismatch); a different graph of the *same* size
-    /// yields an error or a well-formed but wrong node's output — never a
-    /// panic or undefined behavior.
+    /// [`Graph::plan_for`]. A foreign plan — built from a different graph,
+    /// even one with the same node count — is rejected by comparing the
+    /// plan's stored [`Graph::fingerprint`] against this graph's.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::InvalidNode`] if the plan's node count does not
-    /// match this graph, and propagates operator shape errors.
+    /// Returns [`NnError::InvalidNode`] if the plan was built from a
+    /// different graph, and propagates operator shape errors.
     pub fn run_planned(
         &self,
         plan: &ExecPlan,
@@ -401,7 +487,22 @@ impl Graph {
                 ),
             });
         }
+        if plan.graph_fp != self.fingerprint() {
+            return Err(NnError::InvalidNode {
+                node: plan.output,
+                reason: format!(
+                    "plan was built for a different graph (fingerprint \
+                     {:016x}, this graph is {:016x})",
+                    plan.graph_fp,
+                    self.fingerprint()
+                ),
+            });
+        }
         arena.reset(self.nodes.len());
+        let ValueArena {
+            values,
+            act_scratch,
+        } = arena;
         for (i, node) in self.nodes.iter().enumerate().take(plan.output + 1) {
             // Input nodes resolve to the borrowed image; everything else
             // reads the arena slot its producer filled.
@@ -413,15 +514,15 @@ impl Graph {
                 if matches!(self.nodes[idx].op, Op::Input) {
                     return Ok(input);
                 }
-                arena.values[idx].as_ref().ok_or(NnError::InvalidNode {
+                values[idx].as_ref().ok_or(NnError::InvalidNode {
                     node: i,
                     reason: format!("input {idx} was never computed"),
                 })
             };
             let out = match &node.op {
                 Op::Input => None,
-                Op::Conv(conv) => Some(conv.forward(arg(0)?, engine)?),
-                Op::Linear(lin) => Some(lin.forward(arg(0)?, engine)?),
+                Op::Conv(conv) => Some(conv.forward_with(arg(0)?, engine, act_scratch)?),
+                Op::Linear(lin) => Some(lin.forward_with(arg(0)?, engine, act_scratch)?),
                 Op::MaxPool { k, stride } => Some(max_pool2d(arg(0)?, *k, *stride)?),
                 Op::GlobalAvgPool => Some(global_avg_pool(arg(0)?)?),
                 Op::Add => Some(residual_add(arg(0)?, arg(1)?)?),
@@ -433,11 +534,11 @@ impl Graph {
                 Op::SliceChannels { from, to } => Some(slice_channels(arg(0)?, *from, *to)?),
                 Op::ShuffleChannels { groups } => Some(shuffle_channels(arg(0)?, *groups)?),
             };
-            arena.values[i] = out;
+            values[i] = out;
             // Free values whose last consumer just ran.
             for &inp in &node.inputs {
                 if plan.last_use[inp] == i {
-                    arena.values[inp] = None;
+                    values[inp] = None;
                 }
             }
         }
@@ -445,12 +546,10 @@ impl Graph {
             // The only case that clones: the graph returns its input.
             return Ok(input.clone());
         }
-        arena.values[plan.output]
-            .take()
-            .ok_or(NnError::InvalidNode {
-                node: plan.output,
-                reason: "output node missing".into(),
-            })
+        values[plan.output].take().ok_or(NnError::InvalidNode {
+            node: plan.output,
+            reason: "output node missing".into(),
+        })
     }
 
     /// Runs the graph through the integer reference engine.

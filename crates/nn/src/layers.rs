@@ -109,6 +109,20 @@ impl Conv2d {
     ///
     /// Returns [`NnError::ShapeMismatch`] on a rank/channel mismatch.
     pub fn im2col(&self, input: &Tensor<u8>) -> Result<Vec<Act>, NnError> {
+        let mut cols = Vec::new();
+        self.im2col_into(input, &mut cols)?;
+        Ok(cols)
+    }
+
+    /// [`Conv2d::im2col`] into a reusable buffer: `cols` is cleared and
+    /// refilled, so streaming many inputs through the same graph re-uses
+    /// one allocation per worker instead of allocating per convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::im2col`].
+    pub fn im2col_into(&self, input: &Tensor<u8>, cols: &mut Vec<Act>) -> Result<(), NnError> {
+        cols.clear();
         let shape = input.shape();
         if shape.len() != 3 || shape[0] != self.in_c {
             return Err(NnError::ShapeMismatch {
@@ -118,7 +132,7 @@ impl Conv2d {
         }
         let (h, w) = (shape[1], shape[2]);
         let (oh, ow) = self.out_hw(h, w)?;
-        let mut cols = Vec::with_capacity(oh * ow * self.layer.filter_len());
+        cols.reserve(oh * ow * self.layer.filter_len());
         for oy in 0..oh {
             for ox in 0..ow {
                 for c in 0..self.in_c {
@@ -137,7 +151,7 @@ impl Conv2d {
                 }
             }
         }
-        Ok(cols)
+        Ok(())
     }
 
     /// Runs the convolution through an engine, producing a CHW output map.
@@ -150,10 +164,27 @@ impl Conv2d {
         input: &Tensor<u8>,
         engine: &mut dyn MatVecEngine,
     ) -> Result<Tensor<u8>, NnError> {
+        let mut scratch = Vec::new();
+        self.forward_with(input, engine, &mut scratch)
+    }
+
+    /// [`Conv2d::forward`] with a caller-owned im2col scratch buffer
+    /// (cleared and refilled), the zero-steady-state-allocation path used
+    /// by planned graph execution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Conv2d::forward`].
+    pub fn forward_with(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+        scratch: &mut Vec<Act>,
+    ) -> Result<Tensor<u8>, NnError> {
         let (h, w) = (input.shape()[1], input.shape()[2]);
         let (oh, ow) = self.out_hw(h, w)?;
-        let cols = self.im2col(input)?;
-        let flat = engine.layer_outputs(&self.layer, &cols);
+        self.im2col_into(input, scratch)?;
+        let flat = engine.layer_outputs(&self.layer, scratch);
         // Engine output is [pixel][filter]; transpose to CHW.
         let filters = self.layer.filters();
         let mut out = Tensor::zeros(&[filters, oh, ow]);
@@ -187,14 +218,31 @@ impl Linear {
         input: &Tensor<u8>,
         engine: &mut dyn MatVecEngine,
     ) -> Result<Tensor<u8>, NnError> {
+        let mut scratch = Vec::new();
+        self.forward_with(input, engine, &mut scratch)
+    }
+
+    /// [`Linear::forward`] with a caller-owned activation scratch buffer
+    /// (cleared and refilled), matching [`Conv2d::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Linear::forward`].
+    pub fn forward_with(
+        &self,
+        input: &Tensor<u8>,
+        engine: &mut dyn MatVecEngine,
+        scratch: &mut Vec<Act>,
+    ) -> Result<Tensor<u8>, NnError> {
         if input.len() != self.layer.filter_len() {
             return Err(NnError::ShapeMismatch {
                 expected: format!("{} inputs", self.layer.filter_len()),
                 got: format!("{}", input.len()),
             });
         }
-        let xs: Vec<Act> = input.as_slice().iter().map(|&v| Act::from(v)).collect();
-        let out = engine.layer_outputs(&self.layer, &xs);
+        scratch.clear();
+        scratch.extend(input.as_slice().iter().map(|&v| Act::from(v)));
+        let out = engine.layer_outputs(&self.layer, scratch);
         Tensor::from_vec(out, &[self.layer.filters()])
     }
 }

@@ -158,3 +158,103 @@ proptest! {
         ));
     }
 }
+
+/// Plan identity: `run_planned` must reject a plan built from a
+/// *different* graph even when the node counts happen to match — the
+/// per-graph fingerprint stored in the plan is the guard (the old
+/// node-count check silently accepted same-size foreign plans).
+#[test]
+fn foreign_plan_with_same_node_count_is_rejected() {
+    // Two structurally different graphs with identical node counts.
+    let mut a = Graph::new();
+    let input = a.input();
+    let lin = a.linear(input, SynthLayer::linear(16, 16, 1).name("a0").build());
+    let add = a.add(lin, lin);
+    a.set_output(add);
+
+    let mut b = Graph::new();
+    let input = b.input();
+    let lin = b.linear(input, SynthLayer::linear(16, 8, 2).name("b0").build());
+    let add = b.add(lin, lin);
+    b.set_output(add);
+
+    assert_eq!(a.plan().unwrap().nodes(), b.plan().unwrap().nodes());
+    assert_ne!(a.fingerprint(), b.fingerprint());
+
+    let plan_a = a.plan().expect("a plans");
+    let mut arena = raella_nn::graph::ValueArena::new();
+    let err = b
+        .run_planned(&plan_a, &image16(), &mut ReferenceEngine, &mut arena)
+        .expect_err("foreign plan must be rejected");
+    assert!(
+        matches!(&err, NnError::InvalidNode { reason, .. } if reason.contains("different graph")),
+        "unexpected error: {err:?}"
+    );
+
+    // The plan still works against its own graph, including after the
+    // rejected attempt (the arena is reusable).
+    assert!(a
+        .run_planned(&plan_a, &image16(), &mut ReferenceEngine, &mut arena)
+        .is_ok());
+}
+
+/// A graph's fingerprint is stable across clones and plan rebuilds, and
+/// survives `set_output` (plans are per-output, identity is per-graph).
+#[test]
+fn fingerprint_is_stable_and_structural() {
+    let g = {
+        let mut g = Graph::new();
+        let input = g.input();
+        let lin = g.linear(input, SynthLayer::linear(16, 16, 3).name("x").build());
+        let pool = g.global_avg_pool(lin);
+        g.set_output(pool);
+        g
+    };
+    let clone = g.clone();
+    assert_eq!(g.fingerprint(), clone.fingerprint());
+    assert_eq!(
+        g.plan().unwrap().graph_fingerprint(),
+        clone.plan().unwrap().graph_fingerprint()
+    );
+
+    let mut retargeted = g.clone();
+    retargeted.set_output(1);
+    assert_eq!(
+        g.fingerprint(),
+        retargeted.fingerprint(),
+        "output choice is plan state, not graph identity"
+    );
+
+    // Appending any node changes identity.
+    let mut grown = g.clone();
+    grown.push_node(Op::GlobalAvgPool, vec![1]);
+    assert_ne!(g.fingerprint(), grown.fingerprint());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random valid DAG pairs: a plan from one never runs on a
+    /// structurally different other, regardless of node counts.
+    #[test]
+    fn random_foreign_plans_are_rejected(
+        choices_a in prop::collection::vec(0usize..3, 1..10),
+        wiring_a in prop::collection::vec(0usize..997, 4..12),
+        choices_b in prop::collection::vec(0usize..3, 1..10),
+        wiring_b in prop::collection::vec(0usize..997, 4..12),
+    ) {
+        let a = random_linear_dag(&choices_a, &wiring_a);
+        let b = random_linear_dag(&choices_b, &wiring_b);
+        // Identical structure legitimately transfers plans; only check
+        // rejection when the graphs actually differ.
+        if a.fingerprint() != b.fingerprint() {
+            let plan_a = a.plan().expect("a plans");
+            let mut arena = raella_nn::graph::ValueArena::new();
+            let ran = b.run_planned(&plan_a, &image16(), &mut ReferenceEngine, &mut arena);
+            prop_assert!(
+                matches!(ran, Err(NnError::InvalidNode { .. })),
+                "foreign plan accepted: {:?}", ran.map(|_| ())
+            );
+        }
+    }
+}

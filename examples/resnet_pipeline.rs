@@ -1,7 +1,9 @@
-//! ResNet18 end to end: compile the mini functional model **once**, serve
-//! an image batch through `CompiledModel::run_batch`, check accuracy
-//! against the integer reference, then evaluate the full-size network's
-//! energy and throughput on RAELLA vs ISAAC (the paper's Fig. 12 flow).
+//! ResNet18 end to end: build a `RaellaServer` over the mini functional
+//! model (compiling every layer once through the process-wide compile
+//! cache), stream an image batch through the coalescing request queue,
+//! check accuracy against the integer reference, then evaluate the
+//! full-size network's energy and throughput on RAELLA vs ISAAC (the
+//! paper's Fig. 12 flow).
 //!
 //! ```sh
 //! cargo run --release --example resnet_pipeline
@@ -11,56 +13,71 @@ use std::time::Instant;
 
 use raella::arch::eval::evaluate_dnn;
 use raella::arch::spec::AccelSpec;
-use raella::core::model::CompiledModel;
-use raella::core::RaellaConfig;
+use raella::core::server::RaellaServer;
+use raella::core::{RaellaConfig, RunStats};
 use raella::nn::graph::argmax;
 use raella::nn::models::mini::mini_resnet18;
 use raella::nn::models::shapes;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- functional tier: does RAELLA change ResNet18's predictions? ----
-    // Compile every layer once up front, then stream image batches — the
-    // serving flow (see README "Model serving").
+    // Build the serving front door: compile once, then submit images and
+    // wait on typed handles (see README "Serving API").
     let model = mini_resnet18(42);
     let cfg = RaellaConfig {
         search_vectors: 3,
         ..RaellaConfig::default()
     };
     let t0 = Instant::now();
-    let compiled = CompiledModel::compile(&model.graph, &cfg)?;
+    let server = RaellaServer::builder()
+        .model(&model.graph, &cfg)
+        .max_batch(4)
+        .latency_budget_ticks(500)
+        .build()?;
+    let compiled = server.model(0);
     println!(
-        "compile: {} matrix layers ({} distinct) in {:.2?}, {} crossbar columns",
+        "compile: {} matrix layers ({} distinct) in {:.2?}, {} crossbar columns, {} workers",
         compiled.matrix_layer_count(),
         compiled.unique_layer_count(),
         t0.elapsed(),
-        compiled.total_columns()
+        compiled.total_columns(),
+        server.worker_count()
     );
 
     let images: Vec<_> = (0..10).map(|i| model.sample_image(7 + i)).collect();
     let t1 = Instant::now();
-    let batch = compiled.run_batch(&images)?;
+    let handles = server.submit_many(images.iter().cloned());
+    let responses = RaellaServer::wait_all(handles)?;
     let elapsed = t1.elapsed();
     let matches = images
         .iter()
-        .zip(&batch.outputs)
-        .filter(|(img, out)| {
+        .zip(&responses)
+        .filter(|(img, resp)| {
             let reference = model.graph.run_reference(img).expect("mini graph runs");
-            argmax(reference.as_slice()) == argmax(out.as_slice())
+            argmax(reference.as_slice()) == resp.predicted()
         })
         .count();
+    let mut stats = RunStats::default();
+    for resp in &responses {
+        stats.merge(resp.stats());
+    }
+    let mean_queue =
+        responses.iter().map(|r| r.queue_ticks()).sum::<u64>() / responses.len() as u64;
     println!(
-        "serve: {} images in {:.2?} ({:.1} images/s); {}/{} predictions match the integer reference",
-        images.len(),
+        "serve: {} requests in {:.2?} ({:.1} req/s, mean queue {} µs); {}/{} predictions match the integer reference",
+        responses.len(),
         elapsed,
-        images.len() as f64 / elapsed.as_secs_f64(),
+        responses.len() as f64 / elapsed.as_secs_f64(),
+        mean_queue,
         matches,
         images.len()
     );
     println!(
         "  speculation failure rate {:.1}% over {} vectors",
-        100.0 * batch.stats.spec_failure_rate(),
-        batch.stats.vectors
+        100.0 * stats.spec_failure_rate(),
+        stats.vectors
     );
+    server.shutdown();
 
     // ---- analytic tier: full-size ResNet18 energy and throughput ----
     let net = shapes::resnet18();

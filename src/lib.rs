@@ -11,8 +11,9 @@
 //! * [`xbar`] — ReRAM crossbar simulator (2T2R devices, pulse DACs,
 //!   saturating low-resolution ADCs, sliced arithmetic, analog noise).
 //! * [`core`] — RAELLA's contribution: Center+Offset encoding, Adaptive
-//!   Weight Slicing, Dynamic Input Slicing, the execution engine, and the
-//!   compile-once/run-batch model server (`core::model::CompiledModel`).
+//!   Weight Slicing, Dynamic Input Slicing, the execution engine, the
+//!   compile-once/run-batch layer (`core::model::CompiledModel`), and the
+//!   serving front door (`core::server::RaellaServer`).
 //! * [`energy`] — component energy/area models and the Titanium Law.
 //! * [`arch`] — full accelerator models (RAELLA, ISAAC, FORMS-8, TIMELY)
 //!   with mapping, replication, and the interlayer pipeline.
@@ -37,13 +38,14 @@
 //! # }
 //! ```
 //!
-//! Whole networks serve through the compile-once/run-batch flow: compile a
-//! [`nn::graph::Graph`] into a [`core::model::CompiledModel`] and stream
-//! image batches through it — outputs are bit-identical to per-image
-//! execution at any worker count:
+//! Whole networks serve through the [`core::server::RaellaServer`] front
+//! door: the builder compiles the graph's layers once (deduplicated
+//! through the process-wide compile cache), workers coalesce submitted
+//! images into batches under a latency budget, and every response is
+//! bit-identical to per-image execution at any worker count:
 //!
 //! ```
-//! use raella::core::model::CompiledModel;
+//! use raella::core::server::RaellaServer;
 //! use raella::core::RaellaConfig;
 //! use raella::nn::graph::Graph;
 //! use raella::nn::synth::SynthLayer;
@@ -57,12 +59,16 @@
 //! g.set_output(gap);
 //!
 //! let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
-//! let model = CompiledModel::compile(&g, &cfg)?;
-//! let batch = model.run_batch(&[Tensor::zeros(&[2, 6, 6])])?;
-//! assert_eq!(batch.outputs[0].shape(), &[4]);
+//! let server = RaellaServer::builder().model(&g, &cfg).build()?;
+//! let response = server.submit(Tensor::zeros(&[2, 6, 6])).wait()?;
+//! assert_eq!(response.output().shape(), &[4]);
+//! server.shutdown(); // drains in-flight requests, joins the workers
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The compile-once/run-batch layer underneath stays available for static
+//! workloads ([`core::model::CompiledModel::run_batch`]).
 //!
 //! See `examples/` for full scenarios and `crates/bench/benches/` for the
 //! harnesses that regenerate every table and figure of the paper.

@@ -17,6 +17,9 @@
 //!   breakdowns and pipeline throughput, with greedy replication.
 //! * [`pipeline`] — row-level interlayer dataflow simulation (Fig. 11):
 //!   fill latency, steady-state interval, eDRAM row-buffer occupancy.
+//! * [`tile`] — the [`tile::TileSpec`] contract the functional engine's
+//!   shard planner (`raella-core::shard`) places layers and row groups
+//!   against.
 //! * [`writes`] — ReRAM programming cost and its amortization over
 //!   inferences (§2.2, §5.4).
 //!
@@ -39,8 +42,10 @@ pub mod eval;
 pub mod mapping;
 pub mod pipeline;
 pub mod spec;
+pub mod tile;
 pub mod writes;
 
 pub use eval::{evaluate_dnn, DnnEval, LayerEval};
 pub use mapping::LayerMapping;
 pub use spec::AccelSpec;
+pub use tile::TileSpec;

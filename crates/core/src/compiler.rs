@@ -174,6 +174,41 @@ impl CompiledLayer {
         &self.groups
     }
 
+    /// Crossbar row groups per filter. Group boundaries depend only on
+    /// `filter_len` and the configured crossbar rows, so every filter has
+    /// the same count — this is the granularity tile sharding splits at.
+    pub fn group_count(&self) -> usize {
+        self.groups[0].len()
+    }
+
+    /// The layer-row range `[row_start, row_start + rows)` group `gi`
+    /// covers (identical for every filter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gi >= self.group_count()`.
+    pub fn group_row_range(&self, gi: usize) -> std::ops::Range<usize> {
+        let g = &self.groups[0][gi];
+        g.row_start..g.row_start + g.rows
+    }
+
+    /// Rows one filter occupies across the row groups in `range` — the
+    /// row footprint a tile hosting that range must provide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds [`CompiledLayer::group_count`].
+    pub fn rows_for_groups(&self, range: std::ops::Range<usize>) -> usize {
+        self.groups[0][range].iter().map(|g| g.rows).sum()
+    }
+
+    /// Crossbar columns the row groups in `range` occupy (every filter ×
+    /// every weight slice, per group) — the per-tile slice of
+    /// [`CompiledLayer::total_columns`].
+    pub fn columns_for_groups(&self, range: std::ops::Range<usize>) -> usize {
+        self.filters * self.columns_per_filter() * range.len()
+    }
+
     /// The output requantizer.
     pub fn quant(&self) -> &OutputQuant {
         &self.quant

@@ -20,14 +20,28 @@
 //!
 //! The unit of work is one input vector. [`run_vector`] is a pure kernel:
 //! it reads the compiled layer and one vector, scribbles only in a
-//! caller-owned [`VectorScratch`] (no per-vector allocation), draws noise
-//! from a per-vector counter-derived stream
-//! ([`NoiseRng::for_stream`]`(seed, vector_index)`), writes the vector's
-//! outputs into a caller-provided slice, and returns a local [`RunStats`]
-//! delta. Nothing is shared between vectors, so [`run_batch_parallel`]
-//! fans vectors across threads and merges the deltas — producing output
-//! bytes and statistics bit-identical to serial [`run_batch`] at any
-//! thread count, noisy or not.
+//! caller-owned [`VectorScratch`] (no per-vector allocation), writes the
+//! vector's outputs into a caller-provided slice, and returns a local
+//! [`RunStats`] delta. Nothing is shared between vectors, so
+//! [`run_batch_parallel`] fans vectors across threads and merges the
+//! deltas — producing output bytes and statistics bit-identical to serial
+//! [`run_batch`] at any thread count, noisy or not.
+//!
+//! # Row-range execution (tile sharding)
+//!
+//! A vector's work further decomposes along the layer's crossbar row
+//! groups. [`run_vector_groups`] computes the partial accumulators of any
+//! contiguous group range (the work one simulated tile owns), and
+//! [`finalize_vector`] turns fully reduced accumulators into requantized
+//! outputs. Noise is drawn from per-`(vector, row-group)` counter-derived
+//! substreams ([`NoiseRng::for_substream`]`(seed, vector_index, group)`) —
+//! keyed by the crossbar region's stable coordinates, never by read order
+//! — so *any* partition of row groups across tiles, run in any order on
+//! any threads, draws exactly the noise the monolithic engine draws.
+//! Partial accumulators merge by elementwise `i64` addition (exact,
+//! associative, commutative) and statistics by [`RunStats::merge`], which
+//! is what makes tile placement pure scheduling
+//! (`crates/core/tests/shard_determinism.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -192,11 +206,69 @@ pub fn run_batch_at(
         .zip(out.chunks_exact_mut(layer.filters()))
         .enumerate()
     {
-        let mut rng = NoiseRng::for_stream(noise_seed, first_vector + i as u64);
-        let local = run_vector(layer, vec, &mut scratch, &mut rng, out_chunk);
+        let local = run_vector(
+            layer,
+            vec,
+            &mut scratch,
+            noise_seed,
+            first_vector + i as u64,
+            out_chunk,
+        );
         stats.merge(&local);
     }
     out
+}
+
+/// Row-range batch entry point for tile-sharded execution: accumulates the
+/// partial sums of the row groups in `groups` for every vector of `inputs`
+/// into `acc` (`n_vectors × filters` signed accumulators, zeroed here),
+/// merging the range's crossbar statistics into `stats`.
+///
+/// Summing every range of a partition's `acc` buffers elementwise (the
+/// inter-tile accumulator reduction — exact `i64` addition) and calling
+/// [`finalize_vector`] per vector reproduces [`run_batch_at`] bit for bit,
+/// outputs and merged statistics alike, for *any* partition of
+/// `0..group_count` — noise substreams are keyed per `(vector, group)`,
+/// never by read order.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the layer's `filter_len`,
+/// if `acc.len()` is not `n_vectors × filters`, or if `groups` is out of
+/// bounds.
+pub fn run_batch_groups_at(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    groups: std::ops::Range<usize>,
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+    acc: &mut [i64],
+) {
+    let n_vectors = batch_vectors(layer, inputs);
+    assert_eq!(
+        acc.len(),
+        n_vectors * layer.filters(),
+        "accumulator size mismatch"
+    );
+    let mut scratch = VectorScratch::for_layer(layer);
+    for (i, (vec, acc_chunk)) in inputs
+        .chunks_exact(layer.filter_len())
+        .zip(acc.chunks_exact_mut(layer.filters()))
+        .enumerate()
+    {
+        scratch.acc.fill(0);
+        let local = run_vector_groups(
+            layer,
+            vec,
+            groups.clone(),
+            &mut scratch,
+            noise_seed,
+            first_vector + i as u64,
+        );
+        stats.merge(&local);
+        acc_chunk.copy_from_slice(&scratch.acc);
+    }
 }
 
 /// Runs a batch of input vectors through a compiled layer, fanning vectors
@@ -247,8 +319,14 @@ pub fn run_batch_parallel_at(
             .enumerate()
         {
             let index = first_vector + (first + k) as u64;
-            let mut rng = NoiseRng::for_stream(noise_seed, index);
-            local.merge(&run_vector(layer, vec, &mut scratch, &mut rng, out_chunk));
+            local.merge(&run_vector(
+                layer,
+                vec,
+                &mut scratch,
+                noise_seed,
+                index,
+                out_chunk,
+            ));
         }
         local
     });
@@ -273,8 +351,11 @@ fn batch_vectors(layer: &CompiledLayer, inputs: &[Act]) -> usize {
 /// returning this vector's statistics delta.
 ///
 /// All working memory lives in `scratch` (reused across calls); the only
-/// other state read is the compiled layer and the noise stream, so calls
-/// are independent and may run on any thread in any order.
+/// other state read is the compiled layer and the `(noise_seed,
+/// vector_index)`-derived noise substreams, so calls are independent and
+/// may run on any thread in any order. Implemented as
+/// [`run_vector_groups`] over the full group range followed by
+/// [`finalize_vector`] — the sharded row-range path is the same code.
 ///
 /// # Panics
 ///
@@ -284,17 +365,71 @@ pub fn run_vector(
     layer: &CompiledLayer,
     input: &[Act],
     scratch: &mut VectorScratch,
-    rng: &mut NoiseRng,
+    noise_seed: u64,
+    vector_index: u64,
     out: &mut [u8],
 ) -> RunStats {
+    scratch.resize_for(layer);
+    scratch.acc.fill(0);
+    let mut stats = run_vector_groups(
+        layer,
+        input,
+        0..layer.group_count(),
+        scratch,
+        noise_seed,
+        vector_index,
+    );
+    let finalized = finalize_vector(layer, input, &scratch.acc, out);
+    stats.merge(&finalized);
+    stats
+}
+
+/// The row-range kernel behind [`run_vector`] and tile-sharded execution:
+/// accumulates the partial sums of the crossbar row groups in `groups`
+/// into `scratch.acc` (`+=` per filter — the caller zeroes the
+/// accumulators) and returns the range's statistics delta (crossbar
+/// cycles, DAC pulses, ADC converts, speculation outcomes, device charge
+/// — everything attributable to these row groups).
+///
+/// Per-vector bookkeeping (requantization, the `vectors`/`macs` counters)
+/// lives in [`finalize_vector`], which runs once per vector after every
+/// range's accumulators are reduced. Each row group draws noise from its
+/// own `(noise_seed, vector_index, group)` substream, so disjoint ranges
+/// may run on different threads (or simulated tiles) in any order and
+/// still reproduce the monolithic run bit for bit.
+///
+/// # Panics
+///
+/// Panics if `input.len() != layer.filter_len()` or `groups` exceeds
+/// [`CompiledLayer::group_count`].
+pub fn run_vector_groups(
+    layer: &CompiledLayer,
+    input: &[Act],
+    groups: std::ops::Range<usize>,
+    scratch: &mut VectorScratch,
+    noise_seed: u64,
+    vector_index: u64,
+) -> RunStats {
     assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
-    assert_eq!(out.len(), layer.filters(), "output length mismatch");
+    assert!(
+        groups.end <= layer.group_count(),
+        "group range {groups:?} exceeds {} groups",
+        layer.group_count()
+    );
     scratch.resize_for(layer);
 
     let cfg = layer.config();
     let mut stats = RunStats::default();
-    let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
-    scratch.acc.fill(0);
+
+    // One noise stream per row group, keyed by the group's stable index
+    // and persisting across the sign passes. The buffer's capacity is
+    // reused across vectors.
+    scratch.rngs.clear();
+    scratch.rngs.extend(
+        groups
+            .clone()
+            .map(|gi| NoiseRng::for_substream(noise_seed, vector_index, gi as u64)),
+    );
 
     // Signed inputs are processed as positive/negative planes (§5.1).
     let signs: &[i64] = if layer.signed_inputs() {
@@ -303,7 +438,6 @@ pub fn run_vector(
         &[1]
     };
 
-    let n_groups = layer.groups()[0].len();
     let columns_needed = layer.filters() * layer.columns_per_filter();
     let crossbars_per_group = columns_needed.div_ceil(cfg.crossbar_cols) as u64;
     let weight_slices = layer.weight_slicing().slices();
@@ -312,14 +446,15 @@ pub fn run_vector(
         scratch.load_plane(input, sign);
         scratch.slice_plane();
         // Split borrow: the sliced planes are read-only while `acc`
-        // accumulates — `sliced()` borrows disjoint fields.
-        let (sliced, spec_slices, acc) = {
+        // accumulates and the group streams advance — all disjoint fields.
+        let (sliced, spec_slices, acc, rngs) = {
             let VectorScratch {
                 spec,
                 bits,
                 spec_mass,
                 bit_mass,
                 acc,
+                rngs,
                 spec_slices,
                 len,
                 ..
@@ -334,17 +469,19 @@ pub fn run_vector(
                 },
                 &spec_slices[..],
                 acc,
+                rngs,
             )
         };
         // Cycle/DAC/row event counting is per crossbar (shared across the
         // columns it holds), not per column.
-        for gi in 0..n_groups {
+        for gi in groups.clone() {
             let g0 = &layer.groups()[0][gi];
             let range = g0.row_start..g0.row_start + g0.rows;
             count_crossbar_events(cfg, &sliced, range, crossbars_per_group, &mut stats);
         }
         for (f, acc_f) in acc.iter_mut().enumerate() {
-            for g in &layer.groups()[f] {
+            for (k, g) in layer.groups()[f][groups.clone()].iter().enumerate() {
+                let rng = &mut rngs[k];
                 let range = g.row_start..g.row_start + g.rows;
                 let plane = &scratch.plane[range.clone()];
                 let gsum: i64 = plane.iter().map(|&x| i64::from(x)).sum();
@@ -388,13 +525,40 @@ pub fn run_vector(
             }
         }
     }
-
-    for (f, o) in out.iter_mut().enumerate() {
-        *o = layer.quant().requantize(f, scratch.acc[f], input_sum);
-    }
-    stats.vectors += 1;
-    stats.events.macs += layer.filters() as u64 * layer.filter_len() as u64;
     stats
+}
+
+/// The digital tail of one vector: requantizes fully reduced accumulators
+/// into 8b outputs and returns the per-vector bookkeeping delta (the
+/// `vectors` and `macs` counters). In a sharded run this is the merge
+/// point's job — it must run exactly once per vector, after every row
+/// range's partial accumulators have been summed.
+///
+/// # Panics
+///
+/// Panics if `input.len() != layer.filter_len()`, or if `acc` / `out` are
+/// not `layer.filters()` long.
+pub fn finalize_vector(
+    layer: &CompiledLayer,
+    input: &[Act],
+    acc: &[i64],
+    out: &mut [u8],
+) -> RunStats {
+    assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
+    assert_eq!(acc.len(), layer.filters(), "accumulator length mismatch");
+    assert_eq!(out.len(), layer.filters(), "output length mismatch");
+    let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
+    for (f, o) in out.iter_mut().enumerate() {
+        *o = layer.quant().requantize(f, acc[f], input_sum);
+    }
+    RunStats {
+        vectors: 1,
+        events: EventCounts {
+            macs: layer.filters() as u64 * layer.filter_len() as u64,
+            ..EventCounts::default()
+        },
+        ..RunStats::default()
+    }
 }
 
 /// Counts cycles, DAC pulses and row activations for one crossbar

@@ -24,6 +24,10 @@ pub enum CoreError {
     /// A serving-surface failure: unknown model handle, or a request whose
     /// worker disappeared before responding.
     Server(String),
+    /// An invalid tile placement: a shard plan that does not cover the
+    /// model's row groups, names an out-of-range tile, or was built for a
+    /// different model.
+    Shard(String),
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::Nn(e) => write!(f, "dnn substrate: {e}"),
             CoreError::Xbar(e) => write!(f, "crossbar: {e}"),
             CoreError::Server(msg) => write!(f, "server: {msg}"),
+            CoreError::Shard(msg) => write!(f, "shard plan: {msg}"),
         }
     }
 }

@@ -23,6 +23,11 @@
 //!   typed [`server::RequestHandle`]s, wait for [`server::Response`]s that
 //!   are bit-identical to static batching. Models compile through the
 //!   process-wide [`compiler::SharedCompileCache`].
+//! * [`shard`] — tile-sharded execution: a [`shard::ShardPlan`] places
+//!   layers (and row-group splits of long layers) across simulated
+//!   accelerator tiles; partial sums merge by exact accumulator
+//!   reduction, so any placement is bit-identical to the monolithic
+//!   engine, with per-tile [`RunStats`] attribution.
 //! * [`probe`] — column-sum distribution probes behind Figs. 3 and 5.
 //! * [`accuracy`] — fidelity reports (the paper's §4.2.1 error metric) and
 //!   proxy-accuracy measurement.
@@ -68,6 +73,7 @@ pub mod parallel;
 pub mod probe;
 pub mod scratch;
 pub mod server;
+pub mod shard;
 
 pub use accuracy::FidelityReport;
 pub use compiler::{CompileCache, CompiledLayer, SharedCompileCache};
@@ -77,3 +83,4 @@ pub use error::CoreError;
 pub use model::{BatchResult, CompiledModel};
 pub use scratch::VectorScratch;
 pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder};
+pub use shard::{ShardBatchResult, ShardPlan, ShardedModel};

@@ -209,6 +209,27 @@ impl CompiledModel {
         self.unique_layers
     }
 
+    /// The compiled matrix layers in execution order — the model's view of
+    /// the compile cache (repeated layers share an [`Arc`]). Tile shard
+    /// planning reads this to size placements; a
+    /// [`crate::shard::TileView`] holds the per-tile subset.
+    pub fn compiled_layers(&self) -> &[Arc<CompiledLayer>] {
+        &self.layers
+    }
+
+    /// The noise-stream seed this model derives for every image (see the
+    /// module docs) — sharded execution reuses it so placement never
+    /// changes the draw.
+    pub(crate) fn noise_seed(&self) -> u64 {
+        self.noise_seed
+    }
+
+    /// The validated execution plan — sharded execution walks the same
+    /// plan through the same graph, only the matrix-layer engine differs.
+    pub(crate) fn exec_plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
     /// Total crossbar columns the model occupies across all layers.
     pub fn total_columns(&self) -> usize {
         self.layers.iter().map(|l| l.total_columns()).sum()

@@ -9,6 +9,7 @@
 //! loop performs no heap allocation. Each worker thread owns one scratch.
 
 use raella_nn::matrix::Act;
+use raella_xbar::noise::NoiseRng;
 use raella_xbar::slicing::{Slice, Slicing};
 
 use crate::compiler::CompiledLayer;
@@ -37,6 +38,9 @@ pub struct VectorScratch {
     pub(crate) bit_mass: Vec<u16>,
     /// Per filter: signed output accumulator.
     pub(crate) acc: Vec<i64>,
+    /// Per row-group noise streams for the in-flight vector, reseeded per
+    /// vector by the engine (capacity reused across vectors).
+    pub(crate) rngs: Vec<NoiseRng>,
     /// Rows per vector this scratch is currently sized for.
     pub(crate) len: usize,
 }
@@ -53,6 +57,7 @@ impl VectorScratch {
             spec_mass: vec![0; len],
             bit_mass: vec![0; len],
             acc: vec![0; layer.filters()],
+            rngs: Vec::new(),
             len,
             spec_slices,
         }

@@ -47,6 +47,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use raella_arch::tile::TileSpec;
 use raella_nn::graph::{argmax, Graph, ValueArena};
 use raella_nn::tensor::Tensor;
 
@@ -56,6 +57,7 @@ use crate::engine::RunStats;
 use crate::error::CoreError;
 use crate::model::CompiledModel;
 use crate::parallel::worker_count_for;
+use crate::shard::ShardPlan;
 
 /// One scheduler tick — the granularity of the coalescing latency budget.
 pub const TICK: Duration = Duration::from_micros(1);
@@ -97,6 +99,8 @@ pub struct ServerBuilder {
     max_batch: Option<usize>,
     latency_budget_ticks: Option<u64>,
     cache: Option<SharedCompileCache>,
+    shards: usize,
+    tile: Option<TileSpec>,
 }
 
 impl ServerBuilder {
@@ -153,6 +157,28 @@ impl ServerBuilder {
         self
     }
 
+    /// Shards every model across `n` simulated accelerator tiles (0, the
+    /// default, serves monolithically). Layers round-robin across tiles;
+    /// layers longer than the tile's row budget split into row groups
+    /// merged by the accumulator reduction (see [`crate::shard`]).
+    /// Sharding is pure scheduling: responses stay bit-identical to the
+    /// unsharded server, and each [`Response`] additionally carries
+    /// per-tile [`RunStats`] ([`Response::tile_stats`]), aggregated
+    /// server-wide by [`RaellaServer::tile_stats`].
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// The tile geometry used by [`ServerBuilder::shards`] (default: the
+    /// paper's 512×512 [`TileSpec::raella`]).
+    #[must_use]
+    pub fn tile_spec(mut self, tile: TileSpec) -> Self {
+        self.tile = Some(tile);
+        self
+    }
+
     /// Compiles every model and spawns the worker pool.
     ///
     /// # Errors
@@ -166,12 +192,23 @@ impl ServerBuilder {
             ));
         }
         let cache = self.cache.unwrap_or_else(SharedCompileCache::global);
+        let tile = self.tile.unwrap_or_default();
         let mut models = Vec::with_capacity(self.models.len());
         // Moves each builder-owned graph into its CompiledModel — no
         // second whole-graph clone on the build path.
         for (graph, cfg) in self.models {
-            models.push(CompiledModel::compile_owned(graph, &cfg, &cache)?);
+            let model = CompiledModel::compile_owned(graph, &cfg, &cache)?;
+            let plan = if self.shards > 0 {
+                Some(ShardPlan::place(&model, self.shards, tile)?)
+            } else {
+                None
+            };
+            models.push(ServedModel { model, plan });
         }
+        let tile_totals = models
+            .iter()
+            .map(|m| vec![RunStats::default(); m.plan.as_ref().map_or(0, ShardPlan::tiles)])
+            .collect();
         let workers = if self.workers == 0 {
             // `usize::MAX` items: resolve to the full hardware /
             // RAELLA_THREADS budget.
@@ -192,6 +229,7 @@ impl ServerBuilder {
             budget: Duration::from_micros(budget_ticks),
             busy: AtomicUsize::new(0),
             cache,
+            tile_totals: Mutex::new(tile_totals),
         });
         let threads = (0..workers)
             .map(|_| {
@@ -217,6 +255,7 @@ pub struct Response {
     output: Tensor<u8>,
     predicted: usize,
     stats: RunStats,
+    tile_stats: Vec<RunStats>,
     seq: u64,
     model: usize,
     queue_ticks: u64,
@@ -235,9 +274,18 @@ impl Response {
         self.predicted
     }
 
-    /// Per-request execution statistics (this image only).
+    /// Per-request execution statistics (this image only). On a sharded
+    /// server this is the merge of [`Response::tile_stats`] — always
+    /// bit-identical to the unsharded stats.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Per-tile execution statistics for this request (index = tile),
+    /// empty when the server is not sharded
+    /// ([`ServerBuilder::shards`]).
+    pub fn tile_stats(&self) -> &[RunStats] {
+        &self.tile_stats
     }
 
     /// The request's submission sequence number (server-wide order).
@@ -365,11 +413,19 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// One served model: the compiled graph plus its tile placement, if the
+/// server is sharded.
+#[derive(Debug)]
+struct ServedModel {
+    model: CompiledModel,
+    plan: Option<ShardPlan>,
+}
+
 #[derive(Debug)]
 struct Shared {
     state: Mutex<QueueState>,
     ready: Condvar,
-    models: Vec<CompiledModel>,
+    models: Vec<ServedModel>,
     max_batch: usize,
     budget: Duration,
     /// Workers currently executing a batch. When a worker is the *only*
@@ -381,6 +437,11 @@ struct Shared {
     /// scheduling choice.
     busy: AtomicUsize,
     cache: SharedCompileCache,
+    /// Server-lifetime per-tile statistics, one bucket vector per model
+    /// (empty for unsharded models). Workers merge each sharded
+    /// request's per-tile deltas here; read via
+    /// [`RaellaServer::tile_stats`].
+    tile_totals: Mutex<Vec<Vec<RunStats>>>,
 }
 
 impl Shared {
@@ -474,25 +535,56 @@ fn worker_loop(shared: &Shared) {
             // Re-checked per image: siblings may pick up or finish work
             // mid-batch.
             let alone = shared.busy.load(Ordering::Relaxed) == 1;
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                shared.models[req.model].run_image_in(&req.image, &mut arena, alone)
-            }))
-            .unwrap_or_else(|_| {
-                Err(CoreError::Server(format!(
-                    "execution panicked serving request {}",
-                    req.seq
-                )))
-            })
-            .map(|(output, stats)| Response {
-                predicted: argmax(output.as_slice()),
-                output,
-                stats,
-                seq: req.seq,
-                model: req.model,
-                queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
-                compute_ticks: ticks(compute_start.elapsed()),
-                batch_size,
-            });
+            let served = &shared.models[req.model];
+            // Sharded models fan a split layer across one worker per
+            // involved tile when this worker is the only busy one —
+            // "each tile gets its own worker"; otherwise request-level
+            // parallelism already covers the cores. Either way the bytes
+            // and (merged) stats are identical to the unsharded model.
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &served.plan {
+                    Some(plan) => plan
+                        .run_image_in(&served.model, &req.image, &mut arena, alone)
+                        .map(|(output, tile_stats)| {
+                            let mut stats = RunStats::default();
+                            for bucket in &tile_stats {
+                                stats.merge(bucket);
+                            }
+                            (output, stats, tile_stats)
+                        }),
+                    None => served
+                        .model
+                        .run_image_in(&req.image, &mut arena, alone)
+                        .map(|(output, stats)| (output, stats, Vec::new())),
+                }))
+                .unwrap_or_else(|_| {
+                    Err(CoreError::Server(format!(
+                        "execution panicked serving request {}",
+                        req.seq
+                    )))
+                })
+                .map(|(output, stats, tile_stats)| {
+                    if !tile_stats.is_empty() {
+                        let mut totals = shared
+                            .tile_totals
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        for (bucket, local) in totals[req.model].iter_mut().zip(&tile_stats) {
+                            bucket.merge(local);
+                        }
+                    }
+                    Response {
+                        predicted: argmax(output.as_slice()),
+                        output,
+                        stats,
+                        tile_stats,
+                        seq: req.seq,
+                        model: req.model,
+                        queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
+                        compute_ticks: ticks(compute_start.elapsed()),
+                        batch_size,
+                    }
+                });
             // A dropped handle is fine — the requester walked away.
             let _ = req.tx.send(result);
         }
@@ -615,7 +707,33 @@ impl RaellaServer {
     /// Panics if `index` is out of range (see
     /// [`RaellaServer::model_count`]).
     pub fn model(&self, index: usize) -> &CompiledModel {
-        &self.shared.models[index]
+        &self.shared.models[index].model
+    }
+
+    /// The tile placement of the model at `index`, if the server is
+    /// sharded ([`ServerBuilder::shards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn shard_plan(&self, index: usize) -> Option<&ShardPlan> {
+        self.shared.models[index].plan.as_ref()
+    }
+
+    /// Per-tile statistics aggregated over every request the model at
+    /// `index` has served so far (empty for an unsharded server). The
+    /// buckets merge to the sum of all served requests' stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn tile_stats(&self, index: usize) -> Vec<RunStats> {
+        assert!(index < self.shared.models.len(), "no model {index}");
+        self.shared
+            .tile_totals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)[index]
+            .clone()
     }
 
     /// Number of models served.
@@ -763,6 +881,140 @@ mod tests {
         let responses = RaellaServer::wait_all(handles).unwrap();
         assert_eq!(responses.len(), 3);
         assert_eq!(responses[0].output(), &out0);
+    }
+
+    /// A graph whose first linear layer spans three 64-row groups, so a
+    /// sharded server actually row-splits it.
+    fn long_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let gap = g.global_avg_pool(input);
+        let fc1 = g.linear(gap, SynthLayer::linear(150, 8, 3).build());
+        let fc2 = g.linear(fc1, SynthLayer::linear(8, 4, 5).build());
+        g.set_output(fc2);
+        g
+    }
+
+    fn long_image(seed: u64) -> Tensor<u8> {
+        use raella_nn::rng::SynthRng;
+        let mut rng = SynthRng::new(seed);
+        let data: Vec<u8> = (0..150 * 2 * 2)
+            .map(|_| rng.exponential(30.0).min(255.0) as u8)
+            .collect();
+        Tensor::from_vec(data, &[150, 2, 2]).unwrap()
+    }
+
+    #[test]
+    fn sharded_server_matches_unsharded_and_aggregates_tiles() {
+        use raella_arch::tile::TileSpec;
+        let images: Vec<Tensor<u8>> = (0..4).map(long_image).collect();
+        let sharded = RaellaServer::builder()
+            .model(&long_graph(), &tiny_cfg())
+            .compile_cache(SharedCompileCache::new())
+            .workers(2)
+            .max_batch(2)
+            .latency_budget_ticks(50)
+            .shards(3)
+            .tile_spec(TileSpec::new(64, 64))
+            .build()
+            .unwrap();
+        let plan = sharded.shard_plan(0).expect("sharded server has a plan");
+        assert_eq!(plan.tiles(), 3);
+        assert!(plan.split_layer_count() >= 1, "fc1 must row-split");
+        let baseline = sharded.model(0).run_batch(&images).unwrap();
+
+        let handles = sharded.submit_many(images.iter().cloned());
+        let responses = RaellaServer::wait_all(handles).unwrap();
+        let mut merged = RunStats::default();
+        for (i, (resp, want)) in responses.iter().zip(baseline.outputs()).enumerate() {
+            assert_eq!(resp.output(), want, "request {i}");
+            assert_eq!(resp.tile_stats().len(), 3, "request {i}");
+            // The per-request stats are the merge of the tile buckets.
+            let mut tiles = RunStats::default();
+            for bucket in resp.tile_stats() {
+                tiles.merge(bucket);
+            }
+            assert_eq!(&tiles, resp.stats(), "request {i}");
+            merged.merge(resp.stats());
+        }
+        assert_eq!(&merged, baseline.stats(), "sharding changed the stats");
+
+        // Server-wide aggregation: tile buckets merge to everything served.
+        let totals = sharded.tile_stats(0);
+        assert_eq!(totals.len(), 3);
+        let mut total = RunStats::default();
+        for bucket in &totals {
+            total.merge(bucket);
+        }
+        assert_eq!(&total, baseline.stats());
+        // Unsharded servers expose no per-tile data.
+        let plain = build_tiny(1, 1, 0);
+        assert!(plain.shard_plan(0).is_none());
+        assert!(plain.tile_stats(0).is_empty());
+        let resp = plain.submit(sample_image(1)).wait().unwrap();
+        assert!(resp.tile_stats().is_empty());
+        plain.shutdown();
+        sharded.shutdown();
+    }
+
+    #[test]
+    fn try_wait_polls_none_until_ready_then_spends_the_handle() {
+        // A huge latency budget and an undersized batch park the request:
+        // try_wait must observe the pending state.
+        let server = build_tiny(1, 64, 5_000_000);
+        let mut handle = server.submit(sample_image(1));
+        assert!(handle.try_wait().is_none(), "queued request must poll None");
+        // Shutdown drains the parked request; the buffered response
+        // survives the workers.
+        server.shutdown();
+        let resp = handle
+            .try_wait()
+            .expect("drained request has a buffered response")
+            .expect("request succeeds");
+        assert_eq!(resp.sequence(), 0);
+        // The handle is now spent: polls return None, wait errors.
+        assert!(handle.try_wait().is_none());
+        let err = handle.wait().unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Server(msg) if msg.contains("already taken")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dropped_server_surfaces_as_error_not_hang() {
+        // A handle whose sender vanished without responding (the
+        // dropped-server path) must error on both wait flavors.
+        let (tx, rx) = mpsc::sync_channel(1);
+        drop(tx);
+        let mut polled = RequestHandle {
+            seq: 9,
+            model: 0,
+            rx,
+            done: false,
+        };
+        match polled.try_wait() {
+            Some(Err(CoreError::Server(msg))) => assert!(msg.contains("dropped"), "{msg}"),
+            other => panic!("expected dropped-server error, got {other:?}"),
+        }
+        assert!(
+            polled.try_wait().is_none(),
+            "error delivery spends the handle"
+        );
+
+        let (tx, rx) = mpsc::sync_channel(1);
+        drop(tx);
+        let waited = RequestHandle {
+            seq: 10,
+            model: 0,
+            rx,
+            done: false,
+        };
+        let err = waited.wait().unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Server(msg) if msg.contains("dropped")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,957 @@
+//! Tile-sharded execution: place layers and row groups across simulated
+//! accelerator tiles — with results provably identical to the monolithic
+//! engine.
+//!
+//! The paper's accelerator is an array of tiles of 512×512 crossbars
+//! (§IV); a real deployment never runs a DNN on one monolithic device.
+//! This module is the placement layer: a [`ShardPlan`] partitions a
+//! [`CompiledModel`] across `N` simulated tiles described by a
+//! [`TileSpec`] —
+//!
+//! * **whole layers to tiles** (pipeline placement): each matrix layer's
+//!   crossbar program lives on one tile, layers round-robin across the
+//!   array;
+//! * **row-group splits** for layers whose filters are longer than a
+//!   tile's row budget: each tile computes the partial sums of its row
+//!   groups ([`crate::engine::run_vector_groups`]) and the partials merge
+//!   by an exact elementwise `i64` accumulator reduction before the
+//!   digital requantization ([`crate::engine::finalize_vector`]) — the
+//!   paper's inter-tile psum accumulation.
+//!
+//! # Determinism contract
+//!
+//! **Placement is pure scheduling.** Any shard count, any row budget, any
+//! slice-to-tile assignment, any worker/thread count produces output
+//! bytes and (merged) statistics bit-identical to the unsharded
+//! [`CompiledModel::run_batch`], in ideal and noisy modes, because
+//!
+//! * every image keeps its own noise-stream state derived from the
+//!   configuration alone (see [`crate::model`]),
+//! * within an image, every `(vector, row-group)` pair draws noise from
+//!   its own counter-derived substream keyed by the group's stable index
+//!   — never by read order — so disjoint row ranges can run anywhere, and
+//! * partial-sum reduction is exact integer addition and
+//!   [`RunStats::merge`] is associative and commutative.
+//!
+//! `crates/core/tests/shard_determinism.rs` sweeps random placements ×
+//! shard counts × row budgets × `RAELLA_THREADS` against the single-tile
+//! engine; `crates/core/tests/shard_golden.rs` pins a hand-computed
+//! two-tile partial-sum merge.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use raella_arch::tile::TileSpec;
+use raella_nn::graph::ValueArena;
+use raella_nn::layers::MatVecEngine;
+use raella_nn::matrix::{Act, MatrixLayer};
+use raella_nn::tensor::Tensor;
+
+use crate::compiler::CompiledLayer;
+use crate::engine::{
+    finalize_vector, run_batch_at, run_batch_groups_at, run_batch_parallel_at, RunStats,
+};
+use crate::error::CoreError;
+use crate::model::CompiledModel;
+use crate::parallel::{run_chunks, worker_count_for};
+
+/// One contiguous row-group range of one layer, placed on one tile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSlice {
+    /// The tile hosting these row groups.
+    pub tile: usize,
+    /// Row-group indices (see [`CompiledLayer::group_count`]) this tile
+    /// computes partial sums for.
+    pub groups: Range<usize>,
+}
+
+/// Where one matrix layer lives: a single slice (the whole layer on one
+/// tile) or several row-group slices whose partial sums are reduced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerPlacement {
+    slices: Vec<ShardSlice>,
+}
+
+impl LayerPlacement {
+    /// A placement from explicit slices (validated when the plan is built
+    /// against a model via [`ShardPlan::custom`]).
+    pub fn new(slices: Vec<ShardSlice>) -> Self {
+        LayerPlacement { slices }
+    }
+
+    /// The slices, in row-group order.
+    pub fn slices(&self) -> &[ShardSlice] {
+        &self.slices
+    }
+
+    /// Whether this layer is row-split across more than one slice.
+    pub fn is_split(&self) -> bool {
+        self.slices.len() > 1
+    }
+
+    /// The tile that performs this layer's digital tail (accumulator
+    /// reduction + requantization): the tile holding the first row group.
+    pub fn home_tile(&self) -> usize {
+        self.slices[0].tile
+    }
+}
+
+/// A placement of a whole [`CompiledModel`] across `N` simulated tiles.
+///
+/// Built by [`ShardPlan::place`] (round-robin pipeline placement with
+/// row-group splits where a layer exceeds the tile's row budget) or
+/// [`ShardPlan::custom`] (any placement — the proptest surface). Both
+/// validate against the model: one placement per matrix layer, each an
+/// ascending contiguous partition of that layer's row groups, every tile
+/// index in range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    tile: TileSpec,
+    tiles: usize,
+    placements: Vec<LayerPlacement>,
+}
+
+impl ShardPlan {
+    /// Places `model` across `tiles` tiles of geometry `tile`.
+    ///
+    /// Layers round-robin across tiles in execution order (pipeline
+    /// placement). A layer whose filters span more row groups than the
+    /// tile's row budget (`tile.rows / crossbar_rows` groups) is split
+    /// into budget-sized row-group slices on consecutive tiles, merged at
+    /// run time by the accumulator reduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] for zero tiles or a tile whose rows
+    /// are smaller than the model's configured crossbar rows.
+    pub fn place(model: &CompiledModel, tiles: usize, tile: TileSpec) -> Result<Self, CoreError> {
+        if tiles == 0 {
+            return Err(CoreError::Shard("a plan needs at least one tile".into()));
+        }
+        let crossbar_rows = model.config().crossbar_rows;
+        let budget = tile.rows / crossbar_rows;
+        if budget == 0 {
+            return Err(CoreError::Shard(format!(
+                "tile rows {} cannot hold one {}-row crossbar group",
+                tile.rows, crossbar_rows
+            )));
+        }
+        let mut cursor = 0usize;
+        let mut placements = Vec::with_capacity(model.compiled_layers().len());
+        for layer in model.compiled_layers() {
+            let n_groups = layer.group_count();
+            let mut slices = Vec::new();
+            let mut start = 0;
+            while start < n_groups {
+                let end = (start + budget).min(n_groups);
+                slices.push(ShardSlice {
+                    tile: cursor % tiles,
+                    groups: start..end,
+                });
+                cursor += 1;
+                start = end;
+            }
+            placements.push(LayerPlacement { slices });
+        }
+        Ok(ShardPlan {
+            tile,
+            tiles,
+            placements,
+        })
+    }
+
+    /// Builds a plan from explicit per-layer placements — the escape
+    /// hatch for placement sweeps and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] when the placements do not match the
+    /// model: wrong layer count, a tile index `>= tiles`, or slices that
+    /// are not an ascending contiguous partition of a layer's row groups.
+    pub fn custom(
+        model: &CompiledModel,
+        tiles: usize,
+        tile: TileSpec,
+        placements: Vec<LayerPlacement>,
+    ) -> Result<Self, CoreError> {
+        if tiles == 0 {
+            return Err(CoreError::Shard("a plan needs at least one tile".into()));
+        }
+        let plan = ShardPlan {
+            tile,
+            tiles,
+            placements,
+        };
+        plan.check_model(model)?;
+        Ok(plan)
+    }
+
+    /// Validates this plan against `model` (layer count, tile ranges,
+    /// row-group coverage).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] describing the first mismatch.
+    pub fn check_model(&self, model: &CompiledModel) -> Result<(), CoreError> {
+        let layers = model.compiled_layers();
+        if self.placements.len() != layers.len() {
+            return Err(CoreError::Shard(format!(
+                "plan covers {} layers, model has {}",
+                self.placements.len(),
+                layers.len()
+            )));
+        }
+        for (i, (placement, layer)) in self.placements.iter().zip(layers).enumerate() {
+            if placement.slices.is_empty() {
+                return Err(CoreError::Shard(format!("layer {i} has no slices")));
+            }
+            let mut next = 0usize;
+            for slice in &placement.slices {
+                if slice.tile >= self.tiles {
+                    return Err(CoreError::Shard(format!(
+                        "layer {i} names tile {} of {}",
+                        slice.tile, self.tiles
+                    )));
+                }
+                if slice.groups.start != next || slice.groups.is_empty() {
+                    return Err(CoreError::Shard(format!(
+                        "layer {i} slices are not an ascending contiguous partition \
+                         (expected a slice starting at group {next}, got {:?})",
+                        slice.groups
+                    )));
+                }
+                next = slice.groups.end;
+            }
+            if next != layer.group_count() {
+                return Err(CoreError::Shard(format!(
+                    "layer {i} covers groups 0..{next}, layer has {}",
+                    layer.group_count()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of tiles in the placement.
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+
+    /// The tile geometry the plan was built for.
+    pub fn tile_spec(&self) -> &TileSpec {
+        &self.tile
+    }
+
+    /// Per-layer placements, in execution order.
+    pub fn placements(&self) -> &[LayerPlacement] {
+        &self.placements
+    }
+
+    /// Layers split across more than one tile (row-group sharding).
+    pub fn split_layer_count(&self) -> usize {
+        self.placements.iter().filter(|p| p.is_split()).count()
+    }
+
+    /// Each tile's view of the compiled model: which layers (shared
+    /// `Arc`s out of the compile cache) are resident, and the crossbar
+    /// occupancy of its row groups.
+    pub fn tile_views(&self, model: &CompiledModel) -> Vec<TileView> {
+        let layers = model.compiled_layers();
+        let mut views: Vec<TileView> = (0..self.tiles)
+            .map(|tile| TileView {
+                tile,
+                resident: Vec::new(),
+                layer_indices: Vec::new(),
+                row_groups: 0,
+                columns: 0,
+                crossbars: 0,
+                cells: 0,
+            })
+            .collect();
+        // Groups stack vertically within one crossbar up to the tile's
+        // row budget (the same packing `ShardPlan::place` splits by), so
+        // a slice of G groups needs ceil(G / budget) vertical bands of
+        // crossbars, each wide enough for the layer's columns.
+        let stack = (self.tile.rows / model.config().crossbar_rows).max(1);
+        for (i, placement) in self.placements.iter().enumerate() {
+            for slice in &placement.slices {
+                let layer = &layers[i];
+                let view = &mut views[slice.tile];
+                if view.layer_indices.last() != Some(&i) {
+                    view.layer_indices.push(i);
+                    view.resident.push(Arc::clone(layer));
+                }
+                let columns_per_group = layer.filters() * layer.columns_per_filter();
+                view.row_groups += slice.groups.len();
+                view.columns += layer.columns_for_groups(slice.groups.clone());
+                view.crossbars += slice.groups.len().div_ceil(stack)
+                    * self.tile.crossbars_for_columns(columns_per_group);
+                view.cells +=
+                    layer.rows_for_groups(slice.groups.clone()) as u64 * columns_per_group as u64;
+            }
+        }
+        views
+    }
+
+    /// Runs one image through `model` under this placement, returning the
+    /// output tensor and one [`RunStats`] bucket per tile (merging every
+    /// bucket reproduces the unsharded stats exactly).
+    ///
+    /// `parallel_tiles` fans a split layer's row ranges across one worker
+    /// thread per involved tile (pass `false` when the caller already
+    /// provides image- or request-level parallelism); both settings
+    /// produce identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the plan was built for a different model — validate
+    /// with [`ShardPlan::check_model`] first (the constructors already
+    /// do).
+    pub fn run_image_in(
+        &self,
+        model: &CompiledModel,
+        image: &Tensor<u8>,
+        arena: &mut ValueArena,
+        parallel_tiles: bool,
+    ) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
+        debug_assert_eq!(self.placements.len(), model.compiled_layers().len());
+        let mut engine = ShardedEngine {
+            layers: model.compiled_layers(),
+            placements: &self.placements,
+            cursor: 0,
+            tile_stats: vec![RunStats::default(); self.tiles],
+            next_vector: 0,
+            noise_seed: model.noise_seed(),
+            parallel_tiles,
+        };
+        let out = model
+            .graph()
+            .run_planned(model.exec_plan(), image, &mut engine, arena)?;
+        Ok((out, engine.tile_stats))
+    }
+}
+
+/// One tile's slice of the compiled model: the resident compiled layers
+/// (shared with the compile cache — placement copies nothing) and the
+/// crossbar occupancy of the row groups placed there.
+#[derive(Debug, Clone)]
+pub struct TileView {
+    tile: usize,
+    resident: Vec<Arc<CompiledLayer>>,
+    layer_indices: Vec<usize>,
+    row_groups: usize,
+    columns: usize,
+    crossbars: usize,
+    cells: u64,
+}
+
+impl TileView {
+    /// The tile index.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Compiled layers resident on this tile — `Arc` clones out of the
+    /// model's compile-cache view, never copies.
+    pub fn resident_layers(&self) -> &[Arc<CompiledLayer>] {
+        &self.resident
+    }
+
+    /// Indices (execution order) of the matrix layers with at least one
+    /// row group here.
+    pub fn layer_indices(&self) -> &[usize] {
+        &self.layer_indices
+    }
+
+    /// Row groups resident on this tile.
+    pub fn row_groups(&self) -> usize {
+        self.row_groups
+    }
+
+    /// Crossbar columns occupied across all resident row groups.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Crossbars the placement needs on this tile.
+    pub fn crossbars(&self) -> usize {
+        self.crossbars
+    }
+
+    /// ReRAM cells programmed on this tile.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Fraction of the allocated crossbars' cells actually programmed.
+    pub fn utilization(&self, spec: &TileSpec) -> f64 {
+        if self.crossbars == 0 {
+            0.0
+        } else {
+            self.cells as f64 / (self.crossbars as u64 * spec.cells_per_crossbar()) as f64
+        }
+    }
+}
+
+/// Outputs and per-tile statistics of one [`ShardedModel::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardBatchResult {
+    outputs: Vec<Tensor<u8>>,
+    tile_stats: Vec<RunStats>,
+    stats: RunStats,
+}
+
+impl ShardBatchResult {
+    /// One output tensor per input image, in input order — bit-identical
+    /// to [`crate::model::BatchResult::outputs`] on the same images.
+    pub fn outputs(&self) -> &[Tensor<u8>] {
+        &self.outputs
+    }
+
+    /// Statistics merged across all tiles and images — equal to the
+    /// unsharded batch stats.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Per-tile statistics (index = tile), merged across the batch.
+    pub fn tile_stats(&self) -> &[RunStats] {
+        &self.tile_stats
+    }
+
+    /// Number of images in the batch.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Consumes the result, yielding outputs, per-tile stats, and merged
+    /// stats.
+    pub fn into_parts(self) -> (Vec<Tensor<u8>>, Vec<RunStats>, RunStats) {
+        (self.outputs, self.tile_stats, self.stats)
+    }
+}
+
+/// A [`CompiledModel`] bound to a [`ShardPlan`]: the standalone sharded
+/// execution front end (the serving path embeds the plan in
+/// [`crate::server::RaellaServer`] instead).
+///
+/// ```
+/// use raella_arch::tile::TileSpec;
+/// use raella_core::model::CompiledModel;
+/// use raella_core::shard::ShardedModel;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::graph::Graph;
+/// use raella_nn::synth::SynthLayer;
+/// use raella_nn::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+/// let gap = g.global_avg_pool(c);
+/// g.set_output(gap);
+/// let cfg = RaellaConfig {
+///     crossbar_rows: 8, // tiny crossbars force row-group splits
+///     crossbar_cols: 64,
+///     search_vectors: 2,
+///     ..RaellaConfig::default()
+/// };
+///
+/// let model = CompiledModel::compile(&g, &cfg)?;
+/// let images = vec![Tensor::zeros(&[2, 6, 6]); 2];
+/// let unsharded = model.run_batch(&images)?;
+///
+/// let sharded = ShardedModel::new(model, 3, TileSpec::new(8, 64))?;
+/// let result = sharded.run_batch(&images)?;
+/// assert_eq!(result.outputs(), unsharded.outputs()); // placement is scheduling
+/// assert_eq!(result.stats(), unsharded.stats());
+/// assert!(sharded.plan().split_layer_count() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ShardedModel {
+    model: CompiledModel,
+    plan: ShardPlan,
+}
+
+impl ShardedModel {
+    /// Shards `model` across `tiles` tiles of geometry `tile` with the
+    /// default [`ShardPlan::place`] placement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardPlan::place`].
+    pub fn new(model: CompiledModel, tiles: usize, tile: TileSpec) -> Result<Self, CoreError> {
+        let plan = ShardPlan::place(&model, tiles, tile)?;
+        Ok(ShardedModel { model, plan })
+    }
+
+    /// Binds an explicit plan (validated against the model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] if the plan does not match the model.
+    pub fn with_plan(model: CompiledModel, plan: ShardPlan) -> Result<Self, CoreError> {
+        plan.check_model(&model)?;
+        Ok(ShardedModel { model, plan })
+    }
+
+    /// The underlying compiled model.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// The placement in effect.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Each tile's resident layers and occupancy.
+    pub fn tile_views(&self) -> Vec<TileView> {
+        self.plan.tile_views(&self.model)
+    }
+
+    /// Unbinds the plan, returning the compiled model.
+    pub fn into_model(self) -> CompiledModel {
+        self.model
+    }
+
+    /// Runs one image, fanning split layers across per-tile workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn run_image(&self, image: &Tensor<u8>) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
+        let mut arena = ValueArena::new();
+        self.plan.run_image_in(&self.model, image, &mut arena, true)
+    }
+
+    /// Runs a batch of images, fanning whole images across worker threads
+    /// (`RAELLA_THREADS` or the available parallelism).
+    ///
+    /// Outputs are bit-identical to [`CompiledModel::run_batch`]; the
+    /// per-tile stats merge to the unsharded batch stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors (the batch fails as a whole).
+    pub fn run_batch(&self, images: &[Tensor<u8>]) -> Result<ShardBatchResult, CoreError> {
+        self.run_batch_threaded(images, worker_count_for(images.len(), 1))
+    }
+
+    /// [`ShardedModel::run_batch`] with an explicit image-level worker
+    /// count (results are bit-identical at any count). With a single
+    /// image worker, split layers fan across per-tile workers instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedModel::run_batch`].
+    pub fn run_batch_threaded(
+        &self,
+        images: &[Tensor<u8>],
+        threads: usize,
+    ) -> Result<ShardBatchResult, CoreError> {
+        let threads = threads.clamp(1, images.len().max(1));
+        let tile_parallel = threads <= 1;
+        let blocks = run_chunks(images.len(), threads, |first, n| {
+            let mut arena = ValueArena::new();
+            images[first..first + n]
+                .iter()
+                .map(|img| {
+                    self.plan
+                        .run_image_in(&self.model, img, &mut arena, tile_parallel)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut outputs = Vec::with_capacity(images.len());
+        let mut tile_stats = vec![RunStats::default(); self.plan.tiles()];
+        for result in blocks.into_iter().flatten() {
+            let (out, per_tile) = result?;
+            for (bucket, local) in tile_stats.iter_mut().zip(&per_tile) {
+                bucket.merge(local);
+            }
+            outputs.push(out);
+        }
+        let mut stats = RunStats::default();
+        for bucket in &tile_stats {
+            stats.merge(bucket);
+        }
+        Ok(ShardBatchResult {
+            outputs,
+            tile_stats,
+            stats,
+        })
+    }
+}
+
+/// Per-image engine adapter for sharded execution: serves the graph's
+/// matrix-layer calls from the placement, layer by layer (the cursor
+/// mirrors [`crate::model`]'s `PlannedEngine`).
+struct ShardedEngine<'m> {
+    layers: &'m [Arc<CompiledLayer>],
+    placements: &'m [LayerPlacement],
+    cursor: usize,
+    tile_stats: Vec<RunStats>,
+    next_vector: u64,
+    noise_seed: u64,
+    parallel_tiles: bool,
+}
+
+impl MatVecEngine for ShardedEngine<'_> {
+    fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+        let compiled = &self.layers[self.cursor];
+        let placement = &self.placements[self.cursor];
+        self.cursor += 1;
+        debug_assert_eq!(compiled.name(), layer.name(), "layer order drifted");
+        let out = run_layer_placed(
+            compiled,
+            placement,
+            inputs,
+            self.noise_seed,
+            self.next_vector,
+            &mut self.tile_stats,
+            self.parallel_tiles,
+        );
+        self.next_vector += (inputs.len() / layer.filter_len()) as u64;
+        out
+    }
+}
+
+/// Partial accumulators and statistics of one slice's row groups over a
+/// whole layer batch.
+struct SliceResult {
+    acc: Vec<i64>,
+    stats: RunStats,
+}
+
+fn run_slice(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    groups: Range<usize>,
+    noise_seed: u64,
+    first_vector: u64,
+    n_vectors: usize,
+) -> SliceResult {
+    let mut acc = vec![0i64; n_vectors * layer.filters()];
+    let mut stats = RunStats::default();
+    run_batch_groups_at(
+        layer,
+        inputs,
+        groups,
+        &mut stats,
+        noise_seed,
+        first_vector,
+        &mut acc,
+    );
+    SliceResult { acc, stats }
+}
+
+/// Executes one layer's batch under its placement, attributing statistics
+/// to the tiles that did the work.
+///
+/// Single-slice layers run the ordinary batch kernels on their tile. A
+/// split layer runs each tile's row-group slices (optionally one worker
+/// thread per involved tile — "each tile gets its own worker"), reduces
+/// the partial accumulators elementwise, and finalizes each vector on the
+/// placement's home tile. Both paths are bit-identical to the unsharded
+/// kernels because noise substreams are keyed per `(vector, row group)`.
+fn run_layer_placed(
+    layer: &CompiledLayer,
+    placement: &LayerPlacement,
+    inputs: &[Act],
+    noise_seed: u64,
+    first_vector: u64,
+    tile_stats: &mut [RunStats],
+    parallel_tiles: bool,
+) -> Vec<u8> {
+    if !placement.is_split() {
+        let slice = &placement.slices[0];
+        let mut local = RunStats::default();
+        let out = if parallel_tiles {
+            run_batch_parallel_at(layer, inputs, &mut local, noise_seed, first_vector)
+        } else {
+            run_batch_at(layer, inputs, &mut local, noise_seed, first_vector)
+        };
+        tile_stats[slice.tile].merge(&local);
+        return out;
+    }
+
+    let filters = layer.filters();
+    let filter_len = layer.filter_len();
+    let n_vectors = inputs.len() / filter_len;
+
+    // Group this layer's slices by tile, preserving slice order: each
+    // involved tile's worker computes its row-group partials.
+    let mut by_tile: Vec<(usize, Vec<Range<usize>>)> = Vec::new();
+    for slice in &placement.slices {
+        match by_tile.iter_mut().find(|(t, _)| *t == slice.tile) {
+            Some((_, ranges)) => ranges.push(slice.groups.clone()),
+            None => by_tile.push((slice.tile, vec![slice.groups.clone()])),
+        }
+    }
+
+    // One tile's work, identical on the threaded and serial paths.
+    let run_tile = |ranges: &[Range<usize>]| {
+        ranges
+            .iter()
+            .map(|r| {
+                run_slice(
+                    layer,
+                    inputs,
+                    r.clone(),
+                    noise_seed,
+                    first_vector,
+                    n_vectors,
+                )
+            })
+            .collect::<Vec<SliceResult>>()
+    };
+    let results: Vec<Vec<SliceResult>> = if parallel_tiles && by_tile.len() > 1 {
+        std::thread::scope(|scope| {
+            let run_tile = &run_tile;
+            let handles: Vec<_> = by_tile
+                .iter()
+                .map(|(_, ranges)| scope.spawn(move || run_tile(ranges)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tile worker panicked"))
+                .collect()
+        })
+    } else {
+        by_tile.iter().map(|(_, ranges)| run_tile(ranges)).collect()
+    };
+
+    // Inter-tile accumulator reduction: exact elementwise i64 addition,
+    // so any merge order gives the same sums.
+    let mut total = vec![0i64; n_vectors * filters];
+    for ((tile, _), slices) in by_tile.iter().zip(&results) {
+        for sr in slices {
+            for (t, &p) in total.iter_mut().zip(&sr.acc) {
+                *t += p;
+            }
+            tile_stats[*tile].merge(&sr.stats);
+        }
+    }
+
+    // Digital tail on the home tile: requantize each vector once.
+    let home = placement.home_tile();
+    let mut out = vec![0u8; n_vectors * filters];
+    for ((vec, acc), out_chunk) in inputs
+        .chunks_exact(filter_len)
+        .zip(total.chunks_exact(filters))
+        .zip(out.chunks_exact_mut(filters))
+    {
+        let fin = finalize_vector(layer, vec, acc, out_chunk);
+        tile_stats[home].merge(&fin);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RaellaConfig;
+    use raella_nn::graph::Graph;
+    use raella_nn::synth::SynthLayer;
+
+    fn long_filter_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        // filter_len 150 over 64-row crossbars → 3 row groups.
+        let gap = g.global_avg_pool(input);
+        let fc1 = g.linear(gap, SynthLayer::linear(150, 8, 3).build());
+        let fc2 = g.linear(fc1, SynthLayer::linear(8, 4, 5).build());
+        g.set_output(fc2);
+        g
+    }
+
+    fn cfg() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            search_vectors: 2,
+            ..RaellaConfig::default()
+        }
+    }
+
+    fn image(seed: u64) -> Tensor<u8> {
+        use raella_nn::rng::SynthRng;
+        let mut rng = SynthRng::new(seed);
+        let data: Vec<u8> = (0..150 * 2 * 2)
+            .map(|_| rng.exponential(30.0).min(255.0) as u8)
+            .collect();
+        Tensor::from_vec(data, &[150, 2, 2]).unwrap()
+    }
+
+    fn compile() -> CompiledModel {
+        CompiledModel::compile_with_cache(
+            &long_filter_graph(),
+            &cfg(),
+            &crate::compiler::SharedCompileCache::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn place_splits_long_layers_and_round_robins() {
+        let model = compile();
+        let plan = ShardPlan::place(&model, 2, TileSpec::new(64, 64)).unwrap();
+        assert_eq!(plan.tiles(), 2);
+        assert_eq!(plan.placements().len(), 2);
+        // fc1: 3 groups over 1-group budget → 3 slices.
+        assert!(plan.placements()[0].is_split());
+        assert_eq!(plan.placements()[0].slices().len(), 3);
+        assert_eq!(plan.split_layer_count(), 1);
+        // Slices partition 0..3 contiguously.
+        let gs: Vec<_> = plan.placements()[0]
+            .slices()
+            .iter()
+            .map(|s| s.groups.clone())
+            .collect();
+        assert_eq!(gs, vec![0..1, 1..2, 2..3]);
+        plan.check_model(&model).unwrap();
+    }
+
+    #[test]
+    fn place_rejects_degenerate_geometry() {
+        let model = compile();
+        assert!(matches!(
+            ShardPlan::place(&model, 0, TileSpec::new(64, 64)),
+            Err(CoreError::Shard(_))
+        ));
+        assert!(matches!(
+            ShardPlan::place(&model, 2, TileSpec::new(32, 64)),
+            Err(CoreError::Shard(_))
+        ));
+    }
+
+    #[test]
+    fn custom_validates_coverage_and_tiles() {
+        let model = compile();
+        let tile = TileSpec::new(64, 64);
+        // Gap in coverage.
+        let bad = ShardPlan::custom(
+            &model,
+            2,
+            tile,
+            vec![
+                LayerPlacement::new(vec![
+                    ShardSlice {
+                        tile: 0,
+                        groups: 0..1,
+                    },
+                    ShardSlice {
+                        tile: 1,
+                        groups: 2..3,
+                    },
+                ]),
+                LayerPlacement::new(vec![ShardSlice {
+                    tile: 0,
+                    groups: 0..1,
+                }]),
+            ],
+        );
+        assert!(matches!(bad, Err(CoreError::Shard(_))));
+        // Out-of-range tile.
+        let bad = ShardPlan::custom(
+            &model,
+            2,
+            tile,
+            vec![
+                LayerPlacement::new(vec![ShardSlice {
+                    tile: 5,
+                    groups: 0..3,
+                }]),
+                LayerPlacement::new(vec![ShardSlice {
+                    tile: 0,
+                    groups: 0..1,
+                }]),
+            ],
+        );
+        assert!(matches!(bad, Err(CoreError::Shard(_))));
+        // Wrong layer count.
+        let bad = ShardPlan::custom(&model, 2, tile, vec![]);
+        assert!(matches!(bad, Err(CoreError::Shard(_))));
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_bit_for_bit() {
+        let model = compile();
+        let images: Vec<Tensor<u8>> = (0..3).map(image).collect();
+        let baseline = model.run_batch(&images).unwrap();
+        let mut sharded = ShardedModel::with_plan(
+            model,
+            ShardPlan::place(&compile(), 1, TileSpec::new(64, 64)).unwrap(),
+        )
+        .unwrap();
+        for tiles in [1, 2, 3, 5] {
+            let plan = ShardPlan::place(sharded.model(), tiles, TileSpec::new(64, 64)).unwrap();
+            sharded = ShardedModel::with_plan(sharded.into_model(), plan).unwrap();
+            let result = sharded.run_batch(&images).unwrap();
+            assert_eq!(result.outputs(), baseline.outputs(), "{tiles} tiles");
+            assert_eq!(result.stats(), baseline.stats(), "{tiles} tiles");
+            // Per-tile buckets merge to the whole.
+            let mut merged = RunStats::default();
+            for bucket in result.tile_stats() {
+                merged.merge(bucket);
+            }
+            assert_eq!(&merged, baseline.stats(), "{tiles} tiles");
+            assert_eq!(result.tile_stats().len(), tiles);
+        }
+    }
+
+    #[test]
+    fn tile_views_stack_groups_up_to_the_row_budget() {
+        let model = compile();
+        // 128-row tiles over 64-row groups: two groups stack vertically
+        // per crossbar, the same packing `place` splits by.
+        let plan = ShardPlan::place(&model, 1, TileSpec::new(128, 64)).unwrap();
+        let views = plan.tile_views(&model);
+        // fc1 (3 groups) → slices [0..2] (one stacked crossbar) + [2..3]
+        // (one); fc2 (1 group) → one. Charging per group would say 4.
+        assert_eq!(views[0].crossbars(), 3);
+        assert_eq!(views[0].row_groups(), 4);
+    }
+
+    #[test]
+    fn tile_views_report_residency_and_occupancy() {
+        let model = compile();
+        let plan = ShardPlan::place(&model, 2, TileSpec::new(64, 64)).unwrap();
+        let sharded = ShardedModel::with_plan(model, plan).unwrap();
+        let views = sharded.tile_views();
+        assert_eq!(views.len(), 2);
+        let total_groups: usize = views.iter().map(|v| v.row_groups()).sum();
+        // fc1 has 3 groups, fc2 has 1.
+        assert_eq!(total_groups, 4);
+        let total_cells: u64 = views.iter().map(|v| v.cells()).sum();
+        // Programmed cells = Σ rows × columns over all layers.
+        let expected: u64 = sharded
+            .model()
+            .compiled_layers()
+            .iter()
+            .map(|l| {
+                l.rows_for_groups(0..l.group_count()) as u64
+                    * (l.filters() * l.columns_per_filter()) as u64
+            })
+            .sum();
+        assert_eq!(total_cells, expected);
+        for v in &views {
+            if v.crossbars() > 0 {
+                let u = v.utilization(sharded.plan().tile_spec());
+                assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+            }
+            assert_eq!(v.resident_layers().len(), v.layer_indices().len());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Run one throughput bench and apply its CI speedup gate — the single
+# entry point used both locally and by the CI bench matrix, so the gate
+# can never drift between the two:
+#
+#   ci/bench_gate.sh <bench> <json> <min-speedup>
+#
+#   ci/bench_gate.sh engine_throughput BENCH_engine.json 2.0
+#   ci/bench_gate.sh graph_throughput  BENCH_graph.json  2.0
+#   ci/bench_gate.sh serve_throughput  BENCH_serve.json  2.0
+#   ci/bench_gate.sh shard_throughput  BENCH_shard.json  1.01
+#
+# Each baseline JSON records its gated ratio under a bench-specific key;
+# the gate itself is uniform: the WORST recorded speedup must be >= the
+# floor. The gate only fires on runners with >= 4 cores — forcing the
+# pinned worker count onto fewer cores oversubscribes and cannot reach
+# the floor, so 1-core build containers still run the bench and record
+# the baseline without failing.
+set -euo pipefail
+
+if [ "$#" -ne 3 ]; then
+    echo "usage: $0 <bench> <json> <min-speedup>" >&2
+    exit 2
+fi
+bench="$1"
+json="$2"
+min="$3"
+
+cargo bench -p raella-bench --bench "$bench"
+cat "$json"
+
+BENCH_NAME="$bench" BENCH_JSON="$json" MIN_SPEEDUP="$min" python3 - <<'EOF'
+import json, os
+
+name = os.environ["BENCH_NAME"]
+data = json.load(open(os.environ["BENCH_JSON"]))
+floor = float(os.environ["MIN_SPEEDUP"])
+
+if name == "engine_throughput":
+    # Worst mode (ideal / noisy / ...) gates, so one mode can't hide
+    # behind another.
+    speedup = min(m["speedup"] for m in data["modes"].values())
+elif name == "graph_throughput":
+    speedup = data["images_per_sec"]["speedup"]
+elif name == "serve_throughput":
+    # Worst batch-budget config gates (a coalescing regression can't
+    # hide behind the no-coalescing config) ...
+    speedup = data["requests_per_sec"]["speedup"]
+    # ... and every config — including the bounded-queue overload one —
+    # must have actually served traffic.
+    for entry in data["budgets"]:
+        rps = entry["requests_per_sec"]
+        assert rps > 0, f"degenerate serving throughput at max_batch {entry['max_batch']}: {rps}"
+    overload = data["overload"]
+    assert overload["requests_per_sec"] > 0, "overload config served nothing"
+    assert 0.0 <= overload["rejection_rate"] <= 1.0, (
+        f"nonsensical rejection rate {overload['rejection_rate']}"
+    )
+    assert overload["completed"] + overload["rejected"] == overload["attempts"], (
+        "overload accounting must balance: every attempt completes or rejects"
+    )
+elif name == "shard_throughput":
+    speedup = data["images_per_sec"]["worst_speedup"]
+else:
+    raise SystemExit(f"unknown bench '{name}' — teach ci/bench_gate.sh its JSON shape")
+
+cores = os.cpu_count() or 1
+print(f"{name}: worst gated speedup x{speedup:.2f} (floor {floor}, {cores} cores)")
+if cores >= 4:
+    assert speedup >= floor, f"{name} speedup regressed: x{speedup:.2f} < {floor}"
+else:
+    print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
+EOF

@@ -2,21 +2,26 @@
 //! percentiles through a `RaellaServer` at several batch budgets, on the
 //! mini ResNet18 model.
 //!
-//! Run with `cargo bench --bench serve_throughput`. Writes the measured
-//! baseline to `BENCH_serve.json` at the repository root — the third
-//! CI-gated perf vector alongside `BENCH_engine.json` / `BENCH_graph.json`.
-//! *Every* worker-parallel configuration (including the coalescing ones,
-//! max_batch > 1) must hold a ≥2× requests/sec speedup over a fully
-//! serial server on a 4-core runner — the gated `speedup` is the worst
-//! config's, so a regression in the coalescing path can't hide behind the
-//! no-coalescing config. The JSON records per-config ratios, the worker
-//! count, and p50/p99 queue latency per batch budget.
+//! Run with `cargo bench --bench serve_throughput` (or via the CI entry
+//! point, `ci/bench_gate.sh serve_throughput BENCH_serve.json 2.0`).
+//! Writes the measured baseline to `BENCH_serve.json` at the repository
+//! root — the third CI-gated perf vector alongside `BENCH_engine.json` /
+//! `BENCH_graph.json`. *Every* worker-parallel configuration (including
+//! the coalescing ones, max_batch > 1) must hold a ≥2× requests/sec
+//! speedup over a fully serial server on a 4-core runner — the gated
+//! `speedup` is the worst config's, so a regression in the coalescing
+//! path can't hide behind the no-coalescing config. The JSON records
+//! per-config ratios, the worker count, and p50/p99 queue latency per
+//! batch budget, plus an **overload** record: two models behind a
+//! depth-bounded queue under skewed traffic (hot model spamming
+//! `try_submit_to`, trickle model blocking `submit_to`), reporting
+//! completed requests/sec and the admission rejection rate.
 
 use std::io::Write;
 use std::time::Instant;
 
 use raella_core::server::RaellaServer;
-use raella_core::{RaellaConfig, SharedCompileCache};
+use raella_core::{CoreError, RaellaConfig, SharedCompileCache};
 use raella_nn::models::mini::mini_resnet18;
 use raella_nn::tensor::Tensor;
 
@@ -31,7 +36,9 @@ const REPS: usize = 3;
 /// seconds, sorted queue latencies in ticks).
 fn run_burst(server: &RaellaServer, images: &[Tensor<u8>]) -> (f64, Vec<u64>) {
     let t0 = Instant::now();
-    let handles = server.submit_many(images.iter().cloned());
+    let handles = server
+        .submit_many(images.iter().cloned())
+        .expect("unbounded burst admits");
     let responses = RaellaServer::wait_all(handles).expect("requests succeed");
     let elapsed = t0.elapsed().as_secs_f64();
     let mut queue: Vec<u64> = responses.iter().map(|r| r.queue_ticks()).collect();
@@ -73,7 +80,9 @@ fn main() {
     std::env::set_var("RAELLA_THREADS", "1");
     let serial_server = build(1, 8, 200);
     let serial_outputs: Vec<_> = {
-        let handles = serial_server.submit_many(images.iter().cloned());
+        let handles = serial_server
+            .submit_many(images.iter().cloned())
+            .expect("unbounded burst admits");
         RaellaServer::wait_all(handles)
             .expect("serial burst succeeds")
             .into_iter()
@@ -104,7 +113,9 @@ fn main() {
 
         // Sanity: coalesced serving must agree with the serial server
         // bit-for-bit before we time it.
-        let handles = server.submit_many(images.iter().cloned());
+        let handles = server
+            .submit_many(images.iter().cloned())
+            .expect("unbounded burst admits");
         let parallel = RaellaServer::wait_all(handles).expect("burst succeeds");
         for (i, (resp, want)) in parallel.iter().zip(&serial_outputs).enumerate() {
             assert_eq!(
@@ -137,6 +148,97 @@ fn main() {
         ));
     }
 
+    // ---- overload: two models, skewed traffic, bounded queue ----
+    // The second model is the same graph — the shared cache absorbs its
+    // whole compile, and model identity is all the fairness policy sees.
+    // Two hot submitters spam `try_submit_to(0, ..)` against a depth-8
+    // queue (rejections counted, not retried) while a trickle submitter
+    // pushes blocking `submit_to(1, ..)` traffic; per-model round-robin
+    // keeps the trickle lane flowing. Records completed req/s and the
+    // admission rejection rate; every delivered response is still
+    // asserted bit-identical to the serial server first.
+    const HOT_ATTEMPTS: usize = 3 * REQUESTS;
+    const TRICKLE: usize = 8;
+    let overload_server = RaellaServer::builder()
+        .model(&mini.graph, &cfg)
+        .model(&mini.graph, &cfg)
+        .compile_cache(cache.clone())
+        .workers(0)
+        .max_batch(4)
+        .latency_budget_ticks(200)
+        .queue_depth(8)
+        .build()
+        .expect("overload server builds");
+    let t0 = Instant::now();
+    let (completed, rejected) = std::thread::scope(|scope| {
+        let mut hot = Vec::new();
+        for submitter in 0..2usize {
+            let overload_server = &overload_server;
+            let images = &images;
+            hot.push(scope.spawn(move || {
+                let mut delivered = Vec::new();
+                let mut rejected = 0u64;
+                for k in 0..HOT_ATTEMPTS {
+                    let idx = (submitter * HOT_ATTEMPTS + k) % REQUESTS;
+                    match overload_server.try_submit_to(0, images[idx].clone()) {
+                        Ok(handle) => delivered.push((idx, handle)),
+                        Err(CoreError::QueueFull { .. }) => rejected += 1,
+                        Err(other) => panic!("unexpected admission error: {other}"),
+                    }
+                }
+                (delivered, rejected)
+            }));
+        }
+        let trickle = scope.spawn(|| {
+            let mut delivered = Vec::new();
+            for k in 0..TRICKLE {
+                let idx = k % REQUESTS;
+                let handle = overload_server
+                    .submit_to(1, images[idx].clone())
+                    .expect("blocking trickle submit admits");
+                delivered.push((idx, handle));
+            }
+            delivered
+        });
+        let mut completed = 0usize;
+        let mut rejected = 0u64;
+        for submitter in hot {
+            let (delivered, r) = submitter.join().expect("hot submitter survives");
+            rejected += r;
+            for (idx, handle) in delivered {
+                let resp = handle.wait().expect("accepted hot request completes");
+                assert_eq!(resp.output(), &serial_outputs[idx], "overload hot bytes");
+                completed += 1;
+            }
+        }
+        for (idx, handle) in trickle.join().expect("trickle submitter survives") {
+            let resp = handle.wait().expect("trickle request completes");
+            assert_eq!(
+                resp.output(),
+                &serial_outputs[idx],
+                "overload trickle bytes"
+            );
+            completed += 1;
+        }
+        (completed, rejected)
+    });
+    let overload_elapsed = t0.elapsed().as_secs_f64();
+    let overload_metrics = overload_server.metrics();
+    assert_eq!(
+        overload_metrics.rejected(),
+        rejected,
+        "rejection metric must match the submitters' observed QueueFull errors"
+    );
+    overload_server.shutdown();
+    let attempts = 2 * HOT_ATTEMPTS + TRICKLE;
+    let overload_rps = completed as f64 / overload_elapsed;
+    let rejection_rate = rejected as f64 / attempts as f64;
+    println!(
+        "overload (2 models, depth-8 queue, skewed traffic): {completed}/{attempts} requests completed, {rejected} rejected ({:.1}% rate), {overload_rps:.1} req/s, queue high water {}",
+        rejection_rate * 100.0,
+        overload_metrics.queue_depth_high_water(),
+    );
+
     let workers = raella_core::parallel::worker_count_for(usize::MAX, 1);
     let speedup = worst_rps / serial_rps;
     println!(
@@ -144,7 +246,7 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ],\n  \"overload\": {{ \"models\": 2, \"queue_depth\": 8, \"max_batch\": 4, \"attempts\": {attempts}, \"completed\": {completed}, \"rejected\": {rejected}, \"rejection_rate\": {rejection_rate:.3}, \"requests_per_sec\": {overload_rps:.1} }}\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

@@ -24,6 +24,16 @@ pub enum CoreError {
     /// A serving-surface failure: unknown model handle, or a request whose
     /// worker disappeared before responding.
     Server(String),
+    /// A depth-bounded server queue rejected an admission attempt:
+    /// `try_submit` found no space, `submit_timeout` expired, or an
+    /// all-or-nothing `submit_many` could not reserve every slot. The
+    /// request was **not** enqueued — no handle exists for it.
+    QueueFull {
+        /// Model the rejected request(s) targeted.
+        model: usize,
+        /// Requests pending server-wide when admission failed.
+        pending: usize,
+    },
     /// An invalid tile placement: a shard plan that does not cover the
     /// model's row groups, names an out-of-range tile, or was built for a
     /// different model.
@@ -40,6 +50,10 @@ impl fmt::Display for CoreError {
             CoreError::Nn(e) => write!(f, "dnn substrate: {e}"),
             CoreError::Xbar(e) => write!(f, "crossbar: {e}"),
             CoreError::Server(msg) => write!(f, "server: {msg}"),
+            CoreError::QueueFull { model, pending } => write!(
+                f,
+                "server queue full: model {model} rejected at {pending} pending requests"
+            ),
             CoreError::Shard(msg) => write!(f, "shard plan: {msg}"),
         }
     }

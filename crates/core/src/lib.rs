@@ -82,5 +82,5 @@ pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
 pub use model::{BatchResult, CompiledModel};
 pub use scratch::VectorScratch;
-pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder};
+pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder, ServerMetrics};
 pub use shard::{ShardBatchResult, ShardPlan, ShardedModel};

@@ -2,7 +2,8 @@
 //!
 //! [`CompiledModel`] is the compile-once / run-batch split simulator stacks
 //! converge on: every `Conv`/`Linear` layer of a [`Graph`] goes through
-//! Algorithm 1 exactly once up front (deduplicated by a [`CompileCache`]),
+//! Algorithm 1 exactly once up front (deduplicated by a
+//! [`CompileCache`](crate::compiler::CompileCache)),
 //! and then images stream through [`CompiledModel::run_batch`], which fans
 //! whole images across `std::thread::scope` workers.
 //!

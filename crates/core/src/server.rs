@@ -14,32 +14,65 @@
 //! # Coalescing
 //!
 //! Pending requests are coalesced into batches before execution: a worker
-//! takes up to [`ServerBuilder::max_batch`] consecutive same-model
-//! requests from the queue head, but only once the batch is *ready* — it
-//! is full, the oldest request has waited its latency budget
-//! ([`ServerBuilder::latency_budget_ticks`], one tick = 1 µs), a request
-//! for a different model is queued behind it, or the server is shutting
-//! down. Small budgets favor latency; large budgets let sparse traffic
-//! accumulate into bigger batches.
+//! takes up to [`ServerBuilder::max_batch`] consecutive requests from one
+//! model's lane, but only once the batch is *ready* — it is full, the
+//! oldest request has waited its latency budget
+//! ([`ServerBuilder::latency_budget_ticks`], one tick = 1 µs), another
+//! model also has pending work (take what is there and move on), or the
+//! server is shutting down. Small budgets favor latency; large budgets let
+//! sparse traffic accumulate into bigger batches.
+//!
+//! # Backpressure and fairness
+//!
+//! The queue is optionally depth-bounded, server-wide
+//! ([`ServerBuilder::queue_depth`]) and per model
+//! ([`ServerBuilder::model_queue_depth`]); both default to unbounded.
+//! Admission then has three modes, all drain-safe under
+//! [`RaellaServer::shutdown`]:
+//!
+//! * [`RaellaServer::submit`] **blocks** until a slot frees (it errors
+//!   instead of enqueueing if shutdown begins while it waits);
+//! * [`RaellaServer::try_submit`] **fails fast** with
+//!   [`CoreError::QueueFull`];
+//! * [`RaellaServer::submit_timeout`] blocks up to a deadline, then fails
+//!   with [`CoreError::QueueFull`].
+//!
+//! A rejected submission is never enqueued — there is no handle to leak
+//! and nothing for shutdown to drain. [`RaellaServer::submit_many`] is
+//! all-or-nothing: it reserves every slot under one lock acquisition and
+//! enqueues the whole stream contiguously, or rejects the entire call
+//! without enqueueing anything.
+//!
+//! Fairness: each model has its own FIFO lane and workers pop lanes
+//! **round-robin** (a shared cursor advances past a model each time a
+//! batch is taken from it), so a hot model can saturate its lane without
+//! starving the others — between any two batches of the hot model, every
+//! other model with pending work gets a turn, bounding its wait to one
+//! in-flight batch plus one `max_batch` batch per competing model.
+//! [`RaellaServer::metrics`] snapshots the queue and admission counters
+//! ([`ServerMetrics`]) so the policy is observable and testable.
 //!
 //! # Determinism contract
 //!
-//! Coalescing never changes results. Every image executes against its own
-//! noise-stream state, derived from the model's configuration alone (see
-//! [`crate::model`]) — never from the request's queue position, the batch
-//! it was coalesced into, or the worker that ran it. Consequently a
-//! response's output tensor and [`RunStats`] are bit-identical to
-//! [`CompiledModel::run_batch`] over the same images in submission order
-//! (and to per-image [`CompiledModel::run_image`]), at any worker count,
-//! `max_batch`, latency budget, and submission interleaving — pinned by
+//! Coalescing, bounding, and fairness never change results. Every image
+//! executes against its own noise-stream state, derived from the model's
+//! configuration alone (see [`crate::model`]) — never from the request's
+//! queue position, the batch it was coalesced into, or the worker that ran
+//! it. Consequently a response's output tensor and [`RunStats`] are
+//! bit-identical to [`CompiledModel::run_batch`] over the same images in
+//! submission order (and to per-image [`CompiledModel::run_image`]), at
+//! any worker count, `max_batch`, latency budget, queue bound, and
+//! submission interleaving — pinned by
 //! `crates/core/tests/model_determinism.rs`. Timing fields are measured
 //! wall clock and are the only non-deterministic part of a [`Response`].
 //!
 //! # Shutdown
 //!
-//! [`RaellaServer::shutdown`] (and `Drop`) stops accepting work, drains
-//! every request already submitted, joins the workers, and only then
-//! returns — no submitted request is ever dropped.
+//! [`RaellaServer::shutdown`] (and `Drop`) stops accepting work, wakes
+//! and rejects every submitter still blocked in admission, drains every
+//! request already accepted, joins the workers, and only then returns —
+//! no accepted request is ever dropped, and no rejected request ever held
+//! a handle.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -63,7 +96,7 @@ use crate::shard::ShardPlan;
 pub const TICK: Duration = Duration::from_micros(1);
 
 /// Builds a [`RaellaServer`]: models, worker budget, batch coalescing
-/// policy, and the compile cache to dedupe through.
+/// policy, queue bounds, and the compile cache to dedupe through.
 ///
 /// ```
 /// use raella_core::server::RaellaServer;
@@ -85,8 +118,9 @@ pub const TICK: Duration = Duration::from_micros(1);
 ///     .workers(2)
 ///     .max_batch(4)
 ///     .latency_budget_ticks(100)
+///     .queue_depth(64)
 ///     .build()?;
-/// let response = server.submit(Tensor::zeros(&[2, 6, 6])).wait()?;
+/// let response = server.submit(Tensor::zeros(&[2, 6, 6]))?.wait()?;
 /// assert_eq!(response.output().shape(), &[4]);
 /// server.shutdown();
 /// # Ok(())
@@ -101,11 +135,14 @@ pub struct ServerBuilder {
     cache: Option<SharedCompileCache>,
     shards: usize,
     tile: Option<TileSpec>,
+    queue_depth: usize,
+    model_queue_depth: usize,
 }
 
 impl ServerBuilder {
     /// Creates a builder with no models, automatic worker count, a
-    /// `max_batch` of 8, and a latency budget of 200 ticks (200 µs).
+    /// `max_batch` of 8, a latency budget of 200 ticks (200 µs), and an
+    /// unbounded queue.
     pub fn new() -> Self {
         ServerBuilder::default()
     }
@@ -146,6 +183,40 @@ impl ServerBuilder {
     #[must_use]
     pub fn latency_budget_ticks(mut self, ticks: u64) -> Self {
         self.latency_budget_ticks = Some(ticks);
+        self
+    }
+
+    /// Bounds the number of requests queued server-wide (all models
+    /// together, excluding requests already executing). `0` — the
+    /// default — is unbounded. With a bound in place,
+    /// [`RaellaServer::submit`] blocks for space,
+    /// [`RaellaServer::try_submit`] fails fast, and
+    /// [`RaellaServer::submit_timeout`] waits up to a deadline (see the
+    /// [module docs](crate::server)). Bounding is pure admission control:
+    /// accepted requests produce bit-identical results at any bound.
+    ///
+    /// Admission to freed slots is racy, not FIFO: a woken blocking
+    /// submitter re-competes with concurrent `try_submit` callers, so
+    /// under a global bound alone a relentless fail-fast spammer can
+    /// keep a blocking submitter waiting. Pair with
+    /// [`ServerBuilder::model_queue_depth`] when hot-model traffic must
+    /// not consume every slot at the door — lane round-robin fairness
+    /// applies only *after* admission.
+    #[must_use]
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n;
+        self
+    }
+
+    /// Bounds the number of requests queued per model lane (`0`, the
+    /// default, is unbounded). Combines with
+    /// [`ServerBuilder::queue_depth`]: admission needs space under both
+    /// bounds. A per-model bound keeps one hot model from consuming the
+    /// whole global budget, so blocking submits to quiet models never
+    /// wait on the hot model's backlog.
+    #[must_use]
+    pub fn model_queue_depth(mut self, n: usize) -> Self {
+        self.model_queue_depth = n;
         self
     }
 
@@ -205,6 +276,7 @@ impl ServerBuilder {
             };
             models.push(ServedModel { model, plan });
         }
+        let model_count = models.len();
         let tile_totals = models
             .iter()
             .map(|m| vec![RunStats::default(); m.plan.as_ref().map_or(0, ShardPlan::tiles)])
@@ -220,14 +292,25 @@ impl ServerBuilder {
         let budget_ticks = self.latency_budget_ticks.unwrap_or(200);
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
-                pending: VecDeque::new(),
+                lanes: (0..model_count).map(|_| VecDeque::new()).collect(),
+                total: 0,
+                high_water: 0,
+                next_lane: 0,
+                next_seq: 0,
                 shutdown: false,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
             models,
             max_batch,
             budget: Duration::from_micros(budget_ticks),
+            queue_depth: self.queue_depth,
+            model_queue_depth: self.model_queue_depth,
             busy: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            served: (0..model_count).map(|_| AtomicU64::new(0)).collect(),
+            busy_ticks: AtomicU64::new(0),
             cache,
             tile_totals: Mutex::new(tile_totals),
         });
@@ -239,8 +322,8 @@ impl ServerBuilder {
             .collect();
         Ok(RaellaServer {
             shared,
-            workers: threads,
-            next_seq: AtomicU64::new(0),
+            workers: Mutex::new(threads),
+            worker_count: workers,
         })
     }
 }
@@ -288,7 +371,8 @@ impl Response {
         &self.tile_stats
     }
 
-    /// The request's submission sequence number (server-wide order).
+    /// The request's admission sequence number (server-wide order of
+    /// accepted requests; rejected submissions consume no number).
     pub fn sequence(&self) -> u64 {
         self.seq
     }
@@ -386,7 +470,7 @@ impl RequestHandle {
         }
     }
 
-    /// The request's submission sequence number.
+    /// The request's admission sequence number.
     pub fn sequence(&self) -> u64 {
         self.seq
     }
@@ -407,10 +491,36 @@ struct Request {
     tx: mpsc::SyncSender<Result<Response, CoreError>>,
 }
 
+/// The lock-protected queue: one FIFO lane per model plus the fairness
+/// cursor and admission bookkeeping.
 #[derive(Debug)]
 struct QueueState {
-    pending: VecDeque<Request>,
+    /// Pending requests, one FIFO lane per model (index = model index).
+    lanes: Vec<VecDeque<Request>>,
+    /// Total requests across all lanes (kept in sync with the lanes so
+    /// global-bound admission is O(1)).
+    total: usize,
+    /// Largest `total` ever observed — the queue-depth high-water mark.
+    high_water: usize,
+    /// Round-robin cursor: the lane workers prefer for their next pop.
+    /// Advanced past a model each time a batch is taken from it, so a
+    /// saturated lane yields to the others between its batches.
+    next_lane: usize,
+    /// Next admission sequence number. Assigned under the lock at
+    /// enqueue time, so numbers are dense over *accepted* requests and
+    /// follow global admission order; rejected submissions consume none.
+    next_seq: u64,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Whether `n` more requests for `model` fit under both bounds
+    /// (0 = unbounded).
+    fn has_room(&self, model: usize, n: usize, shared: &Shared) -> bool {
+        (shared.queue_depth == 0 || self.total + n <= shared.queue_depth)
+            && (shared.model_queue_depth == 0
+                || self.lanes[model].len() + n <= shared.model_queue_depth)
+    }
 }
 
 /// One served model: the compiled graph plus its tile placement, if the
@@ -424,10 +534,18 @@ struct ServedModel {
 #[derive(Debug)]
 struct Shared {
     state: Mutex<QueueState>,
+    /// Signaled when queued work may be ready for a worker.
     ready: Condvar,
+    /// Signaled when queue slots free up (a batch was popped) or shutdown
+    /// begins — wakes submitters blocked in bounded admission.
+    space: Condvar,
     models: Vec<ServedModel>,
     max_batch: usize,
     budget: Duration,
+    /// Server-wide queued-request bound (0 = unbounded).
+    queue_depth: usize,
+    /// Per-model-lane queued-request bound (0 = unbounded).
+    model_queue_depth: usize,
     /// Workers currently executing a batch. When a worker is the *only*
     /// busy one, it enables vector-level parallelism inside each layer
     /// (sparse traffic gets `run_image`-class latency, and a lone
@@ -436,6 +554,17 @@ struct Shared {
     /// Both execution modes produce identical bytes, so this is purely a
     /// scheduling choice.
     busy: AtomicUsize,
+    /// Admission attempts that returned [`CoreError::QueueFull`] (one per
+    /// failed call — an all-or-nothing `submit_many` counts once).
+    rejected: AtomicU64,
+    /// Admission calls that had to wait for space at least once
+    /// (blocking and timed submits; a timed-out submit counts in both
+    /// `blocked` and `rejected`).
+    blocked: AtomicU64,
+    /// Requests completed per model (responses sent, success or error).
+    served: Vec<AtomicU64>,
+    /// Total worker time spent executing batches, in [`TICK`]s.
+    busy_ticks: AtomicU64,
     cache: SharedCompileCache,
     /// Server-lifetime per-tile statistics, one bucket vector per model
     /// (empty for unsharded models). Workers merge each sharded
@@ -450,40 +579,50 @@ impl Shared {
     }
 }
 
-/// What a worker should do with the current queue head.
+/// What a worker should do with the queue.
 enum Readiness {
-    /// Pop this many requests and execute them as one batch.
-    Take(usize),
-    /// The head batch needs more time to fill; wait at most this long.
+    /// Pop this many requests from this model's lane and execute them as
+    /// one batch.
+    Take { model: usize, count: usize },
+    /// Some lane needs more time to fill; wait at most this long.
     After(Duration),
     /// Nothing queued.
     Idle,
 }
 
-/// Evaluates the coalescing policy for the queue head: up to `max_batch`
-/// consecutive requests for the same model, released when full, timed
-/// out, blocked by a model switch, or draining for shutdown.
+/// Evaluates the coalescing policy round-robin from the fairness cursor:
+/// the first lane (in cursor order) holding a ready batch wins. A lane's
+/// batch is ready when it is full (`max_batch`), its oldest request has
+/// waited the latency budget out, another model also has pending work
+/// (work-conserving: take what is there rather than idling on a partial
+/// batch), or the server is draining for shutdown.
 fn readiness(state: &QueueState, shared: &Shared, now: Instant) -> Readiness {
-    let Some(front) = state.pending.front() else {
+    if state.total == 0 {
         return Readiness::Idle;
-    };
-    let prefix = state
-        .pending
-        .iter()
-        .take(shared.max_batch)
-        .take_while(|r| r.model == front.model)
-        .count();
-    if prefix >= shared.max_batch
-        || prefix < state.pending.len().min(shared.max_batch)
-        || state.shutdown
-    {
-        return Readiness::Take(prefix);
     }
-    let waited = now.saturating_duration_since(front.submitted);
-    if waited >= shared.budget {
-        Readiness::Take(prefix)
-    } else {
-        Readiness::After(shared.budget - waited)
+    let lanes = state.lanes.len();
+    let mut min_wait: Option<Duration> = None;
+    for offset in 0..lanes {
+        let model = (state.next_lane + offset) % lanes;
+        let lane = &state.lanes[model];
+        let Some(front) = lane.front() else { continue };
+        let count = lane.len().min(shared.max_batch);
+        let others_pending = state.total > lane.len();
+        if lane.len() >= shared.max_batch || others_pending || state.shutdown {
+            return Readiness::Take { model, count };
+        }
+        let waited = now.saturating_duration_since(front.submitted);
+        if waited >= shared.budget {
+            return Readiness::Take { model, count };
+        }
+        let remaining = shared.budget - waited;
+        min_wait = Some(min_wait.map_or(remaining, |w| w.min(remaining)));
+    }
+    match min_wait {
+        Some(wait) => Readiness::After(wait),
+        // Unreachable while `total` is kept in sync with the lanes, but
+        // degrade to Idle rather than panicking a worker.
+        None => Readiness::Idle,
     }
 }
 
@@ -504,7 +643,14 @@ fn worker_loop(shared: &Shared) {
             let mut state = shared.lock();
             loop {
                 match readiness(&state, shared, Instant::now()) {
-                    Readiness::Take(n) => break state.pending.drain(..n).collect(),
+                    Readiness::Take { model, count } => {
+                        let batch = state.lanes[model].drain(..count).collect();
+                        state.total -= count;
+                        // Fairness: the popped lane goes to the back of
+                        // the round-robin order.
+                        state.next_lane = (model + 1) % state.lanes.len();
+                        break batch;
+                    }
                     Readiness::After(wait) => {
                         let (next, _) = shared
                             .ready
@@ -524,8 +670,10 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
-        // More work may remain ready behind the popped prefix (e.g. a
-        // different model's requests): wake a sibling before computing.
+        // The pop freed queue slots: wake submitters blocked in bounded
+        // admission, and a sibling worker for any other lane's batch that
+        // is still ready.
+        shared.space.notify_all();
         shared.ready.notify_one();
         shared.busy.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
@@ -585,9 +733,13 @@ fn worker_loop(shared: &Shared) {
                         batch_size,
                     }
                 });
+            shared.served[req.model].fetch_add(1, Ordering::SeqCst);
             // A dropped handle is fine — the requester walked away.
             let _ = req.tx.send(result);
         }
+        shared
+            .busy_ticks
+            .fetch_add(ticks(started.elapsed()), Ordering::Relaxed);
         shared.busy.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -597,12 +749,96 @@ fn ticks(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// How an admission call waits for queue space.
+enum Admission {
+    /// Block until space frees or shutdown begins.
+    Block,
+    /// Fail fast with [`CoreError::QueueFull`].
+    Fail,
+    /// Block until this deadline, then fail with
+    /// [`CoreError::QueueFull`].
+    Deadline(Instant),
+}
+
+/// A point-in-time snapshot of a server's queue and admission counters,
+/// read via [`RaellaServer::metrics`].
+///
+/// Counter fields are cumulative over the server's lifetime; depth fields
+/// describe the instant of the snapshot. All of it is observability-only —
+/// none of these values feed back into scheduling, so reading them is
+/// side-effect free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerMetrics {
+    queue_depth: usize,
+    queue_depth_high_water: usize,
+    accepted: u64,
+    rejected: u64,
+    blocked: u64,
+    served: Vec<u64>,
+    queued: Vec<usize>,
+    worker_busy_ticks: u64,
+}
+
+impl ServerMetrics {
+    /// Requests currently queued server-wide (excludes requests already
+    /// executing).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// The largest server-wide queue depth ever observed.
+    pub fn queue_depth_high_water(&self) -> usize {
+        self.queue_depth_high_water
+    }
+
+    /// Requests accepted into the queue so far (equals the next admission
+    /// sequence number — rejected submissions consume none).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Admission calls rejected with [`CoreError::QueueFull`] — one per
+    /// failed call, so this matches the number of `QueueFull` errors
+    /// submitters observed exactly (an all-or-nothing
+    /// [`RaellaServer::submit_many`] counts once however many images it
+    /// carried).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Admission calls that had to wait for queue space at least once
+    /// before resolving (a timed-out submit counts here *and* in
+    /// [`ServerMetrics::rejected`]).
+    pub fn blocked(&self) -> u64 {
+        self.blocked
+    }
+
+    /// Requests completed per model (responses delivered, success or
+    /// error), indexed by model.
+    pub fn served(&self) -> &[u64] {
+        &self.served
+    }
+
+    /// Requests currently queued per model lane, indexed by model.
+    pub fn queued(&self) -> &[usize] {
+        &self.queued
+    }
+
+    /// Total worker time spent executing batches, in [`TICK`]s, across
+    /// all workers.
+    pub fn worker_busy_ticks(&self) -> u64 {
+        self.worker_busy_ticks
+    }
+}
+
 /// A running RAELLA serving instance: compiled models, a coalescing
-/// submission queue, and a pool of worker threads.
+/// submission queue with optional depth bounds, and a pool of worker
+/// threads popping per-model lanes round-robin.
 ///
 /// Submission is `&self` and thread-safe — share the server by reference
 /// (or `Arc`) across submitter threads. See the [module
-/// docs](crate::server) for the coalescing and determinism contracts.
+/// docs](crate::server) for the admission, fairness, and determinism
+/// contracts.
 ///
 /// ```
 /// use raella_core::server::RaellaServer;
@@ -620,10 +856,11 @@ fn ticks(d: Duration) -> u64 {
 /// let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
 ///
 /// let server = RaellaServer::builder().model(&g, &cfg).build()?;
-/// let handles = server.submit_many((0..3).map(|_| Tensor::zeros(&[2, 6, 6])));
+/// let handles = server.submit_many((0..3).map(|_| Tensor::zeros(&[2, 6, 6])))?;
 /// let responses = RaellaServer::wait_all(handles)?;
 /// assert_eq!(responses.len(), 3);
 /// assert_eq!(responses[0].output(), responses[2].output());
+/// assert_eq!(server.metrics().accepted(), 3);
 /// server.shutdown(); // drains in-flight work, joins the workers
 /// # Ok(())
 /// # }
@@ -631,8 +868,8 @@ fn ticks(d: Duration) -> u64 {
 #[derive(Debug)]
 pub struct RaellaServer {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
-    next_seq: AtomicU64,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
 }
 
 impl RaellaServer {
@@ -641,51 +878,224 @@ impl RaellaServer {
         ServerBuilder::new()
     }
 
-    /// Submits one image to the default (first) model. Returns
-    /// immediately; block on the handle for the response.
-    pub fn submit(&self, image: Tensor<u8>) -> RequestHandle {
-        self.submit_to(0, image)
-            .expect("model 0 always exists: the builder refuses zero models")
-    }
-
-    /// Submits one image to the model at `model` (builder insertion
-    /// order).
+    /// Submits one image to the default (first) model, blocking while the
+    /// queue is at a configured bound ([`ServerBuilder::queue_depth`] /
+    /// [`ServerBuilder::model_queue_depth`]; never blocks on an unbounded
+    /// server). Returns as soon as the request is queued; block on the
+    /// handle for the response.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Server`] for an out-of-range model index.
+    /// Returns [`CoreError::Server`] if the server shuts down while the
+    /// call is waiting for space — the request was *not* enqueued.
+    pub fn submit(&self, image: Tensor<u8>) -> Result<RequestHandle, CoreError> {
+        self.admit(0, image, Admission::Block)
+    }
+
+    /// [`RaellaServer::submit`] addressed to the model at `model`
+    /// (builder insertion order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] for an out-of-range model index or a
+    /// shutdown while waiting.
     pub fn submit_to(&self, model: usize, image: Tensor<u8>) -> Result<RequestHandle, CoreError> {
+        self.admit(model, image, Admission::Block)
+    }
+
+    /// Submits one image to the default model, failing fast instead of
+    /// blocking when the queue is at a bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QueueFull`] when no slot is free (the request
+    /// was not enqueued and holds no sequence number), or
+    /// [`CoreError::Server`] on shutdown.
+    pub fn try_submit(&self, image: Tensor<u8>) -> Result<RequestHandle, CoreError> {
+        self.admit(0, image, Admission::Fail)
+    }
+
+    /// [`RaellaServer::try_submit`] addressed to the model at `model`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RaellaServer::try_submit`], plus [`CoreError::Server`] for an
+    /// out-of-range model index.
+    pub fn try_submit_to(
+        &self,
+        model: usize,
+        image: Tensor<u8>,
+    ) -> Result<RequestHandle, CoreError> {
+        self.admit(model, image, Admission::Fail)
+    }
+
+    /// Submits one image to the default model, blocking at a queue bound
+    /// for at most `timeout` before giving up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QueueFull`] if no slot freed within
+    /// `timeout`, or [`CoreError::Server`] if the server shut down while
+    /// the call was waiting. Either way the request was not enqueued.
+    pub fn submit_timeout(
+        &self,
+        image: Tensor<u8>,
+        timeout: Duration,
+    ) -> Result<RequestHandle, CoreError> {
+        self.admit(0, image, Admission::Deadline(Instant::now() + timeout))
+    }
+
+    /// [`RaellaServer::submit_timeout`] addressed to the model at
+    /// `model`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RaellaServer::submit_timeout`], plus [`CoreError::Server`]
+    /// for an out-of-range model index.
+    pub fn submit_timeout_to(
+        &self,
+        model: usize,
+        image: Tensor<u8>,
+        timeout: Duration,
+    ) -> Result<RequestHandle, CoreError> {
+        self.admit(model, image, Admission::Deadline(Instant::now() + timeout))
+    }
+
+    /// The shared admission path: validate the model index, then wait for
+    /// (or demand) queue space per `mode` and enqueue. Shutdown always
+    /// wins over newly freed space, so a request is never accepted into a
+    /// draining server.
+    fn admit(
+        &self,
+        model: usize,
+        image: Tensor<u8>,
+        mode: Admission,
+    ) -> Result<RequestHandle, CoreError> {
         if model >= self.shared.models.len() {
             return Err(CoreError::Server(format!(
                 "no model {model} (server holds {})",
                 self.shared.models.len()
             )));
         }
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::sync_channel(1);
-        {
-            let mut state = self.shared.lock();
-            state.pending.push_back(Request {
-                model,
-                seq,
-                image,
-                submitted: Instant::now(),
-                tx,
-            });
+        let mut waited = false;
+        let mut state = self.shared.lock();
+        loop {
+            if state.shutdown {
+                return Err(CoreError::Server(format!(
+                    "server is shutting down; request for model {model} rejected"
+                )));
+            }
+            if state.has_room(model, 1, &self.shared) {
+                let handle = enqueue(&mut state, model, image);
+                drop(state);
+                self.shared.ready.notify_one();
+                return Ok(handle);
+            }
+            match mode {
+                Admission::Fail => {
+                    self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+                    return Err(CoreError::QueueFull {
+                        model,
+                        pending: state.total,
+                    });
+                }
+                Admission::Block => {
+                    if !waited {
+                        waited = true;
+                        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
+                    }
+                    state = self
+                        .shared
+                        .space
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Admission::Deadline(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+                        return Err(CoreError::QueueFull {
+                            model,
+                            pending: state.total,
+                        });
+                    }
+                    if !waited {
+                        waited = true;
+                        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let (next, _) = self
+                        .shared
+                        .space
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = next;
+                }
+            }
         }
-        self.shared.ready.notify_one();
-        Ok(RequestHandle {
-            seq,
-            model,
-            rx,
-            done: false,
-        })
     }
 
-    /// Submits a stream of images to the default model, returning one
-    /// handle per image in submission order.
-    pub fn submit_many(&self, images: impl IntoIterator<Item = Tensor<u8>>) -> Vec<RequestHandle> {
-        images.into_iter().map(|img| self.submit(img)).collect()
+    /// Submits a stream of images to the default model **all-or-nothing**
+    /// with [`RaellaServer::try_submit`] semantics: every slot is
+    /// reserved under one lock acquisition and the images enqueue as one
+    /// contiguous run of the model's lane — so the handles come back in
+    /// submission order with consecutive sequence numbers, and no
+    /// interleaved submitter can land between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::QueueFull`] if the stream does not fit under
+    /// the queue bounds in its entirety — in that case *nothing* was
+    /// enqueued (counted as one rejection in [`ServerMetrics::rejected`])
+    /// — or [`CoreError::Server`] on shutdown.
+    pub fn submit_many(
+        &self,
+        images: impl IntoIterator<Item = Tensor<u8>>,
+    ) -> Result<Vec<RequestHandle>, CoreError> {
+        self.submit_many_to(0, images)
+    }
+
+    /// [`RaellaServer::submit_many`] addressed to the model at `model`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RaellaServer::submit_many`], plus [`CoreError::Server`] for
+    /// an out-of-range model index.
+    pub fn submit_many_to(
+        &self,
+        model: usize,
+        images: impl IntoIterator<Item = Tensor<u8>>,
+    ) -> Result<Vec<RequestHandle>, CoreError> {
+        if model >= self.shared.models.len() {
+            return Err(CoreError::Server(format!(
+                "no model {model} (server holds {})",
+                self.shared.models.len()
+            )));
+        }
+        let images: Vec<Tensor<u8>> = images.into_iter().collect();
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(CoreError::Server(format!(
+                "server is shutting down; request for model {model} rejected"
+            )));
+        }
+        if !state.has_room(model, images.len(), &self.shared) {
+            self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(CoreError::QueueFull {
+                model,
+                pending: state.total,
+            });
+        }
+        let handles = images
+            .into_iter()
+            .map(|image| enqueue(&mut state, model, image))
+            .collect();
+        drop(state);
+        // Several batches may now be ready at once.
+        self.shared.ready.notify_all();
+        Ok(handles)
     }
 
     /// Waits on many handles, returning responses in handle order
@@ -698,6 +1108,28 @@ impl RaellaServer {
         handles: impl IntoIterator<Item = RequestHandle>,
     ) -> Result<Vec<Response>, CoreError> {
         handles.into_iter().map(RequestHandle::wait).collect()
+    }
+
+    /// Snapshots the queue and admission counters — depth and high-water
+    /// mark, accepted/rejected/blocked admission counts, per-model
+    /// served/queued, and worker busy time. See [`ServerMetrics`].
+    pub fn metrics(&self) -> ServerMetrics {
+        let state = self.shared.lock();
+        ServerMetrics {
+            queue_depth: state.total,
+            queue_depth_high_water: state.high_water,
+            accepted: state.next_seq,
+            rejected: self.shared.rejected.load(Ordering::SeqCst),
+            blocked: self.shared.blocked.load(Ordering::SeqCst),
+            served: self
+                .shared
+                .served
+                .iter()
+                .map(|c| c.load(Ordering::SeqCst))
+                .collect(),
+            queued: state.lanes.iter().map(VecDeque::len).collect(),
+            worker_busy_ticks: self.shared.busy_ticks.load(Ordering::Relaxed),
+        }
     }
 
     /// The compiled model at `index`.
@@ -741,14 +1173,14 @@ impl RaellaServer {
         self.shared.models.len()
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads the server was built with.
     pub fn worker_count(&self) -> usize {
-        self.workers.len()
+        self.worker_count
     }
 
     /// Requests currently queued (excludes requests already executing).
     pub fn pending(&self) -> usize {
-        self.shared.lock().pending.len()
+        self.shared.lock().total
     }
 
     /// The compile cache this server's models were compiled through.
@@ -756,27 +1188,54 @@ impl RaellaServer {
         &self.shared.cache
     }
 
-    /// Graceful shutdown: stops accepting work, drains every already
-    /// submitted request, and joins the workers. Also runs on `Drop`.
-    pub fn shutdown(mut self) {
-        self.shutdown_inner();
-    }
-
-    fn shutdown_inner(&mut self) {
+    /// Graceful shutdown: stops accepting work, wakes and rejects every
+    /// submitter blocked in admission, drains every already accepted
+    /// request, and joins the workers. Takes `&self` so it can race
+    /// in-flight submitters (a blocked [`RaellaServer::submit`] returns
+    /// [`CoreError::Server`] rather than enqueueing into a draining
+    /// server); idempotent, and also runs on `Drop`.
+    pub fn shutdown(&self) {
         {
             let mut state = self.shared.lock();
             state.shutdown = true;
         }
         self.shared.ready.notify_all();
-        for handle in self.workers.drain(..) {
+        self.shared.space.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
+/// Enqueues one accepted request (the caller has already checked bounds
+/// and shutdown) and returns its handle. Keeps `total`, the high-water
+/// mark, and the dense admission sequence in sync under the caller's
+/// lock.
+fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>) -> RequestHandle {
+    let seq = state.next_seq;
+    state.next_seq += 1;
+    let (tx, rx) = mpsc::sync_channel(1);
+    state.lanes[model].push_back(Request {
+        model,
+        seq,
+        image,
+        submitted: Instant::now(),
+        tx,
+    });
+    state.total += 1;
+    state.high_water = state.high_water.max(state.total);
+    RequestHandle {
+        seq,
+        model,
+        rx,
+        done: false,
+    }
+}
+
 impl Drop for RaellaServer {
     fn drop(&mut self) {
-        self.shutdown_inner();
+        self.shutdown();
     }
 }
 
@@ -826,6 +1285,23 @@ mod tests {
             .expect("tiny server builds")
     }
 
+    /// A single-model server whose lone worker parks: the batch can't
+    /// fill (`max_batch` 64) and the budget is effectively infinite, so
+    /// everything submitted stays queued until shutdown drains it —
+    /// deterministic ground for admission-edge tests.
+    fn build_parked(queue_depth: usize, model_queue_depth: usize) -> RaellaServer {
+        RaellaServer::builder()
+            .model(&tiny_graph(), &tiny_cfg())
+            .compile_cache(SharedCompileCache::new())
+            .workers(1)
+            .max_batch(64)
+            .latency_budget_ticks(5_000_000)
+            .queue_depth(queue_depth)
+            .model_queue_depth(model_queue_depth)
+            .build()
+            .expect("parked server builds")
+    }
+
     #[test]
     fn builder_rejects_zero_models() {
         let err = RaellaServer::builder().build().unwrap_err();
@@ -837,7 +1313,7 @@ mod tests {
         let server = build_tiny(2, 2, 100);
         let images: Vec<Tensor<u8>> = (0..5).map(sample_image).collect();
         let expected = server.model(0).run_batch(&images).unwrap();
-        let handles = server.submit_many(images);
+        let handles = server.submit_many(images).unwrap();
         let responses = RaellaServer::wait_all(handles).unwrap();
         for (i, (resp, want)) in responses.iter().zip(expected.outputs()).enumerate() {
             assert_eq!(resp.output(), want, "request {i}");
@@ -850,16 +1326,27 @@ mod tests {
             merged.merge(resp.stats());
         }
         assert_eq!(&merged, expected.stats());
+        // Unbounded server: nothing blocked, nothing rejected.
+        let metrics = server.metrics();
+        assert_eq!(metrics.accepted(), 5);
+        assert_eq!(metrics.rejected(), 0);
+        assert_eq!(metrics.blocked(), 0);
+        assert_eq!(metrics.served(), &[5]);
+        assert!(metrics.queue_depth_high_water() >= 1);
+        assert!(metrics.worker_busy_ticks() > 0);
         server.shutdown();
     }
 
     #[test]
     fn misshaped_image_fails_only_its_request() {
         let server = build_tiny(1, 4, 0);
-        let good = server.submit(sample_image(1));
-        let bad = server.submit(Tensor::zeros(&[7, 8, 8]));
+        let good = server.submit(sample_image(1)).unwrap();
+        let bad = server.submit(Tensor::zeros(&[7, 8, 8])).unwrap();
         assert!(good.wait().is_ok());
         assert!(bad.wait().is_err());
+        // Failed executions still count as served (a response was
+        // delivered).
+        assert_eq!(server.metrics().served(), &[2]);
         server.shutdown();
     }
 
@@ -867,6 +1354,13 @@ mod tests {
     fn submit_to_unknown_model_errors() {
         let server = build_tiny(1, 1, 0);
         assert!(server.submit_to(1, sample_image(0)).is_err());
+        assert!(server.try_submit_to(1, sample_image(0)).is_err());
+        assert!(server
+            .submit_timeout_to(1, sample_image(0), Duration::from_millis(1))
+            .is_err());
+        assert!(server.submit_many_to(1, [sample_image(0)]).is_err());
+        // Unknown-model errors are not queue rejections.
+        assert_eq!(server.metrics().rejected(), 0);
         server.shutdown();
     }
 
@@ -875,12 +1369,144 @@ mod tests {
         // A long budget and large batch leave requests parked in the
         // queue; shutdown must still flush them.
         let server = build_tiny(1, 64, 5_000_000);
-        let handles = server.submit_many((0..3).map(sample_image));
+        let handles = server.submit_many((0..3).map(sample_image)).unwrap();
         let (out0, _) = server.model(0).run_image(&sample_image(0)).unwrap();
         server.shutdown();
         let responses = RaellaServer::wait_all(handles).unwrap();
         assert_eq!(responses.len(), 3);
         assert_eq!(responses[0].output(), &out0);
+    }
+
+    #[test]
+    fn try_submit_fails_fast_at_both_bounds_and_counts_rejections() {
+        // Global bound.
+        let server = build_parked(1, 0);
+        let held = server.try_submit(sample_image(0)).unwrap();
+        let err = server.try_submit(sample_image(1)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::QueueFull {
+                    model: 0,
+                    pending: 1
+                }
+            ),
+            "{err}"
+        );
+        let metrics = server.metrics();
+        assert_eq!(metrics.rejected(), 1);
+        assert_eq!(metrics.accepted(), 1);
+        assert_eq!(metrics.queue_depth(), 1);
+        assert_eq!(metrics.queue_depth_high_water(), 1);
+        server.shutdown();
+        assert!(held.wait().is_ok(), "accepted request drains on shutdown");
+
+        // Per-model bound with a roomy global bound.
+        let server = build_parked(8, 1);
+        let held = server.try_submit(sample_image(0)).unwrap();
+        let err = server.try_submit(sample_image(1)).unwrap_err();
+        assert!(matches!(err, CoreError::QueueFull { .. }), "{err}");
+        assert_eq!(server.metrics().rejected(), 1);
+        server.shutdown();
+        assert!(held.wait().is_ok());
+    }
+
+    #[test]
+    fn submit_timeout_expires_while_worker_is_parked() {
+        let server = build_parked(1, 0);
+        let held = server.try_submit(sample_image(0)).unwrap();
+        let t0 = Instant::now();
+        let err = server
+            .submit_timeout(sample_image(1), Duration::from_millis(20))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::QueueFull { .. }), "{err}");
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "timed submit must actually wait the timeout out"
+        );
+        let metrics = server.metrics();
+        // The expiry counts as both a blocked wait and a rejection.
+        assert_eq!(metrics.rejected(), 1);
+        assert_eq!(metrics.blocked(), 1);
+        server.shutdown();
+        assert!(held.wait().is_ok());
+    }
+
+    #[test]
+    fn blocked_submit_is_woken_and_rejected_by_shutdown() {
+        let server = build_parked(1, 0);
+        let held = server.try_submit(sample_image(0)).unwrap();
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(|| server.submit(sample_image(1)));
+            // Wait until the submitter is provably parked in admission,
+            // then shut down underneath it.
+            while server.metrics().blocked() < 1 {
+                std::thread::yield_now();
+            }
+            server.shutdown();
+            let err = blocked.join().expect("submitter survives").unwrap_err();
+            assert!(
+                matches!(&err, CoreError::Server(msg) if msg.contains("shutting down")),
+                "woken submit must reject, not enqueue into a draining server: {err}"
+            );
+        });
+        // The accepted request was drained, the rejected one never
+        // existed: no stranded handles, no accepted-then-dropped work.
+        assert!(held.wait().is_ok());
+        let metrics = server.metrics();
+        assert_eq!(metrics.accepted(), 1);
+        assert_eq!(metrics.blocked(), 1);
+        assert_eq!(metrics.queue_depth(), 0);
+    }
+
+    #[test]
+    fn submit_many_is_all_or_nothing_under_bounds() {
+        let server = build_parked(3, 0);
+        let first = server
+            .submit_many((0..2).map(sample_image))
+            .expect("2 of 3 slots fit");
+        assert_eq!(first.len(), 2);
+        // 2 queued + 2 more > depth 3: the whole call must reject without
+        // enqueueing anything.
+        let err = server.submit_many((2..4).map(sample_image)).unwrap_err();
+        assert!(matches!(err, CoreError::QueueFull { .. }), "{err}");
+        let metrics = server.metrics();
+        assert_eq!(metrics.queued(), &[2], "partial enqueue leaked");
+        assert_eq!(metrics.accepted(), 2);
+        assert_eq!(metrics.rejected(), 1, "all-or-nothing counts one call");
+        // The last free slot still admits a fitting stream, contiguously
+        // numbered after the first.
+        let third = server.submit_many([sample_image(4)]).expect("1 slot left");
+        assert_eq!(third[0].sequence(), 2);
+        server.shutdown();
+        for handle in first.into_iter().chain(third) {
+            assert!(handle.wait().is_ok(), "accepted requests drain");
+        }
+    }
+
+    #[test]
+    fn wait_all_over_mixed_delivered_and_rejected_submissions() {
+        let server = build_parked(2, 0);
+        let expected: Vec<Tensor<u8>> = (0..2)
+            .map(|i| server.model(0).run_image(&sample_image(i)).unwrap().0)
+            .collect();
+        let (mut delivered, mut rejections) = (Vec::new(), 0u64);
+        for i in 0..5 {
+            match server.try_submit(sample_image(i % 2)) {
+                Ok(handle) => delivered.push(((i % 2) as usize, handle)),
+                Err(CoreError::QueueFull { .. }) => rejections += 1,
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        assert_eq!(delivered.len(), 2, "depth-2 queue admits exactly 2");
+        assert_eq!(rejections, 3);
+        assert_eq!(server.metrics().rejected(), rejections);
+        server.shutdown();
+        let (wants, handles): (Vec<usize>, Vec<RequestHandle>) = delivered.into_iter().unzip();
+        let responses = RaellaServer::wait_all(handles).unwrap();
+        for (resp, want) in responses.iter().zip(wants) {
+            assert_eq!(resp.output(), &expected[want], "delivered bytes");
+        }
     }
 
     /// A graph whose first linear layer spans three 64-row groups, so a
@@ -923,7 +1549,7 @@ mod tests {
         assert!(plan.split_layer_count() >= 1, "fc1 must row-split");
         let baseline = sharded.model(0).run_batch(&images).unwrap();
 
-        let handles = sharded.submit_many(images.iter().cloned());
+        let handles = sharded.submit_many(images.iter().cloned()).unwrap();
         let responses = RaellaServer::wait_all(handles).unwrap();
         let mut merged = RunStats::default();
         for (i, (resp, want)) in responses.iter().zip(baseline.outputs()).enumerate() {
@@ -951,7 +1577,7 @@ mod tests {
         let plain = build_tiny(1, 1, 0);
         assert!(plain.shard_plan(0).is_none());
         assert!(plain.tile_stats(0).is_empty());
-        let resp = plain.submit(sample_image(1)).wait().unwrap();
+        let resp = plain.submit(sample_image(1)).unwrap().wait().unwrap();
         assert!(resp.tile_stats().is_empty());
         plain.shutdown();
         sharded.shutdown();
@@ -962,7 +1588,7 @@ mod tests {
         // A huge latency budget and an undersized batch park the request:
         // try_wait must observe the pending state.
         let server = build_tiny(1, 64, 5_000_000);
-        let mut handle = server.submit(sample_image(1));
+        let mut handle = server.submit(sample_image(1)).unwrap();
         assert!(handle.try_wait().is_none(), "queued request must poll None");
         // Shutdown drains the parked request; the buffered response
         // survives the workers.
@@ -1043,6 +1669,9 @@ mod tests {
         assert_eq!(rb.model_index(), 1);
         assert_eq!(ra.output().shape(), &[6]);
         assert_eq!(rb.output().shape(), &[3]);
+        let metrics = server.metrics();
+        assert_eq!(metrics.served(), &[1, 1], "per-model served counts");
+        assert_eq!(metrics.queued(), &[0, 0]);
         server.shutdown();
     }
 }

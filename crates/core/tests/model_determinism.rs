@@ -11,9 +11,10 @@
 //!   the surrounding images;
 //! * `RaellaServer` responses (outputs *and* per-request stats) are
 //!   bit-identical to per-image `CompiledModel::run_batch` for every
-//!   combination of worker count, `max_batch`, latency budget,
-//!   `RAELLA_THREADS`, and submission interleaving — queue coalescing is
-//!   pure scheduling, never arithmetic.
+//!   combination of worker count, `max_batch`, latency budget, queue
+//!   bound (global and per-model — backpressure is pure admission
+//!   control), `RAELLA_THREADS`, and submission interleaving — queue
+//!   coalescing is pure scheduling, never arithmetic.
 //!
 //! Worker count is pinned through the `RAELLA_THREADS` environment
 //! variable; this file keeps a single `#[test]` so the variable is never
@@ -140,17 +141,21 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
             .map(|img| model.run_image(img).expect("runs"))
             .collect();
 
-        // Sweep the coalescing policy space: worker counts, batch
-        // budgets, latency budgets (0 = flush immediately; huge = always
-        // wait to fill), and the engine-thread knob.
-        let sweep: &[(usize, usize, u64, Option<&str>)] = &[
-            (1, 4, 200, None),
-            (2, 1, 0, None),
-            (4, 2, 100, Some("2")),
-            (3, 8, 50_000, None),
-            (0, 3, 0, Some("1")),
+        // Sweep the coalescing + backpressure policy space: worker
+        // counts, batch budgets, latency budgets (0 = flush immediately;
+        // huge = always wait to fill), queue bounds (0 = unbounded; tight
+        // bounds make the blocking submit actually wait for space), and
+        // the engine-thread knob.
+        type SweepEntry = (usize, usize, u64, Option<&'static str>, usize, usize);
+        let sweep: &[SweepEntry] = &[
+            (1, 4, 200, None, 0, 0),
+            (2, 1, 0, None, 1, 0),
+            (4, 2, 100, Some("2"), 2, 1),
+            (3, 8, 50_000, None, 0, 0),
+            (0, 3, 0, Some("1"), 1, 1),
+            (2, 2, 0, None, 3, 2),
         ];
-        for &(workers, max_batch, budget, threads) in sweep {
+        for &(workers, max_batch, budget, threads, depth, model_depth) in sweep {
             match threads {
                 Some(t) => std::env::set_var("RAELLA_THREADS", t),
                 None => std::env::remove_var("RAELLA_THREADS"),
@@ -161,30 +166,50 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
                 .workers(workers)
                 .max_batch(max_batch)
                 .latency_budget_ticks(budget)
+                .queue_depth(depth)
+                .model_queue_depth(model_depth)
                 .build()
                 .expect("server builds");
-            let tag =
-                format!("noise {noise}, {workers} workers, max_batch {max_batch}, budget {budget}");
-            let handles = server.submit_many(images.iter().cloned());
+            let tag = format!(
+                "noise {noise}, {workers} workers, max_batch {max_batch}, budget {budget}, \
+                 depth {depth}/{model_depth}"
+            );
+            // Blocking submits: on a bounded queue each call waits for
+            // its slot, so admission order == submission order and
+            // nothing is ever rejected.
+            let handles: Vec<_> = images
+                .iter()
+                .map(|img| server.submit(img.clone()).expect("blocking submit admits"))
+                .collect();
             for (i, handle) in handles.into_iter().enumerate() {
                 assert_eq!(handle.sequence(), i as u64, "{tag}");
                 let resp = handle.wait().expect("request succeeds");
                 assert_eq!(resp.output(), &per_image[i].0, "output {i} — {tag}");
                 assert_eq!(resp.stats(), &per_image[i].1, "stats {i} — {tag}");
             }
+            let metrics = server.metrics();
+            assert_eq!(
+                metrics.rejected(),
+                0,
+                "blocking submits never reject — {tag}"
+            );
+            assert_eq!(metrics.accepted(), images.len() as u64, "{tag}");
+            assert_eq!(metrics.served(), &[images.len() as u64], "{tag}");
             server.shutdown();
         }
         std::env::remove_var("RAELLA_THREADS");
 
-        // Interleaved submitters: two threads racing submissions must not
-        // change any request's result (order only decides sequence
-        // numbers, and each submitter checks its own responses).
+        // Interleaved submitters racing a *bounded* queue: blocking
+        // admission under contention must not change any request's result
+        // (order only decides sequence numbers, and each submitter checks
+        // its own responses).
         let server = RaellaServer::builder()
             .model(&graph, &cfg)
             .compile_cache(SharedCompileCache::new())
             .workers(2)
             .max_batch(2)
             .latency_budget_ticks(100)
+            .queue_depth(2)
             .build()
             .expect("server builds");
         std::thread::scope(|scope| {
@@ -197,6 +222,7 @@ fn run_batch_is_bit_identical_to_serial_and_thread_invariant() {
                         let idx = (submitter + round) % images.len();
                         let resp = server
                             .submit(images[idx].clone())
+                            .expect("blocking submit admits")
                             .wait()
                             .expect("request succeeds");
                         assert_eq!(

@@ -1,14 +1,19 @@
 //! Sharded-server stress: interleaved racing submitters against a
 //! two-model sharded `RaellaServer` must each see responses bit-identical
-//! to submission-order `run_batch`, and `shutdown()` under load must
-//! drain every outstanding handle — no stranded `wait()`.
+//! to submission-order `run_batch` — with and without queue bounds
+//! (blocking admission under backpressure is pure scheduling) — and
+//! `shutdown()` under load must drain every outstanding handle — no
+//! stranded `wait()`. Fairness is pinned structurally: a saturating hot
+//! model cannot starve a trickle model beyond the round-robin bound, and
+//! `ServerMetrics` rejection counts match the submitters' observed
+//! `QueueFull` errors exactly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use raella_arch::tile::TileSpec;
 use raella_core::compiler::SharedCompileCache;
 use raella_core::server::RaellaServer;
-use raella_core::{RaellaConfig, RunStats};
+use raella_core::{CoreError, RaellaConfig, RunStats};
 use raella_nn::graph::Graph;
 use raella_nn::rng::SynthRng;
 use raella_nn::synth::SynthLayer;
@@ -64,7 +69,13 @@ fn conv_image(seed: u64) -> Tensor<u8> {
     Tensor::from_vec(data, &[4, 8, 8]).expect("consistent image")
 }
 
-fn build_sharded(workers: usize, max_batch: usize, budget: u64) -> RaellaServer {
+fn build_sharded(
+    workers: usize,
+    max_batch: usize,
+    budget: u64,
+    queue_depth: usize,
+    model_queue_depth: usize,
+) -> RaellaServer {
     RaellaServer::builder()
         .model(&long_graph(), &cfg())
         .model(&conv_graph(), &cfg())
@@ -72,15 +83,19 @@ fn build_sharded(workers: usize, max_batch: usize, budget: u64) -> RaellaServer 
         .workers(workers)
         .max_batch(max_batch)
         .latency_budget_ticks(budget)
+        .queue_depth(queue_depth)
+        .model_queue_depth(model_queue_depth)
         .shards(3)
         .tile_spec(TileSpec::new(64, 64))
         .build()
         .expect("sharded two-model server builds")
 }
 
-#[test]
-fn racing_submitters_get_run_batch_identical_responses() {
-    let server = build_sharded(3, 2, 50);
+/// Drives `server` with 4 racing submitters × 6 interleaved requests per
+/// submitter (blocking admission), checking every response bit-for-bit
+/// against the unsharded batch path, then verifies the server-wide
+/// per-tile aggregate accounting.
+fn race_and_verify(server: &RaellaServer) {
     assert!(server.shard_plan(0).expect("plan 0").split_layer_count() >= 1);
 
     // Per-(model, image) expectations straight from the unsharded batch
@@ -110,7 +125,7 @@ fn racing_submitters_get_run_batch_identical_responses() {
                     };
                     let resp = server
                         .submit_to(model, image)
-                        .expect("model index valid")
+                        .expect("blocking submit admits")
                         .wait()
                         .expect("request succeeds");
                     assert_eq!(
@@ -146,7 +161,117 @@ fn racing_submitters_get_run_batch_identical_responses() {
         }
         assert_eq!(got, want, "model {model} aggregate tile stats");
     }
+}
+
+#[test]
+fn racing_submitters_get_run_batch_identical_responses() {
+    let server = build_sharded(3, 2, 50, 0, 0);
+    race_and_verify(&server);
     server.shutdown();
+}
+
+#[test]
+fn bounded_queue_racing_blocking_submitters_stay_bit_identical() {
+    // Tight global + per-model bounds: every submitter repeatedly blocks
+    // for a slot, so admission control is exercised on every request —
+    // and the bytes must not move. Blocking admission never rejects.
+    let server = build_sharded(3, 2, 50, 3, 2);
+    race_and_verify(&server);
+    let metrics = server.metrics();
+    assert_eq!(metrics.rejected(), 0, "blocking submits never reject");
+    assert_eq!(metrics.accepted(), 24, "4 submitters × 6 requests");
+    assert_eq!(metrics.served(), &[12, 12], "12 requests per model");
+    assert!(
+        metrics.queue_depth_high_water() <= 3,
+        "global bound held: high water {}",
+        metrics.queue_depth_high_water()
+    );
+    server.shutdown();
+}
+
+#[test]
+fn hot_model_cannot_starve_trickle_model() {
+    // One worker, one saturating hot model (lane capped at 4 pending),
+    // one trickle model. Round-robin lane popping bounds how many hot
+    // requests can execute between a trickle request's admission and its
+    // completion: the in-flight batch plus at most one more popped batch
+    // (the cursor visits the trickle lane in between) = 2 × max_batch —
+    // asserted with one batch of snapshot slack. Rejection accounting is
+    // exact: the `rejected` metric equals the QueueFull errors the hot
+    // submitter observed.
+    const MAX_BATCH: usize = 2;
+    let server = RaellaServer::builder()
+        .model(&long_graph(), &cfg()) // model 0: hot
+        .model(&conv_graph(), &cfg()) // model 1: trickle
+        .compile_cache(SharedCompileCache::new())
+        .workers(1)
+        .max_batch(MAX_BATCH)
+        .latency_budget_ticks(0)
+        .model_queue_depth(4)
+        .build()
+        .expect("two-model server builds");
+    let hot_image = long_image(0);
+    let (hot_want, _) = server.model(0).run_image(&hot_image).expect("runs");
+    let trickle_image = conv_image(0);
+    let (trickle_want, _) = server.model(1).run_image(&trickle_image).expect("runs");
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let saturator = scope.spawn(|| {
+            let mut handles = Vec::new();
+            let mut rejections = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                match server.try_submit_to(0, hot_image.clone()) {
+                    Ok(handle) => handles.push(handle),
+                    Err(CoreError::QueueFull { .. }) => {
+                        rejections += 1;
+                        // Keep the lane full without starving the worker
+                        // of the core it computes on.
+                        std::thread::yield_now();
+                    }
+                    Err(other) => panic!("unexpected admission error: {other}"),
+                }
+            }
+            (handles, rejections)
+        });
+
+        // Only start trickling once the hot lane has demonstrably filled,
+        // so every trickle round contends with real saturation.
+        while server.metrics().accepted() < 4 {
+            std::thread::yield_now();
+        }
+
+        for round in 0..5 {
+            let handle = server
+                .submit_to(1, trickle_image.clone())
+                .expect("trickle blocking submit admits");
+            let hot_before = server.metrics().served()[0];
+            let resp = handle.wait().expect("trickle request completes");
+            let hot_during = server.metrics().served()[0] - hot_before;
+            assert_eq!(resp.output(), &trickle_want, "round {round} bytes");
+            assert!(
+                hot_during <= 3 * MAX_BATCH as u64,
+                "round {round}: {hot_during} hot requests served while one trickle \
+                 request waited — round-robin starvation bound violated"
+            );
+        }
+
+        stop.store(true, Ordering::SeqCst);
+        let (hot_handles, rejections) = saturator.join().expect("saturator survives");
+        assert!(rejections > 0, "the hot lane must actually have overflowed");
+        assert_eq!(
+            server.metrics().rejected(),
+            rejections,
+            "rejection metric must match the submitter's observed QueueFull errors"
+        );
+        // Shutdown drains every accepted hot request; all of them carry
+        // the same (deterministic) bytes.
+        server.shutdown();
+        for (i, handle) in hot_handles.into_iter().enumerate() {
+            let resp = handle.wait().expect("accepted hot request drains");
+            assert_eq!(resp.output(), &hot_want, "hot request {i} bytes");
+        }
+    });
 }
 
 #[test]
@@ -154,7 +279,7 @@ fn shutdown_under_load_drains_every_handle() {
     // A huge latency budget and oversized batches park everything; racing
     // waiters block on their handles while the main thread shuts down
     // mid-load. Every handle must resolve — no stranded wait().
-    let server = build_sharded(2, 64, 5_000_000);
+    let server = build_sharded(2, 64, 5_000_000, 0, 0);
     let resolved = AtomicUsize::new(0);
     const PER_MODEL: usize = 6;
 
@@ -164,7 +289,11 @@ fn shutdown_under_load_drains_every_handle() {
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for i in 0..PER_MODEL {
-            handles.push((0usize, server.submit(long_image(0)), i));
+            handles.push((
+                0usize,
+                server.submit(long_image(0)).expect("unbounded admits"),
+                i,
+            ));
             handles.push((
                 1usize,
                 server.submit_to(1, conv_image(0)).expect("model 1 exists"),

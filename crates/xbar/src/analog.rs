@@ -104,7 +104,7 @@ fn report(e: &ColumnElectrical, on_devices: f64, rows: usize) -> ColumnCurrentRe
 /// Net sneak (leakage) current of a column with `off_devices` off cells.
 ///
 /// For 2T2R columns the positive- and negative-wired leakages negate
-/// (§5.6, [81]); for unsigned columns they accumulate.
+/// (§5.6, ref. \[81\]); for unsigned columns they accumulate.
 pub fn sneak_current(e: &ColumnElectrical, off_devices: usize, two_t2r: bool) -> f64 {
     if two_t2r {
         0.0

@@ -1,11 +1,13 @@
 //! Multi-model serving through the `RaellaServer` front door.
 //!
 //! Builds one server over two mini models (ResNet18 + ShuffleNetV2), both
-//! compiled through the process-wide `SharedCompileCache`, then drives it
-//! the way a traffic generator would: several submitter threads racing
-//! `submit` calls, responses collected per request with queue/compute
-//! timing. A second server over the *same* ResNet18 is built afterwards to
-//! show the process-wide cache absorbing the whole recompile.
+//! compiled through the process-wide `SharedCompileCache` and fronted by a
+//! depth-bounded submission queue, then drives it the way a traffic
+//! generator would: several submitter threads racing blocking `submit_to`
+//! calls, responses collected per request with queue/compute timing, and
+//! the `ServerMetrics` admission/fairness counters printed at the end. A
+//! second server over the *same* ResNet18 is built afterwards to show the
+//! process-wide cache absorbing the whole recompile.
 //!
 //! ```sh
 //! cargo run --release --example serve
@@ -31,6 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .model(&shuffle.graph, &cfg) // model 1
         .max_batch(4)
         .latency_budget_ticks(500)
+        // Backpressure: at most 16 requests queued server-wide, at most
+        // 12 of them for any one model — `submit`/`submit_to` block for a
+        // slot, `try_submit` fails fast with `CoreError::QueueFull`.
+        .queue_depth(16)
+        .model_queue_depth(12)
         .build()?;
     let cache = server.compile_cache();
     println!(
@@ -89,6 +96,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             resp.batch_size()
         );
     }
+
+    // The admission/fairness counters every production front door wants
+    // on a dashboard: accepted/rejected/blocked submissions, queue
+    // high-water mark, per-model served counts, worker busy time.
+    let metrics = server.metrics();
+    println!(
+        "metrics: accepted {} / rejected {} / blocked {}, queue high water {}, served per model {:?}, workers busy {} µs",
+        metrics.accepted(),
+        metrics.rejected(),
+        metrics.blocked(),
+        metrics.queue_depth_high_water(),
+        metrics.served(),
+        metrics.worker_busy_ticks(),
+    );
 
     // Graceful shutdown drains anything still queued before returning.
     server.shutdown();

@@ -60,7 +60,7 @@
 //!
 //! let cfg = RaellaConfig { search_vectors: 2, ..RaellaConfig::default() };
 //! let server = RaellaServer::builder().model(&g, &cfg).build()?;
-//! let response = server.submit(Tensor::zeros(&[2, 6, 6])).wait()?;
+//! let response = server.submit(Tensor::zeros(&[2, 6, 6]))?.wait()?;
 //! assert_eq!(response.output().shape(), &[4]);
 //! server.shutdown(); // drains in-flight requests, joins the workers
 //! # Ok(())

@@ -232,8 +232,9 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`] (half-open), converted from the range
-    /// forms the real crate accepts so integer literals infer `usize`.
+    /// Length bounds for [`vec`](fn@vec) (half-open), converted from the
+    /// range forms the real crate accepts so integer literals infer
+    /// `usize`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -5,17 +5,23 @@
 #
 #   ci/bench_gate.sh <bench> <json> <min-speedup>
 #
-#   ci/bench_gate.sh engine_throughput BENCH_engine.json 2.0
-#   ci/bench_gate.sh graph_throughput  BENCH_graph.json  2.0
-#   ci/bench_gate.sh serve_throughput  BENCH_serve.json  2.0
-#   ci/bench_gate.sh shard_throughput  BENCH_shard.json  1.01
+#   ci/bench_gate.sh engine_throughput    BENCH_engine.json 2.0
+#   ci/bench_gate.sh engine_single_thread BENCH_engine.json 9000
+#   ci/bench_gate.sh graph_throughput     BENCH_graph.json  2.0
+#   ci/bench_gate.sh serve_throughput     BENCH_serve.json  2.0
+#   ci/bench_gate.sh shard_throughput     BENCH_shard.json  1.01
 #
 # Each baseline JSON records its gated ratio under a bench-specific key;
 # the gate itself is uniform: the WORST recorded speedup must be >= the
-# floor. The gate only fires on runners with >= 4 cores — forcing the
+# floor. Speedup gates only fire on runners with >= 4 cores — forcing the
 # pinned worker count onto fewer cores oversubscribes and cannot reach
 # the floor, so 1-core build containers still run the bench and record
 # the baseline without failing.
+#
+# `engine_single_thread` is the exception: its floor is an ABSOLUTE rate
+# (ideal-mode serial vectors/sec) rather than a ratio, and it gates on
+# ANY core count — single-thread kernel throughput does not depend on
+# how many cores the runner has, so there is no oversubscription excuse.
 set -euo pipefail
 
 if [ "$#" -ne 3 ]; then
@@ -26,7 +32,13 @@ bench="$1"
 json="$2"
 min="$3"
 
-cargo bench -p raella-bench --bench "$bench"
+# The single-thread gate re-reads the engine bench's JSON; same binary.
+bench_bin="$bench"
+case "$bench" in
+engine_single_thread) bench_bin="engine_throughput" ;;
+esac
+
+cargo bench -p raella-bench --bench "$bench_bin"
 cat "$json"
 
 BENCH_NAME="$bench" BENCH_JSON="$json" MIN_SPEEDUP="$min" python3 - <<'EOF'
@@ -35,6 +47,16 @@ import json, os
 name = os.environ["BENCH_NAME"]
 data = json.load(open(os.environ["BENCH_JSON"]))
 floor = float(os.environ["MIN_SPEEDUP"])
+
+if name == "engine_single_thread":
+    # Absolute single-thread floor: ideal-mode serial vectors/sec. Core
+    # count is irrelevant to a serial kernel, so this gates everywhere —
+    # including the 1-core build containers the speedup gates skip.
+    rate = data["single_thread_vectors_per_sec"]
+    cores = os.cpu_count() or 1
+    print(f"{name}: {rate:.1f} vec/s single-thread (floor {floor:.1f}, {cores} cores)")
+    assert rate >= floor, f"single-thread engine throughput regressed: {rate:.1f} < {floor:.1f} vec/s"
+    raise SystemExit(0)
 
 if name == "engine_throughput":
     # Worst mode (ideal / noisy / ...) gates, so one mode can't hide

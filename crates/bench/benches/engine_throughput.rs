@@ -7,6 +7,12 @@
 //! optimization PRs can diff against it. The parallel path must hold a
 //! ≥2× speedup on a 4-core runner; the JSON records the observed ratio
 //! and the thread count it was measured with.
+//!
+//! The JSON also records `single_thread_vectors_per_sec` — the ideal-mode
+//! serial rate — as a first-class absolute gate: unlike the speedup
+//! ratios it holds on any core count, so a single-thread kernel
+//! regression can't hide behind a proportional parallel slowdown (see
+//! `ci/bench_gate.sh engine_single_thread`).
 
 use std::io::Write;
 
@@ -78,8 +84,14 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
     json.push_str(&format!(
-        "  \"layer\": \"fc512x32\",\n  \"batch_vectors\": {BATCH_VECTORS},\n  \"threads\": {threads},\n  \"modes\": {{\n"
+        "  \"layer\": \"fc512x32\",\n  \"batch_vectors\": {BATCH_VECTORS},\n  \"threads\": {threads},\n"
     ));
+    // Ideal-mode serial rate, gated as an absolute floor on any runner.
+    json.push_str(&format!(
+        "  \"single_thread_vectors_per_sec\": {:.1},\n",
+        runs[0].serial_vps
+    ));
+    json.push_str("  \"modes\": {\n");
     for (i, m) in runs.iter().enumerate() {
         let speedup = m.parallel_vps / m.serial_vps;
         println!(

@@ -23,6 +23,85 @@ use crate::config::{RaellaConfig, WeightEncoding};
 use crate::engine::{run_batch_parallel, RunStats};
 use crate::error::CoreError;
 
+/// Filters per cache-blocked column panel in the packed level layout
+/// ([`LevelPanels`]). 64 `i16` lanes are two cache lines per packed row —
+/// wide enough for the autovectorizer, small enough that a panel's `i32`
+/// window accumulators stay resident in L1 across a row sweep.
+pub const PANEL_WIDTH: usize = 64;
+
+/// One row group's slice levels re-packed for the cache-blocked panel
+/// kernel (`crates/core/src/engine.rs`).
+///
+/// [`FilterGroup::levels`] stores one column (filter × slice) contiguously
+/// — the right shape for programming crossbars and for the scalar
+/// reference kernel, but a kernel walking rows touches every column's
+/// vector at once. `LevelPanels` stores the transposed, blocked form: per
+/// weight slice, blocks of [`PANEL_WIDTH`] filters laid out row-major with
+/// the block's filters contiguous per row, so one sweep over the input
+/// plane feeds `PANEL_WIDTH` column accumulators from sequential memory.
+///
+/// Derived from the groups at compile time (redundant but deterministic
+/// data, serialized with the layer like everything else).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelPanels {
+    /// `data[s]`: slice `s` levels, `[block][local row][lane]`. Block `p`
+    /// holds filters `p·PANEL_WIDTH ..` and starts at flat offset
+    /// `p·PANEL_WIDTH·rows` (every preceding block is full-width).
+    data: Vec<Vec<i16>>,
+    /// Per-filter Center+Offset centers for this group, packed for the
+    /// kernel's filter-major conversion pass.
+    centers: Vec<i32>,
+    /// Rows this group covers (the packed rows per block).
+    rows: usize,
+}
+
+impl LevelPanels {
+    /// The packed levels of block `p` for weight slice `s`: `width × rows`
+    /// values, row-major (`row·width + lane`).
+    pub(crate) fn block(&self, s: usize, p: usize, width: usize) -> &[i16] {
+        let start = p * PANEL_WIDTH * self.rows;
+        &self.data[s][start..start + width * self.rows]
+    }
+
+    /// Per-filter centers for this group.
+    pub(crate) fn centers(&self) -> &[i32] {
+        &self.centers
+    }
+}
+
+/// Packs `groups` (column-major levels) into the panel-blocked layout,
+/// one [`LevelPanels`] per row group.
+fn build_level_panels(groups: &[Vec<FilterGroup>], num_slices: usize) -> Vec<LevelPanels> {
+    let filters = groups.len();
+    let group_count = groups[0].len();
+    let mut panels = Vec::with_capacity(group_count);
+    for gi in 0..group_count {
+        let rows = groups[0][gi].rows;
+        let mut data = vec![vec![0i16; filters * rows]; num_slices];
+        let mut centers = Vec::with_capacity(filters);
+        for (f, fgs) in groups.iter().enumerate() {
+            let g = &fgs[gi];
+            debug_assert_eq!(g.rows, rows, "group geometry is uniform by construction");
+            centers.push(g.center);
+            let p = f / PANEL_WIDTH;
+            let lane = f - p * PANEL_WIDTH;
+            let width = (filters - p * PANEL_WIDTH).min(PANEL_WIDTH);
+            let base = p * PANEL_WIDTH * rows;
+            for (s, d) in data.iter_mut().enumerate() {
+                for (r, &level) in g.levels[s].iter().enumerate() {
+                    d[base + r * width + lane] = level;
+                }
+            }
+        }
+        panels.push(LevelPanels {
+            data,
+            centers,
+            rows,
+        });
+    }
+    panels
+}
+
 /// One filter's slice columns within one crossbar row-group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FilterGroup {
@@ -47,6 +126,12 @@ pub struct CompiledLayer {
     weight_slicing: Slicing,
     /// `groups[f]` = row groups of filter `f`.
     groups: Vec<Vec<FilterGroup>>,
+    /// `panels[gi]` = the panel-blocked packing of every filter's group
+    /// `gi` levels (the execution kernel's layout; derived from `groups`).
+    panels: Vec<LevelPanels>,
+    /// The weight slices' reassembly shifts, hoisted from the slicing so
+    /// the kernel never rebuilds slice ranges per vector.
+    slice_shifts: Vec<u32>,
     quant: OutputQuant,
     signed_inputs: bool,
     cfg: RaellaConfig,
@@ -136,12 +221,16 @@ impl CompiledLayer {
             }
             groups.push(filter_groups);
         }
+        let panels = build_level_panels(&groups, slices.len());
+        let slice_shifts = slicing.shifts();
         Ok(CompiledLayer {
             name: layer.name().to_string(),
             filters: layer.filters(),
             filter_len: layer.filter_len(),
             weight_slicing: slicing,
             groups,
+            panels,
+            slice_shifts,
             quant: layer.quant().clone(),
             signed_inputs: layer.signed_inputs(),
             cfg: cfg.clone(),
@@ -172,6 +261,25 @@ impl CompiledLayer {
     /// Per-filter row groups (crossbar layout).
     pub fn groups(&self) -> &[Vec<FilterGroup>] {
         &self.groups
+    }
+
+    /// Panel-blocked level packing per row group (the kernel layout).
+    pub(crate) fn panels(&self) -> &[LevelPanels] {
+        &self.panels
+    }
+
+    /// The weight slices' reassembly shifts, MSB slice first.
+    pub(crate) fn slice_shifts(&self) -> &[u32] {
+        &self.slice_shifts
+    }
+
+    /// Test-only mutable access to the group layout, for constructing
+    /// geometry-violating layers in engine unit tests (the event-counting
+    /// path debug-asserts that every filter's group `gi` shares
+    /// `row_start`/`rows`).
+    #[cfg(test)]
+    pub(crate) fn groups_mut(&mut self) -> &mut Vec<Vec<FilterGroup>> {
+        &mut self.groups
     }
 
     /// Crossbar row groups per filter. Group boundaries depend only on
@@ -547,6 +655,39 @@ mod tests {
         assert_eq!(c.groups()[0][0].levels.len(), 3);
         assert_eq!(c.groups()[0][0].levels[0].len(), 36);
         assert_eq!(c.total_columns(), 9);
+    }
+
+    #[test]
+    fn level_panels_pack_group_levels_blockwise() {
+        // 70 filters exercise one full 64-lane block plus a ragged 6-lane
+        // tail; 150 rows over 64-row crossbars exercise multiple groups.
+        let layer = SynthLayer::linear(150, 70, 8).build();
+        let cfg = small_cfg();
+        let c =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        assert_eq!(c.panels().len(), c.group_count());
+        for gi in 0..c.group_count() {
+            let panel = &c.panels()[gi];
+            let rows = c.group_row_range(gi).len();
+            for (f, gs) in c.groups().iter().enumerate() {
+                let g = &gs[gi];
+                assert_eq!(panel.centers()[f], g.center, "center f={f} gi={gi}");
+                let p = f / PANEL_WIDTH;
+                let lane = f % PANEL_WIDTH;
+                let width = (c.filters() - p * PANEL_WIDTH).min(PANEL_WIDTH);
+                for s in 0..c.columns_per_filter() {
+                    let block = panel.block(s, p, width);
+                    assert_eq!(block.len(), width * rows);
+                    for r in 0..rows {
+                        assert_eq!(
+                            block[r * width + lane],
+                            g.levels[s][r],
+                            "f={f} gi={gi} s={s} r={r}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

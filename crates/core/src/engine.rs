@@ -42,6 +42,29 @@
 //! associative, commutative) and statistics by [`RunStats::merge`], which
 //! is what makes tile placement pure scheduling
 //! (`crates/core/tests/shard_determinism.rs`).
+//!
+//! # Kernel structure (cache-blocked column panels)
+//!
+//! The hot kernel does not walk columns one at a time. Per row group, the
+//! compiled layer provides its levels re-packed into cache-blocked panels
+//! ([`crate::compiler::LevelPanels`]: [`PANEL_WIDTH`] filters per block,
+//! row-major), and the kernel runs in two phases per block:
+//!
+//! 1. **Accumulation** — one sweep over each sliced input plane feeds the
+//!    whole panel's `i32` window sums from sequential memory (the
+//!    innermost level×plane products autovectorize; enable the `simd`
+//!    cargo feature to force fixed-lane chunking). Device charge folds in
+//!    the same pass from per-row mass sums.
+//! 2. **Conversion** — ADC converts, speculation checks, recovery, and
+//!    noise draws replay *filter-major, column by column*, in exactly the
+//!    order of the scalar reference kernel.
+//!
+//! The phase split is safe because analog sums are pure integer
+//! reductions (commutative even under wraparound) and noise enters only
+//! at conversion; [`run_vector_groups_reference`] retains the pre-panel
+//! scalar kernel, and `crates/core/tests/panel_oracle.rs` pins the two
+//! against each other — outputs, statistics, and noise-stream consumption
+//! bit for bit.
 
 use serde::{Deserialize, Serialize};
 
@@ -51,10 +74,10 @@ use raella_xbar::crossbar::EventCounts;
 use raella_xbar::noise::{NoiseModel, NoiseRng};
 use raella_xbar::slicing::Slice;
 
-use crate::compiler::{CompiledLayer, SharedCompileCache};
+use crate::compiler::{CompiledLayer, SharedCompileCache, PANEL_WIDTH};
 use crate::config::{InputMode, RaellaConfig};
 use crate::parallel::{run_blocks, worker_count};
-use crate::scratch::{SlicedView, VectorScratch};
+use crate::scratch::{SlicedView, VectorScratch, INPUT_BITS};
 
 /// Statistics accumulated while running layers on RAELLA.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -147,6 +170,69 @@ fn dot_charge(xs: &[u16], levels: &[i16]) -> (i64, i64) {
         }
     }
     (pos, neg)
+}
+
+/// Adds `x · levels[i]` into `dst[i]` across one packed panel row, in
+/// `i32` — the exact accumulation width (and per-lane term order) of
+/// [`dot`], so panel window sums are bit-identical to per-column dots.
+///
+/// With the `simd` feature the loop is chunked into fixed 8-lane blocks to
+/// guarantee vectorization where the autovectorizer balks; the per-lane
+/// arithmetic — and therefore the result — is identical either way.
+#[inline]
+fn axpy_i32(dst: &mut [i32], x: i32, levels: &[i16]) {
+    debug_assert_eq!(dst.len(), levels.len());
+    #[cfg(feature = "simd")]
+    {
+        let mut d = dst.chunks_exact_mut(8);
+        let mut l = levels.chunks_exact(8);
+        for (dc, lc) in (&mut d).zip(&mut l) {
+            for i in 0..8 {
+                dc[i] += x * i32::from(lc[i]);
+            }
+        }
+        for (d1, &l1) in d.into_remainder().iter_mut().zip(l.remainder()) {
+            *d1 += x * i32::from(l1);
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for (d, &l) in dst.iter_mut().zip(levels) {
+        *d += x * i32::from(l);
+    }
+}
+
+/// Adds `x · |levels[i]|` into `dst[i]` — the noise model's total-charge
+/// sums (`N⁺ + N⁻`), accumulated panel-wide alongside the signed sums.
+#[inline]
+fn axpy_abs_i32(dst: &mut [i32], x: i32, levels: &[i16]) {
+    debug_assert_eq!(dst.len(), levels.len());
+    #[cfg(feature = "simd")]
+    {
+        let mut d = dst.chunks_exact_mut(8);
+        let mut l = levels.chunks_exact(8);
+        for (dc, lc) in (&mut d).zip(&mut l) {
+            for i in 0..8 {
+                dc[i] += x * i32::from(lc[i].unsigned_abs());
+            }
+        }
+        for (d1, &l1) in d.into_remainder().iter_mut().zip(l.remainder()) {
+            *d1 += x * i32::from(l1.unsigned_abs());
+        }
+    }
+    #[cfg(not(feature = "simd"))]
+    for (d, &l) in dst.iter_mut().zip(levels) {
+        *d += x * i32::from(l.unsigned_abs());
+    }
+}
+
+/// Adds `m · |levels[i]|` into `dst[i]` — panel-wide device charge, the
+/// blocked form of [`device_charge`] (same `u64` terms, same totals).
+#[inline]
+fn charge_u64(dst: &mut [u64], m: u64, levels: &[i16]) {
+    debug_assert_eq!(dst.len(), levels.len());
+    for (d, &l) in dst.iter_mut().zip(levels) {
+        *d += m * u64::from(l.unsigned_abs());
+    }
 }
 
 /// One analog column read: ideal or noisy sum.
@@ -438,21 +524,284 @@ pub fn run_vector_groups(
         &[1]
     };
 
-    let columns_needed = layer.filters() * layer.columns_per_filter();
+    let filters = layer.filters();
+    let columns_needed = filters * layer.columns_per_filter();
     let crossbars_per_group = columns_needed.div_ceil(cfg.crossbar_cols) as u64;
-    let weight_slices = layer.weight_slicing().slices();
+    // Per-slice shifts and the speculative windows were resolved at
+    // compile / scratch-construction time — nothing is re-derived per
+    // vector.
+    let shifts = layer.slice_shifts();
+    let num_slices = shifts.len();
+    let noisy = !cfg.noise.is_ideal();
+    let windows = match cfg.input_mode {
+        InputMode::Speculative => scratch.spec_slices.len(),
+        InputMode::BitSerial => INPUT_BITS,
+    };
+
+    for gi in groups.clone() {
+        debug_assert_uniform_geometry(layer, gi);
+    }
 
     for &sign in signs {
         scratch.load_plane(input, sign);
         scratch.slice_plane();
-        // Split borrow: the sliced planes are read-only while `acc`
-        // accumulates and the group streams advance — all disjoint fields.
+        // Split borrow: the plane and sliced views are read-only while
+        // `acc`, the panel accumulators, and the group streams advance —
+        // all disjoint fields.
+        let (plane, sliced, spec_slices, acc, rngs, wsum, asum, dc) = {
+            let VectorScratch {
+                plane,
+                spec,
+                bits,
+                spec_mass,
+                bit_mass,
+                mass,
+                spec_mass_pre,
+                bit_mass_pre,
+                spec_act_pre,
+                acc,
+                rngs,
+                wsum,
+                asum,
+                dc,
+                spec_slices,
+                len,
+            } = scratch;
+            (
+                &plane[..],
+                SlicedView {
+                    spec,
+                    bits,
+                    spec_mass,
+                    bit_mass,
+                    mass,
+                    spec_mass_pre,
+                    bit_mass_pre,
+                    spec_act_pre,
+                    len: *len,
+                },
+                &spec_slices[..],
+                acc,
+                rngs,
+                wsum,
+                asum,
+                dc,
+            )
+        };
+        // Cycle/DAC/row event counting is per crossbar (shared across the
+        // columns it holds), not per column — O(1) per group from the
+        // plane's prefix sums.
+        for gi in groups.clone() {
+            let range = layer.group_row_range(gi);
+            count_crossbar_events(cfg, &sliced, range, crossbars_per_group, &mut stats);
+        }
+        for (k, gi) in groups.clone().enumerate() {
+            let rng = &mut rngs[k];
+            let panel = &layer.panels()[gi];
+            let range = layer.group_row_range(gi);
+            let gplane = &plane[range.clone()];
+            let gsum: i64 = gplane.iter().map(|&x| i64::from(x)).sum();
+            // Mass the device-charge fold drives against every column:
+            // speculation + recovery cycles in speculative mode (§4.3.1),
+            // bit cycles only in bit-serial mode.
+            let gmass = match cfg.input_mode {
+                InputMode::Speculative => &sliced.mass[range.clone()],
+                InputMode::BitSerial => &sliced.bit_mass[range.clone()],
+            };
+            for p in 0..filters.div_ceil(PANEL_WIDTH) {
+                let f0 = p * PANEL_WIDTH;
+                let bw = (filters - f0).min(PANEL_WIDTH);
+
+                // Phase 1 — accumulation: per (slice, window), one sweep
+                // over the rows feeds the whole panel's window sums from
+                // sequential packed levels. Zero input rows contribute
+                // nothing and are skipped (sparse high-order planes).
+                let used = num_slices * windows * PANEL_WIDTH;
+                wsum[..used].fill(0);
+                if noisy {
+                    asum[..used].fill(0);
+                }
+                dc[..num_slices * PANEL_WIDTH].fill(0);
+                for s in 0..num_slices {
+                    let data = panel.block(s, p, bw);
+                    for w in 0..windows {
+                        let wplane: &[u16] = match cfg.input_mode {
+                            InputMode::Speculative => &sliced.spec_plane(w)[range.clone()],
+                            InputMode::BitSerial => &sliced.bit_plane(7 - w as u32)[range.clone()],
+                        };
+                        let dst = &mut wsum[(s * windows + w) * PANEL_WIDTH..][..bw];
+                        for (r, &x) in wplane.iter().enumerate() {
+                            if x == 0 {
+                                continue;
+                            }
+                            axpy_i32(dst, i32::from(x), &data[r * bw..(r + 1) * bw]);
+                        }
+                        if noisy {
+                            let dst = &mut asum[(s * windows + w) * PANEL_WIDTH..][..bw];
+                            for (r, &x) in wplane.iter().enumerate() {
+                                if x == 0 {
+                                    continue;
+                                }
+                                axpy_abs_i32(dst, i32::from(x), &data[r * bw..(r + 1) * bw]);
+                            }
+                        }
+                    }
+                    // Device charge: all cycles drive all columns,
+                    // including recovery cycles for columns whose
+                    // speculation succeeded (§4.3.1) — one sweep prices
+                    // the panel's whole slice.
+                    let dcs = &mut dc[s * PANEL_WIDTH..][..bw];
+                    for (r, &m) in gmass.iter().enumerate() {
+                        if m == 0 {
+                            continue;
+                        }
+                        charge_u64(dcs, u64::from(m), &data[r * bw..(r + 1) * bw]);
+                    }
+                }
+
+                // Phase 2 — conversion: filter-major over the panel,
+                // replaying the scalar kernel's per-column ADC order so
+                // noise draws (and recovery re-reads) consume the group's
+                // substream in exactly the reference sequence.
+                for i in 0..bw {
+                    let f = f0 + i;
+                    let mut total = i64::from(panel.centers()[f]) * gsum;
+                    for (s, &w_shift) in shifts.iter().enumerate() {
+                        match cfg.input_mode {
+                            InputMode::Speculative => {
+                                for (j, spec_slice) in spec_slices.iter().enumerate() {
+                                    let idx = (s * windows + j) * PANEL_WIDTH + i;
+                                    let w = i64::from(wsum[idx]);
+                                    let sum = if noisy {
+                                        // `dot_charge` reconstruction:
+                                        // positive-level products are N⁺,
+                                        // so N⁺ = (Σx|l| + Σxl)/2 exactly
+                                        // (both sums have equal parity).
+                                        let a = i64::from(asum[idx]);
+                                        cfg.noise.sample((a + w) / 2, (a - w) / 2, rng)
+                                    } else {
+                                        w
+                                    };
+                                    let out = cfg.adc.convert(sum);
+                                    stats.events.adc_converts += 1;
+                                    stats.spec_attempts += 1;
+                                    if cfg.adc.saturated(out) {
+                                        // Speculation failed: recover with
+                                        // 1b slices of this window (rare,
+                                        // so the re-read stays scalar).
+                                        stats.spec_failures += 1;
+                                        total += recover_window(
+                                            cfg,
+                                            &sliced,
+                                            range.clone(),
+                                            &layer.groups()[f][gi].levels[s],
+                                            w_shift,
+                                            *spec_slice,
+                                            &mut stats,
+                                            rng,
+                                        );
+                                    } else {
+                                        total += out << (w_shift + spec_slice.shift());
+                                    }
+                                }
+                            }
+                            InputMode::BitSerial => {
+                                for b in (0..INPUT_BITS as u32).rev() {
+                                    let idx = (s * windows + (7 - b) as usize) * PANEL_WIDTH + i;
+                                    let w = i64::from(wsum[idx]);
+                                    let sum = if noisy {
+                                        let a = i64::from(asum[idx]);
+                                        cfg.noise.sample((a + w) / 2, (a - w) / 2, rng)
+                                    } else {
+                                        w
+                                    };
+                                    let out = cfg.adc.convert(sum);
+                                    stats.events.adc_converts += 1;
+                                    stats.bitserial_converts += 1;
+                                    if cfg.adc.saturated(out) {
+                                        stats.bitserial_saturations += 1;
+                                    }
+                                    total += out << (w_shift + b);
+                                }
+                            }
+                        }
+                        stats.events.device_charge += dc[s * PANEL_WIDTH + i];
+                    }
+                    acc[f] += sign * total;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// The pre-panel scalar kernel, retained verbatim as the bit-exactness
+/// oracle for [`run_vector_groups`].
+///
+/// Processes one column (filter × weight slice) at a time, re-scanning the
+/// sliced planes per column, exactly as the engine did before panel
+/// blocking. `crates/core/tests/panel_oracle.rs` pins the panel kernel
+/// against this function — outputs *and* full statistics, ideal and
+/// noisy, both input modes — so any panel miscount or reordered noise
+/// draw is caught against the original code path. Not used on the hot
+/// path.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_vector_groups`].
+pub fn run_vector_groups_reference(
+    layer: &CompiledLayer,
+    input: &[Act],
+    groups: std::ops::Range<usize>,
+    scratch: &mut VectorScratch,
+    noise_seed: u64,
+    vector_index: u64,
+) -> RunStats {
+    assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
+    assert!(
+        groups.end <= layer.group_count(),
+        "group range {groups:?} exceeds {} groups",
+        layer.group_count()
+    );
+    scratch.resize_for(layer);
+
+    let cfg = layer.config();
+    let mut stats = RunStats::default();
+
+    scratch.rngs.clear();
+    scratch.rngs.extend(
+        groups
+            .clone()
+            .map(|gi| NoiseRng::for_substream(noise_seed, vector_index, gi as u64)),
+    );
+
+    let signs: &[i64] = if layer.signed_inputs() {
+        &[1, -1]
+    } else {
+        &[1]
+    };
+
+    let columns_needed = layer.filters() * layer.columns_per_filter();
+    let crossbars_per_group = columns_needed.div_ceil(cfg.crossbar_cols) as u64;
+    let weight_slices = layer.weight_slicing().slices();
+
+    for gi in groups.clone() {
+        debug_assert_uniform_geometry(layer, gi);
+    }
+
+    for &sign in signs {
+        scratch.load_plane(input, sign);
+        scratch.slice_plane();
         let (sliced, spec_slices, acc, rngs) = {
             let VectorScratch {
                 spec,
                 bits,
                 spec_mass,
                 bit_mass,
+                mass,
+                spec_mass_pre,
+                bit_mass_pre,
+                spec_act_pre,
                 acc,
                 rngs,
                 spec_slices,
@@ -465,6 +814,10 @@ pub fn run_vector_groups(
                     bits,
                     spec_mass,
                     bit_mass,
+                    mass,
+                    spec_mass_pre,
+                    bit_mass_pre,
+                    spec_act_pre,
                     len: *len,
                 },
                 &spec_slices[..],
@@ -472,12 +825,9 @@ pub fn run_vector_groups(
                 rngs,
             )
         };
-        // Cycle/DAC/row event counting is per crossbar (shared across the
-        // columns it holds), not per column.
         for gi in groups.clone() {
-            let g0 = &layer.groups()[0][gi];
-            let range = g0.row_start..g0.row_start + g0.rows;
-            count_crossbar_events(cfg, &sliced, range, crossbars_per_group, &mut stats);
+            let range = layer.group_row_range(gi);
+            count_crossbar_events_scanning(cfg, &sliced, range, crossbars_per_group, &mut stats);
         }
         for (f, acc_f) in acc.iter_mut().enumerate() {
             for (k, g) in layer.groups()[f][groups.clone()].iter().enumerate() {
@@ -509,8 +859,6 @@ pub fn run_vector_groups(
                             rng,
                         ),
                     };
-                    // Device charge: all cycles drive all columns, including
-                    // recovery cycles for columns that succeeded (§4.3.1).
                     stats.events.device_charge += match cfg.input_mode {
                         InputMode::Speculative => {
                             device_charge(&sliced.spec_mass[range.clone()], levels)
@@ -526,6 +874,29 @@ pub fn run_vector_groups(
         }
     }
     stats
+}
+
+/// Debug-asserts that every filter's group `gi` covers the same row range
+/// — the invariant per-crossbar event counting and panel packing rely on.
+/// Compiled layers satisfy it by construction (group boundaries derive
+/// from `filter_len` and the crossbar rows alone); a hand-mutated layout
+/// must fail loudly instead of silently miscounting shared events.
+fn debug_assert_uniform_geometry(layer: &CompiledLayer, gi: usize) {
+    if cfg!(debug_assertions) {
+        let g0 = &layer.groups()[0][gi];
+        for (f, gs) in layer.groups().iter().enumerate() {
+            let g = &gs[gi];
+            assert!(
+                g.row_start == g0.row_start && g.rows == g0.rows,
+                "filter {f} group {gi} covers rows {}..{} but filter 0 covers {}..{}: \
+                 per-crossbar event counting requires uniform group geometry",
+                g.row_start,
+                g.row_start + g.rows,
+                g0.row_start,
+                g0.row_start + g0.rows,
+            );
+        }
+    }
 }
 
 /// The digital tail of one vector: requantizes fully reduced accumulators
@@ -548,9 +919,7 @@ pub fn finalize_vector(
     assert_eq!(acc.len(), layer.filters(), "accumulator length mismatch");
     assert_eq!(out.len(), layer.filters(), "output length mismatch");
     let input_sum: i64 = input.iter().map(|&x| i64::from(x)).sum();
-    for (f, o) in out.iter_mut().enumerate() {
-        *o = layer.quant().requantize(f, acc[f], input_sum);
-    }
+    layer.quant().requantize_into(acc, input_sum, out);
     RunStats {
         vectors: 1,
         events: EventCounts {
@@ -562,8 +931,45 @@ pub fn finalize_vector(
 }
 
 /// Counts cycles, DAC pulses and row activations for one crossbar
-/// row-group processing one input plane.
+/// row-group processing one input plane — O(1) per group, from the prefix
+/// sums [`VectorScratch::slice_plane`] builds alongside the planes.
+///
+/// The equivalences with the definitional rescans (checked by
+/// `count_crossbar_events_scanning` and the scratch prefix tests):
+/// DAC pulses per row are the slice-value masses; bit-plane row
+/// activations equal the bit mass (each plane entry is 0 or 1, so the
+/// popcount *is* the activation count); speculative-plane activations are
+/// tallied per row while slicing.
 fn count_crossbar_events(
+    cfg: &RaellaConfig,
+    sliced: &SlicedView<'_>,
+    range: std::ops::Range<usize>,
+    crossbars: u64,
+    stats: &mut RunStats,
+) {
+    let bit_pulses = sliced.bit_mass_pre[range.end] - sliced.bit_mass_pre[range.start];
+    match cfg.input_mode {
+        InputMode::Speculative => {
+            stats.events.cycles += cfg.cycles_per_psum_set();
+            // Speculation pulses: slice values; recovery pulses: 1-bit.
+            let spec_pulses = sliced.spec_mass_pre[range.end] - sliced.spec_mass_pre[range.start];
+            stats.events.dac_pulses += (spec_pulses + bit_pulses) * crossbars;
+            let active =
+                sliced.spec_act_pre[range.end] - sliced.spec_act_pre[range.start] + bit_pulses;
+            stats.events.row_activations += active * crossbars;
+        }
+        InputMode::BitSerial => {
+            stats.events.cycles += 8;
+            stats.events.dac_pulses += bit_pulses * crossbars;
+            stats.events.row_activations += bit_pulses * crossbars;
+        }
+    }
+}
+
+/// The pre-panel event counter, rescanning the sliced planes per group —
+/// kept as the definitional oracle behind [`count_crossbar_events`], used
+/// only by [`run_vector_groups_reference`].
+fn count_crossbar_events_scanning(
     cfg: &RaellaConfig,
     sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
@@ -1014,5 +1420,89 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.spec_attempts, 40);
         assert!((a.spec_failure_rate() - 0.025).abs() < 1e-12);
+    }
+
+    /// The panel kernel and the retained scalar kernel must agree on
+    /// accumulators *and* full statistics — ideal and noisy, both input
+    /// modes, full and partial group ranges. A 70-filter layer exercises
+    /// a full 64-wide panel plus a ragged 6-wide tail.
+    #[test]
+    fn panel_kernel_matches_reference_kernel() {
+        let layer = SynthLayer::linear(150, 70, 51).build();
+        let base = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        for noise in [0.0, 0.07] {
+            for bitserial in [false, true] {
+                let mut cfg = base.clone().with_noise(noise);
+                if bitserial {
+                    cfg = cfg.without_speculation();
+                }
+                let compiled =
+                    CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg)
+                        .unwrap();
+                let inputs = layer.sample_inputs(2, 19);
+                let ranges = [0..compiled.group_count(), 1..2];
+                for range in ranges {
+                    for (v, input) in inputs.chunks(compiled.filter_len()).enumerate() {
+                        let mut panel_scratch = VectorScratch::for_layer(&compiled);
+                        let mut ref_scratch = VectorScratch::for_layer(&compiled);
+                        let ps = run_vector_groups(
+                            &compiled,
+                            input,
+                            range.clone(),
+                            &mut panel_scratch,
+                            9,
+                            v as u64,
+                        );
+                        let rs = run_vector_groups_reference(
+                            &compiled,
+                            input,
+                            range.clone(),
+                            &mut ref_scratch,
+                            9,
+                            v as u64,
+                        );
+                        assert_eq!(
+                            panel_scratch.acc, ref_scratch.acc,
+                            "noise {noise} bitserial {bitserial} range {range:?} vector {v}"
+                        );
+                        assert_eq!(
+                            ps, rs,
+                            "noise {noise} bitserial {bitserial} range {range:?} vector {v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Event counting charges cycles/DAC pulses/row activations per
+    /// crossbar using filter 0's row range for each group — valid only
+    /// while every filter's group shares that geometry. A hand-mutated
+    /// layout that breaks the invariant must be caught, not miscounted.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "uniform group geometry")]
+    fn nonuniform_group_geometry_is_detected() {
+        let layer = SynthLayer::linear(100, 2, 3).build();
+        let cfg = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        };
+        let mut compiled =
+            CompiledLayer::with_slicing(&layer, Slicing::raella_default_weights(), &cfg).unwrap();
+        {
+            let gs = &mut compiled.groups_mut()[1];
+            gs[0].rows += 1;
+            gs[1].row_start += 1;
+            gs[1].rows -= 1;
+        }
+        let input = vec![1 as Act; 100];
+        let mut scratch = VectorScratch::for_layer(&compiled);
+        let _ = run_vector_groups(&compiled, &input, 0..2, &mut scratch, 0, 0);
     }
 }

@@ -5,7 +5,11 @@
 //! Algorithm 1 exactly once up front (deduplicated by a
 //! [`CompileCache`](crate::compiler::CompileCache)),
 //! and then images stream through [`CompiledModel::run_batch`], which fans
-//! whole images across `std::thread::scope` workers.
+//! whole images across `std::thread::scope` workers. Per-vector work runs
+//! the cache-blocked panel kernel
+//! ([`run_vector_groups`](crate::engine::run_vector_groups)), so
+//! single-image latency tracks the CI-gated single-thread engine rate
+//! rather than depending on worker count.
 //!
 //! # Determinism contract
 //!

@@ -13,10 +13,12 @@
 //!   array;
 //! * **row-group splits** for layers whose filters are longer than a
 //!   tile's row budget: each tile computes the partial sums of its row
-//!   groups ([`crate::engine::run_vector_groups`]) and the partials merge
-//!   by an exact elementwise `i64` accumulator reduction before the
-//!   digital requantization ([`crate::engine::finalize_vector`]) — the
-//!   paper's inter-tile psum accumulation.
+//!   groups ([`crate::engine::run_vector_groups`] — the cache-blocked
+//!   panel kernel; tiles inherit its speed and its bit-exactness
+//!   guarantee unchanged) and the partials merge by an exact elementwise
+//!   `i64` accumulator reduction before the digital requantization
+//!   ([`crate::engine::finalize_vector`]) — the paper's inter-tile psum
+//!   accumulation.
 //!
 //! # Determinism contract
 //!

@@ -178,6 +178,71 @@ fn per_group_adc_and_dac_events_land_on_slice_boundaries() {
     assert_eq!(stats1.events.dac_pulses, 11, "tile 1 DAC pulses");
 }
 
+/// Freezes the complete per-tile event counters for the golden layer —
+/// every field of `EventCounts`, not just the slice-boundary ADC/DAC
+/// checks above. Any kernel restructuring that changes how shared
+/// crossbar events or device charge are counted (rather than just what
+/// the accumulators hold) fails here with the exact drifted field.
+///
+/// Hand derivation for the non-boundary fields, 1 crossbar per group:
+///
+/// * row activations = rows with a nonzero value, summed over the three
+///   speculative windows (4b-2b-2b) and the 8 recovery bit planes.
+///   Rows 0..4 (x = 3,1,2,0): windows activate 0+0+3 rows, bit planes
+///   2+1+1+0 = 4 → 7. Rows 4..6 (x = 5,7): windows 0+2+2 = 4, bit
+///   planes 2+3 = 5 → 9.
+/// * device charge = Σ over rows and weight slices of
+///   `mass(row) · |level|`, with mass = spec slice values + bit mass.
+///   Rows 0..4 masses (3+2, 1+1, 2+1, 0+0) = (5,2,3,0):
+///   filter 0 levels (0,0,0,0)+(1,2,3,4) → 5+4+9 = 18; filter 1 levels
+///   (1,2,0,0)+(0,0,8,4) → 5+4+24 = 33; total 51.
+///   Rows 4..6 masses (2+2, 4+3) = (4,7): filter 0 levels (0,0)+(5,6)
+///   → 20+42 = 62; filter 1 levels (0,0)+(2,1) → 8+7 = 15; total 77.
+#[test]
+fn golden_event_counts_are_frozen_per_tile() {
+    use raella_xbar::crossbar::EventCounts;
+
+    let layer = compiled();
+    let mut stats0 = RunStats::default();
+    let mut acc = vec![0i64; 2];
+    run_batch_groups_at(&layer, &INPUT, 0..1, &mut stats0, 7, 0, &mut acc);
+    let mut stats1 = RunStats::default();
+    run_batch_groups_at(&layer, &INPUT, 1..2, &mut stats1, 7, 0, &mut acc);
+
+    assert_eq!(
+        stats0.events,
+        EventCounts {
+            adc_converts: 12,
+            dac_pulses: 10,
+            row_activations: 7,
+            device_charge: 51,
+            cycles: 11,
+            macs: 0,
+        },
+        "tile 0 (rows 0..4)"
+    );
+    assert_eq!(
+        stats1.events,
+        EventCounts {
+            adc_converts: 12,
+            dac_pulses: 11,
+            row_activations: 9,
+            device_charge: 77,
+            cycles: 11,
+            macs: 0,
+        },
+        "tile 1 (rows 4..6)"
+    );
+    for (tile, stats) in [(0, &stats0), (1, &stats1)] {
+        assert_eq!(stats.spec_attempts, 12, "tile {tile}");
+        assert_eq!(stats.spec_failures, 0, "tile {tile}");
+        assert_eq!(stats.recovery_converts, 0, "tile {tile}");
+        assert_eq!(stats.bitserial_converts, 0, "tile {tile}");
+        assert_eq!(stats.bitserial_saturations, 0, "tile {tile}");
+        assert_eq!(stats.vectors, 0, "tile {tile}");
+    }
+}
+
 #[test]
 fn two_tile_sharded_model_reproduces_the_golden_merge() {
     // The same layer behind the whole-model front end: input [6,1,1] →

@@ -135,6 +135,29 @@ impl OutputQuant {
         let out = corrected * self.scales[f] + self.biases[f];
         out.round().clamp(0.0, 255.0) as u8
     }
+
+    /// Requantizes every filter's accumulator in one pass — the batch form
+    /// of [`OutputQuant::requantize`], bit-identical per element. The
+    /// per-filter constants (scale, bias, zero point) stream through one
+    /// zipped traversal instead of three indexed lookups per output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` or `out` is not [`OutputQuant::filters`] long.
+    pub fn requantize_into(&self, acc: &[i64], input_sum: i64, out: &mut [u8]) {
+        assert_eq!(acc.len(), self.filters(), "accumulator length mismatch");
+        assert_eq!(out.len(), self.filters(), "output length mismatch");
+        for ((((o, &a), &scale), &bias), &zp) in out
+            .iter_mut()
+            .zip(acc)
+            .zip(&self.scales)
+            .zip(&self.biases)
+            .zip(&self.weight_zero_points)
+        {
+            let corrected = (a - i64::from(zp) * input_sum) as f32;
+            *o = (corrected * scale + bias).round().clamp(0.0, 255.0) as u8;
+        }
+    }
 }
 
 /// Mean absolute error between reference and observed 8b outputs, counted
@@ -227,6 +250,27 @@ mod tests {
         assert_eq!(oq.requantize(0, -50, 0), 0, "negative psum clamps to 0");
         assert_eq!(oq.requantize(0, 50, 0), 50);
         assert_eq!(oq.requantize(0, 500, 0), 255, "saturates at 255");
+    }
+
+    #[test]
+    fn requantize_into_matches_per_filter_requantize() {
+        let oq = OutputQuant::new(
+            vec![0.03, 1.5, 0.7, 0.001],
+            vec![4.0, -2.5, 0.0, 100.0],
+            vec![128, 0, 200, 17],
+        );
+        let acc = [40_000i64, -3, 123_456, -99_999];
+        for input_sum in [0i64, 1, 300, 100_000] {
+            let mut batch = [0u8; 4];
+            oq.requantize_into(&acc, input_sum, &mut batch);
+            for f in 0..4 {
+                assert_eq!(
+                    batch[f],
+                    oq.requantize(f, acc[f], input_sum),
+                    "filter {f}, input_sum {input_sum}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -75,6 +75,17 @@ impl AdcSpec {
         sum.clamp(self.min(), self.max())
     }
 
+    /// Converts a panel of analog column sums in place: each sum is
+    /// clamped exactly as [`AdcSpec::convert`] would clamp it. This is the
+    /// panel-wide entry point for kernels that read many columns per
+    /// cycle — the rail values are resolved once for the whole panel.
+    pub fn convert_panel(&self, sums: &mut [i64]) {
+        let (min, max) = (self.min(), self.max());
+        for s in sums.iter_mut() {
+            *s = (*s).clamp(min, max);
+        }
+    }
+
     /// Whether a conversion saturated (output pinned at either rail).
     ///
     /// RAELLA treats rail-valued outputs as speculation failures, which
@@ -137,6 +148,20 @@ mod tests {
         assert_eq!(adc.convert(-5), 0);
         assert_eq!(adc.convert(300), 255);
         assert_eq!(adc.convert(128), 128);
+    }
+
+    #[test]
+    fn convert_panel_matches_scalar_convert() {
+        for adc in [AdcSpec::raella_7b(), AdcSpec::isaac_8b()] {
+            let sums: Vec<i64> = (-300..=300).step_by(7).collect();
+            let mut panel = sums.clone();
+            adc.convert_panel(&mut panel);
+            for (&s, &p) in sums.iter().zip(&panel) {
+                assert_eq!(p, adc.convert(s), "{adc:?} on {s}");
+            }
+        }
+        // Empty panels are fine.
+        AdcSpec::raella_7b().convert_panel(&mut []);
     }
 
     #[test]

@@ -174,6 +174,30 @@ impl SignedCrossbar {
         sum
     }
 
+    /// Ideal analog sums of **all** columns in one row-major pass:
+    /// `out[c] = Σᵣ inputs[r]·(pos − neg)`. One traversal of the (row-major)
+    /// pair array serves every column — the cache-blocked panel order —
+    /// instead of `cols()` strided walks of [`SignedCrossbar::column_sum`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.rows()` or
+    /// `out.len() != self.cols()`.
+    pub fn column_sums_into(&self, inputs: &[u16], out: &mut [i64]) {
+        assert_eq!(inputs.len(), self.rows, "one input per row");
+        assert_eq!(out.len(), self.cols, "one output per column");
+        out.fill(0);
+        for (r, &x) in inputs.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let row = &self.pairs[r * self.cols..(r + 1) * self.cols];
+            for (o, pair) in out.iter_mut().zip(row) {
+                *o += pair.read(x);
+            }
+        }
+    }
+
     /// Positive and negative product sums `(N⁺, N⁻)` for one column — the
     /// quantities the noise model scales with.
     ///
@@ -302,6 +326,34 @@ mod tests {
         let inputs = [10u16, 20, 30, 40];
         assert_eq!(x.column_sum(0, &inputs), 10 - 40 + 90);
         assert_eq!(x.column_sum(1, &inputs), 100);
+    }
+
+    #[test]
+    fn column_sums_into_matches_per_column_sums() {
+        let mut x = SignedCrossbar::new(5, 3, 4);
+        for r in 0..5 {
+            for c in 0..3 {
+                let level = ((r * 3 + c) % 7) as u8;
+                if (r + c) % 2 == 0 {
+                    x.program(r, c, level, 0);
+                } else {
+                    x.program(r, c, 0, level);
+                }
+            }
+        }
+        let inputs = [3u16, 0, 7, 1, 15];
+        let mut panel = vec![0i64; 3];
+        x.column_sums_into(&inputs, &mut panel);
+        for (c, &sum) in panel.iter().enumerate() {
+            assert_eq!(sum, x.column_sum(c, &inputs), "column {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per column")]
+    fn column_sums_into_checks_output_length() {
+        let x = SignedCrossbar::new(2, 3, 4);
+        x.column_sums_into(&[1, 2], &mut [0i64; 2]);
     }
 
     #[test]

@@ -176,6 +176,14 @@ impl Slicing {
         out
     }
 
+    /// The slices' reassembly shifts (LSB positions), MSB slice first —
+    /// the precomputed form of `slices()[i].shift()` for hot loops that
+    /// look up one shift per weight slice without rebuilding slice ranges
+    /// (and re-allocating) on every call.
+    pub fn shifts(&self) -> Vec<u32> {
+        self.slices().iter().map(Slice::shift).collect()
+    }
+
     /// Crops a signed value into its slice values, MSB slice first.
     pub fn slice_values(&self, x: i32) -> Vec<i32> {
         self.slices().iter().map(|s| s.crop(x)).collect()
@@ -355,6 +363,19 @@ mod tests {
         let bits = s.explode_to_bits(0);
         let fine: i64 = bits.iter().map(|b| i64::from(b.crop(x)) << b.shift()).sum();
         assert_eq!(fine, i64::from(coarse) << 4);
+    }
+
+    #[test]
+    fn shifts_match_slice_lsb_positions() {
+        for slicing in [
+            Slicing::raella_default_weights(),
+            Slicing::uniform(1, 8),
+            Slicing::new(&[1, 2, 2, 3], 8).unwrap(),
+        ] {
+            let expected: Vec<u32> = slicing.slices().iter().map(|s| s.shift()).collect();
+            assert_eq!(slicing.shifts(), expected, "{slicing}");
+        }
+        assert_eq!(Slicing::raella_speculative().shifts(), vec![4, 2, 0]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #   ci/bench_gate.sh graph_throughput     BENCH_graph.json  2.0
 #   ci/bench_gate.sh serve_throughput     BENCH_serve.json  2.0
 #   ci/bench_gate.sh shard_throughput     BENCH_shard.json  1.01
+#   ci/bench_gate.sh drift                BENCH_drift.json  250000
 #
 # Each baseline JSON records its gated ratio under a bench-specific key;
 # the gate itself is uniform: the WORST recorded speedup must be >= the
@@ -22,6 +23,11 @@
 # (ideal-mode serial vectors/sec) rather than a ratio, and it gates on
 # ANY core count — single-thread kernel throughput does not depend on
 # how many cores the runner has, so there is no oversubscription excuse.
+#
+# `drift` inverts the comparison: its "floor" is a CEILING on the p99
+# live-recalibration pause in microseconds (the swap stall a served
+# request can see), and its curve shape — fresh device within budget,
+# drift eventually past it — is validated on every runner.
 set -euo pipefail
 
 if [ "$#" -ne 3 ]; then
@@ -83,6 +89,27 @@ elif name == "serve_throughput":
     )
 elif name == "shard_throughput":
     speedup = data["images_per_sec"]["worst_speedup"]
+elif name == "drift":
+    # Curve shape gates everywhere; the p99 pause ceiling (µs) follows
+    # the ≥4-core rule — an oversubscribed runner stalls the swap thread
+    # for reasons unrelated to the recalibration path.
+    curve = data["curve"]
+    assert curve, "empty accuracy-under-drift curve"
+    ages = [point["age"] for point in curve]
+    assert ages == sorted(set(ages)), f"curve ages must strictly ascend: {ages}"
+    assert curve[0]["within_budget"], "fresh device must start within the error budget"
+    assert not curve[-1]["within_budget"], "drift never crossed the error budget"
+    recal = data["recalibration"]
+    assert recal["count"] > 0, "no recalibrations timed"
+    p50, p99 = recal["pause_us"]["p50"], recal["pause_us"]["p99"]
+    assert 0 < p50 <= p99, f"nonsensical pause percentiles: p50 {p50}, p99 {p99}"
+    cores = os.cpu_count() or 1
+    print(f"{name}: pause p50 {p50} µs, p99 {p99} µs (ceiling {floor:.0f} µs, {cores} cores)")
+    if cores >= 4:
+        assert p99 <= floor, f"recalibration pause regressed: p99 {p99} µs > {floor:.0f} µs"
+    else:
+        print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
+    raise SystemExit(0)
 else:
     raise SystemExit(f"unknown bench '{name}' — teach ci/bench_gate.sh its JSON shape")
 

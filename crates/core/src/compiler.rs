@@ -14,13 +14,14 @@ use serde::{Deserialize, Serialize};
 
 use raella_nn::matrix::{Act, MatrixLayer};
 use raella_nn::quant::OutputQuant;
-use raella_xbar::slicing::Slicing;
+use raella_xbar::noise::NoiseRng;
+use raella_xbar::slicing::{Slice, Slicing};
 
 use crate::accuracy::FidelityReport;
 use crate::adaptive;
 use crate::center::{offsets, optimal_center};
 use crate::config::{RaellaConfig, WeightEncoding};
-use crate::engine::{run_batch_parallel, RunStats};
+use crate::engine::{run_batch_parallel, run_batch_parallel_at_age, RunStats};
 use crate::error::CoreError;
 
 /// Filters per cache-blocked column panel in the packed level layout
@@ -66,6 +67,40 @@ impl LevelPanels {
     /// Per-filter centers for this group.
     pub(crate) fn centers(&self) -> &[i32] {
         &self.centers
+    }
+}
+
+/// Stream tag separating programming-error draws from every read-noise
+/// stream (which key off the run seed XOR `0xE61E` / fidelity constants).
+const PROGRAM_STREAM: u64 = 0x9B06;
+
+/// Perturbs the compiled slice levels with the lifetime model's
+/// programming error: each cell lands within a Gaussian of
+/// `programming_sigma` levels around its target, clamped to the slice's
+/// representable magnitude.
+///
+/// The draw is a pure function of `(seed, generation, filter, group)` —
+/// one substream per filter-group, consumed in fixed `(slice, row)` order
+/// — so re-compiling at the same generation reproduces the exact same
+/// array, and bumping the generation (re-programming) takes a fresh,
+/// equally deterministic draw. Input-independent: programming error is
+/// frozen at write time, unlike read noise.
+fn apply_programming_error(groups: &mut [Vec<FilterGroup>], slices: &[Slice], cfg: &RaellaConfig) {
+    let sigma = cfg.lifetime.programming_sigma;
+    let generation = cfg.lifetime.generation;
+    let groups_per_filter = groups[0].len() as u64;
+    for (f, fgs) in groups.iter_mut().enumerate() {
+        for (gi, g) in fgs.iter_mut().enumerate() {
+            let lane = f as u64 * groups_per_filter + gi as u64;
+            let mut rng = NoiseRng::for_substream(cfg.seed ^ PROGRAM_STREAM, generation, lane);
+            for (s, slice) in slices.iter().enumerate() {
+                let cap = slice.max_magnitude();
+                for level in &mut g.levels[s] {
+                    let delta = (sigma * rng.standard_normal()).round() as i32;
+                    *level = (i32::from(*level) + delta).clamp(-cap, cap) as i16;
+                }
+            }
+        }
     }
 }
 
@@ -220,6 +255,9 @@ impl CompiledLayer {
                 row_start += rows;
             }
             groups.push(filter_groups);
+        }
+        if cfg.lifetime.programming_sigma > 0.0 {
+            apply_programming_error(&mut groups, &slices, cfg);
         }
         let panels = build_level_panels(&groups, slices.len());
         let slice_shifts = slicing.shifts();
@@ -376,11 +414,58 @@ impl CompiledLayer {
         layer: &MatrixLayer,
         vectors: usize,
     ) -> Result<FidelityReport, CoreError> {
+        self.check_fidelity_at_age(layer, vectors, 0)
+    }
+
+    /// [`CompiledLayer::check_fidelity`] on a device aged `age` served
+    /// vectors since its last programming — how the server's watchdog
+    /// samples degradation mid-lifetime. The reference stays the pristine
+    /// integer model, so both programming error and accumulated relaxation
+    /// show up as real fidelity loss. Age 0 is exactly
+    /// [`CompiledLayer::check_fidelity`].
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but returns `Result` to keep room for
+    /// configuration-dependent failure reporting.
+    pub fn check_fidelity_at_age(
+        &self,
+        layer: &MatrixLayer,
+        vectors: usize,
+        age: u64,
+    ) -> Result<FidelityReport, CoreError> {
         let inputs = layer.sample_inputs(vectors, self.cfg.seed ^ 0xF1DE);
         let reference = layer.reference_outputs(&inputs);
         let mut stats = RunStats::default();
-        let observed = self.run(&inputs, &mut stats, self.cfg.seed ^ 0x0153);
+        let observed =
+            run_batch_parallel_at_age(self, &inputs, &mut stats, self.cfg.seed ^ 0x0153, 0, age);
         Ok(FidelityReport::compare(&reference, &observed, &stats))
+    }
+
+    /// Re-programs the layer at `generation`: rebuilds every cell from the
+    /// pristine weights with a **fresh** programming-error draw (the
+    /// lifetime model's per-generation substream), keeping the slicing,
+    /// search error, and every other compile decision unchanged.
+    ///
+    /// Clamped programming error is not invertible, so this always
+    /// recompiles from `layer`'s true weights — never perturbs the already
+    /// perturbed levels — which is what makes re-programming restore, not
+    /// compound, fidelity. Read-noise streams do not depend on the
+    /// generation: a swapped-in generation-`g` layer at age `a` reads
+    /// exactly like a generation-`g` layer built from scratch and aged to
+    /// `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the stored configuration no
+    /// longer validates (cannot happen for layers built through
+    /// [`CompiledLayer::compile`]).
+    pub fn reprogram(&self, layer: &MatrixLayer, generation: u64) -> Result<Self, CoreError> {
+        let mut cfg = self.cfg.clone();
+        cfg.lifetime.generation = generation;
+        let mut fresh = Self::with_slicing(layer, self.weight_slicing.clone(), &cfg)?;
+        fresh.search_error = self.search_error;
+        Ok(fresh)
     }
 }
 
@@ -829,5 +914,47 @@ mod tests {
         assert_eq!(c.weight_slicing().num_slices(), 8);
         assert_eq!(c.weight_slicing().max_width(), 1);
         assert!(c.search_error().is_none());
+    }
+
+    /// Programming error: deterministic per generation, fresh per
+    /// re-program, always within the slice's representable magnitudes,
+    /// and rebuilt from pristine weights (same generation → identical
+    /// array, even after many reprogram hops).
+    #[test]
+    fn programming_error_is_per_generation_and_clamped() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let layer = SynthLayer::conv(8, 6, 3, 61).build();
+        let slicing = Slicing::raella_default_weights();
+        let cfg = small_cfg().with_lifetime(DeviceLifetime::new(0.8, 0.0, 0));
+        let pristine = CompiledLayer::with_slicing(&layer, slicing.clone(), &small_cfg()).unwrap();
+        let a = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).unwrap();
+        let b = CompiledLayer::with_slicing(&layer, slicing.clone(), &cfg).unwrap();
+        assert_eq!(a, b, "same generation must program identically");
+        assert_ne!(
+            a.groups(),
+            pristine.groups(),
+            "σ = 0.8 levels must move some cells"
+        );
+        let slices = slicing.slices();
+        for fgs in a.groups() {
+            for g in fgs {
+                for (s, slice) in slices.iter().enumerate() {
+                    let cap = slice.max_magnitude() as i16;
+                    assert!(g.levels[s].iter().all(|&l| (-cap..=cap).contains(&l)));
+                }
+            }
+        }
+        let gen1 = a.reprogram(&layer, 1).unwrap();
+        assert_ne!(
+            gen1.groups(),
+            a.groups(),
+            "a re-program must take a fresh draw"
+        );
+        // Reprogramming back to generation 0 — even from the perturbed
+        // gen-1 array — reproduces generation 0 exactly: the rebuild
+        // starts from pristine weights, never from perturbed levels.
+        let back = gen1.reprogram(&layer, 0).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(gen1.config().lifetime.generation, 1);
     }
 }

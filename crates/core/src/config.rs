@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use raella_xbar::adc::AdcSpec;
+use raella_xbar::lifetime::DeviceLifetime;
 use raella_xbar::noise::NoiseModel;
 use raella_xbar::slicing::Slicing;
 
@@ -65,6 +66,10 @@ pub struct RaellaConfig {
     pub last_layer: bool,
     /// Analog noise level (§7.2; 0.0 = ideal).
     pub noise: NoiseModel,
+    /// Device-lifetime state: programming error at write, conductance
+    /// relaxation with served-vector age. Disabled by default — execution
+    /// is then bit-identical to the static noise model.
+    pub lifetime: DeviceLifetime,
     /// Seed for noise sampling and search-input draws.
     pub seed: u64,
 }
@@ -88,6 +93,7 @@ impl Default for RaellaConfig {
             fixed_weight_slicing: None,
             last_layer: false,
             noise: NoiseModel::ideal(),
+            lifetime: DeviceLifetime::disabled(),
             seed: 0xAE11A,
         }
     }
@@ -132,6 +138,16 @@ impl RaellaConfig {
                 "search needs at least one test vector".into(),
             ));
         }
+        if !self.lifetime.programming_sigma.is_finite()
+            || self.lifetime.programming_sigma < 0.0
+            || !self.lifetime.drift_rate.is_finite()
+            || self.lifetime.drift_rate < 0.0
+        {
+            return Err(CoreError::InvalidConfig(format!(
+                "lifetime sigmas (programming {}, drift {}) must be finite and non-negative",
+                self.lifetime.programming_sigma, self.lifetime.drift_rate
+            )));
+        }
         if let Some(s) = &self.fixed_weight_slicing {
             if s.max_width() > u32::from(self.cell_bits) {
                 return Err(CoreError::InvalidConfig(format!(
@@ -168,6 +184,12 @@ impl RaellaConfig {
     /// This configuration with the given analog noise level.
     pub fn with_noise(mut self, level: f64) -> Self {
         self.noise = NoiseModel::new(level);
+        self
+    }
+
+    /// This configuration with the given device-lifetime model.
+    pub fn with_lifetime(mut self, lifetime: DeviceLifetime) -> Self {
+        self.lifetime = lifetime;
         self
     }
 
@@ -238,6 +260,13 @@ mod tests {
                 search_vectors: 0,
                 ..RaellaConfig::default()
             },
+            RaellaConfig {
+                lifetime: DeviceLifetime {
+                    drift_rate: f64::NAN,
+                    ..DeviceLifetime::disabled()
+                },
+                ..RaellaConfig::default()
+            },
         ] {
             assert!(broken.validate().is_err());
         }
@@ -258,9 +287,12 @@ mod tests {
         let cfg = RaellaConfig::default()
             .zero_offset()
             .with_noise(0.04)
+            .with_lifetime(DeviceLifetime::new(0.5, 0.02, 64))
             .as_last_layer();
         assert_eq!(cfg.encoding, WeightEncoding::ZeroOffset);
         assert!((cfg.noise.level - 0.04).abs() < 1e-12);
         assert!(cfg.last_layer);
+        assert!(cfg.lifetime.is_drifting());
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -98,6 +98,9 @@ pub struct RunStats {
     pub bitserial_saturations: u64,
     /// Input vectors processed.
     pub vectors: u64,
+    /// Highest drift epoch any processed vector ran at (0 unless the
+    /// configuration's [`raella_xbar::lifetime::DeviceLifetime`] drifts).
+    pub drift_epoch: u64,
 }
 
 impl RunStats {
@@ -132,10 +135,10 @@ impl RunStats {
 
     /// Merges another stats block into this one.
     ///
-    /// Every field is an additive counter, so `merge` is associative and
-    /// commutative — parallel workers may merge their local deltas in any
-    /// grouping and reach the same totals (property-tested in
-    /// `tests/proptests.rs`).
+    /// Every field combines associatively and commutatively — additive
+    /// counters sum, `drift_epoch` takes the max — so parallel workers may
+    /// merge their local deltas in any grouping and reach the same totals
+    /// (property-tested in `tests/proptests.rs`).
     pub fn merge(&mut self, other: &RunStats) {
         self.events.merge(&other.events);
         self.spec_attempts += other.spec_attempts;
@@ -145,6 +148,7 @@ impl RunStats {
         self.bitserial_converts += other.bitserial_converts;
         self.bitserial_saturations += other.bitserial_saturations;
         self.vectors += other.vectors;
+        self.drift_epoch = self.drift_epoch.max(other.drift_epoch);
     }
 }
 
@@ -284,6 +288,22 @@ pub fn run_batch_at(
     noise_seed: u64,
     first_vector: u64,
 ) -> Vec<u8> {
+    run_batch_at_age(layer, inputs, stats, noise_seed, first_vector, 0)
+}
+
+/// [`run_batch_at`] on a device aged `base_age` served vectors since its
+/// last programming. Age 0 is bit-identical to [`run_batch_at`]; each
+/// vector `i` runs at device age `base_age + first_vector + i`, so a batch
+/// split at any point and resumed with the same indices reproduces the
+/// whole batch exactly.
+pub fn run_batch_at_age(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+    base_age: u64,
+) -> Vec<u8> {
     let n_vectors = batch_vectors(layer, inputs);
     let mut out = vec![0u8; n_vectors * layer.filters()];
     let mut scratch = VectorScratch::for_layer(layer);
@@ -292,12 +312,13 @@ pub fn run_batch_at(
         .zip(out.chunks_exact_mut(layer.filters()))
         .enumerate()
     {
-        let local = run_vector(
+        let local = run_vector_at_age(
             layer,
             vec,
             &mut scratch,
             noise_seed,
             first_vector + i as u64,
+            base_age,
             out_chunk,
         );
         stats.merge(&local);
@@ -331,6 +352,32 @@ pub fn run_batch_groups_at(
     first_vector: u64,
     acc: &mut [i64],
 ) {
+    run_batch_groups_at_age(
+        layer,
+        inputs,
+        groups,
+        stats,
+        noise_seed,
+        first_vector,
+        0,
+        acc,
+    );
+}
+
+/// [`run_batch_groups_at`] on a device aged `base_age` served vectors —
+/// the sharded row-range path at any point in the device's lifetime. Age 0
+/// is bit-identical to [`run_batch_groups_at`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_groups_at_age(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    groups: std::ops::Range<usize>,
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+    base_age: u64,
+    acc: &mut [i64],
+) {
     let n_vectors = batch_vectors(layer, inputs);
     assert_eq!(
         acc.len(),
@@ -344,13 +391,14 @@ pub fn run_batch_groups_at(
         .enumerate()
     {
         scratch.acc.fill(0);
-        let local = run_vector_groups(
+        let local = run_vector_groups_at_age(
             layer,
             vec,
             groups.clone(),
             &mut scratch,
             noise_seed,
             first_vector + i as u64,
+            base_age,
         );
         stats.merge(&local);
         acc_chunk.copy_from_slice(&scratch.acc);
@@ -387,10 +435,25 @@ pub fn run_batch_parallel_at(
     noise_seed: u64,
     first_vector: u64,
 ) -> Vec<u8> {
+    run_batch_parallel_at_age(layer, inputs, stats, noise_seed, first_vector, 0)
+}
+
+/// [`run_batch_parallel_at`] on a device aged `base_age` served vectors.
+/// Bit-identical to [`run_batch_at_age`] at any thread count: a vector's
+/// drift epoch depends only on `base_age + vector index`, never on which
+/// worker runs it.
+pub fn run_batch_parallel_at_age(
+    layer: &CompiledLayer,
+    inputs: &[Act],
+    stats: &mut RunStats,
+    noise_seed: u64,
+    first_vector: u64,
+    base_age: u64,
+) -> Vec<u8> {
     let n_vectors = batch_vectors(layer, inputs);
     let threads = worker_count(n_vectors);
     if threads <= 1 {
-        return run_batch_at(layer, inputs, stats, noise_seed, first_vector);
+        return run_batch_at_age(layer, inputs, stats, noise_seed, first_vector, base_age);
     }
     let filters = layer.filters();
     let filter_len = layer.filter_len();
@@ -405,12 +468,13 @@ pub fn run_batch_parallel_at(
             .enumerate()
         {
             let index = first_vector + (first + k) as u64;
-            local.merge(&run_vector(
+            local.merge(&run_vector_at_age(
                 layer,
                 vec,
                 &mut scratch,
                 noise_seed,
                 index,
+                base_age,
                 out_chunk,
             ));
         }
@@ -455,15 +519,31 @@ pub fn run_vector(
     vector_index: u64,
     out: &mut [u8],
 ) -> RunStats {
+    run_vector_at_age(layer, input, scratch, noise_seed, vector_index, 0, out)
+}
+
+/// [`run_vector`] on a device aged `base_age` served vectors since its
+/// last programming: the vector runs at device age
+/// `base_age + vector_index`. Age 0 is bit-identical to [`run_vector`].
+pub fn run_vector_at_age(
+    layer: &CompiledLayer,
+    input: &[Act],
+    scratch: &mut VectorScratch,
+    noise_seed: u64,
+    vector_index: u64,
+    base_age: u64,
+    out: &mut [u8],
+) -> RunStats {
     scratch.resize_for(layer);
     scratch.acc.fill(0);
-    let mut stats = run_vector_groups(
+    let mut stats = run_vector_groups_at_age(
         layer,
         input,
         0..layer.group_count(),
         scratch,
         noise_seed,
         vector_index,
+        base_age,
     );
     let finalized = finalize_vector(layer, input, &scratch.acc, out);
     stats.merge(&finalized);
@@ -496,6 +576,28 @@ pub fn run_vector_groups(
     noise_seed: u64,
     vector_index: u64,
 ) -> RunStats {
+    run_vector_groups_at_age(layer, input, groups, scratch, noise_seed, vector_index, 0)
+}
+
+/// [`run_vector_groups`] on a device aged `base_age` served vectors: the
+/// drift epoch is `lifetime.drift_epoch(base_age + vector_index)`, the
+/// effective noise level compounds the static model with the epoch's
+/// relaxation sigma, and every group substream is re-keyed by the epoch
+/// ([`NoiseRng::for_substream_aged`]). Epoch 0 — in particular any age
+/// under a non-drifting lifetime — is bit-identical to
+/// [`run_vector_groups`]. Results stay a pure function of
+/// `(seed, vector index, group, age)`, so sharding and threading remain
+/// pure scheduling at every age.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vector_groups_at_age(
+    layer: &CompiledLayer,
+    input: &[Act],
+    groups: std::ops::Range<usize>,
+    scratch: &mut VectorScratch,
+    noise_seed: u64,
+    vector_index: u64,
+    base_age: u64,
+) -> RunStats {
     assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
     assert!(
         groups.end <= layer.group_count(),
@@ -507,6 +609,14 @@ pub fn run_vector_groups(
     let cfg = layer.config();
     let mut stats = RunStats::default();
 
+    // Device age of this read: vectors served before it. The epoch picks
+    // both the relaxation level and the noise stream keying.
+    let epoch = cfg
+        .lifetime
+        .drift_epoch(base_age.saturating_add(vector_index));
+    let noise = cfg.noise.compounded(cfg.lifetime.relaxation_sigma(epoch));
+    stats.drift_epoch = epoch;
+
     // One noise stream per row group, keyed by the group's stable index
     // and persisting across the sign passes. The buffer's capacity is
     // reused across vectors.
@@ -514,7 +624,7 @@ pub fn run_vector_groups(
     scratch.rngs.extend(
         groups
             .clone()
-            .map(|gi| NoiseRng::for_substream(noise_seed, vector_index, gi as u64)),
+            .map(|gi| NoiseRng::for_substream_aged(noise_seed, vector_index, gi as u64, epoch)),
     );
 
     // Signed inputs are processed as positive/negative planes (§5.1).
@@ -532,7 +642,7 @@ pub fn run_vector_groups(
     // vector.
     let shifts = layer.slice_shifts();
     let num_slices = shifts.len();
-    let noisy = !cfg.noise.is_ideal();
+    let noisy = !noise.is_ideal();
     let windows = match cfg.input_mode {
         InputMode::Speculative => scratch.spec_slices.len(),
         InputMode::BitSerial => INPUT_BITS,
@@ -678,7 +788,7 @@ pub fn run_vector_groups(
                                         // so N⁺ = (Σx|l| + Σxl)/2 exactly
                                         // (both sums have equal parity).
                                         let a = i64::from(asum[idx]);
-                                        cfg.noise.sample((a + w) / 2, (a - w) / 2, rng)
+                                        noise.sample((a + w) / 2, (a - w) / 2, rng)
                                     } else {
                                         w
                                     };
@@ -692,6 +802,7 @@ pub fn run_vector_groups(
                                         stats.spec_failures += 1;
                                         total += recover_window(
                                             cfg,
+                                            &noise,
                                             &sliced,
                                             range.clone(),
                                             &layer.groups()[f][gi].levels[s],
@@ -711,7 +822,7 @@ pub fn run_vector_groups(
                                     let w = i64::from(wsum[idx]);
                                     let sum = if noisy {
                                         let a = i64::from(asum[idx]);
-                                        cfg.noise.sample((a + w) / 2, (a - w) / 2, rng)
+                                        noise.sample((a + w) / 2, (a - w) / 2, rng)
                                     } else {
                                         w
                                     };
@@ -757,6 +868,22 @@ pub fn run_vector_groups_reference(
     noise_seed: u64,
     vector_index: u64,
 ) -> RunStats {
+    run_vector_groups_reference_at_age(layer, input, groups, scratch, noise_seed, vector_index, 0)
+}
+
+/// [`run_vector_groups_reference`] at device age `base_age + vector_index`
+/// — the scalar oracle for [`run_vector_groups_at_age`], applying the
+/// identical epoch/noise/stream derivation column by column.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vector_groups_reference_at_age(
+    layer: &CompiledLayer,
+    input: &[Act],
+    groups: std::ops::Range<usize>,
+    scratch: &mut VectorScratch,
+    noise_seed: u64,
+    vector_index: u64,
+    base_age: u64,
+) -> RunStats {
     assert_eq!(input.len(), layer.filter_len(), "input length mismatch");
     assert!(
         groups.end <= layer.group_count(),
@@ -768,11 +895,17 @@ pub fn run_vector_groups_reference(
     let cfg = layer.config();
     let mut stats = RunStats::default();
 
+    let epoch = cfg
+        .lifetime
+        .drift_epoch(base_age.saturating_add(vector_index));
+    let noise = cfg.noise.compounded(cfg.lifetime.relaxation_sigma(epoch));
+    stats.drift_epoch = epoch;
+
     scratch.rngs.clear();
     scratch.rngs.extend(
         groups
             .clone()
-            .map(|gi| NoiseRng::for_substream(noise_seed, vector_index, gi as u64)),
+            .map(|gi| NoiseRng::for_substream_aged(noise_seed, vector_index, gi as u64, epoch)),
     );
 
     let signs: &[i64] = if layer.signed_inputs() {
@@ -841,6 +974,7 @@ pub fn run_vector_groups_reference(
                     total += match cfg.input_mode {
                         InputMode::Speculative => run_column_speculative(
                             cfg,
+                            &noise,
                             spec_slices,
                             &sliced,
                             range.clone(),
@@ -851,6 +985,7 @@ pub fn run_vector_groups_reference(
                         ),
                         InputMode::BitSerial => run_column_bitserial(
                             cfg,
+                            &noise,
                             &sliced,
                             range.clone(),
                             levels,
@@ -1020,6 +1155,7 @@ fn count_crossbar_events_scanning(
 #[allow(clippy::too_many_arguments)]
 fn run_column_speculative(
     cfg: &RaellaConfig,
+    noise: &NoiseModel,
     spec_slices: &[Slice],
     sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
@@ -1031,7 +1167,7 @@ fn run_column_speculative(
     let mut total = 0i64;
     for (j, spec_slice) in spec_slices.iter().enumerate() {
         let xs = &sliced.spec_plane(j)[range.clone()];
-        let sum = column_sum(xs, levels, &cfg.noise, rng);
+        let sum = column_sum(xs, levels, noise, rng);
         let out = cfg.adc.convert(sum);
         stats.events.adc_converts += 1;
         stats.spec_attempts += 1;
@@ -1040,6 +1176,7 @@ fn run_column_speculative(
             stats.spec_failures += 1;
             total += recover_window(
                 cfg,
+                noise,
                 sliced,
                 range.clone(),
                 levels,
@@ -1060,6 +1197,7 @@ fn run_column_speculative(
 #[allow(clippy::too_many_arguments)]
 fn recover_window(
     cfg: &RaellaConfig,
+    noise: &NoiseModel,
     sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     levels: &[i16],
@@ -1071,7 +1209,7 @@ fn recover_window(
     let mut total = 0i64;
     for b in (window.l..=window.h).rev() {
         let xb = &sliced.bit_plane(b)[range.clone()];
-        let sum = column_sum(xb, levels, &cfg.noise, rng);
+        let sum = column_sum(xb, levels, noise, rng);
         let out = cfg.adc.convert(sum);
         stats.events.adc_converts += 1;
         stats.recovery_converts += 1;
@@ -1086,8 +1224,10 @@ fn recover_window(
 
 /// Bit-serial processing for one column: eight 1b input slices, every one
 /// converted (the no-speculation baseline, §4.3.2).
+#[allow(clippy::too_many_arguments)]
 fn run_column_bitserial(
     cfg: &RaellaConfig,
+    noise: &NoiseModel,
     sliced: &SlicedView<'_>,
     range: std::ops::Range<usize>,
     levels: &[i16],
@@ -1098,7 +1238,7 @@ fn run_column_bitserial(
     let mut total = 0i64;
     for b in (0..8).rev() {
         let xb = &sliced.bit_plane(b)[range.clone()];
-        let sum = column_sum(xb, levels, &cfg.noise, rng);
+        let sum = column_sum(xb, levels, noise, rng);
         let out = cfg.adc.convert(sum);
         stats.events.adc_converts += 1;
         stats.bitserial_converts += 1;
@@ -1476,6 +1616,84 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// Aged execution: epoch 0 replays the static engine bit for bit, a
+    /// later age re-keys the streams and raises the noise level, the
+    /// panel and reference kernels agree at every age, and the parallel
+    /// path stays bit-identical to serial.
+    #[test]
+    fn aged_execution_is_epoch_keyed_and_kernel_consistent() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let layer = SynthLayer::linear(100, 12, 53).build();
+        let base = RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            ..RaellaConfig::default()
+        }
+        .with_noise(0.05);
+        let drifting = base
+            .clone()
+            .with_lifetime(DeviceLifetime::new(0.0, 0.04, 4));
+        let slicing = Slicing::raella_default_weights();
+        let stat = CompiledLayer::with_slicing(&layer, slicing.clone(), &base).unwrap();
+        let aged = CompiledLayer::with_slicing(&layer, slicing, &drifting).unwrap();
+        let inputs = layer.sample_inputs(3, 11);
+
+        // Ages 0..2 stay in epoch 0 (interval 4): bit-identical to the
+        // static model, stats included.
+        let mut s_static = RunStats::default();
+        let mut s_fresh = RunStats::default();
+        let out_static = run_batch(&stat, &inputs, &mut s_static, 9);
+        let out_fresh = run_batch_at_age(&aged, &inputs, &mut s_fresh, 9, 0, 0);
+        assert_eq!(
+            out_static, out_fresh,
+            "epoch 0 must replay the static engine"
+        );
+        assert_eq!(s_static, s_fresh);
+        assert_eq!(s_fresh.drift_epoch, 0);
+
+        // Age 8 puts every vector in epoch ≥ 2: streams re-key.
+        let mut s_old = RunStats::default();
+        let out_old = run_batch_at_age(&aged, &inputs, &mut s_old, 9, 0, 8);
+        assert_ne!(out_old, out_fresh, "drift must perturb outputs");
+        assert_eq!(s_old.drift_epoch, 2, "ages 8..10 all sit in epoch 2");
+
+        // Parallel equals serial at age, outputs and stats.
+        let mut s_par = RunStats::default();
+        let many = layer.sample_inputs(12, 11);
+        let mut s_ser = RunStats::default();
+        assert_eq!(
+            run_batch_parallel_at_age(&aged, &many, &mut s_par, 9, 0, 8),
+            run_batch_at_age(&aged, &many, &mut s_ser, 9, 0, 8)
+        );
+        assert_eq!(s_par, s_ser);
+
+        // Panel kernel vs scalar reference at an aged epoch.
+        for (v, input) in inputs.chunks(aged.filter_len()).enumerate() {
+            let mut a = VectorScratch::for_layer(&aged);
+            let mut b = VectorScratch::for_layer(&aged);
+            let sa = run_vector_groups_at_age(
+                &aged,
+                input,
+                0..aged.group_count(),
+                &mut a,
+                9,
+                v as u64,
+                8,
+            );
+            let sb = run_vector_groups_reference_at_age(
+                &aged,
+                input,
+                0..aged.group_count(),
+                &mut b,
+                9,
+                v as u64,
+                8,
+            );
+            assert_eq!(a.acc, b.acc, "vector {v}");
+            assert_eq!(sa, sb, "vector {v}");
         }
     }
 

@@ -22,7 +22,10 @@
 //!   worker threads fed by a coalescing request queue; submit images, get
 //!   typed [`server::RequestHandle`]s, wait for [`server::Response`]s that
 //!   are bit-identical to static batching. Models compile through the
-//!   process-wide [`compiler::SharedCompileCache`].
+//!   process-wide [`compiler::SharedCompileCache`]. With a drifting
+//!   [`DeviceLifetime`] configured, the server tracks device age, runs a
+//!   fidelity watchdog, and live-swaps reprogrammed models onto fresh
+//!   tiles (recalibration) without dropping a request.
 //! * [`shard`] — tile-sharded execution: a [`shard::ShardPlan`] places
 //!   layers (and row-group splits of long layers) across simulated
 //!   accelerator tiles; partial sums merge by exact accumulator
@@ -81,6 +84,7 @@ pub use config::{RaellaConfig, WeightEncoding};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
 pub use model::{BatchResult, CompiledModel};
+pub use raella_xbar::lifetime::DeviceLifetime;
 pub use scratch::VectorScratch;
 pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder, ServerMetrics};
 pub use shard::{ShardBatchResult, ShardPlan, ShardedModel};

@@ -37,7 +37,7 @@ use raella_nn::tensor::Tensor;
 
 use crate::compiler::{CompiledLayer, SharedCompileCache};
 use crate::config::RaellaConfig;
-use crate::engine::{noise_seed_for, run_batch_at, run_batch_parallel_at, RunStats};
+use crate::engine::{noise_seed_for, run_batch_at_age, run_batch_parallel_at_age, RunStats};
 use crate::error::CoreError;
 use crate::parallel::{run_chunks, worker_count_for};
 
@@ -254,6 +254,26 @@ impl CompiledModel {
         self.run_image_in(image, &mut arena, true)
     }
 
+    /// Runs one image on a device aged `age` served vectors since its
+    /// last programming. Age 0 is bit-identical to
+    /// [`CompiledModel::run_image`]; under a drifting
+    /// [`raella_xbar::lifetime::DeviceLifetime`] the image's vectors run
+    /// at ages `age..age + vectors_per_image`, so a serving layer that
+    /// advances its age counter by [`CompiledModel::vectors_per_image`]
+    /// per request reproduces one continuous device history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn run_image_at_age(
+        &self,
+        image: &Tensor<u8>,
+        age: u64,
+    ) -> Result<(Tensor<u8>, RunStats), CoreError> {
+        let mut arena = ValueArena::new();
+        self.run_image_in_at_age(image, &mut arena, true, age)
+    }
+
     /// Runs a batch of images, fanning whole images across worker threads
     /// (`RAELLA_THREADS` or the available parallelism, capped at one
     /// worker per image).
@@ -335,6 +355,23 @@ impl CompiledModel {
         arena: &mut ValueArena,
         parallel_vectors: bool,
     ) -> Result<(Tensor<u8>, RunStats), CoreError> {
+        self.run_image_in_at_age(image, arena, parallel_vectors, 0)
+    }
+
+    /// [`CompiledModel::run_image_in`] on a device aged `age` served
+    /// vectors — the serving hot path at any point in the device's
+    /// lifetime. Age 0 is bit-identical to [`CompiledModel::run_image_in`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn run_image_in_at_age(
+        &self,
+        image: &Tensor<u8>,
+        arena: &mut ValueArena,
+        parallel_vectors: bool,
+        age: u64,
+    ) -> Result<(Tensor<u8>, RunStats), CoreError> {
         let mut engine = PlannedEngine {
             layers: &self.layers,
             cursor: 0,
@@ -342,11 +379,89 @@ impl CompiledModel {
             next_vector: 0,
             noise_seed: self.noise_seed,
             parallel_vectors,
+            base_age: age,
         };
         let out = self
             .graph
             .run_planned(&self.plan, image, &mut engine, arena)?;
         Ok((out, engine.stats))
+    }
+
+    /// Input vectors one `image` pushes through the model's matrix layers
+    /// — the amount one request ages the device. Computed by a dry graph
+    /// walk that runs the digital operators but skips all crossbar work,
+    /// so it is cheap enough to call at admission time (serving layers
+    /// should still memoize it per input shape).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn vectors_per_image(&self, image: &Tensor<u8>) -> Result<u64, CoreError> {
+        struct CountingEngine<'m> {
+            layers: &'m [Arc<CompiledLayer>],
+            cursor: usize,
+            vectors: u64,
+        }
+        impl MatVecEngine for CountingEngine<'_> {
+            fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
+                let compiled = &self.layers[self.cursor];
+                self.cursor += 1;
+                debug_assert_eq!(compiled.name(), layer.name(), "layer order drifted");
+                let n = inputs.len() / layer.filter_len();
+                self.vectors += n as u64;
+                // Shapes downstream depend only on dimensions, never on
+                // values, so zero outputs walk the rest of the graph.
+                vec![0u8; n * layer.filters()]
+            }
+        }
+        let mut engine = CountingEngine {
+            layers: &self.layers,
+            cursor: 0,
+            vectors: 0,
+        };
+        let mut arena = ValueArena::new();
+        self.graph
+            .run_planned(&self.plan, image, &mut engine, &mut arena)?;
+        Ok(engine.vectors)
+    }
+
+    /// Re-programs every matrix layer at `generation`: fresh
+    /// programming-error draws from pristine weights, same slicings, same
+    /// noise-stream seed (see [`CompiledLayer::reprogram`]). Layer sharing
+    /// is preserved — a layer compiled once and used twice is re-programmed
+    /// once. This is the server's recalibration primitive: swapping the
+    /// result in for the old model restores programming fidelity, and
+    /// resetting the age counter restarts relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer compile errors (cannot happen for models built
+    /// through [`CompiledModel::compile`]).
+    pub fn reprogram(&self, generation: u64) -> Result<Self, CoreError> {
+        let mut cfg = self.cfg.clone();
+        cfg.lifetime.generation = generation;
+        let mut remapped: Vec<(*const CompiledLayer, Arc<CompiledLayer>)> = Vec::new();
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (mat, old) in self.graph.matrix_layers().into_iter().zip(&self.layers) {
+            let ptr = Arc::as_ptr(old);
+            let fresh = match remapped.iter().find(|(p, _)| *p == ptr) {
+                Some((_, a)) => Arc::clone(a),
+                None => {
+                    let built = Arc::new(old.reprogram(mat, generation)?);
+                    remapped.push((ptr, Arc::clone(&built)));
+                    built
+                }
+            };
+            layers.push(fresh);
+        }
+        Ok(CompiledModel {
+            graph: self.graph.clone(),
+            plan: self.graph.plan()?,
+            layers,
+            noise_seed: self.noise_seed,
+            unique_layers: self.unique_layers,
+            cfg,
+        })
     }
 }
 
@@ -361,6 +476,9 @@ struct PlannedEngine<'m> {
     next_vector: u64,
     noise_seed: u64,
     parallel_vectors: bool,
+    /// Device age (served vectors since last programming) at which this
+    /// image starts; vector `i` of the image runs at `base_age + i`.
+    base_age: u64,
 }
 
 impl MatVecEngine for PlannedEngine<'_> {
@@ -369,20 +487,22 @@ impl MatVecEngine for PlannedEngine<'_> {
         self.cursor += 1;
         debug_assert_eq!(compiled.name(), layer.name(), "layer order drifted");
         let out = if self.parallel_vectors {
-            run_batch_parallel_at(
+            run_batch_parallel_at_age(
                 compiled,
                 inputs,
                 &mut self.stats,
                 self.noise_seed,
                 self.next_vector,
+                self.base_age,
             )
         } else {
-            run_batch_at(
+            run_batch_at_age(
                 compiled,
                 inputs,
                 &mut self.stats,
                 self.noise_seed,
                 self.next_vector,
+                self.base_age,
             )
         };
         self.next_vector += (inputs.len() / layer.filter_len()) as u64;
@@ -470,6 +590,51 @@ mod tests {
         let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
         let bad = Tensor::zeros(&[5, 8, 8]);
         assert!(model.run_batch(&[bad]).is_err());
+    }
+
+    #[test]
+    fn vectors_per_image_matches_executed_count() {
+        let model = CompiledModel::compile(&tiny_graph(), &tiny_cfg()).unwrap();
+        let image = sample_image(3);
+        let counted = model.vectors_per_image(&image).unwrap();
+        let (_, stats) = model.run_image(&image).unwrap();
+        assert_eq!(counted, stats.vectors);
+        assert!(counted > 0);
+    }
+
+    #[test]
+    fn aged_image_run_is_age_zero_compatible_and_reprogram_preserves_sharing() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let cfg = tiny_cfg().with_lifetime(DeviceLifetime::new(0.4, 0.05, 8));
+        let shared = SynthLayer::conv(2, 2, 3, 5).build();
+        let mut g = Graph::new();
+        let input = g.input();
+        let a = g.conv(input, shared.clone(), 2, 3, 1, 1).unwrap();
+        let b = g.conv(a, shared, 2, 3, 1, 1).unwrap();
+        g.set_output(b);
+        let model =
+            CompiledModel::compile_with_cache(&g, &cfg, &SharedCompileCache::new()).unwrap();
+        let image = sample_image(9);
+        let (at0, s0) = model.run_image_at_age(&image, 0).unwrap();
+        let (plain, sp) = model.run_image(&image).unwrap();
+        assert_eq!(at0, plain);
+        assert_eq!(s0, sp);
+
+        let (aged, sa) = model.run_image_at_age(&image, 1000).unwrap();
+        assert!(sa.drift_epoch > 0);
+        assert_ne!(aged, plain, "drift must perturb this noisy-free config");
+
+        let re = model.reprogram(1).unwrap();
+        assert_eq!(re.unique_layer_count(), 1);
+        assert!(Arc::ptr_eq(&re.layers[0], &re.layers[1]));
+        assert_eq!(re.config().lifetime.generation, 1);
+        // Same generation reproduces the exact same array and outputs.
+        let re0 = model.reprogram(0).unwrap();
+        let (back, _) = re0.run_image_at_age(&image, 1000).unwrap();
+        assert_eq!(back, aged);
+        // A fresh generation changes programming, hence outputs.
+        let (g1, _) = re.run_image_at_age(&image, 1000).unwrap();
+        assert_ne!(g1, aged, "fresh programming draw must differ");
     }
 
     #[test]

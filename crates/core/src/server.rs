@@ -66,6 +66,33 @@
 //! `crates/core/tests/model_determinism.rs`. Timing fields are measured
 //! wall clock and are the only non-deterministic part of a [`Response`].
 //!
+//! # Device lifetime
+//!
+//! When a model's [`RaellaConfig::lifetime`] drifts, the server tracks a
+//! per-model **device age** — served vectors since the crossbars were
+//! last programmed. Each request is stamped with the age at admission
+//! (in lane order, so ages are deterministic for a given submission
+//! order) and executes at that age; its [`Response`] reports the age and
+//! the programming **generation** of the model snapshot that served it,
+//! making every response reproducible offline as "generation `g` at age
+//! `a`".
+//!
+//! A **fidelity watchdog** ([`ServerBuilder::watchdog_interval`])
+//! samples [`crate::compiler::CompiledLayer::check_fidelity_at_age`]
+//! every N served requests; when drift pushes a layer past the config's
+//! error budget the server **recalibrates**: it reprograms the model
+//! (fresh programming-error draw, next generation), rotates the shard
+//! plan one tile over (layers land on spare/fresh crossbars — the same
+//! entry point reroutes around a failed tile), installs both atomically
+//! between batches, and resets the model's age to zero. In-flight and
+//! queued requests are never dropped or rejected by a swap — requests
+//! admitted before it simply run against the snapshot their batch
+//! observes, self-described by the response's `(generation, age)`.
+//! [`RaellaServer::recalibrate`] triggers the same swap manually;
+//! [`ServerMetrics::recalibrations`] and
+//! [`ServerMetrics::recalibration_pause_ticks`] make the policy
+//! observable.
+//!
 //! # Shutdown
 //!
 //! [`RaellaServer::shutdown`] (and `Drop`) stops accepting work, wakes
@@ -74,9 +101,9 @@
 //! no accepted request is ever dropped, and no rejected request ever held
 //! a handle.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -137,6 +164,8 @@ pub struct ServerBuilder {
     tile: Option<TileSpec>,
     queue_depth: usize,
     model_queue_depth: usize,
+    watchdog_interval: u64,
+    watchdog_vectors: usize,
 }
 
 impl ServerBuilder {
@@ -250,6 +279,26 @@ impl ServerBuilder {
         self
     }
 
+    /// Runs the fidelity watchdog every `n` served requests per model
+    /// (`0`, the default, disables it). After every `n`-th response the
+    /// serving worker samples the live model's fidelity at its current
+    /// device age and triggers a recalibration plan swap when any layer
+    /// exceeds the config's error budget (see the [module
+    /// docs](crate::server)).
+    #[must_use]
+    pub fn watchdog_interval(mut self, n: u64) -> Self {
+        self.watchdog_interval = n;
+        self
+    }
+
+    /// Test vectors per layer for each watchdog fidelity sample
+    /// (default 8; more vectors = steadier estimate, longer pause).
+    #[must_use]
+    pub fn watchdog_vectors(mut self, n: usize) -> Self {
+        self.watchdog_vectors = n.max(1);
+        self
+    }
+
     /// Compiles every model and spawns the worker pool.
     ///
     /// # Errors
@@ -267,6 +316,7 @@ impl ServerBuilder {
         let mut models = Vec::with_capacity(self.models.len());
         // Moves each builder-owned graph into its CompiledModel — no
         // second whole-graph clone on the build path.
+        let mut tile_totals = Vec::with_capacity(self.models.len());
         for (graph, cfg) in self.models {
             let model = CompiledModel::compile_owned(graph, &cfg, &cache)?;
             let plan = if self.shards > 0 {
@@ -274,13 +324,23 @@ impl ServerBuilder {
             } else {
                 None
             };
-            models.push(ServedModel { model, plan });
+            // Recalibration only remaps tiles, never changes the tile
+            // count, so sizing the lifetime buckets once is safe.
+            tile_totals.push(vec![
+                RunStats::default();
+                plan.as_ref().map_or(0, ShardPlan::tiles)
+            ]);
+            models.push(ServedModel {
+                live: RwLock::new(LiveModel {
+                    generation: model.config().lifetime.generation,
+                    model: Arc::new(model),
+                    plan: plan.map(Arc::new),
+                }),
+                recalibrating: AtomicBool::new(false),
+                vector_counts: Mutex::new(HashMap::new()),
+            });
         }
         let model_count = models.len();
-        let tile_totals = models
-            .iter()
-            .map(|m| vec![RunStats::default(); m.plan.as_ref().map_or(0, ShardPlan::tiles)])
-            .collect();
         let workers = if self.workers == 0 {
             // `usize::MAX` items: resolve to the full hardware /
             // RAELLA_THREADS budget.
@@ -293,6 +353,7 @@ impl ServerBuilder {
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState {
                 lanes: (0..model_count).map(|_| VecDeque::new()).collect(),
+                ages: vec![0; model_count],
                 total: 0,
                 high_water: 0,
                 next_lane: 0,
@@ -311,6 +372,14 @@ impl ServerBuilder {
             blocked: AtomicU64::new(0),
             served: (0..model_count).map(|_| AtomicU64::new(0)).collect(),
             busy_ticks: AtomicU64::new(0),
+            watchdog_interval: self.watchdog_interval,
+            watchdog_vectors: if self.watchdog_vectors == 0 {
+                8
+            } else {
+                self.watchdog_vectors
+            },
+            recalibrations: AtomicU64::new(0),
+            recal_pause_ticks: AtomicU64::new(0),
             cache,
             tile_totals: Mutex::new(tile_totals),
         });
@@ -341,6 +410,8 @@ pub struct Response {
     tile_stats: Vec<RunStats>,
     seq: u64,
     model: usize,
+    age: u64,
+    generation: u64,
     queue_ticks: u64,
     compute_ticks: u64,
     batch_size: usize,
@@ -380,6 +451,23 @@ impl Response {
     /// Index of the model that served the request.
     pub fn model_index(&self) -> usize {
         self.model
+    }
+
+    /// Device age (served vectors since the crossbars were last
+    /// programmed) this request's first vector ran at — 0 unless the
+    /// model's [`RaellaConfig::lifetime`] drifts. Assigned in admission
+    /// order, reset by recalibration.
+    pub fn age(&self) -> u64 {
+        self.age
+    }
+
+    /// Programming generation of the model snapshot that served this
+    /// request (increments on every recalibration plan swap). Together
+    /// with [`Response::age`] this makes the output reproducible
+    /// offline: reprogram the model to this generation and run the image
+    /// at this age.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Time the request spent queued before its batch started, in
@@ -486,6 +574,9 @@ impl RequestHandle {
 struct Request {
     model: usize,
     seq: u64,
+    /// Device age stamped at admission (lane order): the model's served
+    /// vector count when this request was accepted.
+    age: u64,
     image: Tensor<u8>,
     submitted: Instant,
     tx: mpsc::SyncSender<Result<Response, CoreError>>,
@@ -497,6 +588,10 @@ struct Request {
 struct QueueState {
     /// Pending requests, one FIFO lane per model (index = model index).
     lanes: Vec<VecDeque<Request>>,
+    /// Per-model device age: served vectors accumulated since the model
+    /// was last (re)programmed. Advanced at admission (so ages follow
+    /// lane order deterministically), zeroed by recalibration.
+    ages: Vec<u64>,
     /// Total requests across all lanes (kept in sync with the lanes so
     /// global-bound admission is O(1)).
     total: usize,
@@ -523,12 +618,39 @@ impl QueueState {
     }
 }
 
-/// One served model: the compiled graph plus its tile placement, if the
-/// server is sharded.
+/// The swappable part of a served model: the compiled snapshot, its tile
+/// placement, and the programming generation both were built for.
+/// Recalibration replaces the whole struct atomically under the write
+/// lock; workers clone the `Arc`s once per batch under the read lock, so
+/// a swap never touches a batch already executing.
+#[derive(Debug, Clone)]
+struct LiveModel {
+    model: Arc<CompiledModel>,
+    plan: Option<Arc<ShardPlan>>,
+    generation: u64,
+}
+
+/// One served model: the live (swappable) snapshot plus recalibration
+/// bookkeeping.
 #[derive(Debug)]
 struct ServedModel {
-    model: CompiledModel,
-    plan: Option<ShardPlan>,
+    live: RwLock<LiveModel>,
+    /// Guards against concurrent recalibrations of the same model (the
+    /// second caller observes `true` and backs off).
+    recalibrating: AtomicBool,
+    /// Memoized vectors-per-image by image shape — admission stamps ages
+    /// without re-walking the graph for every request.
+    vector_counts: Mutex<HashMap<Vec<usize>, u64>>,
+}
+
+impl ServedModel {
+    /// Clones the live snapshot's handles under the read lock.
+    fn snapshot(&self) -> LiveModel {
+        self.live
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
 }
 
 #[derive(Debug)]
@@ -565,6 +687,17 @@ struct Shared {
     served: Vec<AtomicU64>,
     /// Total worker time spent executing batches, in [`TICK`]s.
     busy_ticks: AtomicU64,
+    /// Fidelity-watchdog period in served requests per model (0 = off).
+    watchdog_interval: u64,
+    /// Test vectors per layer for each watchdog fidelity sample.
+    watchdog_vectors: usize,
+    /// Completed recalibration plan swaps (watchdog-triggered and
+    /// manual).
+    recalibrations: AtomicU64,
+    /// Total time spent inside recalibration attempts, in [`TICK`]s —
+    /// the serving pause the swaps cost (each attempt counts at least
+    /// one tick).
+    recal_pause_ticks: AtomicU64,
     cache: SharedCompileCache,
     /// Server-lifetime per-tile statistics, one bucket vector per model
     /// (empty for unsharded models). Workers merge each sharded
@@ -576,6 +709,35 @@ struct Shared {
 impl Shared {
     fn lock(&self) -> std::sync::MutexGuard<'_, QueueState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// How many vectors serving `image` ages `model`'s device by: the
+    /// model's matrix-layer vector count for this image shape, memoized
+    /// per shape; 0 for a non-drifting lifetime (ages then never move and
+    /// every request runs at age 0, bit-identical to the static model).
+    /// Called *before* the queue lock — it takes the live read lock and
+    /// the memo lock, never both at once with the queue's.
+    fn age_advance(&self, model: usize, image: &Tensor<u8>) -> u64 {
+        let served = &self.models[model];
+        let live_model = {
+            let live = served.live.read().unwrap_or_else(PoisonError::into_inner);
+            if !live.model.config().lifetime.is_drifting() {
+                return 0;
+            }
+            Arc::clone(&live.model)
+        };
+        let key = image.shape().to_vec();
+        let mut counts = served
+            .vector_counts
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(&n) = counts.get(&key) {
+            return n;
+        }
+        // A mis-shaped image errors at execution; it ages nothing.
+        let n = live_model.vectors_per_image(image).unwrap_or(0);
+        counts.insert(key, n);
+        n
     }
 }
 
@@ -678,21 +840,25 @@ fn worker_loop(shared: &Shared) {
         shared.busy.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
         let batch_size = batch.len();
+        // One live snapshot per batch (all requests came from one lane):
+        // a recalibration swap installs between batches, never inside one,
+        // so a batch is internally consistent and in-flight handles are
+        // untouched by a swap.
+        let live = shared.models[batch[0].model].snapshot();
         for req in batch {
             let compute_start = Instant::now();
             // Re-checked per image: siblings may pick up or finish work
             // mid-batch.
             let alone = shared.busy.load(Ordering::Relaxed) == 1;
-            let served = &shared.models[req.model];
             // Sharded models fan a split layer across one worker per
             // involved tile when this worker is the only busy one —
             // "each tile gets its own worker"; otherwise request-level
             // parallelism already covers the cores. Either way the bytes
             // and (merged) stats are identical to the unsharded model.
             let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &served.plan {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &live.plan {
                     Some(plan) => plan
-                        .run_image_in(&served.model, &req.image, &mut arena, alone)
+                        .run_image_in_at_age(&live.model, &req.image, &mut arena, alone, req.age)
                         .map(|(output, tile_stats)| {
                             let mut stats = RunStats::default();
                             for bucket in &tile_stats {
@@ -700,9 +866,9 @@ fn worker_loop(shared: &Shared) {
                             }
                             (output, stats, tile_stats)
                         }),
-                    None => served
+                    None => live
                         .model
-                        .run_image_in(&req.image, &mut arena, alone)
+                        .run_image_in_at_age(&req.image, &mut arena, alone, req.age)
                         .map(|(output, stats)| (output, stats, Vec::new())),
                 }))
                 .unwrap_or_else(|_| {
@@ -728,14 +894,24 @@ fn worker_loop(shared: &Shared) {
                         tile_stats,
                         seq: req.seq,
                         model: req.model,
+                        age: req.age,
+                        generation: live.generation,
                         queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
                         compute_ticks: ticks(compute_start.elapsed()),
                         batch_size,
                     }
                 });
-            shared.served[req.model].fetch_add(1, Ordering::SeqCst);
+            let completed = shared.served[req.model].fetch_add(1, Ordering::SeqCst) + 1;
             // A dropped handle is fine — the requester walked away.
             let _ = req.tx.send(result);
+            // Every `watchdog_interval`-th completion samples the live
+            // model's fidelity at its current age; past-budget drift
+            // triggers the recalibration plan swap. The handle was
+            // already answered, so the pause never blocks a response
+            // delivered this iteration.
+            if shared.watchdog_interval > 0 && completed.is_multiple_of(shared.watchdog_interval) {
+                let _ = watchdog_check(shared, req.model);
+            }
         }
         shared
             .busy_ticks
@@ -747,6 +923,87 @@ fn worker_loop(shared: &Shared) {
 /// Duration → whole [`TICK`]s.
 fn ticks(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Samples the live model's fidelity at its current device age (each
+/// unique compiled layer once) and recalibrates when any layer exceeds
+/// the config's error budget. Returns whether a swap happened.
+fn watchdog_check(shared: &Shared, model: usize) -> Result<bool, CoreError> {
+    let live = shared.models[model].snapshot();
+    if !live.model.config().lifetime.is_drifting() {
+        return Ok(false);
+    }
+    let age = shared.lock().ages[model];
+    let budget = live.model.config().error_budget;
+    let mut checked: Vec<*const crate::compiler::CompiledLayer> = Vec::new();
+    let mut degraded = false;
+    for (mat, compiled) in live
+        .model
+        .graph()
+        .matrix_layers()
+        .into_iter()
+        .zip(live.model.compiled_layers())
+    {
+        let ptr = Arc::as_ptr(compiled);
+        if checked.contains(&ptr) {
+            continue;
+        }
+        checked.push(ptr);
+        let report = compiled.check_fidelity_at_age(mat, shared.watchdog_vectors, age)?;
+        if !report.within_budget(budget) {
+            degraded = true;
+            break;
+        }
+    }
+    if degraded {
+        recalibrate_model(shared, model)
+    } else {
+        Ok(false)
+    }
+}
+
+/// The recalibration plan swap: reprogram the model to the next
+/// generation (fresh programming-error draw from pristine weights),
+/// rotate the shard plan one tile over so every layer lands on fresh
+/// crossbars, install both atomically for future batches, and zero the
+/// model's device age. Queued and in-flight requests are never dropped:
+/// batches popped before the install run against the old snapshot,
+/// batches popped after it against the new one, each self-described by
+/// its responses' `(generation, age)`.
+///
+/// Returns `Ok(false)` without swapping when another recalibration of
+/// the same model is already in flight.
+fn recalibrate_model(shared: &Shared, model: usize) -> Result<bool, CoreError> {
+    let served = &shared.models[model];
+    if served.recalibrating.swap(true, Ordering::SeqCst) {
+        return Ok(false);
+    }
+    let start = Instant::now();
+    let result = (|| {
+        let live = served.snapshot();
+        let generation = live.generation + 1;
+        let fresh = live.model.reprogram(generation)?;
+        let plan = match live.plan.as_deref() {
+            Some(p) => Some(Arc::new(p.rotated(&fresh, 1)?)),
+            None => None,
+        };
+        *served.live.write().unwrap_or_else(PoisonError::into_inner) = LiveModel {
+            model: Arc::new(fresh),
+            plan,
+            generation,
+        };
+        // Relaxation is drift since the last programming: a fresh
+        // generation starts at age 0 (epoch 0 replays the static noise
+        // streams bit-for-bit).
+        shared.lock().ages[model] = 0;
+        shared.recalibrations.fetch_add(1, Ordering::SeqCst);
+        Ok(true)
+    })();
+    shared
+        .recal_pause_ticks
+        .fetch_add(ticks(start.elapsed()).max(1), Ordering::SeqCst);
+    served.recalibrating.store(false, Ordering::SeqCst);
+    result
 }
 
 /// How an admission call waits for queue space.
@@ -777,6 +1034,8 @@ pub struct ServerMetrics {
     served: Vec<u64>,
     queued: Vec<usize>,
     worker_busy_ticks: u64,
+    recalibrations: u64,
+    recalibration_pause_ticks: u64,
 }
 
 impl ServerMetrics {
@@ -828,6 +1087,19 @@ impl ServerMetrics {
     /// all workers.
     pub fn worker_busy_ticks(&self) -> u64 {
         self.worker_busy_ticks
+    }
+
+    /// Completed recalibration plan swaps (watchdog-triggered and
+    /// manual), across all models.
+    pub fn recalibrations(&self) -> u64 {
+        self.recalibrations
+    }
+
+    /// Total time spent inside recalibration attempts, in [`TICK`]s —
+    /// the cumulative serving pause the swaps cost (each attempt counts
+    /// at least one tick).
+    pub fn recalibration_pause_ticks(&self) -> u64 {
+        self.recalibration_pause_ticks
     }
 }
 
@@ -977,6 +1249,8 @@ impl RaellaServer {
                 self.shared.models.len()
             )));
         }
+        // Computed outside the queue lock (it takes the live read lock).
+        let advance = self.shared.age_advance(model, &image);
         let mut waited = false;
         let mut state = self.shared.lock();
         loop {
@@ -986,7 +1260,7 @@ impl RaellaServer {
                 )));
             }
             if state.has_room(model, 1, &self.shared) {
-                let handle = enqueue(&mut state, model, image);
+                let handle = enqueue(&mut state, model, image, advance);
                 drop(state);
                 self.shared.ready.notify_one();
                 return Ok(handle);
@@ -1075,6 +1349,11 @@ impl RaellaServer {
         if images.is_empty() {
             return Ok(Vec::new());
         }
+        // Computed outside the queue lock (it takes the live read lock).
+        let advances: Vec<u64> = images
+            .iter()
+            .map(|image| self.shared.age_advance(model, image))
+            .collect();
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(CoreError::Server(format!(
@@ -1090,7 +1369,8 @@ impl RaellaServer {
         }
         let handles = images
             .into_iter()
-            .map(|image| enqueue(&mut state, model, image))
+            .zip(advances)
+            .map(|(image, advance)| enqueue(&mut state, model, image, advance))
             .collect();
         drop(state);
         // Several batches may now be ready at once.
@@ -1129,27 +1409,74 @@ impl RaellaServer {
                 .collect(),
             queued: state.lanes.iter().map(VecDeque::len).collect(),
             worker_busy_ticks: self.shared.busy_ticks.load(Ordering::Relaxed),
+            recalibrations: self.shared.recalibrations.load(Ordering::SeqCst),
+            recalibration_pause_ticks: self.shared.recal_pause_ticks.load(Ordering::SeqCst),
         }
     }
 
-    /// The compiled model at `index`.
+    /// The live compiled model at `index` — a snapshot handle: a
+    /// recalibration swap replaces the server's copy but never mutates
+    /// the one returned here.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range (see
     /// [`RaellaServer::model_count`]).
-    pub fn model(&self, index: usize) -> &CompiledModel {
-        &self.shared.models[index].model
+    pub fn model(&self, index: usize) -> Arc<CompiledModel> {
+        Arc::clone(&self.shared.models[index].snapshot().model)
     }
 
-    /// The tile placement of the model at `index`, if the server is
-    /// sharded ([`ServerBuilder::shards`]).
+    /// The live tile placement of the model at `index`, if the server is
+    /// sharded ([`ServerBuilder::shards`]) — a snapshot handle, like
+    /// [`RaellaServer::model`].
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn shard_plan(&self, index: usize) -> Option<&ShardPlan> {
-        self.shared.models[index].plan.as_ref()
+    pub fn shard_plan(&self, index: usize) -> Option<Arc<ShardPlan>> {
+        self.shared.models[index].snapshot().plan
+    }
+
+    /// Programming generation of the live model at `index` (increments
+    /// on every recalibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn generation(&self, index: usize) -> u64 {
+        self.shared.models[index].snapshot().generation
+    }
+
+    /// Device age of the model at `index`: served vectors admitted since
+    /// it was last (re)programmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn device_age(&self, index: usize) -> u64 {
+        assert!(index < self.shared.models.len(), "no model {index}");
+        self.shared.lock().ages[index]
+    }
+
+    /// Manually triggers the recalibration plan swap for the model at
+    /// `index` (the same path the fidelity watchdog takes — see the
+    /// [module docs](crate::server)): reprogram to the next generation,
+    /// rotate the shard plan onto fresh tiles, install atomically
+    /// between batches, zero the device age. Returns `Ok(false)` if
+    /// another recalibration of this model was already in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] for an out-of-range index and
+    /// propagates reprogramming errors (the old snapshot stays live).
+    pub fn recalibrate(&self, index: usize) -> Result<bool, CoreError> {
+        if index >= self.shared.models.len() {
+            return Err(CoreError::Server(format!(
+                "no model {index} (server holds {})",
+                self.shared.models.len()
+            )));
+        }
+        recalibrate_model(&self.shared, index)
     }
 
     /// Per-tile statistics aggregated over every request the model at
@@ -1210,15 +1537,19 @@ impl RaellaServer {
 
 /// Enqueues one accepted request (the caller has already checked bounds
 /// and shutdown) and returns its handle. Keeps `total`, the high-water
-/// mark, and the dense admission sequence in sync under the caller's
-/// lock.
-fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>) -> RequestHandle {
+/// mark, the dense admission sequence, and the model's device age in
+/// sync under the caller's lock — the request is stamped with the age
+/// *before* its own vectors, then ages the device by `advance`.
+fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>, advance: u64) -> RequestHandle {
     let seq = state.next_seq;
     state.next_seq += 1;
+    let age = state.ages[model];
+    state.ages[model] = age.saturating_add(advance);
     let (tx, rx) = mpsc::sync_channel(1);
     state.lanes[model].push_back(Request {
         model,
         seq,
+        age,
         image,
         submitted: Instant::now(),
         tx,
@@ -1581,6 +1912,62 @@ mod tests {
         assert!(resp.tile_stats().is_empty());
         plain.shutdown();
         sharded.shutdown();
+    }
+
+    #[test]
+    fn manual_recalibration_swaps_generation_and_resets_age() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let cfg = RaellaConfig {
+            lifetime: DeviceLifetime::new(0.4, 0.05, 8),
+            noise: raella_xbar::noise::NoiseModel::new(0.05),
+            ..tiny_cfg()
+        };
+        let server = RaellaServer::builder()
+            .model(&long_graph(), &cfg)
+            .compile_cache(SharedCompileCache::new())
+            .workers(1)
+            .max_batch(4)
+            .latency_budget_ticks(0)
+            .shards(3)
+            .tile_spec(TileSpec::new(64, 64))
+            .build()
+            .unwrap();
+        assert_eq!(server.generation(0), 0);
+        assert_eq!(server.device_age(0), 0);
+
+        let img = long_image(3);
+        let before = server.submit(img.clone()).unwrap().wait().unwrap();
+        assert_eq!(before.generation(), 0);
+        assert_eq!(before.age(), 0);
+        // Admission aged the device by the image's vector count.
+        let per_image = server.model(0).vectors_per_image(&img).unwrap();
+        assert!(per_image > 0);
+        assert_eq!(server.device_age(0), per_image);
+
+        let gen0 = server.model(0);
+        assert!(server.recalibrate(0).unwrap());
+        assert_eq!(server.generation(0), 1);
+        assert_eq!(server.device_age(0), 0, "swap zeroes the age");
+        // The pre-swap snapshot handle is untouched; the live model is a
+        // different, freshly programmed object.
+        assert!(!Arc::ptr_eq(&gen0, &server.model(0)));
+
+        let after = server.submit(img.clone()).unwrap().wait().unwrap();
+        assert_eq!(after.generation(), 1);
+        assert_eq!(after.age(), 0);
+        // Each response reproduces offline from its (generation, age).
+        let (want_before, _) = gen0.run_image(&img).unwrap();
+        assert_eq!(before.output(), &want_before);
+        let (want_after, _) = server.model(0).run_image(&img).unwrap();
+        assert_eq!(after.output(), &want_after);
+
+        let metrics = server.metrics();
+        assert_eq!(metrics.recalibrations(), 1);
+        assert!(metrics.recalibration_pause_ticks() >= 1);
+
+        // An out-of-range index is a server error, not a swap.
+        assert!(server.recalibrate(7).is_err());
+        server.shutdown();
     }
 
     #[test]

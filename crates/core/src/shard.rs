@@ -51,7 +51,7 @@ use raella_nn::tensor::Tensor;
 
 use crate::compiler::CompiledLayer;
 use crate::engine::{
-    finalize_vector, run_batch_at, run_batch_groups_at, run_batch_parallel_at, RunStats,
+    finalize_vector, run_batch_at_age, run_batch_groups_at_age, run_batch_parallel_at_age, RunStats,
 };
 use crate::error::CoreError;
 use crate::model::CompiledModel;
@@ -111,6 +111,10 @@ pub struct ShardPlan {
     tile: TileSpec,
     tiles: usize,
     placements: Vec<LayerPlacement>,
+    /// Structural fingerprint of the graph the plan was built for
+    /// ([`raella_nn::graph::Graph::fingerprint`] — weights excluded, so a
+    /// reprogrammed generation of the same model still matches).
+    model_fp: u64,
 }
 
 impl ShardPlan {
@@ -159,6 +163,7 @@ impl ShardPlan {
             tile,
             tiles,
             placements,
+            model_fp: model.graph().fingerprint(),
         })
     }
 
@@ -183,18 +188,32 @@ impl ShardPlan {
             tile,
             tiles,
             placements,
+            model_fp: model.graph().fingerprint(),
         };
         plan.check_model(model)?;
         Ok(plan)
     }
 
-    /// Validates this plan against `model` (layer count, tile ranges,
-    /// row-group coverage).
+    /// Validates this plan against `model` (graph fingerprint, layer
+    /// count, tile ranges, row-group coverage).
+    ///
+    /// The fingerprint is structural — weights are excluded — so a
+    /// reprogrammed generation of the same model passes, while a plan
+    /// built for a different graph is rejected even when the compiled
+    /// geometries coincide.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Shard`] describing the first mismatch.
     pub fn check_model(&self, model: &CompiledModel) -> Result<(), CoreError> {
+        let fp = model.graph().fingerprint();
+        if self.model_fp != fp {
+            return Err(CoreError::Shard(format!(
+                "plan was built for a different model \
+                 (plan fingerprint {:#018x}, model {fp:#018x})",
+                self.model_fp
+            )));
+        }
         let layers = model.compiled_layers();
         if self.placements.len() != layers.len() {
             return Err(CoreError::Shard(format!(
@@ -234,9 +253,67 @@ impl ShardPlan {
         Ok(())
     }
 
+    /// This plan with every slice's tile renumbered through `map`
+    /// (`new_tile = map[old_tile]`) on an array of `tiles` tiles —
+    /// the recalibration move: evacuate degraded tiles onto spares
+    /// without re-deciding the row-group partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] when `map` does not have exactly one
+    /// entry per current tile, when a mapped tile is out of range, or
+    /// when the remapped plan fails [`ShardPlan::check_model`].
+    pub fn remap_tiles(
+        &self,
+        model: &CompiledModel,
+        map: &[usize],
+        tiles: usize,
+    ) -> Result<ShardPlan, CoreError> {
+        if map.len() != self.tiles {
+            return Err(CoreError::Shard(format!(
+                "tile map has {} entries, plan has {} tiles",
+                map.len(),
+                self.tiles
+            )));
+        }
+        let placements = self
+            .placements
+            .iter()
+            .map(|p| {
+                LayerPlacement::new(
+                    p.slices
+                        .iter()
+                        .map(|s| ShardSlice {
+                            tile: map[s.tile],
+                            groups: s.groups.clone(),
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        ShardPlan::custom(model, tiles, self.tile, placements)
+    }
+
+    /// This plan with every tile index rotated by `shift` modulo the tile
+    /// count — the simplest whole-array migration (each layer moves to
+    /// freshly-programmed crossbars; tile count and splits unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardPlan::remap_tiles`].
+    pub fn rotated(&self, model: &CompiledModel, shift: usize) -> Result<ShardPlan, CoreError> {
+        let map: Vec<usize> = (0..self.tiles).map(|t| (t + shift) % self.tiles).collect();
+        self.remap_tiles(model, &map, self.tiles)
+    }
+
     /// Number of tiles in the placement.
     pub fn tiles(&self) -> usize {
         self.tiles
+    }
+
+    /// Structural fingerprint of the graph this plan was built for.
+    pub fn model_fingerprint(&self) -> u64 {
+        self.model_fp
     }
 
     /// The tile geometry the plan was built for.
@@ -320,6 +397,36 @@ impl ShardPlan {
         arena: &mut ValueArena,
         parallel_tiles: bool,
     ) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
+        self.run_image_in_at_age(model, image, arena, parallel_tiles, 0)
+    }
+
+    /// [`ShardPlan::run_image_in`] with the device aged by `base_age`
+    /// served vectors since its crossbars were last programmed.
+    ///
+    /// Vector `i` of the image runs at age `base_age + i`; its drift epoch
+    /// follows `model.config().lifetime`. Age 0 (or a non-drifting
+    /// lifetime) is bit-identical to [`ShardPlan::run_image_in`], and at
+    /// any age every placement/thread configuration still produces
+    /// identical bytes — age is part of the noise-substream key, not of
+    /// the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the plan was built for a different model — validate
+    /// with [`ShardPlan::check_model`] first (the constructors already
+    /// do).
+    pub fn run_image_in_at_age(
+        &self,
+        model: &CompiledModel,
+        image: &Tensor<u8>,
+        arena: &mut ValueArena,
+        parallel_tiles: bool,
+        base_age: u64,
+    ) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
         debug_assert_eq!(self.placements.len(), model.compiled_layers().len());
         let mut engine = ShardedEngine {
             layers: model.compiled_layers(),
@@ -329,6 +436,7 @@ impl ShardPlan {
             next_vector: 0,
             noise_seed: model.noise_seed(),
             parallel_tiles,
+            base_age,
         };
         let out = model
             .graph()
@@ -518,6 +626,23 @@ impl ShardedModel {
         &self.plan
     }
 
+    /// Replaces the placement in effect, returning the displaced plan.
+    ///
+    /// The incoming plan is validated against this model first — most
+    /// importantly its graph fingerprint, so a plan built for a
+    /// *different* model can never be installed, while a plan rebuilt for
+    /// a reprogrammed generation of the *same* model (same structure, new
+    /// programming draw) installs cleanly. On error the current plan
+    /// stays in effect untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] if the plan does not match the model.
+    pub fn install_plan(&mut self, plan: ShardPlan) -> Result<ShardPlan, CoreError> {
+        plan.check_model(&self.model)?;
+        Ok(std::mem::replace(&mut self.plan, plan))
+    }
+
     /// Each tile's resident layers and occupancy.
     pub fn tile_views(&self) -> Vec<TileView> {
         self.plan.tile_views(&self.model)
@@ -536,6 +661,22 @@ impl ShardedModel {
     pub fn run_image(&self, image: &Tensor<u8>) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
         let mut arena = ValueArena::new();
         self.plan.run_image_in(&self.model, image, &mut arena, true)
+    }
+
+    /// [`ShardedModel::run_image`] at device age `base_age` (served
+    /// vectors since the crossbars were last programmed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operator shape errors for a mis-shaped image.
+    pub fn run_image_at_age(
+        &self,
+        image: &Tensor<u8>,
+        base_age: u64,
+    ) -> Result<(Tensor<u8>, Vec<RunStats>), CoreError> {
+        let mut arena = ValueArena::new();
+        self.plan
+            .run_image_in_at_age(&self.model, image, &mut arena, true, base_age)
     }
 
     /// Runs a batch of images, fanning whole images across worker threads
@@ -607,6 +748,7 @@ struct ShardedEngine<'m> {
     next_vector: u64,
     noise_seed: u64,
     parallel_tiles: bool,
+    base_age: u64,
 }
 
 impl MatVecEngine for ShardedEngine<'_> {
@@ -621,6 +763,7 @@ impl MatVecEngine for ShardedEngine<'_> {
             inputs,
             self.noise_seed,
             self.next_vector,
+            self.base_age,
             &mut self.tile_stats,
             self.parallel_tiles,
         );
@@ -636,23 +779,26 @@ struct SliceResult {
     stats: RunStats,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_slice(
     layer: &CompiledLayer,
     inputs: &[Act],
     groups: Range<usize>,
     noise_seed: u64,
     first_vector: u64,
+    base_age: u64,
     n_vectors: usize,
 ) -> SliceResult {
     let mut acc = vec![0i64; n_vectors * layer.filters()];
     let mut stats = RunStats::default();
-    run_batch_groups_at(
+    run_batch_groups_at_age(
         layer,
         inputs,
         groups,
         &mut stats,
         noise_seed,
         first_vector,
+        base_age,
         &mut acc,
     );
     SliceResult { acc, stats }
@@ -667,12 +813,14 @@ fn run_slice(
 /// the partial accumulators elementwise, and finalizes each vector on the
 /// placement's home tile. Both paths are bit-identical to the unsharded
 /// kernels because noise substreams are keyed per `(vector, row group)`.
+#[allow(clippy::too_many_arguments)]
 fn run_layer_placed(
     layer: &CompiledLayer,
     placement: &LayerPlacement,
     inputs: &[Act],
     noise_seed: u64,
     first_vector: u64,
+    base_age: u64,
     tile_stats: &mut [RunStats],
     parallel_tiles: bool,
 ) -> Vec<u8> {
@@ -680,9 +828,23 @@ fn run_layer_placed(
         let slice = &placement.slices[0];
         let mut local = RunStats::default();
         let out = if parallel_tiles {
-            run_batch_parallel_at(layer, inputs, &mut local, noise_seed, first_vector)
+            run_batch_parallel_at_age(
+                layer,
+                inputs,
+                &mut local,
+                noise_seed,
+                first_vector,
+                base_age,
+            )
         } else {
-            run_batch_at(layer, inputs, &mut local, noise_seed, first_vector)
+            run_batch_at_age(
+                layer,
+                inputs,
+                &mut local,
+                noise_seed,
+                first_vector,
+                base_age,
+            )
         };
         tile_stats[slice.tile].merge(&local);
         return out;
@@ -713,6 +875,7 @@ fn run_layer_placed(
                     r.clone(),
                     noise_seed,
                     first_vector,
+                    base_age,
                     n_vectors,
                 )
             })
@@ -803,6 +966,19 @@ mod tests {
             &crate::compiler::SharedCompileCache::new(),
         )
         .unwrap()
+    }
+
+    /// Same matrix layers as [`long_filter_graph`] plus one extra digital
+    /// op: identical compiled geometry, different structural fingerprint.
+    fn long_filter_graph_variant() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let gap = g.global_avg_pool(input);
+        let fc1 = g.linear(gap, SynthLayer::linear(150, 8, 3).build());
+        let fc2 = g.linear(fc1, SynthLayer::linear(8, 4, 5).build());
+        let res = g.add(fc2, fc2);
+        g.set_output(res);
+        g
     }
 
     #[test]
@@ -911,6 +1087,117 @@ mod tests {
             assert_eq!(&merged, baseline.stats(), "{tiles} tiles");
             assert_eq!(result.tile_stats().len(), tiles);
         }
+    }
+
+    #[test]
+    fn install_plan_rejects_foreign_model_but_accepts_reprogrammed() {
+        let tile = TileSpec::new(64, 64);
+        let model_b = CompiledModel::compile_with_cache(
+            &long_filter_graph_variant(),
+            &cfg(),
+            &crate::compiler::SharedCompileCache::new(),
+        )
+        .unwrap();
+        // Same compiled layer geometry, so only the fingerprint can tell
+        // the models apart.
+        let plan_b = ShardPlan::place(&model_b, 2, tile).unwrap();
+        assert_eq!(plan_b.placements().len(), compile().compiled_layers().len());
+
+        let mut sharded = ShardedModel::new(compile(), 3, tile).unwrap();
+        let err = sharded.install_plan(plan_b).unwrap_err();
+        match err {
+            CoreError::Shard(msg) => {
+                assert!(msg.contains("different model"), "unhelpful error: {msg}")
+            }
+            other => panic!("expected Shard error, got {other:?}"),
+        }
+        // Failed install leaves the current plan untouched.
+        assert_eq!(sharded.plan().tiles(), 3);
+
+        // A reprogrammed generation shares the structural fingerprint:
+        // its plan installs, and the displaced plan comes back out.
+        let regen = sharded.model().reprogram(1).unwrap();
+        let plan_regen = ShardPlan::place(&regen, 2, tile).unwrap();
+        let displaced = sharded.install_plan(plan_regen).unwrap();
+        assert_eq!(displaced.tiles(), 3);
+        assert_eq!(sharded.plan().tiles(), 2);
+    }
+
+    #[test]
+    fn remap_validates_and_rotation_is_pure_scheduling_at_any_age() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let cfg = cfg()
+            .with_noise(0.05)
+            .with_lifetime(DeviceLifetime::new(0.0, 0.04, 8));
+        let model = CompiledModel::compile_with_cache(
+            &long_filter_graph(),
+            &cfg,
+            &crate::compiler::SharedCompileCache::new(),
+        )
+        .unwrap();
+        let tile = TileSpec::new(64, 64);
+        let plan = ShardPlan::place(&model, 3, tile).unwrap();
+
+        // Bad maps are rejected.
+        assert!(matches!(
+            plan.remap_tiles(&model, &[0, 1], 3),
+            Err(CoreError::Shard(_))
+        ));
+        assert!(matches!(
+            plan.remap_tiles(&model, &[0, 1, 7], 3),
+            Err(CoreError::Shard(_))
+        ));
+
+        let rotated = plan.rotated(&model, 1).unwrap();
+        assert_eq!(rotated.tiles(), 3);
+        assert_eq!(rotated.model_fingerprint(), plan.model_fingerprint());
+
+        let img = image(11);
+        let mut arena = ValueArena::new();
+        for age in [0u64, 100] {
+            let (base_out, base_stats) = plan
+                .run_image_in_at_age(&model, &img, &mut arena, false, age)
+                .unwrap();
+            let (rot_out, rot_stats) = rotated
+                .run_image_in_at_age(&model, &img, &mut arena, true, age)
+                .unwrap();
+            // Remapping moves work, never changes it.
+            assert_eq!(base_out, rot_out, "age {age}");
+            for t in 0..3 {
+                assert_eq!(rot_stats[(t + 1) % 3], base_stats[t], "age {age} tile {t}");
+            }
+            // The ShardedModel front end agrees.
+            let sharded = ShardedModel::with_plan(
+                CompiledModel::compile_with_cache(
+                    &long_filter_graph(),
+                    &cfg,
+                    &crate::compiler::SharedCompileCache::new(),
+                )
+                .unwrap(),
+                plan.clone(),
+            )
+            .unwrap();
+            let (front_out, _) = sharded.run_image_at_age(&img, age).unwrap();
+            assert_eq!(front_out, base_out, "age {age}");
+        }
+        // Aged runs report their drift epoch through the tile stats
+        // (value-level divergence is pinned by the engine tests — this
+        // model's tiny final layer saturates either way).
+        let (_, fresh_stats) = plan
+            .run_image_in_at_age(&model, &img, &mut arena, false, 0)
+            .unwrap();
+        let (_, aged_stats) = plan
+            .run_image_in_at_age(&model, &img, &mut arena, false, 100)
+            .unwrap();
+        let epoch = |buckets: &[RunStats]| {
+            let mut merged = RunStats::default();
+            for b in buckets {
+                merged.merge(b);
+            }
+            merged.drift_epoch
+        };
+        assert_eq!(epoch(&fresh_stats), 0);
+        assert!(epoch(&aged_stats) > 0, "age 100 must advance the epoch");
     }
 
     #[test]

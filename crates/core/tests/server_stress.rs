@@ -8,12 +8,14 @@
 //! `ServerMetrics` rejection counts match the submitters' observed
 //! `QueueFull` errors exactly.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use raella_arch::tile::TileSpec;
 use raella_core::compiler::SharedCompileCache;
+use raella_core::model::CompiledModel;
 use raella_core::server::RaellaServer;
-use raella_core::{CoreError, RaellaConfig, RunStats};
+use raella_core::{CoreError, DeviceLifetime, RaellaConfig, RunStats};
 use raella_nn::graph::Graph;
 use raella_nn::rng::SynthRng;
 use raella_nn::synth::SynthLayer;
@@ -321,4 +323,123 @@ fn shutdown_under_load_drains_every_handle() {
         2 * PER_MODEL,
         "every handle must resolve after shutdown"
     );
+}
+
+#[test]
+fn watchdog_recalibrates_under_racing_load_without_stranding_requests() {
+    // A fast-drifting device: the error budget is set above the fresh
+    // model's fidelity error but well inside the first few drift epochs,
+    // so the serving watchdog (sampling every 3rd completion) must trip
+    // and live-swap a reprogrammed generation while submitters race.
+    // Every response self-describes via (generation, age), so each one is
+    // verified bit-for-bit against an offline replay of exactly the
+    // device state that served it — no matter how the swap interleaved.
+    let graph = long_graph();
+    let mut drift_cfg = cfg()
+        .with_noise(0.05)
+        .with_lifetime(DeviceLifetime::new(0.15, 0.5, 2));
+    drift_cfg.error_budget = 20.0;
+    let cache = SharedCompileCache::new();
+    let server = RaellaServer::builder()
+        .model(&graph, &drift_cfg)
+        .compile_cache(cache.clone())
+        .workers(3)
+        .max_batch(2)
+        .latency_budget_ticks(0)
+        .shards(3)
+        .tile_spec(TileSpec::new(64, 64))
+        .watchdog_interval(3)
+        .watchdog_vectors(2)
+        .build()
+        .expect("drifting sharded server builds");
+    // The same cache guarantees this baseline shares the server's compile
+    // artifacts; reprogram() derives each later generation from it.
+    let base =
+        CompiledModel::compile_with_cache(&graph, &drift_cfg, &cache).expect("baseline compiles");
+
+    const SUBMITTERS: usize = 4;
+    const ROUNDS: usize = 8;
+    const IMAGES: usize = 3;
+    let pool: Vec<Tensor<u8>> = (0..IMAGES as u64).map(long_image).collect();
+
+    // Race: collect (image index, response) — blocking waits mean a
+    // stranded handle hangs the test rather than silently passing.
+    let mut log: Vec<(usize, raella_core::Response)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for submitter in 0..SUBMITTERS {
+            let server = &server;
+            let pool = &pool;
+            workers.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                for round in 0..ROUNDS {
+                    let idx = (submitter + round) % IMAGES;
+                    let resp = server
+                        .submit(pool[idx].clone())
+                        .expect("unbounded submit admits")
+                        .wait()
+                        .expect("request succeeds");
+                    got.push((idx, resp));
+                }
+                got
+            }));
+        }
+        for worker in workers {
+            log.extend(worker.join().expect("submitter thread completes"));
+        }
+    });
+    assert_eq!(log.len(), SUBMITTERS * ROUNDS, "every handle resolved");
+
+    // The first watchdog sample past age 2 is guaranteed to trip, but the
+    // swap it starts runs on a worker thread and may still be
+    // reprogramming when the (fast) submitters finish. No new requests →
+    // no new checks, so the in-flight recalibration reaching the metrics
+    // is a bounded wait, not a liveness assumption.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let m = server.metrics();
+        if m.recalibrations() >= 1 && m.recalibration_pause_ticks() >= m.recalibrations() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "watchdog never finished a recalibration: {m:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.rejected(), 0, "no request was rejected by a swap");
+    assert_eq!(metrics.accepted() as usize, SUBMITTERS * ROUNDS);
+    assert!(
+        metrics.recalibrations() >= 1,
+        "the watchdog must have tripped at least once"
+    );
+    assert!(
+        metrics.recalibration_pause_ticks() >= metrics.recalibrations(),
+        "every swap pause is accounted (≥1 tick each)"
+    );
+
+    // Offline replay: generation g at age a is reprogram(g) run at age a.
+    let mut generations: HashMap<u64, CompiledModel> = HashMap::new();
+    for (i, (idx, resp)) in log.iter().enumerate() {
+        let reference = match resp.generation() {
+            0 => &base,
+            g => generations
+                .entry(g)
+                .or_insert_with(|| base.reprogram(g).expect("reprograms")),
+        };
+        let (want, want_stats) = reference
+            .run_image_at_age(&pool[*idx], resp.age())
+            .expect("replay runs");
+        assert_eq!(
+            resp.output(),
+            &want,
+            "response {i} (generation {}, age {}) must replay bit-for-bit",
+            resp.generation(),
+            resp.age()
+        );
+        assert_eq!(resp.stats(), &want_stats, "response {i} stats");
+    }
+    server.shutdown();
 }

@@ -15,6 +15,8 @@
 //!   analog column sums, with event counting for the energy model.
 //! * [`noise`] — the paper's §7.2 analog noise model
 //!   `N(N⁺−N⁻, E²·(N⁺+N⁻))`.
+//! * [`lifetime`] — device-lifetime state beyond the paper's static
+//!   model: programming error at write, conductance relaxation with age.
 //! * [`analog`] — first-order IR-drop and sneak-current analysis (§5.6).
 //!
 //! The crate counts *events* (ADC converts, DAC pulses, row activations,
@@ -43,10 +45,12 @@ pub mod crossbar;
 pub mod dac;
 pub mod device;
 pub mod error;
+pub mod lifetime;
 pub mod noise;
 pub mod slicing;
 
 pub use adc::AdcSpec;
 pub use crossbar::{EventCounts, SignedCrossbar, UnsignedCrossbar};
 pub use error::XbarError;
+pub use lifetime::DeviceLifetime;
 pub use slicing::{crop_signed, Slice, Slicing};

@@ -41,6 +41,26 @@ impl NoiseModel {
         self.level == 0.0
     }
 
+    /// This model with an independent Gaussian of level `extra` added in
+    /// quadrature: `√(level² + extra²)`.
+    ///
+    /// With `extra == 0.0` the model is returned **unchanged** (not
+    /// recomputed through `sqrt`), so compounding zero is exactly the
+    /// identity — which is what keeps age-0 execution bit-identical to the
+    /// static model.
+    pub fn compounded(&self, extra: f64) -> Self {
+        assert!(
+            extra.is_finite() && extra >= 0.0,
+            "extra noise level must be finite and non-negative, got {extra}"
+        );
+        if extra == 0.0 {
+            return *self;
+        }
+        NoiseModel {
+            level: (self.level * self.level + extra * extra).sqrt(),
+        }
+    }
+
     /// Standard deviation for a column whose positive/negative product sums
     /// are `pos` and `neg`: `E·√(pos + neg)`.
     pub fn sigma(&self, pos: i64, neg: i64) -> f64 {
@@ -109,6 +129,24 @@ impl NoiseRng {
     /// execution bit-identical to monolithic execution.
     pub fn for_substream(seed: u64, index: u64, lane: u64) -> Self {
         NoiseRng::new(seed ^ splitmix64(index) ^ splitmix64(!lane))
+    }
+
+    /// The substream of [`NoiseRng::for_substream`] aged to drift `epoch`.
+    ///
+    /// Epoch 0 is **bit-identical** to the un-aged substream — a
+    /// freshly-programmed device replays exactly the static noise stream —
+    /// and each later epoch re-keys the whole stream, modeling the device
+    /// settling into a new relaxation state. The epoch is mixed and
+    /// rotated before XORing so it cannot cancel against the index or lane
+    /// terms. Streams stay a pure function of
+    /// `(seed, index, lane, epoch)`.
+    pub fn for_substream_aged(seed: u64, index: u64, lane: u64, epoch: u64) -> Self {
+        if epoch == 0 {
+            return NoiseRng::for_substream(seed, index, lane);
+        }
+        NoiseRng::new(
+            seed ^ splitmix64(index) ^ splitmix64(!lane) ^ splitmix64(epoch).rotate_left(32),
+        )
     }
 
     /// One standard normal variate.
@@ -209,6 +247,38 @@ mod tests {
         }
         assert!(lane_diff, "adjacent lanes must decorrelate");
         assert!(plain_diff, "lane 0 must not collide with the plain stream");
+    }
+
+    #[test]
+    fn aged_substream_epoch_zero_matches_unaged() {
+        let m = NoiseModel::new(0.05);
+        let mut aged0 = NoiseRng::for_substream_aged(9, 4, 2, 0);
+        let mut plain = NoiseRng::for_substream(9, 4, 2);
+        let mut aged1 = NoiseRng::for_substream_aged(9, 4, 2, 1);
+        let mut aged1b = NoiseRng::for_substream_aged(9, 4, 2, 1);
+        let mut epoch_diff = false;
+        for _ in 0..50 {
+            assert_eq!(
+                m.sample(1000, 500, &mut aged0),
+                m.sample(1000, 500, &mut plain),
+                "epoch 0 must replay the static stream bit-for-bit"
+            );
+            let v1 = m.sample(1000, 500, &mut aged1);
+            assert_eq!(v1, m.sample(1000, 500, &mut aged1b));
+            epoch_diff |= v1 != m.sample(1000, 500, &mut NoiseRng::for_substream(9, 4, 2));
+        }
+        assert!(epoch_diff, "epoch 1 must re-key the stream");
+    }
+
+    #[test]
+    fn compounding_zero_is_identity() {
+        let m = NoiseModel::new(0.07);
+        assert_eq!(m.compounded(0.0), m);
+        let c = m.compounded(0.07);
+        assert!((c.level - 0.07 * 2f64.sqrt()).abs() < 1e-12);
+        assert!(!c.is_ideal());
+        // Ideal base + drift turns noise on.
+        assert!(!NoiseModel::ideal().compounded(0.01).is_ideal());
     }
 
     #[test]

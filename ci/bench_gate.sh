@@ -11,6 +11,7 @@
 #   ci/bench_gate.sh serve_throughput     BENCH_serve.json  2.0
 #   ci/bench_gate.sh shard_throughput     BENCH_shard.json  1.01
 #   ci/bench_gate.sh drift                BENCH_drift.json  250000
+#   ci/bench_gate.sh gateway              BENCH_serve.json  15000000
 #
 # Each baseline JSON records its gated ratio under a bench-specific key;
 # the gate itself is uniform: the WORST recorded speedup must be >= the
@@ -28,6 +29,14 @@
 # live-recalibration pause in microseconds (the swap stall a served
 # request can see), and its curve shape — fresh device within budget,
 # drift eventually past it — is validated on every runner.
+#
+# `gateway` runs the open-loop socket load generator
+# (`examples/gateway.rs`, not a cargo bench) and validates the
+# `"gateway"` record it merges into BENCH_serve.json: every in-flight
+# level must have completed its full offered load at > 0 req/s with sane
+# percentiles, and the "floor" is a CEILING on the worst level's p99
+# end-to-end latency in microseconds (≥4-core rule — the single-threaded
+# client pump and the IO/worker threads oversubscribe smaller runners).
 set -euo pipefail
 
 if [ "$#" -ne 3 ]; then
@@ -44,7 +53,13 @@ case "$bench" in
 engine_single_thread) bench_bin="engine_throughput" ;;
 esac
 
-cargo bench -p raella-bench --bench "$bench_bin"
+if [ "$bench" = "gateway" ]; then
+    # The gateway record comes from the socket load-gen example, not a
+    # cargo bench — it merges its record into serve_throughput's JSON.
+    cargo run --release --example gateway
+else
+    cargo bench -p raella-bench --bench "$bench_bin"
+fi
 cat "$json"
 
 BENCH_NAME="$bench" BENCH_JSON="$json" MIN_SPEEDUP="$min" python3 - <<'EOF'
@@ -107,6 +122,34 @@ elif name == "drift":
     print(f"{name}: pause p50 {p50} µs, p99 {p99} µs (ceiling {floor:.0f} µs, {cores} cores)")
     if cores >= 4:
         assert p99 <= floor, f"recalibration pause regressed: p99 {p99} µs > {floor:.0f} µs"
+    else:
+        print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
+    raise SystemExit(0)
+elif name == "gateway":
+    # Open-loop socket load: every level completed its whole offered
+    # burst at a nonzero rate with sane percentiles, on every runner.
+    gw = data["gateway"]
+    levels = gw["levels"]
+    assert levels, "no gateway load levels recorded"
+    for level in levels:
+        in_flight, completed = level["in_flight"], level["completed"]
+        rps = level["requests_per_sec"]
+        p50, p99 = level["latency_us"]["p50"], level["latency_us"]["p99"]
+        assert completed == in_flight, (
+            f"level {in_flight}: only {completed} of the offered load completed"
+        )
+        assert rps > 0, f"level {in_flight}: degenerate rate {rps}"
+        assert 0 < p50 <= p99, (
+            f"level {in_flight}: nonsensical latency percentiles p50 {p50}, p99 {p99}"
+        )
+    worst_p99 = max(level["latency_us"]["p99"] for level in levels)
+    cores = os.cpu_count() or 1
+    print(f"{name}: worst p99 latency {worst_p99} µs across {len(levels)} levels "
+          f"(ceiling {floor:.0f} µs, {cores} cores)")
+    if cores >= 4:
+        assert worst_p99 <= floor, (
+            f"gateway end-to-end latency regressed: p99 {worst_p99} µs > {floor:.0f} µs"
+        )
     else:
         print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
     raise SystemExit(0)

@@ -245,11 +245,28 @@ fn main() {
         "serial {serial_rps:.1} req/s, parallel best {best_rps:.1} / worst {worst_rps:.1} req/s, gated (worst) speedup x{speedup:.2} ({workers} workers)"
     );
 
-    let json = format!(
+    let mut json = format!(
         "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ],\n  \"overload\": {{ \"models\": 2, \"queue_depth\": 8, \"max_batch\": 4, \"attempts\": {attempts}, \"completed\": {completed}, \"rejected\": {rejected}, \"rejection_rate\": {rejection_rate:.3}, \"requests_per_sec\": {overload_rps:.1} }}\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    // The gateway load-gen example (`examples/gateway.rs`) owns the
+    // single-line `"gateway"` record in this file; preserve it across
+    // our rewrite so the two writers don't clobber each other.
+    if let Ok(old) = std::fs::read_to_string(path) {
+        if let Some(gateway) = old
+            .lines()
+            .find(|l| l.trim_start().starts_with("\"gateway\":"))
+        {
+            let body = json
+                .trim_end()
+                .strip_suffix('}')
+                .expect("bench JSON ends with a brace")
+                .trim_end()
+                .to_string();
+            json = format!("{body},\n  {}\n}}\n", gateway.trim().trim_end_matches(','));
+        }
+    }
     let mut f = std::fs::File::create(path).expect("create BENCH_serve.json");
     f.write_all(json.as_bytes()).expect("write baseline");
     println!("baseline written to BENCH_serve.json");

@@ -1,0 +1,1124 @@
+//! The async gateway: a runtime-agnostic executor pair and a socket
+//! front end that multiplexes thousands of in-flight requests from a
+//! small fixed pool of OS threads.
+//!
+//! The serving queue ([`crate::server`]) already coalesces and bounds
+//! admission, but `RequestHandle::wait` costs one parked OS thread per
+//! in-flight request — fine for examples, fatal for the paper's
+//! datacenter-scale pitch. This module is the other delivery story,
+//! built entirely on the handle's notification cell
+//! ([`RequestHandle::on_complete`] and its [`std::future::Future`]
+//! impl):
+//!
+//! * [`block_on`] / [`LocalPool`] — a dependency-free executor pair
+//!   (only [`std::task`]), so `handle.await` works offline with no
+//!   async runtime installed. Any other executor (tokio, async-std,
+//!   smol) drives the same futures unchanged.
+//! * [`Gateway`] — a TCP front end speaking a length-prefixed binary
+//!   protocol: model id + image bytes in, prediction +
+//!   `(generation, age)` + a [`crate::engine::RunStats`] summary (and
+//!   the full output bytes, so clients can verify bit-identity) out.
+//!   A fixed pool of IO threads sweeps nonblocking sockets for
+//!   readiness and parks between sweeps; request completions wake the
+//!   owning IO thread through the same `on_complete` hook — holding
+//!   10 000 requests in flight costs 10 000 notification cells and
+//!   **zero** additional threads.
+//!
+//! # Wire protocol
+//!
+//! Every frame is `u32` big-endian payload length, then the payload
+//! (capped at [`MAX_FRAME`] bytes). Integers are big-endian throughout.
+//!
+//! Request payload:
+//!
+//! ```text
+//! u64 tag | u16 model | u8 ndim | ndim × u32 dims | prod(dims) × u8 image
+//! ```
+//!
+//! Response payload (the `tag` echoes the request's, so clients may
+//! pipeline arbitrarily many requests per connection and match
+//! responses out of order):
+//!
+//! ```text
+//! u64 tag | u8 status
+//!   status 0: u64 seq | u64 generation | u64 age | u32 predicted
+//!             | u64 queue_ticks | u64 compute_ticks
+//!             | u64 vectors | u64 macs
+//!             | u32 out_len | out_len × u8 output
+//!   status 1: u32 msg_len | msg_len × u8 utf-8 error message
+//! ```
+//!
+//! Admission over the socket is fail-fast
+//! ([`crate::server::RaellaServer::try_submit_to`]): a bounded queue
+//! answers `QueueFull` as a status-1 frame instead of stalling the IO
+//! thread — backpressure travels over the wire.
+//!
+//! # Determinism
+//!
+//! The gateway adds no execution semantics: every response's output
+//! bytes are the served model's, bit-identical to submission-order
+//! [`crate::model::CompiledModel::run_batch`] (pinned end-to-end by
+//! `crates/core/tests/async_gateway.rs` and `examples/gateway.rs`).
+
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use raella_nn::tensor::Tensor;
+
+use crate::server::{RaellaServer, RequestHandle, Response};
+
+/// Largest accepted frame payload (16 MiB) — a length prefix beyond this
+/// is a protocol violation and closes the connection.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// How long an idle IO thread parks between readiness sweeps when no
+/// completion wakes it sooner. Bounds the added latency of a request
+/// arriving on a quiet socket.
+const POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+// ---------------------------------------------------------------------
+// Executors
+// ---------------------------------------------------------------------
+
+/// Unparks a parked [`block_on`] caller.
+struct ThreadWaker(std::thread::Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives one future to completion on the calling thread, parking
+/// between polls — the minimal executor: no queue, no spawn, no
+/// dependency beyond [`std::task`].
+///
+/// ```
+/// use raella_core::gateway::block_on;
+/// assert_eq!(block_on(async { 21 * 2 }), 42);
+/// ```
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+/// The wake side of a [`LocalPool`]: task ids made runnable by wakers
+/// (possibly from other threads — serving workers complete requests),
+/// popped by the single polling thread.
+struct ReadyQueue {
+    ready: Mutex<VecDeque<u64>>,
+    cv: Condvar,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: u64) {
+        self.ready
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(id);
+        self.cv.notify_one();
+    }
+
+    /// Blocks until some task is runnable.
+    fn pop_blocking(&self) -> u64 {
+        let mut ready = self.ready.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(id) = ready.pop_front() {
+                return id;
+            }
+            ready = self.cv.wait(ready).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Wakes one [`LocalPool`] task by id.
+struct PoolWaker {
+    id: u64,
+    queue: Arc<ReadyQueue>,
+}
+
+impl Wake for PoolWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+/// A minimal single-threaded executor: spawn any number of futures,
+/// then [`LocalPool::run`] polls them cooperatively until all complete.
+/// Wakers are `Send + Sync`, so completions arriving from other threads
+/// (serving workers finishing requests) unpark the pool — this is how
+/// one OS thread holds 10 000 in-flight [`RequestHandle`] futures.
+///
+/// ```
+/// use raella_core::gateway::LocalPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let mut pool = LocalPool::new();
+/// for _ in 0..100 {
+///     let done = Arc::clone(&done);
+///     pool.spawn(async move {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.run();
+/// assert_eq!(done.load(Ordering::SeqCst), 100);
+/// ```
+pub struct LocalPool {
+    tasks: HashMap<u64, Pin<Box<dyn Future<Output = ()> + 'static>>>,
+    queue: Arc<ReadyQueue>,
+    next: u64,
+}
+
+impl Default for LocalPool {
+    fn default() -> Self {
+        LocalPool::new()
+    }
+}
+
+impl LocalPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        LocalPool {
+            tasks: HashMap::new(),
+            queue: Arc::new(ReadyQueue {
+                ready: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }),
+            next: 0,
+        }
+    }
+
+    /// Adds a future to the pool (runnable immediately). Futures only
+    /// make progress inside [`LocalPool::run`].
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+        let id = self.next;
+        self.next += 1;
+        self.tasks.insert(id, Box::pin(fut));
+        self.queue.push(id);
+    }
+
+    /// Number of spawned futures that have not completed yet.
+    pub fn pending(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Polls runnable tasks — parking while none are — until every
+    /// spawned future has completed.
+    pub fn run(&mut self) {
+        while !self.tasks.is_empty() {
+            let id = self.queue.pop_blocking();
+            // Spurious wakes for completed tasks are legal; skip them.
+            let Some(task) = self.tasks.get_mut(&id) else {
+                continue;
+            };
+            let waker = Waker::from(Arc::new(PoolWaker {
+                id,
+                queue: Arc::clone(&self.queue),
+            }));
+            let mut cx = Context::from_waker(&waker);
+            if task.as_mut().poll(&mut cx).is_ready() {
+                self.tasks.remove(&id);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------
+
+/// A successfully served request as it appears on the wire: identity
+/// (`seq`, `(generation, age)` for offline replay), the prediction, the
+/// timing fields, a [`crate::engine::RunStats`] summary, and the full
+/// output bytes (so clients can assert bit-identity against a local
+/// [`crate::model::CompiledModel::run_batch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireOk {
+    /// Server-wide admission sequence number.
+    pub seq: u64,
+    /// Programming generation of the serving snapshot.
+    pub generation: u64,
+    /// Device age the request ran at.
+    pub age: u64,
+    /// Top-1 prediction (argmax of the output).
+    pub predicted: u32,
+    /// Queue wait, in µs ticks.
+    pub queue_ticks: u64,
+    /// Execution time, in µs ticks.
+    pub compute_ticks: u64,
+    /// Input vectors processed for this request.
+    pub vectors: u64,
+    /// MACs logically performed for this request.
+    pub macs: u64,
+    /// The model's full output tensor bytes.
+    pub output: Vec<u8>,
+}
+
+/// One decoded response frame: the echoed client tag plus either the
+/// served result or the server's error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The client-chosen correlation tag from the request frame.
+    pub tag: u64,
+    /// The served result, or the error message (`Err` mirrors a
+    /// status-1 frame: admission rejection, unknown model, execution
+    /// failure).
+    pub result: Result<WireOk, String>,
+}
+
+/// Appends one length-prefixed request frame for `image` to `buf`.
+pub fn encode_request(buf: &mut Vec<u8>, tag: u64, model: u16, image: &Tensor<u8>) {
+    let dims = image.shape();
+    let payload_len = 8 + 2 + 1 + 4 * dims.len() + image.as_slice().len();
+    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    buf.extend_from_slice(&tag.to_be_bytes());
+    buf.extend_from_slice(&model.to_be_bytes());
+    buf.push(dims.len() as u8);
+    for &d in dims {
+        buf.extend_from_slice(&(d as u32).to_be_bytes());
+    }
+    buf.extend_from_slice(image.as_slice());
+}
+
+/// Appends one status-0 (served) response frame to `buf`.
+fn encode_ok(buf: &mut Vec<u8>, tag: u64, resp: &Response) {
+    let out = resp.output().as_slice();
+    let payload_len = 8 + 1 + 8 * 7 + 4 + 4 + out.len();
+    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    buf.extend_from_slice(&tag.to_be_bytes());
+    buf.push(0);
+    buf.extend_from_slice(&resp.sequence().to_be_bytes());
+    buf.extend_from_slice(&resp.generation().to_be_bytes());
+    buf.extend_from_slice(&resp.age().to_be_bytes());
+    buf.extend_from_slice(&(resp.predicted() as u32).to_be_bytes());
+    buf.extend_from_slice(&resp.queue_ticks().to_be_bytes());
+    buf.extend_from_slice(&resp.compute_ticks().to_be_bytes());
+    buf.extend_from_slice(&resp.stats().vectors.to_be_bytes());
+    buf.extend_from_slice(&resp.stats().events.macs.to_be_bytes());
+    buf.extend_from_slice(&(out.len() as u32).to_be_bytes());
+    buf.extend_from_slice(out);
+}
+
+/// Appends one status-1 (error) response frame to `buf`.
+fn encode_err(buf: &mut Vec<u8>, tag: u64, msg: &str) {
+    let msg = msg.as_bytes();
+    let payload_len = 8 + 1 + 4 + msg.len();
+    buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
+    buf.extend_from_slice(&tag.to_be_bytes());
+    buf.push(1);
+    buf.extend_from_slice(&(msg.len() as u32).to_be_bytes());
+    buf.extend_from_slice(msg);
+}
+
+/// Splits the next complete frame off `buf`: returns
+/// `Some((consumed, payload_range))` when a whole frame is buffered,
+/// `None` when more bytes are needed.
+///
+/// # Errors
+///
+/// A length prefix beyond [`MAX_FRAME`] is a protocol violation.
+#[allow(clippy::type_complexity)]
+pub fn next_frame(buf: &[u8]) -> Result<Option<(usize, std::ops::Range<usize>)>, String> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME {
+        return Err(format!(
+            "frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}"
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((4 + len, 4..4 + len)))
+}
+
+/// A byte cursor over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "truncated frame: wanted {n} bytes at offset {}, payload is {}",
+                self.pos,
+                self.buf.len()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes one request payload into `(tag, model, image)`.
+fn parse_request(payload: &[u8]) -> Result<(u64, u16, Tensor<u8>), String> {
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let tag = cur.u64()?;
+    let model = cur.u16()?;
+    let ndim = cur.u8()? as usize;
+    let mut dims = Vec::with_capacity(ndim);
+    let mut elems: usize = 1;
+    for _ in 0..ndim {
+        let d = cur.u32()? as usize;
+        elems = elems
+            .checked_mul(d)
+            .filter(|&n| n <= MAX_FRAME)
+            .ok_or_else(|| format!("image dims {dims:?}×{d} overflow the frame cap"))?;
+        dims.push(d);
+    }
+    let data = cur.take(elems)?.to_vec();
+    if cur.pos != payload.len() {
+        return Err(format!(
+            "trailing garbage: {} bytes after the image",
+            payload.len() - cur.pos
+        ));
+    }
+    let image = Tensor::from_vec(data, &dims).map_err(|e| e.to_string())?;
+    Ok((tag, model, image))
+}
+
+/// Decodes one response payload (the client side of the protocol).
+///
+/// # Errors
+///
+/// Returns a message describing the malformed frame. A well-formed
+/// status-1 frame is **not** an error here — it decodes to
+/// `WireResponse { result: Err(..) }`.
+pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let tag = cur.u64()?;
+    let status = cur.u8()?;
+    let result = match status {
+        0 => {
+            let seq = cur.u64()?;
+            let generation = cur.u64()?;
+            let age = cur.u64()?;
+            let predicted = cur.u32()?;
+            let queue_ticks = cur.u64()?;
+            let compute_ticks = cur.u64()?;
+            let vectors = cur.u64()?;
+            let macs = cur.u64()?;
+            let out_len = cur.u32()? as usize;
+            let output = cur.take(out_len)?.to_vec();
+            Ok(WireOk {
+                seq,
+                generation,
+                age,
+                predicted,
+                queue_ticks,
+                compute_ticks,
+                vectors,
+                macs,
+                output,
+            })
+        }
+        1 => {
+            let len = cur.u32()? as usize;
+            let msg = cur.take(len)?.to_vec();
+            Err(String::from_utf8_lossy(&msg).into_owned())
+        }
+        other => return Err(format!("unknown response status {other}")),
+    };
+    if cur.pos != payload.len() {
+        return Err(format!(
+            "trailing garbage: {} bytes after the response",
+            payload.len() - cur.pos
+        ));
+    }
+    Ok(WireResponse { tag, result })
+}
+
+// ---------------------------------------------------------------------
+// The socket front end
+// ---------------------------------------------------------------------
+
+/// Per-IO-thread completion mailbox: `on_complete` hooks (fired from
+/// serving-worker threads) post `(connection, slot)` here and wake the
+/// owning IO thread out of its park.
+struct IoSignal {
+    completed: Mutex<Vec<(u64, u64)>>,
+    cv: Condvar,
+}
+
+impl IoSignal {
+    fn post(&self, conn: u64, slot: u64) {
+        self.completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((conn, slot));
+        self.cv.notify_one();
+    }
+
+    fn drain(&self) -> Vec<(u64, u64)> {
+        std::mem::take(
+            &mut *self
+                .completed
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// Parks up to [`POLL_INTERVAL`] unless a completion arrives first.
+    fn park(&self) {
+        let completed = self
+            .completed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if completed.is_empty() {
+            let _ = self
+                .cv
+                .wait_timeout(completed, POLL_INTERVAL)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// State shared by every IO thread.
+struct GatewayShared {
+    listener: TcpListener,
+    stop: AtomicBool,
+    signals: Vec<Arc<IoSignal>>,
+}
+
+/// One client connection, owned by exactly one IO thread (no
+/// cross-thread socket sharing, no per-connection locks).
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    rbuf: Vec<u8>,
+    /// Serialized response bytes not yet written, from `wpos`.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// In-flight requests: slot → (client tag, handle).
+    in_flight: HashMap<u64, (u64, RequestHandle)>,
+    next_slot: u64,
+    /// Peer closed its write side (or read failed): parse no more
+    /// requests, but drain in-flight responses before dropping.
+    closing: bool,
+    /// Unrecoverable (write failure / protocol violation): drop now.
+    dead: bool,
+}
+
+/// A TCP front end for a [`RaellaServer`]: accepts connections, decodes
+/// length-prefixed request frames, submits them fail-fast, and writes
+/// response frames as completions arrive — out of submission order when
+/// batches finish out of order, matched by the echoed tag.
+///
+/// A fixed pool of [`GatewayBuilder::io_threads`] threads owns the
+/// sockets (each accepted connection is pinned to one thread);
+/// completions wake the owning thread through the handle's
+/// [`RequestHandle::on_complete`] hook, so in-flight requests cost no
+/// threads at all. The gateway borrows the server (`Arc`) and never
+/// shuts it down — dropping the gateway stops the IO threads only.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use raella_core::gateway::Gateway;
+/// use raella_core::server::RaellaServer;
+/// use raella_core::RaellaConfig;
+/// use raella_nn::graph::Graph;
+/// use raella_nn::synth::SynthLayer;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = Graph::new();
+/// let input = g.input();
+/// let c = g.conv(input, SynthLayer::conv(2, 4, 3, 1).build(), 2, 3, 1, 1)?;
+/// let gap = g.global_avg_pool(c);
+/// g.set_output(gap);
+/// let server = Arc::new(
+///     RaellaServer::builder()
+///         .model(&g, &RaellaConfig::default())
+///         .build()?,
+/// );
+/// let gateway = Gateway::builder(Arc::clone(&server))
+///     .io_threads(2)
+///     .bind("127.0.0.1:0")?;
+/// println!("serving on {}", gateway.local_addr());
+/// # gateway.shutdown();
+/// # server.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct Gateway {
+    server: Arc<RaellaServer>,
+    shared: Arc<GatewayShared>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    addr: SocketAddr,
+}
+
+/// Configures a [`Gateway`] before binding.
+pub struct GatewayBuilder {
+    server: Arc<RaellaServer>,
+    io_threads: usize,
+}
+
+impl GatewayBuilder {
+    /// IO thread pool size (default 2, clamped to ≥ 1). Every accepted
+    /// connection is pinned to one of these threads; the pool never
+    /// grows with connection or request count.
+    #[must_use]
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n.max(1);
+        self
+    }
+
+    /// Binds the listener and starts the IO threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind, nonblocking setup).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<Gateway> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let signals: Vec<Arc<IoSignal>> = (0..self.io_threads)
+            .map(|_| {
+                Arc::new(IoSignal {
+                    completed: Mutex::new(Vec::new()),
+                    cv: Condvar::new(),
+                })
+            })
+            .collect();
+        let shared = Arc::new(GatewayShared {
+            listener,
+            stop: AtomicBool::new(false),
+            signals,
+        });
+        let threads = (0..self.io_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let server = Arc::clone(&self.server);
+                std::thread::spawn(move || io_loop(&server, &shared, i))
+            })
+            .collect();
+        Ok(Gateway {
+            server: self.server,
+            shared,
+            threads: Mutex::new(threads),
+            addr,
+        })
+    }
+}
+
+impl Gateway {
+    /// Starts configuring a gateway over `server`.
+    pub fn builder(server: Arc<RaellaServer>) -> GatewayBuilder {
+        GatewayBuilder {
+            server,
+            io_threads: 2,
+        }
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server this gateway fronts.
+    pub fn server(&self) -> &Arc<RaellaServer> {
+        &self.server
+    }
+
+    /// Stops accepting, drops every connection (in-flight requests keep
+    /// executing on the server; their responses are discarded), and
+    /// joins the IO threads. Idempotent; also runs on `Drop`. The
+    /// underlying [`RaellaServer`] is left running.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for signal in &self.shared.signals {
+            signal.cv.notify_one();
+        }
+        let mut threads = self.threads.lock().unwrap_or_else(PoisonError::into_inner);
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One IO thread: accept → drain completions → pump sockets → park.
+/// Every blocking point is the bounded [`IoSignal::park`]; sockets are
+/// nonblocking throughout, so thousands of idle connections cost one
+/// sweep each, not one thread each.
+fn io_loop(server: &RaellaServer, shared: &GatewayShared, index: usize) {
+    let signal = &shared.signals[index];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_conn: u64 = 0;
+    let mut tmp = [0u8; 16 * 1024];
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // Accept: the listener is shared — whichever thread wins the
+        // race owns the connection for its whole life.
+        loop {
+            match shared.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    conns.insert(
+                        next_conn,
+                        Conn {
+                            stream,
+                            rbuf: Vec::new(),
+                            wbuf: Vec::new(),
+                            wpos: 0,
+                            in_flight: HashMap::new(),
+                            next_slot: 0,
+                            closing: false,
+                            dead: false,
+                        },
+                    );
+                    next_conn += 1;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Completions: fetch each finished request's result and queue
+        // its response frame on the owning connection.
+        for (conn_id, slot) in signal.drain() {
+            progress = true;
+            // The connection may have died first — the result is simply
+            // discarded (the cell was already consumed or drops with
+            // the handle).
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            let Some((tag, mut handle)) = conn.in_flight.remove(&slot) else {
+                continue;
+            };
+            match handle.try_wait() {
+                Some(Ok(resp)) => encode_ok(&mut conn.wbuf, tag, &resp),
+                Some(Err(err)) => encode_err(&mut conn.wbuf, tag, &err.to_string()),
+                // Unreachable — on_complete fires after the result is
+                // stored — but degrade to an error frame, not a panic.
+                None => encode_err(&mut conn.wbuf, tag, "response unavailable"),
+            }
+        }
+
+        // Pump every socket: read + parse + submit, then flush writes.
+        for (&conn_id, conn) in conns.iter_mut() {
+            progress |= pump_reads(server, signal, conn_id, conn, &mut tmp);
+            progress |= pump_writes(conn);
+        }
+
+        // Reap: dead now; closing once drained (responses flushed, no
+        // in-flight left).
+        conns.retain(|_, c| {
+            !(c.dead || c.closing && c.in_flight.is_empty() && c.wpos == c.wbuf.len())
+        });
+
+        if !progress {
+            signal.park();
+        }
+    }
+}
+
+/// Reads whatever the socket has, parses complete frames, and submits
+/// them. Returns whether any byte moved.
+fn pump_reads(
+    server: &RaellaServer,
+    signal: &Arc<IoSignal>,
+    conn_id: u64,
+    conn: &mut Conn,
+    tmp: &mut [u8],
+) -> bool {
+    if conn.closing || conn.dead {
+        return false;
+    }
+    let mut progress = false;
+    loop {
+        match conn.stream.read(tmp) {
+            Ok(0) => {
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&tmp[..n]);
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closing = true;
+                break;
+            }
+        }
+    }
+    let mut consumed = 0;
+    loop {
+        match next_frame(&conn.rbuf[consumed..]) {
+            Ok(Some((used, payload))) => {
+                let payload = &conn.rbuf[consumed + payload.start..consumed + payload.end];
+                match parse_request(payload) {
+                    Ok((tag, model, image)) => {
+                        match server.try_submit_to(model as usize, image) {
+                            Ok(handle) => {
+                                let slot = conn.next_slot;
+                                conn.next_slot += 1;
+                                let signal = Arc::clone(signal);
+                                handle.on_complete(move || signal.post(conn_id, slot));
+                                conn.in_flight.insert(slot, (tag, handle));
+                            }
+                            // Admission rejection (QueueFull, shutdown,
+                            // unknown model) → error frame: backpressure
+                            // over the wire, the IO thread never parks.
+                            Err(err) => encode_err(&mut conn.wbuf, tag, &err.to_string()),
+                        }
+                    }
+                    Err(msg) => {
+                        // The tag may not have parsed — echo 0.
+                        let tag = payload
+                            .get(..8)
+                            .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+                            .unwrap_or(0);
+                        encode_err(&mut conn.wbuf, tag, &format!("bad request: {msg}"));
+                    }
+                }
+                consumed += used;
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // Unframeable stream: nothing trustworthy follows.
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+        progress = true;
+    }
+    progress
+}
+
+/// Flushes pending response bytes. Returns whether any byte moved.
+fn pump_writes(conn: &mut Conn) -> bool {
+    if conn.dead {
+        return false;
+    }
+    let mut progress = false;
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > 64 * 1024 {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    progress
+}
+
+/// A minimal blocking client for the gateway protocol — one frame out,
+/// frames in as they arrive. Suitable for tests and simple tools; load
+/// generators wanting thousands of requests in flight should pipeline
+/// over nonblocking sockets with [`encode_request`] / [`next_frame`] /
+/// [`decode_response`] directly (see `examples/gateway.rs`).
+pub struct GatewayClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+}
+
+impl GatewayClient {
+    /// Connects (blocking socket).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(GatewayClient {
+            stream,
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// Sends one request frame (blocking write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send(&mut self, tag: u64, model: u16, image: &Tensor<u8>) -> io::Result<()> {
+        let mut buf = Vec::new();
+        encode_request(&mut buf, tag, model, image);
+        self.stream.write_all(&buf)
+    }
+
+    /// Blocks until the next response frame arrives and decodes it.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, or [`io::ErrorKind::InvalidData`] for a malformed
+    /// frame.
+    pub fn recv(&mut self) -> io::Result<WireResponse> {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match next_frame(&self.rbuf)
+                .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?
+            {
+                Some((used, payload)) => {
+                    let resp = decode_response(&self.rbuf[payload])
+                        .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+                    self.rbuf.drain(..used);
+                    return Ok(resp);
+                }
+                None => {
+                    let n = self.stream.read(&mut tmp)?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "gateway closed the connection mid-frame",
+                        ));
+                    }
+                    self.rbuf.extend_from_slice(&tmp[..n]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::SharedCompileCache;
+    use crate::config::RaellaConfig;
+    use raella_nn::graph::Graph;
+    use raella_nn::synth::SynthLayer;
+
+    fn tiny_graph() -> Graph {
+        let mut g = Graph::new();
+        let input = g.input();
+        let gap = g.global_avg_pool(input);
+        let fc = g.linear(gap, SynthLayer::linear(2, 3, 7).build());
+        g.set_output(fc);
+        g
+    }
+
+    fn tiny_cfg() -> RaellaConfig {
+        RaellaConfig {
+            crossbar_rows: 64,
+            crossbar_cols: 64,
+            search_vectors: 2,
+            ..RaellaConfig::default()
+        }
+    }
+
+    fn tiny_image(seed: u8) -> Tensor<u8> {
+        Tensor::from_vec(vec![seed, seed.wrapping_mul(31)], &[2, 1, 1]).unwrap()
+    }
+
+    fn tiny_server() -> Arc<RaellaServer> {
+        Arc::new(
+            RaellaServer::builder()
+                .model(&tiny_graph(), &tiny_cfg())
+                .compile_cache(SharedCompileCache::new())
+                .workers(1)
+                .max_batch(4)
+                .latency_budget_ticks(0)
+                .build()
+                .expect("tiny server builds"),
+        )
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let image = tiny_image(9);
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 0xDEAD_BEEF, 3, &image);
+        let (used, payload) = next_frame(&buf).unwrap().expect("one whole frame");
+        assert_eq!(used, buf.len());
+        let (tag, model, decoded) = parse_request(&buf[payload]).unwrap();
+        assert_eq!(tag, 0xDEAD_BEEF);
+        assert_eq!(model, 3);
+        assert_eq!(&decoded, &image);
+
+        // A split frame is not a frame yet.
+        assert!(next_frame(&buf[..buf.len() - 1]).unwrap().is_none());
+        assert!(next_frame(&buf[..3]).unwrap().is_none());
+
+        // An oversized length prefix is a protocol violation.
+        let bad = ((MAX_FRAME + 1) as u32).to_be_bytes().to_vec();
+        assert!(next_frame(&bad).is_err());
+
+        // Error frames round-trip too.
+        let mut buf = Vec::new();
+        encode_err(&mut buf, 7, "queue full");
+        let (_, payload) = next_frame(&buf).unwrap().unwrap();
+        let resp = decode_response(&buf[payload]).unwrap();
+        assert_eq!(resp.tag, 7);
+        assert_eq!(resp.result.unwrap_err(), "queue full");
+    }
+
+    #[test]
+    fn parse_request_rejects_garbage() {
+        assert!(parse_request(&[1, 2, 3]).is_err(), "truncated header");
+        // Valid header claiming more image bytes than present.
+        let mut buf = Vec::new();
+        encode_request(&mut buf, 1, 0, &tiny_image(1));
+        let (_, payload) = next_frame(&buf).unwrap().unwrap();
+        let short = &buf[payload.start..payload.end - 1];
+        assert!(parse_request(short).is_err(), "short image");
+        // Trailing garbage after a complete image.
+        let mut long = buf[payload].to_vec();
+        long.push(0);
+        assert!(parse_request(&long).is_err(), "trailing garbage");
+    }
+
+    #[test]
+    fn block_on_drives_cross_thread_wakes() {
+        // A future that parks until another thread wakes it.
+        struct Handoff {
+            state: Arc<Mutex<(bool, Option<Waker>)>>,
+        }
+        impl Future for Handoff {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                let mut state = self.state.lock().unwrap();
+                if state.0 {
+                    Poll::Ready(99)
+                } else {
+                    state.1 = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let state = Arc::new(Mutex::new((false, None::<Waker>)));
+        let thread_state = Arc::clone(&state);
+        let setter = std::thread::spawn(move || {
+            // Wait until the main thread has parked with a registered
+            // waker, then flip and wake.
+            loop {
+                let mut s = thread_state.lock().unwrap();
+                if let Some(waker) = s.1.take() {
+                    s.0 = true;
+                    drop(s);
+                    waker.wake();
+                    return;
+                }
+                drop(s);
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(block_on(Handoff { state }), 99);
+        setter.join().unwrap();
+    }
+
+    #[test]
+    fn gateway_serves_round_trips_and_error_frames() {
+        let server = tiny_server();
+        let gateway = Gateway::builder(Arc::clone(&server))
+            .io_threads(2)
+            .bind("127.0.0.1:0")
+            .expect("gateway binds");
+        let mut client = GatewayClient::connect(gateway.local_addr()).expect("client connects");
+
+        // Three pipelined requests: two valid, one for a model that
+        // does not exist, plus one misshaped image.
+        let images = [tiny_image(1), tiny_image(2)];
+        client.send(10, 0, &images[0]).unwrap();
+        client.send(11, 0, &images[1]).unwrap();
+        client.send(12, 9, &images[0]).unwrap();
+        client.send(13, 0, &Tensor::zeros(&[7, 7, 7])).unwrap();
+
+        let mut got = HashMap::new();
+        for _ in 0..4 {
+            let resp = client.recv().expect("response frame");
+            got.insert(resp.tag, resp.result);
+        }
+        let model = server.model(0);
+        for (tag, image) in [(10u64, &images[0]), (11, &images[1])] {
+            let (want, stats) = model.run_image(image).unwrap();
+            let ok = got[&tag].as_ref().expect("served ok");
+            assert_eq!(ok.output, want.as_slice(), "tag {tag} bytes");
+            assert_eq!(
+                ok.predicted as usize,
+                raella_nn::graph::argmax(want.as_slice())
+            );
+            assert_eq!(ok.vectors, stats.vectors);
+            assert_eq!(ok.generation, 0);
+        }
+        assert!(
+            got[&12].as_ref().unwrap_err().contains("no model 9"),
+            "unknown model must answer an error frame: {:?}",
+            got[&12]
+        );
+        assert!(
+            got[&13].is_err(),
+            "misshaped image must answer an error frame"
+        );
+
+        gateway.shutdown();
+        server.shutdown();
+    }
+}

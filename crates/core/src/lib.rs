@@ -26,6 +26,12 @@
 //!   [`DeviceLifetime`] configured, the server tracks device age, runs a
 //!   fidelity watchdog, and live-swaps reprogrammed models onto fresh
 //!   tiles (recalibration) without dropping a request.
+//! * [`gateway`] — the async front end: [`server::RequestHandle`] is a
+//!   [`std::future::Future`] driven by any executor (a dependency-free
+//!   [`gateway::block_on`]/[`gateway::LocalPool`] pair ships in-tree),
+//!   and [`gateway::Gateway`] serves a length-prefixed TCP protocol,
+//!   multiplexing 10k+ in-flight requests from a small fixed pool of
+//!   IO threads via waker-based completion delivery.
 //! * [`shard`] — tile-sharded execution: a [`shard::ShardPlan`] places
 //!   layers (and row-group splits of long layers) across simulated
 //!   accelerator tiles; partial sums merge by exact accumulator
@@ -71,6 +77,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod extensions;
+pub mod gateway;
 pub mod model;
 pub mod parallel;
 pub mod probe;
@@ -83,6 +90,7 @@ pub use compiler::{CompileCache, CompiledLayer, SharedCompileCache};
 pub use config::{RaellaConfig, WeightEncoding};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
+pub use gateway::{block_on, Gateway, GatewayClient, LocalPool};
 pub use model::{BatchResult, CompiledModel};
 pub use raella_xbar::lifetime::DeviceLifetime;
 pub use scratch::VectorScratch;

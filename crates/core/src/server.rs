@@ -7,9 +7,23 @@
 //! through the process-wide [`SharedCompileCache`] and spawns a pool of
 //! worker threads fed by a multi-producer submission queue;
 //! [`RaellaServer::submit`] enqueues one image and returns a typed
-//! [`RequestHandle`] whose [`RequestHandle::wait`] blocks for the
-//! [`Response`] (output tensor, predicted class, per-request [`RunStats`],
-//! queue/compute timing).
+//! [`RequestHandle`] for the [`Response`] (output tensor, predicted
+//! class, per-request [`RunStats`], queue/compute timing).
+//!
+//! # Completion delivery
+//!
+//! Each request's result travels through a notification cell, not a
+//! parked thread: the worker completes the cell once, firing whatever
+//! waker the handle registered. On top of that one primitive the handle
+//! offers blocking ([`RequestHandle::wait`] /
+//! [`RequestHandle::wait_timeout`]), polling
+//! ([`RequestHandle::try_wait`]), a `Wake`-style callback
+//! ([`RequestHandle::on_complete`]), and a runtime-agnostic
+//! [`std::future::Future`] impl — `handle.await` works on any executor
+//! (see [`crate::gateway`] for a dependency-free one and a socket front
+//! end multiplexing thousands of in-flight handles from a few OS
+//! threads). Holding 10k requests in flight costs 10k cells, zero
+//! threads.
 //!
 //! # Coalescing
 //!
@@ -99,11 +113,18 @@
 //! and rejects every submitter still blocked in admission, drains every
 //! request already accepted, joins the workers, and only then returns —
 //! no accepted request is ever dropped, and no rejected request ever held
-//! a handle.
+//! a handle. Draining completes every accepted request's cell, so every
+//! registered waker — callback or polled future — fires exactly once:
+//! shutdown under load strands no future, no callback, no blocked
+//! `wait`.
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -121,6 +142,12 @@ use crate::shard::ShardPlan;
 
 /// One scheduler tick — the granularity of the coalescing latency budget.
 pub const TICK: Duration = Duration::from_micros(1);
+
+/// Overall deadline [`RaellaServer::wait_all`] applies across its whole
+/// handle set, so a wedged request errors out instead of hanging the
+/// caller forever. Callers with a longer (or tighter) tolerance use
+/// [`RaellaServer::wait_all_within`] explicitly.
+pub const WAIT_ALL_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// Builds a [`RaellaServer`]: models, worker budget, batch coalescing
 /// policy, queue bounds, and the compile cache to dedupe through.
@@ -224,10 +251,13 @@ impl ServerBuilder {
     /// [module docs](crate::server)). Bounding is pure admission control:
     /// accepted requests produce bit-identical results at any bound.
     ///
-    /// Admission to freed slots is racy, not FIFO: a woken blocking
-    /// submitter re-competes with concurrent `try_submit` callers, so
-    /// under a global bound alone a relentless fail-fast spammer can
-    /// keep a blocking submitter waiting. Pair with
+    /// Blocked admissions are FIFO per lane: each blocking submitter
+    /// takes a ticket, and freed slots are granted strictly in ticket
+    /// (= arrival) order. While a lane has ticketed waiters, fresh
+    /// submissions to that lane — blocking, fail-fast, or
+    /// [`RaellaServer::submit_many`] — queue behind them (or reject)
+    /// rather than barging past. Across *different* lanes under a shared
+    /// global bound, slot grants remain racy; pair with
     /// [`ServerBuilder::model_queue_depth`] when hot-model traffic must
     /// not consume every slot at the door — lane round-robin fairness
     /// applies only *after* admission.
@@ -358,6 +388,8 @@ impl ServerBuilder {
                 high_water: 0,
                 next_lane: 0,
                 next_seq: 0,
+                lane_waiters: (0..model_count).map(|_| VecDeque::new()).collect(),
+                next_ticket: 0,
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -492,17 +524,139 @@ impl Response {
     }
 }
 
-/// A typed handle to one submitted request. [`RequestHandle::wait`]
-/// blocks until the server has executed the request and consumes the
-/// handle.
+/// The completion callback a [`RequestHandle`] can register: fired
+/// exactly once, when the request's result becomes available.
+type WakeFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// The state of one request's result slot.
+enum CellState {
+    /// The request is queued or executing. Holds the registered
+    /// completion callback, if any (last registration wins).
+    Pending(Option<WakeFn>),
+    /// The result arrived and has not been consumed yet. Boxed so the
+    /// common `Pending` state stays small.
+    Ready(Box<Result<Response, CoreError>>),
+    /// The result was consumed ([`RequestHandle::wait`] /
+    /// [`RequestHandle::try_wait`] / a ready `poll`).
+    Taken,
+}
+
+impl fmt::Debug for CellState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellState::Pending(waker) => f
+                .debug_tuple("Pending")
+                .field(&waker.as_ref().map(|_| "waker"))
+                .finish(),
+            CellState::Ready(result) => f.debug_tuple("Ready").field(result).finish(),
+            CellState::Taken => f.write_str("Taken"),
+        }
+    }
+}
+
+/// The notification cell one request's result travels through: the
+/// serving worker completes it once, the [`RequestHandle`] consumes it
+/// once, and an arbitrary `Wake`-style callback
+/// ([`RequestHandle::on_complete`]) — or a [`std::task::Waker`] via the
+/// handle's [`Future`] impl — is fired exactly once at the transition.
+/// Blocking ([`RequestHandle::wait`]) and polling
+/// ([`RequestHandle::try_wait`]) are both layered on this same cell, so
+/// every delivery path observes identical bytes; no thread is parked
+/// anywhere unless the caller chooses to block.
+#[derive(Debug)]
+struct CompletionCell {
+    state: Mutex<CellState>,
+    /// Signaled on completion — wakes blocking `wait`/`wait_timeout`.
+    ready: Condvar,
+}
+
+impl CompletionCell {
+    fn new() -> Arc<Self> {
+        Arc::new(CompletionCell {
+            state: Mutex::new(CellState::Pending(None)),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CellState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Stores the result and fires the registered callback, if any. The
+    /// callback runs *after* the lock is released, so it may re-enter the
+    /// handle (poll, try_wait) without deadlocking. Idempotence guard:
+    /// a second completion is ignored (cannot happen through
+    /// [`Completer`], which consumes itself).
+    fn complete(&self, result: Result<Response, CoreError>) {
+        let waker = {
+            let mut state = self.lock();
+            match &mut *state {
+                CellState::Pending(waker) => {
+                    let waker = waker.take();
+                    *state = CellState::Ready(Box::new(result));
+                    waker
+                }
+                CellState::Ready(_) | CellState::Taken => None,
+            }
+        };
+        self.ready.notify_all();
+        if let Some(wake) = waker {
+            wake();
+        }
+    }
+}
+
+/// The server-side half of a [`CompletionCell`]: completes it exactly
+/// once. Dropping a completer that never completed (worker died without
+/// responding) delivers a [`CoreError::Server`] "dropped" error instead —
+/// a registered waker is still fired, so no future or callback is ever
+/// stranded.
+#[derive(Debug)]
+struct Completer {
+    cell: Arc<CompletionCell>,
+    seq: u64,
+    sent: bool,
+}
+
+impl Completer {
+    fn complete(mut self, result: Result<Response, CoreError>) {
+        self.sent = true;
+        self.cell.complete(result);
+    }
+}
+
+impl Drop for Completer {
+    fn drop(&mut self) {
+        if !self.sent {
+            self.cell.complete(Err(CoreError::Server(format!(
+                "request {} was dropped before completion",
+                self.seq
+            ))));
+        }
+    }
+}
+
+/// A typed handle to one submitted request, generic over how the caller
+/// wants the result delivered:
+///
+/// * **block** — [`RequestHandle::wait`] / [`RequestHandle::wait_timeout`]
+///   park the calling thread;
+/// * **poll** — [`RequestHandle::try_wait`] never parks;
+/// * **callback** — [`RequestHandle::on_complete`] registers a
+///   `Wake`-style closure fired exactly once at completion;
+/// * **await** — the handle implements
+///   [`Future`]`<Output = Result<Response, CoreError>>` using only
+///   [`std::task`], so it runs on any executor (tokio, async-std, or the
+///   dependency-free [`crate::gateway::LocalPool`] /
+///   [`crate::gateway::block_on`]) with zero extra threads.
+///
+/// All four are views of one notification cell; whichever consumes the
+/// result first spends the handle.
 #[derive(Debug)]
 pub struct RequestHandle {
     seq: u64,
     model: usize,
-    rx: mpsc::Receiver<Result<Response, CoreError>>,
-    /// Set once `try_wait` has yielded the result, so the handle can't
-    /// misreport an already-delivered response as dropped.
-    done: bool,
+    cell: Arc<CompletionCell>,
 }
 
 impl RequestHandle {
@@ -513,20 +667,60 @@ impl RequestHandle {
     /// Propagates execution errors (e.g. a mis-shaped image), or
     /// [`CoreError::Server`] if the serving worker disappeared without
     /// responding or the result was already taken by
-    /// [`RequestHandle::try_wait`].
+    /// [`RequestHandle::try_wait`] / a ready poll.
     pub fn wait(self) -> Result<Response, CoreError> {
-        if self.done {
-            return Err(CoreError::Server(format!(
-                "request {}'s result was already taken by try_wait",
-                self.seq
-            )));
+        let mut state = self.cell.lock();
+        loop {
+            match std::mem::replace(&mut *state, CellState::Taken) {
+                CellState::Ready(result) => return *result,
+                CellState::Taken => {
+                    return Err(CoreError::Server(format!(
+                        "request {}'s result was already taken by try_wait",
+                        self.seq
+                    )));
+                }
+                pending => {
+                    *state = pending;
+                    state = self
+                        .cell
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
         }
-        self.rx.recv().map_err(|_| {
-            CoreError::Server(format!(
-                "request {} was dropped before completion",
-                self.seq
-            ))
-        })?
+    }
+
+    /// Blocks until the request completes or `timeout` elapses. Returns
+    /// `None` on timeout — the handle is untouched and still usable
+    /// (wait again, poll, or `.await`). Once this returns `Some`, the
+    /// handle is spent exactly as with [`RequestHandle::try_wait`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RequestHandle::wait`], surfaced inside the `Some`.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Response, CoreError>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.cell.lock();
+        loop {
+            match std::mem::replace(&mut *state, CellState::Taken) {
+                CellState::Ready(result) => return Some(*result),
+                CellState::Taken => return None,
+                pending => {
+                    *state = pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (next, _) = self
+                        .cell
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    state = next;
+                }
+            }
+        }
     }
 
     /// Returns the response if the request has already completed, without
@@ -539,23 +733,41 @@ impl RequestHandle {
     /// Same as [`RequestHandle::wait`], surfaced once the request
     /// finishes.
     pub fn try_wait(&mut self) -> Option<Result<Response, CoreError>> {
-        if self.done {
-            return None;
-        }
-        match self.rx.try_recv() {
-            Ok(result) => {
-                self.done = true;
-                Some(result)
-            }
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => {
-                self.done = true;
-                Some(Err(CoreError::Server(format!(
-                    "request {} was dropped before completion",
-                    self.seq
-                ))))
+        let mut state = self.cell.lock();
+        match std::mem::replace(&mut *state, CellState::Taken) {
+            CellState::Ready(result) => Some(*result),
+            CellState::Taken => None,
+            pending => {
+                *state = pending;
+                None
             }
         }
+    }
+
+    /// Registers a completion callback, fired **exactly once**: when the
+    /// request completes — from the serving worker's thread — or
+    /// immediately on the caller's thread if the result is already in
+    /// (or was already consumed). Re-registering replaces the previous
+    /// callback; the replaced one never fires. The callback only
+    /// signals availability — consume the result afterwards with
+    /// [`RequestHandle::try_wait`] (or `wait`, which then returns
+    /// without blocking).
+    ///
+    /// This is the waker primitive everything async here is built from:
+    /// the handle's [`Future`] impl registers `waker.wake()` through the
+    /// same slot, and [`crate::gateway::Gateway`] registers its
+    /// IO-thread wakeup — neither costs a parked thread per request.
+    pub fn on_complete(&self, callback: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.cell.lock();
+            if let CellState::Pending(waker) = &mut *state {
+                *waker = Some(Box::new(callback));
+                return;
+            }
+        }
+        // Already Ready or Taken: completion has happened — fire now,
+        // outside the lock.
+        callback();
     }
 
     /// The request's admission sequence number.
@@ -569,6 +781,33 @@ impl RequestHandle {
     }
 }
 
+/// `RequestHandle` is a runtime-agnostic future: it resolves to the
+/// request's result using only [`std::task`] plumbing — no executor
+/// dependency, no helper threads. Pending polls (re)register the task's
+/// waker; completion wakes it exactly once. Polling after the result was
+/// delivered (or taken by [`RequestHandle::try_wait`]) resolves to a
+/// [`CoreError::Server`] "already taken" error rather than panicking, so
+/// a double-polled future stays deterministic.
+impl Future for RequestHandle {
+    type Output = Result<Response, CoreError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.cell.lock();
+        match std::mem::replace(&mut *state, CellState::Taken) {
+            CellState::Ready(result) => Poll::Ready(*result),
+            CellState::Taken => Poll::Ready(Err(CoreError::Server(format!(
+                "request {}'s result was already taken",
+                self.seq
+            )))),
+            CellState::Pending(_) => {
+                let waker = cx.waker().clone();
+                *state = CellState::Pending(Some(Box::new(move || waker.wake())));
+                Poll::Pending
+            }
+        }
+    }
+}
+
 /// One queued request.
 #[derive(Debug)]
 struct Request {
@@ -579,7 +818,7 @@ struct Request {
     age: u64,
     image: Tensor<u8>,
     submitted: Instant,
-    tx: mpsc::SyncSender<Result<Response, CoreError>>,
+    completer: Completer,
 }
 
 /// The lock-protected queue: one FIFO lane per model plus the fairness
@@ -605,6 +844,17 @@ struct QueueState {
     /// enqueue time, so numbers are dense over *accepted* requests and
     /// follow global admission order; rejected submissions consume none.
     next_seq: u64,
+    /// Blocked admissions waiting for queue space: one FIFO of ticket
+    /// numbers per lane. Freed slots are granted strictly in ticket
+    /// (= arrival) order — a woken submitter whose ticket is not at the
+    /// front goes back to waiting, so an old blocked `submit` can never
+    /// lose a freed slot to a fresher one. An abandoned wait (timeout,
+    /// shutdown) removes its ticket wherever it sits, so the queue never
+    /// stalls on a ghost.
+    lane_waiters: Vec<VecDeque<u64>>,
+    /// Next admission ticket (server-wide; only relative order within a
+    /// lane matters).
+    next_ticket: u64,
     shutdown: bool,
 }
 
@@ -615,6 +865,19 @@ impl QueueState {
         (shared.queue_depth == 0 || self.total + n <= shared.queue_depth)
             && (shared.model_queue_depth == 0
                 || self.lanes[model].len() + n <= shared.model_queue_depth)
+    }
+
+    /// Whether a *new* admission to `model` may take a slot right now:
+    /// there is room and no earlier blocked submitter is waiting on this
+    /// lane (freed slots belong to the lane's ticket queue first —
+    /// fail-fast and fresh blocking submitters do not barge past it).
+    fn admissible(&self, model: usize, n: usize, shared: &Shared) -> bool {
+        self.lane_waiters[model].is_empty() && self.has_room(model, n, shared)
+    }
+
+    /// Drops `ticket` from `model`'s waiter FIFO (abandoned wait).
+    fn abandon_ticket(&mut self, model: usize, ticket: u64) {
+        self.lane_waiters[model].retain(|&t| t != ticket);
     }
 }
 
@@ -902,8 +1165,11 @@ fn worker_loop(shared: &Shared) {
                     }
                 });
             let completed = shared.served[req.model].fetch_add(1, Ordering::SeqCst) + 1;
-            // A dropped handle is fine — the requester walked away.
-            let _ = req.tx.send(result);
+            // Completion stores the result in the handle's cell and fires
+            // its registered waker (if any) exactly once. A handle the
+            // requester already dropped is fine — the cell just holds the
+            // unread result until its last Arc goes away.
+            req.completer.complete(result);
             // Every `watchdog_interval`-th completion samples the live
             // model's fidelity at its current age; past-budget drift
             // triggers the recalibration plan swap. The handle was
@@ -1251,51 +1517,78 @@ impl RaellaServer {
         }
         // Computed outside the queue lock (it takes the live read lock).
         let advance = self.shared.age_advance(model, &image);
-        let mut waited = false;
         let mut state = self.shared.lock();
+        if state.shutdown {
+            return Err(CoreError::Server(format!(
+                "server is shutting down; request for model {model} rejected"
+            )));
+        }
+        // Fast path: room under both bounds and no earlier blocked
+        // submitter waiting on this lane (freed slots are granted to the
+        // lane's ticket FIFO first — nobody barges past it).
+        if state.admissible(model, 1, &self.shared) {
+            let handle = enqueue(&mut state, model, image, advance);
+            drop(state);
+            self.shared.ready.notify_one();
+            return Ok(handle);
+        }
+        let deadline = match mode {
+            Admission::Fail => {
+                self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+                return Err(CoreError::QueueFull {
+                    model,
+                    pending: state.total,
+                });
+            }
+            Admission::Block => None,
+            Admission::Deadline(deadline) => Some(deadline),
+        };
+        // Blocked admission: take a ticket and join the lane's waiter
+        // FIFO. Grants happen strictly in ticket order — a woken
+        // submitter whose ticket is not at the front goes back to
+        // sleep, so arrival order is preserved no matter how the
+        // condvar wakes threads.
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.lane_waiters[model].push_back(ticket);
+        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
         loop {
             if state.shutdown {
+                state.abandon_ticket(model, ticket);
                 return Err(CoreError::Server(format!(
                     "server is shutting down; request for model {model} rejected"
                 )));
             }
-            if state.has_room(model, 1, &self.shared) {
+            if state.lane_waiters[model].front() == Some(&ticket)
+                && state.has_room(model, 1, &self.shared)
+            {
+                state.lane_waiters[model].pop_front();
                 let handle = enqueue(&mut state, model, image, advance);
                 drop(state);
+                // Cascade: room may remain for the next ticket.
+                self.shared.space.notify_all();
                 self.shared.ready.notify_one();
                 return Ok(handle);
             }
-            match mode {
-                Admission::Fail => {
-                    self.shared.rejected.fetch_add(1, Ordering::SeqCst);
-                    return Err(CoreError::QueueFull {
-                        model,
-                        pending: state.total,
-                    });
-                }
-                Admission::Block => {
-                    if !waited {
-                        waited = true;
-                        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
-                    }
+            match deadline {
+                None => {
                     state = self
                         .shared
                         .space
                         .wait(state)
                         .unwrap_or_else(PoisonError::into_inner);
                 }
-                Admission::Deadline(deadline) => {
+                Some(deadline) => {
                     let now = Instant::now();
                     if now >= deadline {
+                        state.abandon_ticket(model, ticket);
+                        let pending = state.total;
                         self.shared.rejected.fetch_add(1, Ordering::SeqCst);
-                        return Err(CoreError::QueueFull {
-                            model,
-                            pending: state.total,
-                        });
-                    }
-                    if !waited {
-                        waited = true;
-                        self.shared.blocked.fetch_add(1, Ordering::SeqCst);
+                        drop(state);
+                        // Our abandoned ticket may have been blocking the
+                        // next waiter's grant.
+                        self.shared.space.notify_all();
+                        return Err(CoreError::QueueFull { model, pending });
                     }
                     let (next, _) = self
                         .shared
@@ -1360,7 +1653,7 @@ impl RaellaServer {
                 "server is shutting down; request for model {model} rejected"
             )));
         }
-        if !state.has_room(model, images.len(), &self.shared) {
+        if !state.admissible(model, images.len(), &self.shared) {
             self.shared.rejected.fetch_add(1, Ordering::SeqCst);
             return Err(CoreError::QueueFull {
                 model,
@@ -1379,15 +1672,48 @@ impl RaellaServer {
     }
 
     /// Waits on many handles, returning responses in handle order
-    /// (= submission order for [`RaellaServer::submit_many`]).
+    /// (= submission order for [`RaellaServer::submit_many`]). Routed
+    /// through [`RaellaServer::wait_all_within`] with a
+    /// [`WAIT_ALL_TIMEOUT`] overall deadline, so a wedged request
+    /// surfaces as an error instead of hanging the caller forever.
     ///
     /// # Errors
     ///
-    /// Returns the first failure ([`RequestHandle::wait`] semantics).
+    /// Returns the first failure ([`RequestHandle::wait`] semantics), or
+    /// [`CoreError::Server`] if the whole set has not completed within
+    /// [`WAIT_ALL_TIMEOUT`].
     pub fn wait_all(
         handles: impl IntoIterator<Item = RequestHandle>,
     ) -> Result<Vec<Response>, CoreError> {
-        handles.into_iter().map(RequestHandle::wait).collect()
+        Self::wait_all_within(handles, WAIT_ALL_TIMEOUT)
+    }
+
+    /// [`RaellaServer::wait_all`] with an explicit overall deadline:
+    /// every handle must resolve within `timeout` of the call, together.
+    ///
+    /// # Errors
+    ///
+    /// As [`RaellaServer::wait_all`]; [`CoreError::Server`] names the
+    /// first sequence number still pending when the deadline passes.
+    pub fn wait_all_within(
+        handles: impl IntoIterator<Item = RequestHandle>,
+        timeout: Duration,
+    ) -> Result<Vec<Response>, CoreError> {
+        let deadline = Instant::now() + timeout;
+        handles
+            .into_iter()
+            .map(|mut handle| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match handle.wait_timeout(remaining) {
+                    Some(result) => result,
+                    None => Err(CoreError::Server(format!(
+                        "request {} did not complete within the wait_all deadline ({:?})",
+                        handle.sequence(),
+                        timeout
+                    ))),
+                }
+            })
+            .collect()
     }
 
     /// Snapshots the queue and admission counters — depth and high-water
@@ -1545,23 +1871,22 @@ fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>, advance: u64
     state.next_seq += 1;
     let age = state.ages[model];
     state.ages[model] = age.saturating_add(advance);
-    let (tx, rx) = mpsc::sync_channel(1);
+    let cell = CompletionCell::new();
     state.lanes[model].push_back(Request {
         model,
         seq,
         age,
         image,
         submitted: Instant::now(),
-        tx,
+        completer: Completer {
+            cell: Arc::clone(&cell),
+            seq,
+            sent: false,
+        },
     });
     state.total += 1;
     state.high_water = state.high_water.max(state.total);
-    RequestHandle {
-        seq,
-        model,
-        rx,
-        done: false,
-    }
+    RequestHandle { seq, model, cell }
 }
 
 impl Drop for RaellaServer {
@@ -1994,18 +2319,30 @@ mod tests {
         );
     }
 
+    /// A pending handle/completer pair outside any server — the unit
+    /// surface for delivery-semantics tests.
+    fn bare_pair(seq: u64) -> (RequestHandle, Completer) {
+        let cell = CompletionCell::new();
+        (
+            RequestHandle {
+                seq,
+                model: 0,
+                cell: Arc::clone(&cell),
+            },
+            Completer {
+                cell,
+                seq,
+                sent: false,
+            },
+        )
+    }
+
     #[test]
     fn dropped_server_surfaces_as_error_not_hang() {
-        // A handle whose sender vanished without responding (the
+        // A handle whose completer vanished without responding (the
         // dropped-server path) must error on both wait flavors.
-        let (tx, rx) = mpsc::sync_channel(1);
-        drop(tx);
-        let mut polled = RequestHandle {
-            seq: 9,
-            model: 0,
-            rx,
-            done: false,
-        };
+        let (mut polled, completer) = bare_pair(9);
+        drop(completer);
         match polled.try_wait() {
             Some(Err(CoreError::Server(msg))) => assert!(msg.contains("dropped"), "{msg}"),
             other => panic!("expected dropped-server error, got {other:?}"),
@@ -2015,19 +2352,196 @@ mod tests {
             "error delivery spends the handle"
         );
 
-        let (tx, rx) = mpsc::sync_channel(1);
-        drop(tx);
-        let waited = RequestHandle {
-            seq: 10,
-            model: 0,
-            rx,
-            done: false,
-        };
+        let (waited, completer) = bare_pair(10);
+        drop(completer);
         let err = waited.wait().unwrap_err();
         assert!(
             matches!(&err, CoreError::Server(msg) if msg.contains("dropped")),
             "{err}"
         );
+    }
+
+    /// Polls a future once against a counting waker; returns the poll
+    /// result and the waker's cumulative wake count handle.
+    fn poll_once<F: Future + Unpin>(fut: &mut F, wakes: &Arc<AtomicU64>) -> Poll<F::Output> {
+        struct CountWaker(Arc<AtomicU64>);
+        impl std::task::Wake for CountWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let waker = std::task::Waker::from(Arc::new(CountWaker(Arc::clone(wakes))));
+        let mut cx = Context::from_waker(&waker);
+        Pin::new(fut).poll(&mut cx)
+    }
+
+    fn ok_response(seq: u64) -> Response {
+        Response {
+            output: Tensor::zeros(&[1]),
+            predicted: 0,
+            stats: RunStats::default(),
+            tile_stats: Vec::new(),
+            seq,
+            model: 0,
+            age: 0,
+            generation: 0,
+            queue_ticks: 0,
+            compute_ticks: 0,
+            batch_size: 1,
+        }
+    }
+
+    #[test]
+    fn waker_register_then_complete_fires_exactly_once() {
+        let (handle, completer) = bare_pair(0);
+        let fired = Arc::new(AtomicU64::new(0));
+        let observer = Arc::clone(&fired);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "nothing completed yet");
+        completer.complete(Ok(ok_response(0)));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "completion fires the waker"
+        );
+        // The callback only signals; the result is still consumable.
+        assert!(handle.wait().is_ok());
+    }
+
+    #[test]
+    fn waker_complete_then_register_fires_immediately() {
+        let (handle, completer) = bare_pair(1);
+        completer.complete(Ok(ok_response(1)));
+        let fired = Arc::new(AtomicU64::new(0));
+        let observer = Arc::clone(&fired);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "late registration must fire on the spot, not never"
+        );
+        // Re-registration after completion fires again immediately (the
+        // completion already happened; the callback can't be stored).
+        let observer = Arc::clone(&fired);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn reregistration_replaces_the_pending_waker() {
+        let (handle, completer) = bare_pair(2);
+        let (first, second) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+        let observer = Arc::clone(&first);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        let observer = Arc::clone(&second);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        completer.complete(Ok(ok_response(2)));
+        assert_eq!(
+            first.load(Ordering::SeqCst),
+            0,
+            "replaced waker never fires"
+        );
+        assert_eq!(second.load(Ordering::SeqCst), 1, "last registration wins");
+    }
+
+    #[test]
+    fn handle_dropped_while_pending_never_fires_into_freed_state() {
+        // The waker lives in the Arc'd cell, not the handle: dropping the
+        // handle (and its registered waker's captures) while the request
+        // is pending must leave completion safe — the callback fires into
+        // captures it owns, never into freed handle state.
+        let (handle, completer) = bare_pair(3);
+        let fired = Arc::new(AtomicU64::new(0));
+        let observer = Arc::clone(&fired);
+        handle.on_complete(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(handle);
+        completer.complete(Ok(ok_response(3)));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "completion after handle drop still fires the registered waker"
+        );
+    }
+
+    #[test]
+    fn future_poll_pending_then_wake_then_ready_then_double_poll() {
+        let (mut handle, completer) = bare_pair(4);
+        let wakes = Arc::new(AtomicU64::new(0));
+        assert!(poll_once(&mut handle, &wakes).is_pending());
+        assert_eq!(wakes.load(Ordering::SeqCst), 0);
+        completer.complete(Ok(ok_response(4)));
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "completion wakes the task");
+        match poll_once(&mut handle, &wakes) {
+            Poll::Ready(Ok(resp)) => assert_eq!(resp.sequence(), 4),
+            other => panic!("woken future must be ready: {other:?}"),
+        }
+        // Double-poll after ready: deterministic error, not a panic or a
+        // forever-pending future.
+        match poll_once(&mut handle, &wakes) {
+            Poll::Ready(Err(CoreError::Server(msg))) => {
+                assert!(msg.contains("already taken"), "{msg}")
+            }
+            other => panic!("double poll must resolve to an error: {other:?}"),
+        }
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "no spurious extra wakes");
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_still_delivers() {
+        let (mut handle, completer) = bare_pair(5);
+        let t0 = Instant::now();
+        assert!(
+            handle.wait_timeout(Duration::from_millis(15)).is_none(),
+            "pending request must time out"
+        );
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        // The timeout consumed nothing: the handle still works.
+        completer.complete(Ok(ok_response(5)));
+        match handle.wait_timeout(Duration::from_secs(5)) {
+            Some(Ok(resp)) => assert_eq!(resp.sequence(), 5),
+            other => panic!("completed request must deliver: {other:?}"),
+        }
+        // Delivered once: the handle is spent.
+        assert!(handle.wait_timeout(Duration::ZERO).is_none());
+        assert!(handle.try_wait().is_none());
+    }
+
+    #[test]
+    fn wait_all_surfaces_a_wedged_request_instead_of_hanging() {
+        let (done, done_completer) = bare_pair(6);
+        let (wedged, _held_completer) = bare_pair(7);
+        done_completer.complete(Ok(ok_response(6)));
+        let err =
+            RaellaServer::wait_all_within([done, wedged], Duration::from_millis(20)).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Server(msg) if msg.contains("request 7") && msg.contains("deadline")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn handle_resolves_on_a_plain_executor_end_to_end() {
+        // The facade works from any executor: drive a real served
+        // request with the gateway's dependency-free block_on.
+        let server = build_tiny(1, 4, 0);
+        let image = sample_image(2);
+        let (want, _) = server.model(0).run_image(&image).unwrap();
+        let handle = server.submit(image).unwrap();
+        let resp = crate::gateway::block_on(handle).expect("served future resolves");
+        assert_eq!(resp.output(), &want);
+        server.shutdown();
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! `ServerMetrics` rejection counts match the submitters' observed
 //! `QueueFull` errors exactly.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use raella_arch::tile::TileSpec;
 use raella_core::compiler::SharedCompileCache;
+use raella_core::gateway::LocalPool;
 use raella_core::model::CompiledModel;
 use raella_core::server::RaellaServer;
 use raella_core::{CoreError, DeviceLifetime, RaellaConfig, RunStats};
@@ -323,6 +326,136 @@ fn shutdown_under_load_drains_every_handle() {
         2 * PER_MODEL,
         "every handle must resolve after shutdown"
     );
+}
+
+#[test]
+fn blocked_admissions_are_granted_in_arrival_order() {
+    // PR 5's gap: blocked submitters used to re-race freed slots, so an
+    // old blocked submitter could lose to a fresh one indefinitely. With
+    // per-lane tickets, grants happen strictly in arrival order — which
+    // this test observes through admission sequence numbers.
+    //
+    // Topology: queue_depth 4 < max_batch 8 and a 2 s latency budget
+    // park the single worker (the lane can never fill a batch), so four
+    // try_submit fillers pin the queue full. Four blocking submitters
+    // are then staggered in — each launched only after the previous one
+    // is observably blocked (the `blocked` metric increments under the
+    // same lock that enqueues the ticket). The budget then expires, the
+    // worker pops the four fillers, and the four freed slots must be
+    // granted in ticket order: strictly increasing sequence numbers in
+    // launch order.
+    const FILLERS: usize = 4;
+    const BLOCKERS: usize = 4;
+    let server = RaellaServer::builder()
+        .model(&conv_graph(), &cfg())
+        .compile_cache(SharedCompileCache::new())
+        .workers(1)
+        .max_batch(8)
+        .latency_budget_ticks(2_000_000)
+        .queue_depth(FILLERS)
+        .build()
+        .expect("bounded server builds");
+    let image = conv_image(0);
+    let (want, _) = server.model(0).run_image(&image).expect("runs");
+
+    let mut fillers = Vec::new();
+    for _ in 0..FILLERS {
+        fillers.push(server.try_submit(image.clone()).expect("queue has room"));
+    }
+    assert_eq!(server.pending(), FILLERS, "queue pinned full");
+
+    let granted: Vec<(usize, raella_core::RequestHandle)> = std::thread::scope(|scope| {
+        let mut blockers = Vec::new();
+        for k in 0..BLOCKERS {
+            let server = &server;
+            let image = image.clone();
+            blockers.push(scope.spawn(move || {
+                let handle = server.submit(image).expect("blocked submit is granted");
+                (k, handle)
+            }));
+            // Blocker k+1 may only enter admission once blocker k holds
+            // its ticket — that makes "arrival order" well-defined.
+            while server.metrics().blocked() < (k + 1) as u64 {
+                std::thread::yield_now();
+            }
+        }
+        blockers
+            .into_iter()
+            .map(|b| b.join().expect("blocker survives"))
+            .collect()
+    });
+
+    for window in granted.windows(2) {
+        let (ka, ref ha) = window[0];
+        let (kb, ref hb) = window[1];
+        assert!(
+            ha.sequence() < hb.sequence(),
+            "blocker {ka} (seq {}) arrived before blocker {kb} (seq {}) \
+             but was granted after it — FIFO admission violated",
+            ha.sequence(),
+            hb.sequence()
+        );
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.blocked(), BLOCKERS as u64);
+    assert_eq!(metrics.rejected(), 0, "blocking submits never reject");
+
+    // Drain everything; the bytes must not have moved.
+    server.shutdown();
+    for handle in fillers
+        .into_iter()
+        .chain(granted.into_iter().map(|(_, h)| h))
+    {
+        let resp = handle.wait().expect("accepted request drains");
+        assert_eq!(resp.output(), &want);
+    }
+}
+
+#[test]
+fn shutdown_under_load_wakes_every_pending_future() {
+    // The async-racing variant of drain-on-shutdown: the same parked
+    // topology, but the handles are driven as futures on a LocalPool
+    // while another thread shuts the server down. Every pending future
+    // must be woken exactly into a resolved state — a waker dropped by
+    // shutdown would park the pool forever (the test would hang, not
+    // silently pass).
+    const PER_MODEL: usize = 8;
+    let server = build_sharded(2, 64, 5_000_000, 0, 0);
+    let (out_long, _) = server.model(0).run_image(&long_image(0)).expect("runs");
+    let (out_conv, _) = server.model(1).run_image(&conv_image(0)).expect("runs");
+
+    let mut handles = Vec::new();
+    for _ in 0..PER_MODEL {
+        handles.push((0usize, server.submit(long_image(0)).expect("admits")));
+        handles.push((1usize, server.submit_to(1, conv_image(0)).expect("admits")));
+    }
+
+    let resolved = Rc::new(RefCell::new(Vec::new()));
+    let mut pool = LocalPool::new();
+    for (i, (model, handle)) in handles.into_iter().enumerate() {
+        let resolved = Rc::clone(&resolved);
+        pool.spawn(async move {
+            let resp = handle.await.expect("drained request resolves");
+            resolved.borrow_mut().push((i, model, resp));
+        });
+    }
+    assert_eq!(pool.pending(), 2 * PER_MODEL);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.shutdown());
+        pool.run();
+    });
+
+    let resolved = resolved.borrow();
+    assert_eq!(
+        resolved.len(),
+        2 * PER_MODEL,
+        "every future woke and resolved"
+    );
+    for (i, model, resp) in resolved.iter() {
+        let want = if *model == 0 { &out_long } else { &out_conv };
+        assert_eq!(resp.output(), want, "future {i} (model {model}) bytes");
+    }
 }
 
 #[test]

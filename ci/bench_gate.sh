@@ -12,6 +12,7 @@
 #   ci/bench_gate.sh shard_throughput     BENCH_shard.json  1.01
 #   ci/bench_gate.sh drift                BENCH_drift.json  250000
 #   ci/bench_gate.sh gateway              BENCH_serve.json  15000000
+#   ci/bench_gate.sh energy               BENCH_serve.json  0
 #
 # Each baseline JSON records its gated ratio under a bench-specific key;
 # the gate itself is uniform: the WORST recorded speedup must be >= the
@@ -30,6 +31,13 @@
 # request can see), and its curve shape — fresh device within budget,
 # drift eventually past it — is validated on every runner.
 #
+# `energy` re-reads serve_throughput's JSON (same bench binary) and
+# validates the deterministic `"energy"` record — ADC fraction strictly
+# inside (0, 1), per-component picojoules summing to the recorded total,
+# and a positive joules-per-request figure. The record prices integer
+# event counts once, so it is identical on every runner and gates on ANY
+# core count; the floor argument is ignored.
+#
 # `gateway` runs the open-loop socket load generator
 # (`examples/gateway.rs`, not a cargo bench) and validates the
 # `"gateway"` record it merges into BENCH_serve.json: every in-flight
@@ -47,10 +55,11 @@ bench="$1"
 json="$2"
 min="$3"
 
-# The single-thread gate re-reads the engine bench's JSON; same binary.
+# The single-thread and energy gates re-read another bench's JSON.
 bench_bin="$bench"
 case "$bench" in
 engine_single_thread) bench_bin="engine_throughput" ;;
+energy) bench_bin="serve_throughput" ;;
 esac
 
 if [ "$bench" = "gateway" ]; then
@@ -124,6 +133,27 @@ elif name == "drift":
         assert p99 <= floor, f"recalibration pause regressed: p99 {p99} µs > {floor:.0f} µs"
     else:
         print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
+    raise SystemExit(0)
+elif name == "energy":
+    # Deterministic record (integer event counts priced once): gates on
+    # ANY core count, no floor — the shape itself is the contract.
+    e = data["energy"]
+    total = e["total_pj"]
+    parts = e["components_pj"]
+    frac = e["adc_fraction"]
+    jpr = e["joules_per_request"]
+    assert e["requests"] > 0, "energy record covers no requests"
+    assert total > 0, f"degenerate total energy: {total} pJ"
+    assert jpr > 0, f"degenerate joules-per-request: {jpr}"
+    assert 0.0 < frac < 1.0, (
+        f"ADC fraction must be strictly inside (0, 1): {frac}"
+    )
+    summed = sum(parts.values())
+    assert abs(summed - total) <= 1e-6 * total, (
+        f"per-component energy does not sum to the total: {summed} vs {total} pJ"
+    )
+    print(f"{name}: {jpr:.3e} J/request, ADC fraction {frac:.3f}, "
+          f"{len(parts)} components summing to {total:.1f} pJ")
     raise SystemExit(0)
 elif name == "gateway":
     # Open-loop socket load: every level completed its whole offered

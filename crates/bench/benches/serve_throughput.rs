@@ -79,16 +79,22 @@ fn main() {
     let ambient = std::env::var("RAELLA_THREADS").ok();
     std::env::set_var("RAELLA_THREADS", "1");
     let serial_server = build(1, 8, 200);
-    let serial_outputs: Vec<_> = {
+    let serial_responses: Vec<_> = {
         let handles = serial_server
             .submit_many(images.iter().cloned())
             .expect("unbounded burst admits");
-        RaellaServer::wait_all(handles)
-            .expect("serial burst succeeds")
-            .into_iter()
-            .map(|r| r.into_output())
-            .collect()
+        RaellaServer::wait_all(handles).expect("serial burst succeeds")
     };
+    // Per-request energy is deterministic (priced integer event counts),
+    // so one burst prices them all — identical at any worker count.
+    let mut burst_energy = raella_core::EnergyBreakdown::default();
+    for resp in &serial_responses {
+        burst_energy = burst_energy.add(resp.energy());
+    }
+    let serial_outputs: Vec<_> = serial_responses
+        .into_iter()
+        .map(|r| r.into_output())
+        .collect();
     let mut serial_rps = 0f64;
     for _ in 0..REPS {
         let (elapsed, _) = run_burst(&serial_server, &images);
@@ -245,8 +251,29 @@ fn main() {
         "serial {serial_rps:.1} req/s, parallel best {best_rps:.1} / worst {worst_rps:.1} req/s, gated (worst) speedup x{speedup:.2} ({workers} workers)"
     );
 
+    // ---- energy: the paper's headline metric, per served request ----
+    // Deterministic (integer event counts priced once), so the gate
+    // validates invariants — ADC fraction in (0,1), components summing
+    // to the total — not machine-dependent magnitudes.
+    let total_pj = burst_energy.total_pj();
+    let joules_per_request = total_pj * 1e-12 / REQUESTS as f64;
+    let adc_fraction = burst_energy.adc_fraction();
+    println!(
+        "energy: {joules_per_request:.3e} J/request, ADC fraction {:.1}% ({REQUESTS} requests, {total_pj:.1} pJ burst total)",
+        adc_fraction * 100.0
+    );
+    let components: Vec<String> = raella_core::EnergyBreakdown::LABELS
+        .iter()
+        .zip(burst_energy.values())
+        .map(|(label, pj)| format!("\"{label}\": {pj:.6}"))
+        .collect();
+    let energy_record = format!(
+        "\"energy\": {{ \"requests\": {REQUESTS}, \"joules_per_request\": {joules_per_request:.6e}, \"adc_fraction\": {adc_fraction:.6}, \"total_pj\": {total_pj:.6}, \"components_pj\": {{ {} }} }}",
+        components.join(", ")
+    );
+
     let mut json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ],\n  \"overload\": {{ \"models\": 2, \"queue_depth\": 8, \"max_batch\": 4, \"attempts\": {attempts}, \"completed\": {completed}, \"rejected\": {rejected}, \"rejection_rate\": {rejection_rate:.3}, \"requests_per_sec\": {overload_rps:.1} }}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"model\": \"mini_resnet18\",\n  \"requests\": {REQUESTS},\n  \"workers\": {workers},\n  \"requests_per_sec\": {{ \"serial\": {serial_rps:.1}, \"parallel_best\": {best_rps:.1}, \"parallel_worst\": {worst_rps:.1}, \"speedup\": {speedup:.3} }},\n  \"budgets\": [\n{}\n  ],\n  {energy_record},\n  \"overload\": {{ \"models\": 2, \"queue_depth\": 8, \"max_batch\": 4, \"attempts\": {attempts}, \"completed\": {completed}, \"rejected\": {rejected}, \"rejection_rate\": {rejection_rate:.3}, \"requests_per_sec\": {overload_rps:.1} }}\n}}\n",
         entries.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

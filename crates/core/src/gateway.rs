@@ -37,13 +37,17 @@
 //!
 //! Response payload (the `tag` echoes the request's, so clients may
 //! pipeline arbitrarily many requests per connection and match
-//! responses out of order):
+//! responses out of order). Version [`WIRE_VERSION`] (2) added the
+//! per-request energy breakdown and the selected slicing-config index
+//! to status-0 frames; [`decode_response`] rejects any other version
+//! with a clean error instead of misreading the bytes:
 //!
 //! ```text
-//! u64 tag | u8 status
+//! u64 tag | u8 version | u8 status
 //!   status 0: u64 seq | u64 generation | u64 age | u32 predicted
 //!             | u64 queue_ticks | u64 compute_ticks
-//!             | u64 vectors | u64 macs
+//!             | u64 vectors | u64 macs | u32 config
+//!             | 9 × f64 energy (breakdown components, pJ, IEEE-754 bits)
 //!             | u32 out_len | out_len × u8 output
 //!   status 1: u32 msg_len | msg_len × u8 utf-8 error message
 //! ```
@@ -51,7 +55,11 @@
 //! Admission over the socket is fail-fast
 //! ([`crate::server::RaellaServer::try_submit_to`]): a bounded queue
 //! answers `QueueFull` as a status-1 frame instead of stalling the IO
-//! thread — backpressure travels over the wire.
+//! thread — backpressure travels over the wire. Frame-cap violations
+//! are answered, not ghosted: an inbound length prefix beyond
+//! [`MAX_FRAME`] gets a status-1 frame before the connection closes,
+//! and an outbound response that would not fit the cap is replaced by
+//! a status-1 frame on a healthy connection.
 //!
 //! # Determinism
 //!
@@ -71,13 +79,22 @@ use std::task::{Context, Poll, Wake, Waker};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use raella_energy::EnergyBreakdown;
 use raella_nn::tensor::Tensor;
 
 use crate::server::{RaellaServer, RequestHandle, Response};
 
 /// Largest accepted frame payload (16 MiB) — a length prefix beyond this
-/// is a protocol violation and closes the connection.
+/// is a protocol violation: the gateway answers a status-1 error frame
+/// and then closes the connection (nothing after an unframeable prefix
+/// can be trusted). The cap is symmetric: an outbound response that
+/// would exceed it is replaced by a status-1 frame too.
 pub const MAX_FRAME: usize = 1 << 24;
+
+/// Response-frame wire version. Version 2 added the energy breakdown
+/// and selected-config fields to status-0 frames; [`decode_response`]
+/// rejects frames carrying any other version.
+pub const WIRE_VERSION: u8 = 2;
 
 /// How long an idle IO thread parks between readiness sweeps when no
 /// completion wakes it sooner. Bounds the added latency of a request
@@ -245,11 +262,12 @@ impl LocalPool {
 // ---------------------------------------------------------------------
 
 /// A successfully served request as it appears on the wire: identity
-/// (`seq`, `(generation, age)` for offline replay), the prediction, the
-/// timing fields, a [`crate::engine::RunStats`] summary, and the full
-/// output bytes (so clients can assert bit-identity against a local
+/// (`seq`, `(generation, age, config)` for offline replay), the
+/// prediction, the timing fields, a [`crate::engine::RunStats`]
+/// summary, the priced [`EnergyBreakdown`], and the full output bytes
+/// (so clients can assert bit-identity against a local
 /// [`crate::model::CompiledModel::run_batch`]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WireOk {
     /// Server-wide admission sequence number.
     pub seq: u64,
@@ -267,13 +285,20 @@ pub struct WireOk {
     pub vectors: u64,
     /// MACs logically performed for this request.
     pub macs: u64,
+    /// [`crate::server::energy_config_ladder`] index of the slicing
+    /// variant that served the request (0 = base config).
+    pub config: u32,
+    /// Priced per-request energy breakdown
+    /// ([`crate::server::Response::energy`]), bit-exact over the wire
+    /// (components travel as IEEE-754 bit patterns).
+    pub energy: EnergyBreakdown,
     /// The model's full output tensor bytes.
     pub output: Vec<u8>,
 }
 
 /// One decoded response frame: the echoed client tag plus either the
 /// served result or the server's error message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WireResponse {
     /// The client-chosen correlation tag from the request frame.
     pub tag: u64,
@@ -297,12 +322,20 @@ pub fn encode_request(buf: &mut Vec<u8>, tag: u64, model: u16, image: &Tensor<u8
     buf.extend_from_slice(image.as_slice());
 }
 
-/// Appends one status-0 (served) response frame to `buf`.
+/// Fixed status-0 payload bytes ahead of the output: tag + version +
+/// status + seq/generation/age + predicted + queue/compute ticks +
+/// vectors/macs + config + 9 energy components + out_len.
+const OK_HEADER_LEN: usize = 8 + 1 + 1 + 8 * 7 + 4 + 4 + 8 * 9 + 4;
+
+/// Appends one status-0 (served) response frame to `buf`. The cap is
+/// enforced by the caller ([`encode_response`]): a response that would
+/// not frame becomes a status-1 error instead.
 fn encode_ok(buf: &mut Vec<u8>, tag: u64, resp: &Response) {
     let out = resp.output().as_slice();
-    let payload_len = 8 + 1 + 8 * 7 + 4 + 4 + out.len();
+    let payload_len = OK_HEADER_LEN + out.len();
     buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
     buf.extend_from_slice(&tag.to_be_bytes());
+    buf.push(WIRE_VERSION);
     buf.push(0);
     buf.extend_from_slice(&resp.sequence().to_be_bytes());
     buf.extend_from_slice(&resp.generation().to_be_bytes());
@@ -312,16 +345,43 @@ fn encode_ok(buf: &mut Vec<u8>, tag: u64, resp: &Response) {
     buf.extend_from_slice(&resp.compute_ticks().to_be_bytes());
     buf.extend_from_slice(&resp.stats().vectors.to_be_bytes());
     buf.extend_from_slice(&resp.stats().events.macs.to_be_bytes());
+    buf.extend_from_slice(&(resp.selected_config() as u32).to_be_bytes());
+    for component in resp.energy().values() {
+        // IEEE-754 bit patterns: the breakdown survives the wire
+        // bit-exactly, so client-side replay comparisons can be ==.
+        buf.extend_from_slice(&component.to_bits().to_be_bytes());
+    }
     buf.extend_from_slice(&(out.len() as u32).to_be_bytes());
     buf.extend_from_slice(out);
+}
+
+/// Appends the response frame for a served request, downgrading to a
+/// status-1 frame when the output would push the payload past
+/// [`MAX_FRAME`] — the cap is symmetric, and a too-large response must
+/// not corrupt the stream or ghost the client.
+fn encode_response(buf: &mut Vec<u8>, tag: u64, resp: &Response) {
+    let out_len = resp.output().as_slice().len();
+    if OK_HEADER_LEN + out_len > MAX_FRAME {
+        encode_err(
+            buf,
+            tag,
+            &format!(
+                "response output of {out_len} bytes exceeds the \
+                 {MAX_FRAME}-byte frame cap"
+            ),
+        );
+    } else {
+        encode_ok(buf, tag, resp);
+    }
 }
 
 /// Appends one status-1 (error) response frame to `buf`.
 fn encode_err(buf: &mut Vec<u8>, tag: u64, msg: &str) {
     let msg = msg.as_bytes();
-    let payload_len = 8 + 1 + 4 + msg.len();
+    let payload_len = 8 + 1 + 1 + 4 + msg.len();
     buf.extend_from_slice(&(payload_len as u32).to_be_bytes());
     buf.extend_from_slice(&tag.to_be_bytes());
+    buf.push(WIRE_VERSION);
     buf.push(1);
     buf.extend_from_slice(&(msg.len() as u32).to_be_bytes());
     buf.extend_from_slice(msg);
@@ -422,15 +482,22 @@ fn parse_request(payload: &[u8]) -> Result<(u64, u16, Tensor<u8>), String> {
 ///
 /// # Errors
 ///
-/// Returns a message describing the malformed frame. A well-formed
-/// status-1 frame is **not** an error here — it decodes to
-/// `WireResponse { result: Err(..) }`.
+/// Returns a message describing the malformed frame — including a frame
+/// whose version byte is not [`WIRE_VERSION`], which is rejected before
+/// any field is interpreted. A well-formed status-1 frame is **not** an
+/// error here — it decodes to `WireResponse { result: Err(..) }`.
 pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
     let mut cur = Cursor {
         buf: payload,
         pos: 0,
     };
     let tag = cur.u64()?;
+    let version = cur.u8()?;
+    if version != WIRE_VERSION {
+        return Err(format!(
+            "unsupported wire version {version} (this client speaks {WIRE_VERSION})"
+        ));
+    }
     let status = cur.u8()?;
     let result = match status {
         0 => {
@@ -442,6 +509,24 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
             let compute_ticks = cur.u64()?;
             let vectors = cur.u64()?;
             let macs = cur.u64()?;
+            let config = cur.u32()?;
+            let mut components = [0.0f64; 9];
+            for slot in &mut components {
+                *slot = f64::from_bits(cur.u64()?);
+            }
+            let [adc_pj, crossbar_pj, dac_pj, sample_hold_pj, sram_pj, edram_pj, router_pj, digital_pj, quant_pj] =
+                components;
+            let energy = EnergyBreakdown {
+                adc_pj,
+                crossbar_pj,
+                dac_pj,
+                sample_hold_pj,
+                sram_pj,
+                edram_pj,
+                router_pj,
+                digital_pj,
+                quant_pj,
+            };
             let out_len = cur.u32()? as usize;
             let output = cur.take(out_len)?.to_vec();
             Ok(WireOk {
@@ -453,6 +538,8 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, String> {
                 compute_ticks,
                 vectors,
                 macs,
+                config,
+                energy,
                 output,
             })
         }
@@ -741,7 +828,7 @@ fn io_loop(server: &RaellaServer, shared: &GatewayShared, index: usize) {
                 continue;
             };
             match handle.try_wait() {
-                Some(Ok(resp)) => encode_ok(&mut conn.wbuf, tag, &resp),
+                Some(Ok(resp)) => encode_response(&mut conn.wbuf, tag, &resp),
                 Some(Err(err)) => encode_err(&mut conn.wbuf, tag, &err.to_string()),
                 // Unreachable — on_complete fires after the result is
                 // stored — but degrade to an error frame, not a panic.
@@ -831,9 +918,22 @@ fn pump_reads(
                 consumed += used;
             }
             Ok(None) => break,
-            Err(_) => {
-                // Unframeable stream: nothing trustworthy follows.
-                conn.dead = true;
+            Err(msg) => {
+                // Unframeable stream: nothing trustworthy follows, but
+                // the client deserves to know *why* the connection is
+                // going away — answer a status-1 frame, flush it, then
+                // close (`closing` drains the write buffer; `dead`
+                // would drop the explanation on the floor).
+                let tag = conn.rbuf[consumed..]
+                    .get(4..12)
+                    .map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                encode_err(&mut conn.wbuf, tag, &format!("protocol violation: {msg}"));
+                // Discard the poisoned bytes so the reaper's "drained"
+                // check is about responses, not this garbage.
+                conn.rbuf.clear();
+                consumed = 0;
+                conn.closing = true;
                 break;
             }
         }
@@ -1021,6 +1121,27 @@ mod tests {
     }
 
     #[test]
+    fn decoder_rejects_unknown_wire_versions() {
+        let mut buf = Vec::new();
+        encode_err(&mut buf, 3, "x");
+        let (_, payload) = next_frame(&buf).unwrap().unwrap();
+        let mut frame = buf[payload].to_vec();
+        // A v1 frame put the status byte where the version now lives;
+        // both legacy statuses must be rejected by name, as must any
+        // future version.
+        for bogus in [0u8, 1, WIRE_VERSION + 1] {
+            frame[8] = bogus;
+            let err = decode_response(&frame).unwrap_err();
+            assert!(
+                err.contains(&format!("unsupported wire version {bogus}")),
+                "version {bogus}: {err}"
+            );
+        }
+        frame[8] = WIRE_VERSION;
+        assert!(decode_response(&frame).is_ok(), "restored frame decodes");
+    }
+
+    #[test]
     fn parse_request_rejects_garbage() {
         assert!(parse_request(&[1, 2, 3]).is_err(), "truncated header");
         // Valid header claiming more image bytes than present.
@@ -1107,6 +1228,11 @@ mod tests {
             );
             assert_eq!(ok.vectors, stats.vectors);
             assert_eq!(ok.generation, 0);
+            // Energy crosses the wire bit-exactly (IEEE-754 bit
+            // patterns), so an offline replay compares with ==.
+            assert_eq!(ok.config, 0, "no budget registered");
+            assert_eq!(ok.energy, model.energy_breakdown(&stats), "tag {tag}");
+            assert!(ok.energy.total_pj() > 0.0);
         }
         assert!(
             got[&12].as_ref().unwrap_err().contains("no model 9"),
@@ -1118,6 +1244,52 @@ mod tests {
             "misshaped image must answer an error frame"
         );
 
+        gateway.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_answers_an_error_before_closing() {
+        let server = tiny_server();
+        let gateway = Gateway::builder(Arc::clone(&server))
+            .io_threads(1)
+            .bind("127.0.0.1:0")
+            .expect("gateway binds");
+        let mut stream = TcpStream::connect(gateway.local_addr()).expect("connects");
+        // A frame claiming MAX_FRAME + 1 payload bytes, with the tag in
+        // place so the error frame can echo it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        buf.extend_from_slice(&0xFEEDu64.to_be_bytes());
+        stream.write_all(&buf).expect("writes");
+
+        // The violation must be *answered*, not silently dropped: one
+        // status-1 frame naming the cap, then EOF.
+        let mut rbuf = Vec::new();
+        let mut tmp = [0u8; 4096];
+        let frame = loop {
+            if let Some((used, payload)) = next_frame(&rbuf).expect("well-formed error frame") {
+                let resp = decode_response(&rbuf[payload]).expect("decodable");
+                rbuf.drain(..used);
+                break resp;
+            }
+            let n = stream.read(&mut tmp).expect("readable");
+            assert!(n > 0, "connection closed without an error frame");
+            rbuf.extend_from_slice(&tmp[..n]);
+        };
+        assert_eq!(frame.tag, 0xFEED, "error echoes the violating tag");
+        let msg = frame.result.unwrap_err();
+        assert!(msg.contains("protocol violation"), "{msg}");
+
+        // …and then the gateway hangs up.
+        loop {
+            match stream.read(&mut tmp) {
+                Ok(0) => break,
+                Ok(n) => rbuf.extend_from_slice(&tmp[..n]),
+                Err(e) => panic!("expected EOF after the error frame: {e}"),
+            }
+        }
+        assert!(rbuf.is_empty(), "nothing follows the error frame");
         gateway.shutdown();
         server.shutdown();
     }

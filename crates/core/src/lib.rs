@@ -18,6 +18,10 @@
 //! * [`model`] — whole-model compilation: [`model::CompiledModel`] compiles
 //!   a graph's layers once and streams image batches across workers with
 //!   bit-exact, batch-composition-independent results.
+//! * [`energy`] — energy accounting: binds the engine's event counters
+//!   to `raella-energy`'s priced component breakdowns, per run, per
+//!   layer, and per tile — exactly additive under any grouping because
+//!   integer counters merge before pricing.
 //! * [`server`] — the serving front door: [`server::RaellaServer`] owns
 //!   worker threads fed by a coalescing request queue; submit images, get
 //!   typed [`server::RequestHandle`]s, wait for [`server::Response`]s that
@@ -74,6 +78,7 @@ pub mod adaptive;
 pub mod center;
 pub mod compiler;
 pub mod config;
+pub mod energy;
 pub mod engine;
 pub mod error;
 pub mod extensions;
@@ -88,11 +93,16 @@ pub mod shard;
 pub use accuracy::FidelityReport;
 pub use compiler::{CompileCache, CompiledLayer, SharedCompileCache};
 pub use config::{RaellaConfig, WeightEncoding};
+pub use energy::{EnergyProfile, LayerEnergy};
 pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
 pub use gateway::{block_on, Gateway, GatewayClient, LocalPool};
 pub use model::{BatchResult, CompiledModel};
+pub use raella_energy::meter::{EnergyMeter, MeterEvents, MeterGeometry};
+pub use raella_energy::{ComponentPrices, EnergyBreakdown};
 pub use raella_xbar::lifetime::DeviceLifetime;
 pub use scratch::VectorScratch;
-pub use server::{RaellaServer, RequestHandle, Response, ServerBuilder, ServerMetrics};
+pub use server::{
+    energy_config_ladder, RaellaServer, RequestHandle, Response, ServerBuilder, ServerMetrics,
+};
 pub use shard::{ShardBatchResult, ShardPlan, ShardedModel};

@@ -376,6 +376,7 @@ impl CompiledModel {
             layers: &self.layers,
             cursor: 0,
             stats: RunStats::default(),
+            layer_stats: None,
             next_vector: 0,
             noise_seed: self.noise_seed,
             parallel_vectors,
@@ -385,6 +386,37 @@ impl CompiledModel {
             .graph
             .run_planned(&self.plan, image, &mut engine, arena)?;
         Ok((out, engine.stats))
+    }
+
+    /// [`CompiledModel::run_image_in_at_age`] that additionally attributes
+    /// statistics to each matrix-layer node (execution order). The merged
+    /// totals are bit-identical to the unattributed run — per-node
+    /// counters are accumulated locally and merged in, and
+    /// [`RunStats::merge`] is exact — so this is the energy profiler's
+    /// execution path, not a second semantics.
+    pub(crate) fn run_image_layers_at_age(
+        &self,
+        image: &Tensor<u8>,
+        arena: &mut ValueArena,
+        parallel_vectors: bool,
+        age: u64,
+    ) -> Result<(Tensor<u8>, RunStats, Vec<RunStats>), CoreError> {
+        let mut per_layer = vec![RunStats::default(); self.layers.len()];
+        let mut engine = PlannedEngine {
+            layers: &self.layers,
+            cursor: 0,
+            stats: RunStats::default(),
+            layer_stats: Some(&mut per_layer),
+            next_vector: 0,
+            noise_seed: self.noise_seed,
+            parallel_vectors,
+            base_age: age,
+        };
+        let out = self
+            .graph
+            .run_planned(&self.plan, image, &mut engine, arena)?;
+        let stats = engine.stats;
+        Ok((out, stats, per_layer))
     }
 
     /// Input vectors one `image` pushes through the model's matrix layers
@@ -473,6 +505,11 @@ struct PlannedEngine<'m> {
     layers: &'m [Arc<CompiledLayer>],
     cursor: usize,
     stats: RunStats,
+    /// When profiling, per-node statistics indexed like `layers` —
+    /// accumulated locally per call and merged into `stats`, so totals
+    /// stay bit-identical to the unattributed path ([`RunStats::merge`]
+    /// is exact integer arithmetic).
+    layer_stats: Option<&'m mut Vec<RunStats>>,
     next_vector: u64,
     noise_seed: u64,
     parallel_vectors: bool,
@@ -483,14 +520,16 @@ struct PlannedEngine<'m> {
 
 impl MatVecEngine for PlannedEngine<'_> {
     fn layer_outputs(&mut self, layer: &MatrixLayer, inputs: &[Act]) -> Vec<u8> {
-        let compiled = &self.layers[self.cursor];
+        let node = self.cursor;
+        let compiled = &self.layers[node];
         self.cursor += 1;
         debug_assert_eq!(compiled.name(), layer.name(), "layer order drifted");
+        let mut local = RunStats::default();
         let out = if self.parallel_vectors {
             run_batch_parallel_at_age(
                 compiled,
                 inputs,
-                &mut self.stats,
+                &mut local,
                 self.noise_seed,
                 self.next_vector,
                 self.base_age,
@@ -499,12 +538,16 @@ impl MatVecEngine for PlannedEngine<'_> {
             run_batch_at_age(
                 compiled,
                 inputs,
-                &mut self.stats,
+                &mut local,
                 self.noise_seed,
                 self.next_vector,
                 self.base_age,
             )
         };
+        self.stats.merge(&local);
+        if let Some(per_layer) = self.layer_stats.as_deref_mut() {
+            per_layer[node].merge(&local);
+        }
         self.next_vector += (inputs.len() / layer.filter_len()) as u64;
         out
     }

@@ -107,6 +107,24 @@
 //! [`ServerMetrics::recalibration_pause_ticks`] make the policy
 //! observable.
 //!
+//! # Energy metering
+//!
+//! Every [`Response`] carries the request's priced [`EnergyBreakdown`]
+//! (and per-tile breakdowns on a sharded server), metered from the same
+//! event counters the response already reports — see [`crate::energy`].
+//! [`RaellaServer::metrics`] aggregates joules per model and the
+//! server-wide ADC energy fraction. With
+//! [`ServerBuilder::energy_budget_pj`] configured, the paper's adaptive
+//! slicing moves from compile time to admission time: the builder
+//! precompiles a ladder of slicing variants ([`energy_config_ladder`])
+//! through the shared compile cache, and each admission picks the
+//! cheapest variant whose calibration-estimated fidelity at the current
+//! device age still holds the config's error budget (memoized per
+//! `(generation, drift epoch)`). Selection changes energy and latency
+//! only — the chosen variant's output is bit-identical to running that
+//! variant's config offline, and [`Response::selected_config`] records
+//! the choice so every result replays bit-for-bit.
+//!
 //! # Shutdown
 //!
 //! [`RaellaServer::shutdown`] (and `Drop`) stops accepting work, wakes
@@ -129,8 +147,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use raella_arch::tile::TileSpec;
+use raella_energy::EnergyBreakdown;
 use raella_nn::graph::{argmax, Graph, ValueArena};
 use raella_nn::tensor::Tensor;
+use raella_xbar::slicing::Slicing;
 
 use crate::compiler::SharedCompileCache;
 use crate::config::RaellaConfig;
@@ -193,6 +213,7 @@ pub struct ServerBuilder {
     model_queue_depth: usize,
     watchdog_interval: u64,
     watchdog_vectors: usize,
+    energy_budgets: Vec<(usize, f64)>,
 }
 
 impl ServerBuilder {
@@ -251,13 +272,16 @@ impl ServerBuilder {
     /// [module docs](crate::server)). Bounding is pure admission control:
     /// accepted requests produce bit-identical results at any bound.
     ///
-    /// Blocked admissions are FIFO per lane: each blocking submitter
-    /// takes a ticket, and freed slots are granted strictly in ticket
-    /// (= arrival) order. While a lane has ticketed waiters, fresh
-    /// submissions to that lane — blocking, fail-fast, or
+    /// Blocked admissions are FIFO: each blocking submitter takes a
+    /// server-wide ticket, and freed slots are granted strictly in
+    /// ticket (= arrival) order — within a lane *and across lanes under
+    /// the shared global bound*. A waiter whose own lane is full cedes
+    /// its global turn (it could not use the slot anyway), so one
+    /// bounded-out lane never wedges the other lanes' admissions. While
+    /// ticketed waiters exist anywhere that a freed slot belongs to,
+    /// fresh submissions — blocking, fail-fast, or
     /// [`RaellaServer::submit_many`] — queue behind them (or reject)
-    /// rather than barging past. Across *different* lanes under a shared
-    /// global bound, slot grants remain racy; pair with
+    /// rather than barging past. Pair with
     /// [`ServerBuilder::model_queue_depth`] when hot-model traffic must
     /// not consume every slot at the door — lane round-robin fairness
     /// applies only *after* admission.
@@ -329,12 +353,35 @@ impl ServerBuilder {
         self
     }
 
+    /// Registers an energy budget, in picojoules per input vector, for
+    /// the model at `model` (builder insertion order) — the SLO knob
+    /// that moves the paper's adaptive slicing from compile time to
+    /// admission time. [`ServerBuilder::build`] precompiles the model's
+    /// slicing ladder ([`energy_config_ladder`]) through the compile
+    /// cache; each admission then selects the cheapest variant whose
+    /// [`CompiledModel::estimated_vector_pj`] fits the budget *and*
+    /// whose calibration-estimated fidelity at the current device age
+    /// still holds the config's error budget, falling back to the base
+    /// config when nothing qualifies. The selection is recorded in
+    /// [`Response::selected_config`], so every response replays offline
+    /// bit-for-bit against its ladder entry.
+    ///
+    /// A non-finite or non-positive budget is rejected at
+    /// [`ServerBuilder::build`].
+    #[must_use]
+    pub fn energy_budget_pj(mut self, model: usize, budget: f64) -> Self {
+        self.energy_budgets.push((model, budget));
+        self
+    }
+
     /// Compiles every model and spawns the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Server`] if no model was added, and propagates
-    /// [`CompiledModel::compile`] errors.
+    /// Returns [`CoreError::Server`] if no model was added or an
+    /// [`ServerBuilder::energy_budget_pj`] registration is invalid
+    /// (unknown model index, non-finite or non-positive budget), and
+    /// propagates [`CompiledModel::compile`] errors.
     pub fn build(self) -> Result<RaellaServer, CoreError> {
         if self.models.is_empty() {
             return Err(CoreError::Server(
@@ -343,11 +390,44 @@ impl ServerBuilder {
         }
         let cache = self.cache.unwrap_or_else(SharedCompileCache::global);
         let tile = self.tile.unwrap_or_default();
+        let mut budgets: Vec<Option<f64>> = vec![None; self.models.len()];
+        for (model, budget) in &self.energy_budgets {
+            if *model >= self.models.len() {
+                return Err(CoreError::Server(format!(
+                    "energy budget for unknown model {model} (builder holds {})",
+                    self.models.len()
+                )));
+            }
+            if !budget.is_finite() || *budget <= 0.0 {
+                return Err(CoreError::Server(format!(
+                    "energy budget for model {model} must be finite and positive, got {budget}"
+                )));
+            }
+            budgets[*model] = Some(*budget);
+        }
         let mut models = Vec::with_capacity(self.models.len());
         // Moves each builder-owned graph into its CompiledModel — no
         // second whole-graph clone on the build path.
         let mut tile_totals = Vec::with_capacity(self.models.len());
-        for (graph, cfg) in self.models {
+        for ((graph, cfg), budget) in self.models.into_iter().zip(budgets) {
+            // Slicing variants compile first (they clone the graph);
+            // the base compile below then consumes it.
+            let mut alts = Vec::new();
+            if budget.is_some() {
+                for alt_cfg in energy_config_ladder(&cfg).into_iter().skip(1) {
+                    let alt = CompiledModel::compile_with_cache(&graph, &alt_cfg, &cache)?;
+                    let plan = if self.shards > 0 {
+                        Some(Arc::new(ShardPlan::place(&alt, self.shards, tile)?))
+                    } else {
+                        None
+                    };
+                    alts.push(Variant {
+                        est_pj_per_vector: alt.estimated_vector_pj(),
+                        model: Arc::new(alt),
+                        plan,
+                    });
+                }
+            }
             let model = CompiledModel::compile_owned(graph, &cfg, &cache)?;
             let plan = if self.shards > 0 {
                 Some(ShardPlan::place(&model, self.shards, tile)?)
@@ -365,9 +445,12 @@ impl ServerBuilder {
                     generation: model.config().lifetime.generation,
                     model: Arc::new(model),
                     plan: plan.map(Arc::new),
+                    alts,
+                    budget_pj: budget,
                 }),
                 recalibrating: AtomicBool::new(false),
                 vector_counts: Mutex::new(HashMap::new()),
+                selection_cache: Mutex::new(HashMap::new()),
             });
         }
         let model_count = models.len();
@@ -414,6 +497,7 @@ impl ServerBuilder {
             recal_pause_ticks: AtomicU64::new(0),
             cache,
             tile_totals: Mutex::new(tile_totals),
+            energy_totals: Mutex::new(vec![EnergyBreakdown::default(); model_count]),
         });
         let threads = (0..workers)
             .map(|_| {
@@ -429,6 +513,43 @@ impl ServerBuilder {
     }
 }
 
+/// The slicing ladder [`ServerBuilder::energy_budget_pj`] precompiles:
+/// the base configuration first (index 0 — always the fallback), then
+/// progressively cheaper fixed slicings — full-width cells (fewest
+/// columns, least ADC work) and all-1b slices (most columns, highest
+/// fidelity headroom under drift). Entries whose compile-cache
+/// fingerprint duplicates an earlier entry are dropped, so every index
+/// names a distinct compiled artifact. Offline replay of a
+/// [`Response::selected_config`] compiles `ladder[config]` and runs the
+/// image at the response's age — bit-identical by the model determinism
+/// contract.
+pub fn energy_config_ladder(cfg: &RaellaConfig) -> Vec<RaellaConfig> {
+    let mut ladder = vec![cfg.clone()];
+    let width = u32::from(cfg.cell_bits).min(8);
+    if width > 0 && 8 % width == 0 {
+        ladder.push(
+            cfg.clone()
+                .with_fixed_slicing(Slicing::uniform(width, 8 / width)),
+        );
+    }
+    if let Ok(ones) = Slicing::new(&[1; 8], 8) {
+        ladder.push(cfg.clone().with_fixed_slicing(ones));
+    }
+    // The config's Debug form is its compile-cache fingerprint: distinct
+    // forms compile (and cache) separately, duplicates collapse.
+    let mut seen: Vec<String> = Vec::new();
+    ladder.retain(|c| {
+        let fp = format!("{c:?}");
+        if seen.contains(&fp) {
+            false
+        } else {
+            seen.push(fp);
+            true
+        }
+    });
+    ladder
+}
+
 /// The result of one served request.
 ///
 /// Output tensor, prediction, and statistics are deterministic (see the
@@ -440,6 +561,9 @@ pub struct Response {
     predicted: usize,
     stats: RunStats,
     tile_stats: Vec<RunStats>,
+    energy: EnergyBreakdown,
+    tile_energy: Vec<EnergyBreakdown>,
+    config: usize,
     seq: u64,
     model: usize,
     age: u64,
@@ -472,6 +596,33 @@ impl Response {
     /// ([`ServerBuilder::shards`]).
     pub fn tile_stats(&self) -> &[RunStats] {
         &self.tile_stats
+    }
+
+    /// Priced energy breakdown for this request. Deterministic like the
+    /// stats it is derived from, and exactly additive: on a sharded
+    /// server the per-tile parts in [`Response::tile_energy`] sum
+    /// bit-for-bit to this value, because the meter merges integer event
+    /// counts first and prices the merged counters once.
+    pub fn energy(&self) -> &EnergyBreakdown {
+        &self.energy
+    }
+
+    /// Per-tile energy breakdowns (index = tile), empty when the server
+    /// is not sharded. Their sum is bit-identical to
+    /// [`Response::energy`].
+    pub fn tile_energy(&self) -> &[EnergyBreakdown] {
+        &self.tile_energy
+    }
+
+    /// Index into [`energy_config_ladder`] of the slicing variant that
+    /// served this request (0 = the base config; always 0 unless
+    /// [`ServerBuilder::energy_budget_pj`] registered a budget for this
+    /// model). Together with [`Response::generation`] and
+    /// [`Response::age`] this makes the served bytes reproducible
+    /// offline: compile the ladder entry, reprogram to the generation,
+    /// run the image at the age.
+    pub fn selected_config(&self) -> usize {
+        self.config
     }
 
     /// The request's admission sequence number (server-wide order of
@@ -816,6 +967,9 @@ struct Request {
     /// Device age stamped at admission (lane order): the model's served
     /// vector count when this request was accepted.
     age: u64,
+    /// Ladder index selected at admission ([`Shared::select_config`];
+    /// always 0 without an energy budget).
+    config: usize,
     image: Tensor<u8>,
     submitted: Instant,
     completer: Completer,
@@ -848,12 +1002,17 @@ struct QueueState {
     /// numbers per lane. Freed slots are granted strictly in ticket
     /// (= arrival) order — a woken submitter whose ticket is not at the
     /// front goes back to waiting, so an old blocked `submit` can never
-    /// lose a freed slot to a fresher one. An abandoned wait (timeout,
-    /// shutdown) removes its ticket wherever it sits, so the queue never
-    /// stalls on a ghost.
+    /// lose a freed slot to a fresher one. Under a shared *global* bound
+    /// the same tickets also order grants **across** lanes
+    /// ([`QueueState::global_turn`]): the earliest lane-front waiter
+    /// that could actually use a freed global slot gets it, so cross-lane
+    /// barging is impossible too. An abandoned wait (timeout, shutdown)
+    /// removes its ticket wherever it sits, so the queue never stalls on
+    /// a ghost.
     lane_waiters: Vec<VecDeque<u64>>,
-    /// Next admission ticket (server-wide; only relative order within a
-    /// lane matters).
+    /// Next admission ticket (server-wide and monotonic — the relative
+    /// order matters both within a lane and across lanes under the
+    /// global bound).
     next_ticket: u64,
     shutdown: bool,
 }
@@ -867,12 +1026,48 @@ impl QueueState {
                 || self.lanes[model].len() + n <= shared.model_queue_depth)
     }
 
+    /// Whether `n` more requests fit under `model`'s per-lane bound
+    /// alone (0 = unbounded) — the global bound is deliberately ignored:
+    /// [`QueueState::global_turn`] uses this to decide whether another
+    /// lane's front waiter could actually use a freed *global* slot.
+    fn lane_has_room(&self, model: usize, n: usize, shared: &Shared) -> bool {
+        shared.model_queue_depth == 0 || self.lanes[model].len() + n <= shared.model_queue_depth
+    }
+
+    /// Whether `ticket` (waiting on `model`'s lane) holds the next claim
+    /// on a *global* queue slot: no other lane's front waiter both
+    /// arrived earlier and could use the slot (a waiter blocked by its
+    /// own full lane cedes its global turn — it could not enqueue
+    /// anyway, and honoring its ticket would wedge every other lane on
+    /// it). Tickets are server-wide and monotonic, so comparing lane
+    /// fronts totally orders the contenders.
+    fn global_turn(&self, model: usize, ticket: u64, shared: &Shared) -> bool {
+        shared.queue_depth == 0
+            || self
+                .lane_waiters
+                .iter()
+                .enumerate()
+                .all(|(lane, waiters)| match waiters.front() {
+                    Some(&front) if lane != model => {
+                        front > ticket || !self.lane_has_room(lane, 1, shared)
+                    }
+                    _ => true,
+                })
+    }
+
     /// Whether a *new* admission to `model` may take a slot right now:
-    /// there is room and no earlier blocked submitter is waiting on this
-    /// lane (freed slots belong to the lane's ticket queue first —
-    /// fail-fast and fresh blocking submitters do not barge past it).
+    /// there is room, no earlier blocked submitter is waiting on this
+    /// lane, and — under a global bound — no other lane's waiter is
+    /// entitled to the next global slot (freed slots belong to the
+    /// ticket FIFOs first; fail-fast and fresh blocking submitters do
+    /// not barge past them, same-lane or cross-lane).
     fn admissible(&self, model: usize, n: usize, shared: &Shared) -> bool {
-        self.lane_waiters[model].is_empty() && self.has_room(model, n, shared)
+        self.lane_waiters[model].is_empty()
+            && self.has_room(model, n, shared)
+            && (shared.queue_depth == 0
+                || self.lane_waiters.iter().enumerate().all(|(lane, waiters)| {
+                    lane == model || waiters.is_empty() || !self.lane_has_room(lane, 1, shared)
+                }))
     }
 
     /// Drops `ticket` from `model`'s waiter FIFO (abandoned wait).
@@ -886,11 +1081,41 @@ impl QueueState {
 /// Recalibration replaces the whole struct atomically under the write
 /// lock; workers clone the `Arc`s once per batch under the read lock, so
 /// a swap never touches a batch already executing.
+/// One precompiled slicing variant of a served model (an
+/// [`energy_config_ladder`] entry past the base), plus its admission-time
+/// ranking estimate.
+#[derive(Debug, Clone)]
+struct Variant {
+    model: Arc<CompiledModel>,
+    plan: Option<Arc<ShardPlan>>,
+    /// [`CompiledModel::estimated_vector_pj`], computed once at build —
+    /// geometry-only, so reprogramming never changes it.
+    est_pj_per_vector: f64,
+}
+
 #[derive(Debug, Clone)]
 struct LiveModel {
     model: Arc<CompiledModel>,
     plan: Option<Arc<ShardPlan>>,
     generation: u64,
+    /// Slicing variants for admission-time selection (ladder indices
+    /// `1..`; index 0 is the base `model`/`plan`). Empty unless
+    /// [`ServerBuilder::energy_budget_pj`] registered a budget.
+    alts: Vec<Variant>,
+    /// The per-vector energy budget selection works against, if any.
+    budget_pj: Option<f64>,
+}
+
+impl LiveModel {
+    /// Resolves a recorded ladder index to its model and plan. An
+    /// out-of-range index (cannot happen through admission — the ladder
+    /// length is fixed for the server's lifetime) degrades to the base.
+    fn variant(&self, config: usize) -> (&Arc<CompiledModel>, Option<&Arc<ShardPlan>>) {
+        match config.checked_sub(1).and_then(|i| self.alts.get(i)) {
+            Some(alt) => (&alt.model, alt.plan.as_ref()),
+            None => (&self.model, self.plan.as_ref()),
+        }
+    }
 }
 
 /// One served model: the live (swappable) snapshot plus recalibration
@@ -904,6 +1129,12 @@ struct ServedModel {
     /// Memoized vectors-per-image by image shape — admission stamps ages
     /// without re-walking the graph for every request.
     vector_counts: Mutex<HashMap<Vec<usize>, u64>>,
+    /// Memoized ladder selection by `(generation, drift epoch)` —
+    /// fidelity under drift depends on age only through the quantized
+    /// epoch, so one calibration check covers every admission in the
+    /// epoch. Recalibration bumps the generation, naturally invalidating
+    /// stale entries.
+    selection_cache: Mutex<HashMap<(u64, u64), usize>>,
 }
 
 impl ServedModel {
@@ -967,6 +1198,9 @@ struct Shared {
     /// request's per-tile deltas here; read via
     /// [`RaellaServer::tile_stats`].
     tile_totals: Mutex<Vec<Vec<RunStats>>>,
+    /// Server-lifetime energy per model: workers add each successful
+    /// response's breakdown. Read via [`ServerMetrics::model_energy`].
+    energy_totals: Mutex<Vec<EnergyBreakdown>>,
 }
 
 impl Shared {
@@ -1002,6 +1236,114 @@ impl Shared {
         counts.insert(key, n);
         n
     }
+
+    /// Admission-time slicing selection for `model` at device age `age`:
+    /// returns the [`energy_config_ladder`] index whose variant serves
+    /// the request. Candidates (base included) are ranked by their
+    /// geometry estimate ascending; the cheapest whose estimate fits the
+    /// registered budget *and* whose calibration-estimated fidelity at
+    /// `age` holds the config's error budget wins. The base config
+    /// (index 0) is the fallback when nothing qualifies — correctness
+    /// over economy. Memoized per `(generation, drift epoch)`; called
+    /// *before* the queue lock (fidelity sampling is real work).
+    fn select_config(&self, model: usize, age: u64) -> usize {
+        let served = &self.models[model];
+        let live = served.snapshot();
+        let Some(budget) = live.budget_pj else {
+            return 0;
+        };
+        if live.alts.is_empty() {
+            return 0;
+        }
+        let epoch = live.model.config().lifetime.drift_epoch(age);
+        let key = (live.generation, epoch);
+        {
+            let cache = served
+                .selection_cache
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(&selected) = cache.get(&key) {
+                return selected;
+            }
+        }
+        let mut candidates: Vec<(usize, f64)> =
+            std::iter::once((0usize, live.model.estimated_vector_pj()))
+                .chain(
+                    live.alts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, alt)| (i + 1, alt.est_pj_per_vector)),
+                )
+                .collect();
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut selected = 0usize;
+        for (idx, est) in candidates {
+            if est > budget {
+                continue;
+            }
+            let (vmodel, _) = live.variant(idx);
+            if variant_fidelity_holds(vmodel, self.watchdog_vectors, age) {
+                selected = idx;
+                break;
+            }
+        }
+        served
+            .selection_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(key, selected);
+        selected
+    }
+
+    /// [`Shared::select_config`] at the model's current device age.
+    /// Fast-exits without touching the queue lock when no budget is
+    /// registered (the overwhelmingly common case). The age read races
+    /// concurrent admissions harmlessly: selection is epoch-granular,
+    /// and the chosen index rides in the [`Response`] so offline replay
+    /// is exact either way.
+    fn select_config_now(&self, model: usize) -> usize {
+        {
+            let served = &self.models[model];
+            let live = served.live.read().unwrap_or_else(PoisonError::into_inner);
+            if live.budget_pj.is_none() || live.alts.is_empty() {
+                return 0;
+            }
+        }
+        let age = self.lock().ages[model];
+        self.select_config(model, age)
+    }
+}
+
+/// Whether every unique compiled layer of `model` still holds the
+/// config's error budget at device age `age`, per
+/// [`crate::compiler::CompiledLayer::check_fidelity_at_age`] sampling —
+/// the admission-time calibration check behind
+/// [`ServerBuilder::energy_budget_pj`]. A sampling error counts as a
+/// failed check (the variant is skipped, never served blind).
+fn variant_fidelity_holds(model: &CompiledModel, vectors: usize, age: u64) -> bool {
+    let budget = model.config().error_budget;
+    let mut checked: Vec<*const crate::compiler::CompiledLayer> = Vec::new();
+    for (mat, compiled) in model
+        .graph()
+        .matrix_layers()
+        .into_iter()
+        .zip(model.compiled_layers())
+    {
+        let ptr = Arc::as_ptr(compiled);
+        if checked.contains(&ptr) {
+            continue;
+        }
+        checked.push(ptr);
+        match compiled.check_fidelity_at_age(mat, vectors, age) {
+            Ok(report) => {
+                if !report.within_budget(budget) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 /// What a worker should do with the queue.
@@ -1118,52 +1460,74 @@ fn worker_loop(shared: &Shared) {
             // "each tile gets its own worker"; otherwise request-level
             // parallelism already covers the cores. Either way the bytes
             // and (merged) stats are identical to the unsharded model.
-            let result =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &live.plan {
-                    Some(plan) => plan
-                        .run_image_in_at_age(&live.model, &req.image, &mut arena, alone, req.age)
-                        .map(|(output, tile_stats)| {
-                            let mut stats = RunStats::default();
-                            for bucket in &tile_stats {
-                                stats.merge(bucket);
-                            }
-                            (output, stats, tile_stats)
-                        }),
-                    None => live
-                        .model
-                        .run_image_in_at_age(&req.image, &mut arena, alone, req.age)
-                        .map(|(output, stats)| (output, stats, Vec::new())),
-                }))
-                .unwrap_or_else(|_| {
-                    Err(CoreError::Server(format!(
-                        "execution panicked serving request {}",
-                        req.seq
-                    )))
-                })
-                .map(|(output, stats, tile_stats)| {
-                    if !tile_stats.is_empty() {
-                        let mut totals = shared
-                            .tile_totals
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner);
-                        for (bucket, local) in totals[req.model].iter_mut().zip(&tile_stats) {
-                            bucket.merge(local);
+            // Admission-selected slicing variant (index 0 = the base
+            // model). Resolved per request: a selection-epoch boundary
+            // can land mid-batch.
+            let (vmodel, vplan) = live.variant(req.config);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match vplan {
+                Some(plan) => plan
+                    .run_image_in_at_age(vmodel, &req.image, &mut arena, alone, req.age)
+                    .map(|(output, tile_stats)| {
+                        let mut stats = RunStats::default();
+                        for bucket in &tile_stats {
+                            stats.merge(bucket);
                         }
+                        (output, stats, tile_stats)
+                    }),
+                None => vmodel
+                    .run_image_in_at_age(&req.image, &mut arena, alone, req.age)
+                    .map(|(output, stats)| (output, stats, Vec::new())),
+            }))
+            .unwrap_or_else(|_| {
+                Err(CoreError::Server(format!(
+                    "execution panicked serving request {}",
+                    req.seq
+                )))
+            })
+            .map(|(output, stats, tile_stats)| {
+                if !tile_stats.is_empty() {
+                    let mut totals = shared
+                        .tile_totals
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    for (bucket, local) in totals[req.model].iter_mut().zip(&tile_stats) {
+                        bucket.merge(local);
                     }
-                    Response {
-                        predicted: argmax(output.as_slice()),
-                        output,
-                        stats,
-                        tile_stats,
-                        seq: req.seq,
-                        model: req.model,
-                        age: req.age,
-                        generation: live.generation,
-                        queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
-                        compute_ticks: ticks(compute_start.elapsed()),
-                        batch_size,
-                    }
-                });
+                }
+                // Integer event counts priced once: the per-tile
+                // breakdowns below sum bit-exactly to `energy` because
+                // the meter prices the merged counters, never sums
+                // priced floats.
+                let meter = vmodel.energy_meter();
+                let energy = meter.breakdown(&stats.meter_events());
+                let tile_energy: Vec<EnergyBreakdown> = tile_stats
+                    .iter()
+                    .map(|s| meter.breakdown(&s.meter_events()))
+                    .collect();
+                {
+                    let mut totals = shared
+                        .energy_totals
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    totals[req.model] = totals[req.model].add(&energy);
+                }
+                Response {
+                    predicted: argmax(output.as_slice()),
+                    output,
+                    stats,
+                    tile_stats,
+                    energy,
+                    tile_energy,
+                    config: req.config,
+                    seq: req.seq,
+                    model: req.model,
+                    age: req.age,
+                    generation: live.generation,
+                    queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
+                    compute_ticks: ticks(compute_start.elapsed()),
+                    batch_size,
+                }
+            });
             let completed = shared.served[req.model].fetch_add(1, Ordering::SeqCst) + 1;
             // Completion stores the result in the handle's cell and fires
             // its registered waker (if any) exactly once. A handle the
@@ -1253,10 +1617,28 @@ fn recalibrate_model(shared: &Shared, model: usize) -> Result<bool, CoreError> {
             Some(p) => Some(Arc::new(p.rotated(&fresh, 1)?)),
             None => None,
         };
+        // Budget variants follow the swap: same generation, fresh
+        // programming draw, rotated plan. The geometry estimate is
+        // slicing-only, so it carries over unchanged.
+        let mut alts = Vec::with_capacity(live.alts.len());
+        for alt in &live.alts {
+            let fresh_alt = alt.model.reprogram(generation)?;
+            let alt_plan = match alt.plan.as_deref() {
+                Some(p) => Some(Arc::new(p.rotated(&fresh_alt, 1)?)),
+                None => None,
+            };
+            alts.push(Variant {
+                model: Arc::new(fresh_alt),
+                plan: alt_plan,
+                est_pj_per_vector: alt.est_pj_per_vector,
+            });
+        }
         *served.live.write().unwrap_or_else(PoisonError::into_inner) = LiveModel {
             model: Arc::new(fresh),
             plan,
             generation,
+            alts,
+            budget_pj: live.budget_pj,
         };
         // Relaxation is drift since the last programming: a fresh
         // generation starts at age 0 (epoch 0 replays the static noise
@@ -1290,7 +1672,7 @@ enum Admission {
 /// describe the instant of the snapshot. All of it is observability-only —
 /// none of these values feed back into scheduling, so reading them is
 /// side-effect free.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerMetrics {
     queue_depth: usize,
     queue_depth_high_water: usize,
@@ -1302,6 +1684,7 @@ pub struct ServerMetrics {
     worker_busy_ticks: u64,
     recalibrations: u64,
     recalibration_pause_ticks: u64,
+    model_energy: Vec<EnergyBreakdown>,
 }
 
 impl ServerMetrics {
@@ -1366,6 +1749,33 @@ impl ServerMetrics {
     /// at least one tick).
     pub fn recalibration_pause_ticks(&self) -> u64 {
         self.recalibration_pause_ticks
+    }
+
+    /// Cumulative energy breakdown per model, indexed by model: the sum
+    /// of every successful response's [`Response::energy`] since the
+    /// server started.
+    pub fn model_energy(&self) -> &[EnergyBreakdown] {
+        &self.model_energy
+    }
+
+    /// Cumulative energy per model in joules (breakdown totals are
+    /// picojoules), indexed by model.
+    pub fn joules_per_model(&self) -> Vec<f64> {
+        self.model_energy
+            .iter()
+            .map(|e| e.total_pj() * 1e-12)
+            .collect()
+    }
+
+    /// Server-wide ADC share of total energy across all models, in
+    /// `[0, 1]` (0.0 before any request completes). The paper's headline
+    /// metric: RAELLA's slicing strategies exist to push this down.
+    pub fn adc_fraction(&self) -> f64 {
+        let mut total = EnergyBreakdown::default();
+        for e in &self.model_energy {
+            total = total.add(e);
+        }
+        total.adc_fraction()
     }
 }
 
@@ -1517,6 +1927,7 @@ impl RaellaServer {
         }
         // Computed outside the queue lock (it takes the live read lock).
         let advance = self.shared.age_advance(model, &image);
+        let config = self.shared.select_config_now(model);
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(CoreError::Server(format!(
@@ -1527,7 +1938,7 @@ impl RaellaServer {
         // submitter waiting on this lane (freed slots are granted to the
         // lane's ticket FIFO first — nobody barges past it).
         if state.admissible(model, 1, &self.shared) {
-            let handle = enqueue(&mut state, model, image, advance);
+            let handle = enqueue(&mut state, model, image, advance, config);
             drop(state);
             self.shared.ready.notify_one();
             return Ok(handle);
@@ -1561,9 +1972,10 @@ impl RaellaServer {
             }
             if state.lane_waiters[model].front() == Some(&ticket)
                 && state.has_room(model, 1, &self.shared)
+                && state.global_turn(model, ticket, &self.shared)
             {
                 state.lane_waiters[model].pop_front();
-                let handle = enqueue(&mut state, model, image, advance);
+                let handle = enqueue(&mut state, model, image, advance, config);
                 drop(state);
                 // Cascade: room may remain for the next ticket.
                 self.shared.space.notify_all();
@@ -1647,6 +2059,7 @@ impl RaellaServer {
             .iter()
             .map(|image| self.shared.age_advance(model, image))
             .collect();
+        let config = self.shared.select_config_now(model);
         let mut state = self.shared.lock();
         if state.shutdown {
             return Err(CoreError::Server(format!(
@@ -1663,7 +2076,7 @@ impl RaellaServer {
         let handles = images
             .into_iter()
             .zip(advances)
-            .map(|(image, advance)| enqueue(&mut state, model, image, advance))
+            .map(|(image, advance)| enqueue(&mut state, model, image, advance, config))
             .collect();
         drop(state);
         // Several batches may now be ready at once.
@@ -1737,6 +2150,12 @@ impl RaellaServer {
             worker_busy_ticks: self.shared.busy_ticks.load(Ordering::Relaxed),
             recalibrations: self.shared.recalibrations.load(Ordering::SeqCst),
             recalibration_pause_ticks: self.shared.recal_pause_ticks.load(Ordering::SeqCst),
+            model_energy: self
+                .shared
+                .energy_totals
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
         }
     }
 
@@ -1866,7 +2285,13 @@ impl RaellaServer {
 /// mark, the dense admission sequence, and the model's device age in
 /// sync under the caller's lock — the request is stamped with the age
 /// *before* its own vectors, then ages the device by `advance`.
-fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>, advance: u64) -> RequestHandle {
+fn enqueue(
+    state: &mut QueueState,
+    model: usize,
+    image: Tensor<u8>,
+    advance: u64,
+    config: usize,
+) -> RequestHandle {
     let seq = state.next_seq;
     state.next_seq += 1;
     let age = state.ages[model];
@@ -1876,6 +2301,7 @@ fn enqueue(state: &mut QueueState, model: usize, image: Tensor<u8>, advance: u64
         model,
         seq,
         age,
+        config,
         image,
         submitted: Instant::now(),
         completer: Completer {
@@ -2240,6 +2666,121 @@ mod tests {
     }
 
     #[test]
+    fn responses_carry_additive_energy_and_metrics_aggregate_it() {
+        use raella_arch::tile::TileSpec;
+        use raella_energy::meter::MeterEvents;
+        let images: Vec<Tensor<u8>> = (0..3).map(long_image).collect();
+        let server = RaellaServer::builder()
+            .model(&long_graph(), &tiny_cfg())
+            .compile_cache(SharedCompileCache::new())
+            .workers(2)
+            .max_batch(2)
+            .latency_budget_ticks(50)
+            .shards(3)
+            .tile_spec(TileSpec::new(64, 64))
+            .build()
+            .unwrap();
+        let handles = server.submit_many(images.iter().cloned()).unwrap();
+        let responses = RaellaServer::wait_all(handles).unwrap();
+        for (i, resp) in responses.iter().enumerate() {
+            assert!(resp.energy().total_pj() > 0.0, "request {i}");
+            let frac = resp.energy().adc_fraction();
+            assert!(frac > 0.0 && frac < 1.0, "request {i}: {frac}");
+            // Per-tile parts sum bit-exactly to the whole: the meter
+            // prices merged integer counters, so this is == not ≈.
+            assert_eq!(resp.tile_energy().len(), 3, "request {i}");
+            let tiles = resp
+                .tile_stats()
+                .iter()
+                .fold(MeterEvents::default(), |acc, s| acc.add(&s.meter_events()));
+            assert_eq!(tiles, resp.stats().meter_events(), "request {i}");
+            // Pricing the merged counters reproduces the response's
+            // breakdown bit-for-bit.
+            let events: Vec<MeterEvents> =
+                resp.tile_stats().iter().map(|s| s.meter_events()).collect();
+            let merged = server.model(0).energy_meter().merged_breakdown(&events);
+            assert_eq!(&merged, resp.energy(), "request {i}");
+            // And the offline breakdown of the merged stats agrees.
+            assert_eq!(
+                &server.model(0).energy_breakdown(resp.stats()),
+                resp.energy(),
+                "request {i}"
+            );
+        }
+        // Server metrics accumulate the responses' breakdowns.
+        let metrics = server.metrics();
+        assert_eq!(metrics.model_energy().len(), 1);
+        assert!(metrics.model_energy()[0].total_pj() > 0.0);
+        assert_eq!(
+            metrics.joules_per_model()[0],
+            metrics.model_energy()[0].total_pj() * 1e-12
+        );
+        let frac = metrics.adc_fraction();
+        assert!(frac > 0.0 && frac < 1.0, "{frac}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn energy_budget_selects_a_variant_and_replays_offline() {
+        let cfg = tiny_cfg();
+        let ladder = energy_config_ladder(&cfg);
+        assert!(ladder.len() > 1, "tiny config must offer alternatives");
+
+        // A generous budget admits the cheapest fidelity-holding
+        // variant; a sub-picojoule budget admits nothing and falls back
+        // to the base config.
+        for (budget, expect_base) in [(f64::MAX, false), (1e-9, true)] {
+            let server = RaellaServer::builder()
+                .model(&tiny_graph(), &cfg)
+                .compile_cache(SharedCompileCache::new())
+                .workers(1)
+                .max_batch(2)
+                .latency_budget_ticks(0)
+                .energy_budget_pj(0, budget)
+                .build()
+                .unwrap();
+            let image = sample_image(7);
+            let resp = server.submit(image.clone()).unwrap().wait().unwrap();
+            let sel = resp.selected_config();
+            assert!(sel < ladder.len());
+            if expect_base {
+                assert_eq!(sel, 0, "nothing fits a {budget} pJ budget");
+            }
+            // Bit-exact offline replay from the recorded selection: the
+            // ladder entry, compiled fresh, reproduces output, stats,
+            // and energy.
+            let offline = CompiledModel::compile(&tiny_graph(), &ladder[sel]).unwrap();
+            let (out, stats) = offline.run_image_at_age(&image, resp.age()).unwrap();
+            assert_eq!(&out, resp.output());
+            assert_eq!(&stats, resp.stats());
+            assert_eq!(&offline.energy_breakdown(&stats), resp.energy());
+            // Selection is admission-state only: a second identical
+            // request picks the same config (memoized per epoch).
+            let again = server.submit(image.clone()).unwrap().wait().unwrap();
+            assert_eq!(again.selected_config(), sel);
+            assert_eq!(again.output(), resp.output());
+            server.shutdown();
+        }
+
+        // Budget validation: unknown model index and degenerate budgets
+        // fail the build.
+        for bad in [f64::NAN, 0.0, -1.0] {
+            let err = RaellaServer::builder()
+                .model(&tiny_graph(), &cfg)
+                .energy_budget_pj(0, bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::Server(_)), "{err}");
+        }
+        let err = RaellaServer::builder()
+            .model(&tiny_graph(), &cfg)
+            .energy_budget_pj(5, 1.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Server(_)), "{err}");
+    }
+
+    #[test]
     fn manual_recalibration_swaps_generation_and_resets_age() {
         use raella_xbar::lifetime::DeviceLifetime;
         let cfg = RaellaConfig {
@@ -2381,6 +2922,9 @@ mod tests {
             predicted: 0,
             stats: RunStats::default(),
             tile_stats: Vec::new(),
+            energy: EnergyBreakdown::default(),
+            tile_energy: Vec::new(),
+            config: 0,
             seq,
             model: 0,
             age: 0,

@@ -412,6 +412,93 @@ fn blocked_admissions_are_granted_in_arrival_order() {
 }
 
 #[test]
+fn cross_lane_blocked_admissions_grant_in_global_arrival_order() {
+    // The cross-lane barging race: per-lane tickets alone order waiters
+    // *within* a lane, but with a shared global bound a freed slot used
+    // to go to whichever lane's front waiter won the wakeup race — a
+    // later arrival in lane B could barge past an earlier arrival in
+    // lane A. Grants must instead follow global arrival order across
+    // lanes (tickets are minted from one server-wide counter), with a
+    // waiter ceding its turn only when its own lane is full.
+    //
+    // Topology: two models, global bound 1, no per-model bound. One
+    // filler pins the lone slot; four blocking submitters then arrive
+    // strictly alternating lanes, each provably parked before the next
+    // launches. As the worker drains one request per budget expiry, the
+    // freed slot must be granted in exact arrival order — which crosses
+    // lanes on every grant.
+    const BLOCKERS: usize = 4;
+    let server = RaellaServer::builder()
+        .model(&long_graph(), &cfg())
+        .model(&conv_graph(), &cfg())
+        .compile_cache(SharedCompileCache::new())
+        .workers(1)
+        .max_batch(8)
+        .latency_budget_ticks(2_000_000)
+        .queue_depth(1)
+        .build()
+        .expect("two-lane bounded server builds");
+    let images = [long_image(0), conv_image(0)];
+    let (want_long, _) = server.model(0).run_image(&images[0]).expect("runs");
+    let (want_conv, _) = server.model(1).run_image(&images[1]).expect("runs");
+
+    let filler = server.try_submit(images[0].clone()).expect("slot is free");
+    assert_eq!(server.pending(), 1, "global bound pinned");
+
+    let granted: Vec<(usize, usize, raella_core::RequestHandle)> = std::thread::scope(|scope| {
+        let mut blockers = Vec::new();
+        for k in 0..BLOCKERS {
+            // Strict alternation: every consecutive pair of waiters is
+            // in different lanes, so every grant decision crosses lanes.
+            let model = (k + 1) % 2;
+            let server = &server;
+            let image = images[model].clone();
+            blockers.push(scope.spawn(move || {
+                let handle = server
+                    .submit_to(model, image)
+                    .expect("blocked submit is granted");
+                (k, model, handle)
+            }));
+            while server.metrics().blocked() < (k + 1) as u64 {
+                std::thread::yield_now();
+            }
+        }
+        blockers
+            .into_iter()
+            .map(|b| b.join().expect("blocker survives"))
+            .collect()
+    });
+
+    for window in granted.windows(2) {
+        let (ka, ma, ref ha) = window[0];
+        let (kb, mb, ref hb) = window[1];
+        assert!(
+            ha.sequence() < hb.sequence(),
+            "blocker {ka} (lane {ma}, seq {}) arrived before blocker {kb} \
+             (lane {mb}, seq {}) but was granted after it — cross-lane FIFO \
+             admission violated",
+            ha.sequence(),
+            hb.sequence()
+        );
+    }
+    let metrics = server.metrics();
+    assert_eq!(metrics.blocked(), BLOCKERS as u64);
+    assert_eq!(metrics.rejected(), 0, "blocking submits never reject");
+    assert!(
+        metrics.queue_depth_high_water() <= 1,
+        "global bound 1 held: high water {}",
+        metrics.queue_depth_high_water()
+    );
+
+    server.shutdown();
+    for (k, model, handle) in std::iter::once((usize::MAX, 0, filler)).chain(granted) {
+        let resp = handle.wait().expect("accepted request drains");
+        let want = if model == 0 { &want_long } else { &want_conv };
+        assert_eq!(resp.output(), want, "blocker {k} bytes");
+    }
+}
+
+#[test]
 fn shutdown_under_load_wakes_every_pending_future() {
     // The async-racing variant of drain-on-shutdown: the same parked
     // topology, but the handles are driven as futures on a LocalPool

@@ -86,7 +86,12 @@ impl EnergyBreakdown {
     }
 
     /// Elementwise scaling (e.g. per-inference → per-batch).
+    ///
+    /// Debug-asserts that `k` is finite: a NaN or infinite factor would
+    /// silently poison every downstream aggregate (totals, fractions,
+    /// server-wide joule counters).
     pub fn scale(&self, k: f64) -> EnergyBreakdown {
+        debug_assert!(k.is_finite(), "EnergyBreakdown::scale by non-finite {k}");
         EnergyBreakdown {
             adc_pj: self.adc_pj * k,
             crossbar_pj: self.crossbar_pj * k,
@@ -151,6 +156,34 @@ mod tests {
         let halved = b.scale(0.5);
         assert!((halved.adc_pj - 30.0).abs() < 1e-12);
         assert!((halved.total_pj() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_handles_degenerate_breakdowns() {
+        // Zero-vector / drift-epoch-only RunStats meter to an all-zero
+        // breakdown; scaling it must stay zero and keep fractions sane.
+        let zero = EnergyBreakdown::default();
+        let scaled = zero.scale(1e9);
+        assert_eq!(scaled, zero);
+        assert_eq!(scaled.total_pj(), 0.0);
+        assert_eq!(scaled.adc_fraction(), 0.0);
+        // Scaling by zero collapses a real breakdown to the zero vector.
+        let collapsed = sample().scale(0.0);
+        assert_eq!(collapsed, zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    #[cfg(debug_assertions)]
+    fn scale_rejects_nan() {
+        let _ = sample().scale(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    #[cfg(debug_assertions)]
+    fn scale_rejects_infinite() {
+        let _ = sample().scale(f64::INFINITY);
     }
 
     #[test]

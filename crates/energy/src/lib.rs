@@ -12,6 +12,9 @@
 //!   600 mm² budget fits ~1024 ISAAC tiles and ~743 RAELLA tiles (§6.1).
 //! * [`breakdown`] — named energy breakdowns (the stacked bars of Figs. 1
 //!   and 14).
+//! * [`meter`] — prices counted execution events ([`meter::MeterEvents`])
+//!   into breakdowns, exactly additive under any grouping of the integer
+//!   counters (the serving path's per-request/per-tile accounting).
 //! * [`titanium`] — the Titanium Law of ADC energy (Table 2):
 //!   `ADC energy = E/convert × converts/MAC × MACs/DNN × 1/utilization`.
 //!
@@ -33,11 +36,13 @@
 
 pub mod area;
 pub mod breakdown;
+pub mod meter;
 pub mod prices;
 pub mod scaling;
 pub mod titanium;
 
 pub use area::ComponentAreas;
 pub use breakdown::EnergyBreakdown;
+pub use meter::{EnergyMeter, MeterEvents, MeterGeometry};
 pub use prices::ComponentPrices;
 pub use titanium::TitaniumLaw;

@@ -1,0 +1,320 @@
+//! From counted events to priced joules — the serving-path meter.
+//!
+//! The execution engine counts *architecture-neutral quantities* (ADC
+//! conversions, DAC pulses, row activations, data-dependent read charge,
+//! vectors served); this module prices them. The split mirrors the
+//! paper's methodology (§6.1): event counts come from the mapping and
+//! the workload, one shared component library turns them into joules.
+//!
+//! # Additivity contract
+//!
+//! [`EnergyMeter::breakdown`] is **linear** in the integer counters of
+//! [`MeterEvents`]: every component is `count × fixed-rate`, with every
+//! rate fixed at meter construction. Counter merging is exact (`u64`
+//! addition), so pricing the merged counts of any grouping — per tile,
+//! per batch, per request — yields **bit-identical** totals to pricing
+//! the whole run's counts: the canonical "sum of the parts" is the
+//! merged counts priced once ([`EnergyMeter::merged_breakdown`]), never
+//! a float summation of per-part breakdowns (float addition does not
+//! distribute over multiplication, so summing priced parts can drift by
+//! ulps; summing counts cannot).
+//!
+//! Counters that are *not* additive under merge (the drift epoch, which
+//! merges by `max`) are deliberately absent from [`MeterEvents`]: a
+//! drift-epoch-only statistics delta prices to exactly zero joules.
+
+use serde::{Deserialize, Serialize};
+
+use crate::breakdown::EnergyBreakdown;
+use crate::prices::ComponentPrices;
+
+/// Additive event totals the meter prices — a pricing-neutral mirror of
+/// the engine's counters. All fields are exact integer counts; merging
+/// is field-wise `u64` addition and therefore associative, commutative,
+/// and lossless under any grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MeterEvents {
+    /// ADC conversions, at the meter's configured resolution (includes
+    /// recovery and bit-serial conversions — same converter).
+    pub adc_converts: u64,
+    /// DAC input pulses driven onto crossbar rows.
+    pub dac_pulses: u64,
+    /// Row activations (rows driven with a non-zero input slice): each
+    /// stages one input byte from the SRAM input buffer and one
+    /// running input-sum addition (Center+Offset, §5.2).
+    pub row_activations: u64,
+    /// Data-dependent ReRAM read-charge units.
+    pub charge_units: u64,
+    /// Input vectors served (one per matrix-layer row of activations) —
+    /// carries the per-vector buffer/quantization work.
+    pub vectors: u64,
+}
+
+impl MeterEvents {
+    /// Field-wise sum (exact; `u64` saturating to avoid UB on absurd
+    /// totals).
+    #[must_use]
+    pub fn add(&self, other: &MeterEvents) -> MeterEvents {
+        MeterEvents {
+            adc_converts: self.adc_converts.saturating_add(other.adc_converts),
+            dac_pulses: self.dac_pulses.saturating_add(other.dac_pulses),
+            row_activations: self.row_activations.saturating_add(other.row_activations),
+            charge_units: self.charge_units.saturating_add(other.charge_units),
+            vectors: self.vectors.saturating_add(other.vectors),
+        }
+    }
+
+    /// Exact sum of many parts — the canonical "whole" of a grouping.
+    pub fn sum<'a>(parts: impl IntoIterator<Item = &'a MeterEvents>) -> MeterEvents {
+        parts
+            .into_iter()
+            .fold(MeterEvents::default(), |acc, p| acc.add(p))
+    }
+
+    /// Whether every counter is zero (prices to a zero breakdown).
+    pub fn is_zero(&self) -> bool {
+        *self == MeterEvents::default()
+    }
+}
+
+/// Aggregate layer geometry the meter turns into per-event rates: the
+/// ADC resolution prices conversions exponentially (§2.5), and the
+/// rows/columns/slicing mix sets the per-vector buffer, network, and
+/// quantization coefficients.
+///
+/// The per-vector coefficients are a *mix average* over the model's
+/// matrix-layer nodes (a layer appearing twice contributes twice): the
+/// merged run statistics cannot attribute a vector back to its layer,
+/// so per-vector work is priced at the model's average rate. This keeps
+/// the meter linear — and therefore exactly additive — in the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeterGeometry {
+    /// ADC resolution in bits (1–16).
+    pub adc_bits: u8,
+    /// Tile-buffer bytes moved per vector (inputs read + outputs
+    /// written), averaged over the layer mix.
+    pub io_bytes_per_vector: f64,
+    /// Quantized 8b outputs produced per vector, averaged over the
+    /// layer mix.
+    pub outputs_per_vector: f64,
+    /// Partial sums assembled per vector (filters × row groups),
+    /// averaged over the layer mix — the Center+Offset multiply/subtract
+    /// count.
+    pub psums_per_vector: f64,
+}
+
+impl MeterGeometry {
+    /// A geometry with no per-vector work — prices only the counted
+    /// events. Useful when no layer mix is available.
+    pub fn events_only(adc_bits: u8) -> Self {
+        MeterGeometry {
+            adc_bits,
+            io_bytes_per_vector: 0.0,
+            outputs_per_vector: 0.0,
+            psums_per_vector: 0.0,
+        }
+    }
+}
+
+/// Fixed per-event picojoule rates: a [`ComponentPrices`] library bound
+/// to one model's [`MeterGeometry`]. Construction is the only place
+/// floating-point arithmetic on prices happens; after it, pricing is
+/// one multiply per (counter, component) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    adc_convert_pj: f64,
+    sample_hold_pj: f64,
+    shift_add_pj: f64,
+    dac_pulse_pj: f64,
+    charge_unit_pj: f64,
+    input_byte_pj: f64,
+    vector_edram_pj: f64,
+    vector_router_pj: f64,
+    vector_quant_pj: f64,
+    vector_center_pj: f64,
+}
+
+impl EnergyMeter {
+    /// Binds a price library to a model's geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry.adc_bits` is outside 1–16 (via
+    /// [`ComponentPrices::adc_convert_pj`]); debug-asserts that the
+    /// geometry coefficients are finite and non-negative.
+    pub fn new(prices: &ComponentPrices, geometry: &MeterGeometry) -> Self {
+        debug_assert!(
+            geometry.io_bytes_per_vector.is_finite()
+                && geometry.io_bytes_per_vector >= 0.0
+                && geometry.outputs_per_vector.is_finite()
+                && geometry.outputs_per_vector >= 0.0
+                && geometry.psums_per_vector.is_finite()
+                && geometry.psums_per_vector >= 0.0,
+            "meter geometry must be finite and non-negative: {geometry:?}"
+        );
+        EnergyMeter {
+            adc_convert_pj: prices.adc_convert_pj(geometry.adc_bits),
+            sample_hold_pj: prices.sample_hold_pj,
+            shift_add_pj: prices.shift_add_pj,
+            dac_pulse_pj: prices.dac_pulse_pj,
+            charge_unit_pj: prices.device_charge_unit_pj,
+            input_byte_pj: prices.sram_byte_pj,
+            vector_edram_pj: geometry.io_bytes_per_vector * prices.edram_byte_pj,
+            vector_router_pj: geometry.io_bytes_per_vector * prices.router_byte_pj,
+            vector_quant_pj: geometry.outputs_per_vector * prices.quant_output_pj,
+            vector_center_pj: geometry.psums_per_vector * prices.center_mac_pj,
+        }
+    }
+
+    /// The rate one ADC conversion is priced at, in picojoules.
+    pub fn adc_convert_pj(&self) -> f64 {
+        self.adc_convert_pj
+    }
+
+    /// Prices one additive counter bundle. Linear in every counter — see
+    /// the module docs for the additivity contract this buys.
+    pub fn breakdown(&self, events: &MeterEvents) -> EnergyBreakdown {
+        let converts = events.adc_converts as f64;
+        let rows = events.row_activations as f64;
+        let vectors = events.vectors as f64;
+        EnergyBreakdown {
+            adc_pj: converts * self.adc_convert_pj,
+            crossbar_pj: events.charge_units as f64 * self.charge_unit_pj,
+            dac_pj: events.dac_pulses as f64 * self.dac_pulse_pj,
+            sample_hold_pj: converts * self.sample_hold_pj,
+            sram_pj: rows * self.input_byte_pj,
+            edram_pj: vectors * self.vector_edram_pj,
+            router_pj: vectors * self.vector_router_pj,
+            // Shift+add per conversion (psum assembly) and per row
+            // activation (Center+Offset running input sum), plus the
+            // per-psum center multiply/subtract.
+            digital_pj: (converts + rows) * self.shift_add_pj + vectors * self.vector_center_pj,
+            quant_pj: vectors * self.vector_quant_pj,
+        }
+    }
+
+    /// The canonical whole of a grouping: sums the integer counts
+    /// exactly, then prices once. Bit-identical to
+    /// [`EnergyMeter::breakdown`] of the merged counts, however the
+    /// parts were grouped.
+    pub fn merged_breakdown<'a>(
+        &self,
+        parts: impl IntoIterator<Item = &'a MeterEvents>,
+    ) -> EnergyBreakdown {
+        self.breakdown(&MeterEvents::sum(parts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> EnergyMeter {
+        EnergyMeter::new(
+            &ComponentPrices::cmos_32nm(),
+            &MeterGeometry {
+                adc_bits: 7,
+                io_bytes_per_vector: 24.0,
+                outputs_per_vector: 8.0,
+                psums_per_vector: 16.0,
+            },
+        )
+    }
+
+    fn sample_events(k: u64) -> MeterEvents {
+        MeterEvents {
+            adc_converts: 7 * k + 1,
+            dac_pulses: 31 * k + 3,
+            row_activations: 13 * k,
+            charge_units: 997 * k + 11,
+            vectors: k + 1,
+        }
+    }
+
+    #[test]
+    fn zero_events_price_to_zero() {
+        assert!(MeterEvents::default().is_zero());
+        let b = meter().breakdown(&MeterEvents::default());
+        assert_eq!(b, EnergyBreakdown::default());
+        assert_eq!(b.total_pj(), 0.0);
+        assert_eq!(b.adc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merged_counts_price_bit_identically_to_any_grouping() {
+        let m = meter();
+        let parts: Vec<MeterEvents> = (0..5).map(sample_events).collect();
+        let whole = MeterEvents::sum(&parts);
+        // Regroup arbitrarily: (0+1), (2+3+4) — merged counts are equal,
+        // so the priced breakdowns are bit-equal.
+        let a = parts[0].add(&parts[1]);
+        let b = parts[2].add(&parts[3]).add(&parts[4]);
+        assert_eq!(whole, a.add(&b));
+        assert_eq!(m.breakdown(&whole), m.merged_breakdown(&parts));
+        assert_eq!(m.breakdown(&whole), m.merged_breakdown([&a, &b]));
+    }
+
+    #[test]
+    fn pricing_is_linear_per_counter() {
+        let m = meter();
+        let one_convert = MeterEvents {
+            adc_converts: 1,
+            ..MeterEvents::default()
+        };
+        let b = m.breakdown(&one_convert);
+        // One 7b conversion: 1.2 pJ ADC + S+H + one shift-add.
+        assert!((b.adc_pj - 1.2).abs() < 1e-12, "{}", b.adc_pj);
+        assert!((b.sample_hold_pj - 0.05).abs() < 1e-12);
+        assert!((b.digital_pj - 0.25).abs() < 1e-12);
+        assert_eq!(b.crossbar_pj, 0.0);
+        assert_eq!(b.quant_pj, 0.0);
+
+        let scaled = m.breakdown(&MeterEvents {
+            adc_converts: 1000,
+            ..MeterEvents::default()
+        });
+        assert!((scaled.adc_pj - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adc_dominates_a_conversion_heavy_run() {
+        // ISAAC-like counts: every column converts every cycle.
+        let m = EnergyMeter::new(
+            &ComponentPrices::cmos_32nm(),
+            &MeterGeometry::events_only(8),
+        );
+        let b = m.breakdown(&MeterEvents {
+            adc_converts: 100_000,
+            dac_pulses: 50_000,
+            row_activations: 50_000,
+            charge_units: 300_000,
+            vectors: 100,
+        });
+        assert!(
+            b.adc_fraction() > 0.5,
+            "ADC fraction {} of {b}",
+            b.adc_fraction()
+        );
+    }
+
+    #[test]
+    fn events_only_geometry_prices_no_per_vector_work() {
+        let m = EnergyMeter::new(
+            &ComponentPrices::cmos_32nm(),
+            &MeterGeometry::events_only(7),
+        );
+        let b = m.breakdown(&MeterEvents {
+            vectors: 1_000_000,
+            ..MeterEvents::default()
+        });
+        assert_eq!(b.total_pj(), 0.0);
+    }
+
+    #[test]
+    fn lower_adc_resolution_prices_cheaper() {
+        let prices = ComponentPrices::cmos_32nm();
+        let hi = EnergyMeter::new(&prices, &MeterGeometry::events_only(8));
+        let lo = EnergyMeter::new(&prices, &MeterGeometry::events_only(5));
+        assert!(lo.adc_convert_pj() < hi.adc_convert_pj() / 4.0);
+    }
+}

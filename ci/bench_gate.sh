@@ -28,8 +28,11 @@
 #
 # `drift` inverts the comparison: its "floor" is a CEILING on the p99
 # live-recalibration pause in microseconds (the swap stall a served
-# request can see), and its curve shape — fresh device within budget,
-# drift eventually past it — is validated on every runner.
+# request can see) AND on the p99 fault-reroute pause of the tile
+# mortality drill (same swap machinery). Its curve shape — fresh device
+# within budget, drift eventually past it — and the drill's completion
+# contract (zero rejections, >=1 shrink per drill) are validated on
+# every runner.
 #
 # `energy` re-reads serve_throughput's JSON (same bench binary) and
 # validates the deterministic `"energy"` record — ADC fraction strictly
@@ -127,10 +130,29 @@ elif name == "drift":
     assert recal["count"] > 0, "no recalibrations timed"
     p50, p99 = recal["pause_us"]["p50"], recal["pause_us"]["p99"]
     assert 0 < p50 <= p99, f"nonsensical pause percentiles: p50 {p50}, p99 {p99}"
+    # The tile-mortality drill must have completed every accepted request
+    # with zero rejections and shrunk the plan at least once per drill —
+    # on every runner; the reroute-pause ceiling follows the >=4-core
+    # rule like the recalibration pause (same swap machinery).
+    drill = data["failure_drill"]
+    assert drill["drills"] > 0, "no failure drills ran"
+    assert drill["completed"] > 0, "failure drill served no traffic"
+    assert drill["rejected"] == 0, (
+        f"tile failure must not reject requests: {drill['rejected']} rejected"
+    )
+    assert drill["shrinks"] >= drill["drills"], (
+        f"every drill must shrink at least once: {drill['shrinks']} shrinks "
+        f"over {drill['drills']} drills"
+    )
+    dp50, dp99 = drill["reroute_pause_us"]["p50"], drill["reroute_pause_us"]["p99"]
+    assert 0 < dp50 <= dp99, f"nonsensical reroute percentiles: p50 {dp50}, p99 {dp99}"
     cores = os.cpu_count() or 1
-    print(f"{name}: pause p50 {p50} µs, p99 {p99} µs (ceiling {floor:.0f} µs, {cores} cores)")
+    print(f"{name}: pause p50 {p50} µs, p99 {p99} µs; "
+          f"reroute p50 {dp50} µs, p99 {dp99} µs "
+          f"(ceiling {floor:.0f} µs, {cores} cores)")
     if cores >= 4:
         assert p99 <= floor, f"recalibration pause regressed: p99 {p99} µs > {floor:.0f} µs"
+        assert dp99 <= floor, f"fault reroute pause regressed: p99 {dp99} µs > {floor:.0f} µs"
     else:
         print(f"gate skipped: {cores} cores < 4 (baseline recorded, not enforced)")
     raise SystemExit(0)

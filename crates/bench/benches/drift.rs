@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo bench --bench drift` (or via the CI entry point,
 //! `ci/bench_gate.sh drift BENCH_drift.json 250000`). Writes
-//! `BENCH_drift.json` at the repository root with two records:
+//! `BENCH_drift.json` at the repository root with three records:
 //!
 //! * **curve** — worst-layer mean |error| (the watchdog's §4.2.1 fidelity
 //!   metric) at each drift-epoch boundary from a fresh array to deep into
@@ -13,6 +13,13 @@
 //!   recalibration on a running sharded server (reprogram + rotate +
 //!   install), the pause the serving path pays per watchdog trip. CI
 //!   gates p99 under a ceiling on ≥4-core runners.
+//! * **failure_drill** — tile mortality under load: each drill kills a
+//!   tile of a fresh sharded server while racing submitters keep
+//!   traffic flowing, and times the reroute (report → shrunk plan
+//!   installed, contention retries included). CI checks every accepted
+//!   request completed with zero rejections and at least one shrink per
+//!   drill, and gates the p99 reroute pause under the same ceiling on
+//!   ≥4-core runners.
 //!
 //! Before timing anything, aged execution is asserted bit-identical
 //! between the unsharded engine and a sharded plan — the determinism
@@ -36,6 +43,12 @@ const CURVE_EPOCHS: u64 = 32;
 const RECALS: usize = 12;
 /// Test vectors per layer for each fidelity sample.
 const VECTORS: usize = 4;
+/// Tile-mortality drills (each kills one tile of a fresh server).
+const DRILLS: usize = 8;
+/// Racing submitters per drill.
+const DRILL_SUBMITTERS: usize = 2;
+/// Blocking requests per submitter per drill.
+const DRILL_ROUNDS: usize = 6;
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
@@ -147,6 +160,79 @@ fn main() {
     let (p50, p99) = (percentile(&pauses_us, 50.0), percentile(&pauses_us, 99.0));
     println!("recalibration pause: p50 {p50} µs, p99 {p99} µs over {RECALS} swaps");
 
+    // ---- tile-mortality drill: reroute pause under racing load ----
+    // Each drill builds a fresh sharded server (compiles are cached),
+    // races blocking submitters against it, and kills tile 1 mid-stream.
+    // The timed pause spans the first `fail_tile` attempt to the
+    // installed shrunk plan — contention retries against a concurrent
+    // swap are part of the reroute an operator waits out.
+    let mut drill_pauses_us: Vec<u64> = Vec::new();
+    let mut drill_completed: u64 = 0;
+    let mut drill_rejected: u64 = 0;
+    let mut drill_shrinks: u64 = 0;
+    for _ in 0..DRILLS {
+        let server = RaellaServer::builder()
+            .model(&graph, &cfg)
+            .compile_cache(cache.clone())
+            .workers(2)
+            .max_batch(2)
+            .latency_budget_ticks(0)
+            .shards(3)
+            .tile_spec(TileSpec::new(64, 64))
+            .build()
+            .expect("drill server builds");
+        std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for _ in 0..DRILL_SUBMITTERS {
+                let server = &server;
+                let image = &image;
+                workers.push(scope.spawn(move || {
+                    for _ in 0..DRILL_ROUNDS {
+                        server
+                            .submit(image.clone())
+                            .expect("unbounded submit admits")
+                            .wait()
+                            .expect("request completes across the reroute");
+                    }
+                }));
+            }
+            // Let traffic start, then kill the tile under it.
+            server
+                .submit(image.clone())
+                .expect("admits")
+                .wait()
+                .expect("warm-up request completes");
+            let t0 = Instant::now();
+            loop {
+                match server.fail_tile(0, 1) {
+                    Ok(true) => break,
+                    Ok(false) => std::thread::yield_now(),
+                    Err(e) => panic!("fault injection failed: {e}"),
+                }
+            }
+            drill_pauses_us.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            for worker in workers {
+                worker.join().expect("submitter thread completes");
+            }
+        });
+        server.shutdown();
+        let metrics = server.metrics();
+        assert_eq!(metrics.rejected(), 0, "the reroute rejected a request");
+        assert!(metrics.shrink_recalibrations() >= 1, "no shrink happened");
+        drill_completed += metrics.accepted();
+        drill_rejected += metrics.rejected();
+        drill_shrinks += metrics.shrink_recalibrations();
+    }
+    drill_pauses_us.sort_unstable();
+    let (dp50, dp99) = (
+        percentile(&drill_pauses_us, 50.0),
+        percentile(&drill_pauses_us, 99.0),
+    );
+    println!(
+        "failure drill: {drill_completed} completed, {drill_rejected} rejected, \
+         {drill_shrinks} shrinks; reroute pause p50 {dp50} µs, p99 {dp99} µs over {DRILLS} drills"
+    );
+
     let curve_json: Vec<String> = curve
         .iter()
         .map(|(age, err, ok)| {
@@ -156,7 +242,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"drift\",\n  \"error_budget\": {budget},\n  \"drift_interval\": {interval},\n  \"curve\": [\n{}\n  ],\n  \"recalibration\": {{ \"count\": {RECALS}, \"pause_us\": {{ \"p50\": {p50}, \"p99\": {p99} }} }}\n}}\n",
+        "{{\n  \"bench\": \"drift\",\n  \"error_budget\": {budget},\n  \"drift_interval\": {interval},\n  \"curve\": [\n{}\n  ],\n  \"recalibration\": {{ \"count\": {RECALS}, \"pause_us\": {{ \"p50\": {p50}, \"p99\": {p99} }} }},\n  \"failure_drill\": {{ \"drills\": {DRILLS}, \"completed\": {drill_completed}, \"rejected\": {drill_rejected}, \"shrinks\": {drill_shrinks}, \"reroute_pause_us\": {{ \"p50\": {dp50}, \"p99\": {dp99} }} }}\n}}\n",
         curve_json.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_drift.json");

@@ -35,9 +35,19 @@ pub enum CoreError {
         pending: usize,
     },
     /// An invalid tile placement: a shard plan that does not cover the
-    /// model's row groups, names an out-of-range tile, or was built for a
-    /// different model.
+    /// model's row groups or names an out-of-range tile.
     Shard(String),
+    /// A shard plan was offered to a model it was not built for: the
+    /// plan's recorded structural fingerprint and the model's fingerprint
+    /// disagree. Reprogrammed generations of the same model keep their
+    /// fingerprint (weights are excluded from it), so this only fires for
+    /// genuinely different graphs or configurations.
+    PlanMismatch {
+        /// Structural fingerprint the plan was built for.
+        expected: u64,
+        /// Structural fingerprint of the model the plan was offered to.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +65,11 @@ impl fmt::Display for CoreError {
                 "server queue full: model {model} rejected at {pending} pending requests"
             ),
             CoreError::Shard(msg) => write!(f, "shard plan: {msg}"),
+            CoreError::PlanMismatch { expected, found } => write!(
+                f,
+                "shard plan: plan was built for a different model \
+                 (plan fingerprint {expected:#018x}, model {found:#018x})"
+            ),
         }
     }
 }
@@ -92,5 +107,17 @@ mod tests {
         let e = CoreError::from(NnError::InvalidConfig("x".into()));
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("dnn substrate"));
+    }
+
+    #[test]
+    fn plan_mismatch_displays_both_fingerprints() {
+        let e = CoreError::PlanMismatch {
+            expected: 0xDEAD,
+            found: 0xBEEF,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x000000000000dead"), "{msg}");
+        assert!(msg.contains("0x000000000000beef"), "{msg}");
+        assert!(msg.contains("different model"), "{msg}");
     }
 }

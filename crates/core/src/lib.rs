@@ -30,6 +30,13 @@
 //!   [`DeviceLifetime`] configured, the server tracks device age, runs a
 //!   fidelity watchdog, and live-swaps reprogrammed models onto fresh
 //!   tiles (recalibration) without dropping a request.
+//! * [`policy`] — pluggable recalibration: a
+//!   [`policy::RecalibrationPolicy`] maps the observed degradation
+//!   (budget breaches, per-tile wear, failed tiles) to a
+//!   [`policy::RecalibrationAction`] — full rotate-and-reprogram (the
+//!   default, bit-identical to the pre-policy server), wear-aware
+//!   remapping, targeted per-layer refresh, or shrinking the plan onto
+//!   surviving tiles after a fault.
 //! * [`gateway`] — the async front end: [`server::RequestHandle`] is a
 //!   [`std::future::Future`] driven by any executor (a dependency-free
 //!   [`gateway::block_on`]/[`gateway::LocalPool`] pair ships in-tree),
@@ -85,6 +92,7 @@ pub mod extensions;
 pub mod gateway;
 pub mod model;
 pub mod parallel;
+pub mod policy;
 pub mod probe;
 pub mod scratch;
 pub mod server;
@@ -98,6 +106,10 @@ pub use engine::{RaellaEngine, RunStats};
 pub use error::CoreError;
 pub use gateway::{block_on, Gateway, GatewayClient, LocalPool};
 pub use model::{BatchResult, CompiledModel};
+pub use policy::{
+    LayerBreach, RecalContext, RecalTrigger, RecalibrationAction, RecalibrationPolicy,
+    RotatePolicy, WearAwarePolicy,
+};
 pub use raella_energy::meter::{EnergyMeter, MeterEvents, MeterGeometry};
 pub use raella_energy::{ComponentPrices, EnergyBreakdown};
 pub use raella_xbar::lifetime::DeviceLifetime;

@@ -495,6 +495,119 @@ impl CompiledModel {
             cfg,
         })
     }
+
+    /// Re-programs only the matrix layers named in `layers` (indices into
+    /// [`CompiledModel::compiled_layers`]) at `generation`, keeping every
+    /// other layer's existing programming — the targeted recalibration
+    /// primitive: refresh the over-budget layers' cells without paying the
+    /// write wear of a full-array reprogram. Each layer *index* is its own
+    /// physical array: unnamed indices keep their existing programming
+    /// even when they share a compiled `Arc` with a named one (the shared
+    /// artifact splits, exactly as distinct crossbar arrays would).
+    /// Out-of-range indices are ignored.
+    ///
+    /// Programming draws are keyed by `(seed, generation, filter, group)`
+    /// — never by which layers rode along — so a partial reprogram is
+    /// replayed exactly by [`CompiledModel::reprogram_to`] with the
+    /// resulting [`CompiledModel::layer_generations`]. The model-level
+    /// generation ([`RaellaConfig::lifetime`]) advances to `generation`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-layer compile errors (cannot happen for models built
+    /// through [`CompiledModel::compile`]).
+    pub fn reprogram_layers(&self, generation: u64, layers: &[usize]) -> Result<Self, CoreError> {
+        let targets: Vec<u64> = self
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                if layers.contains(&i) {
+                    generation
+                } else {
+                    layer.config().lifetime.generation
+                }
+            })
+            .collect();
+        let mut fresh = self.reprogram_to(&targets)?;
+        fresh.cfg.lifetime.generation = generation;
+        Ok(fresh)
+    }
+
+    /// The programming generation of each matrix layer, in execution
+    /// order. All equal after [`CompiledModel::compile`] or a full
+    /// [`CompiledModel::reprogram`]; a partial
+    /// [`CompiledModel::reprogram_layers`] leaves them mixed. Feed the
+    /// vector to [`CompiledModel::reprogram_to`] to rebuild the exact
+    /// same programming state offline.
+    pub fn layer_generations(&self) -> Vec<u64> {
+        self.layers
+            .iter()
+            .map(|layer| layer.config().lifetime.generation)
+            .collect()
+    }
+
+    /// Re-programs each matrix layer to its own target generation — the
+    /// offline replay primitive for partially recalibrated models: compile
+    /// the base model, then `reprogram_to(&response.layer_generations())`
+    /// and run the image at the response's age. A layer already at its
+    /// target keeps its `Arc` untouched; layers sharing an `Arc` whose
+    /// targets diverge stop sharing (their draws were identical only
+    /// while their generations agreed). The model-level generation
+    /// becomes the maximum target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] unless `generations` has
+    /// exactly one entry per matrix layer, and propagates per-layer
+    /// compile errors.
+    pub fn reprogram_to(&self, generations: &[u64]) -> Result<Self, CoreError> {
+        if generations.len() != self.layers.len() {
+            return Err(CoreError::InvalidConfig(format!(
+                "generation vector has {} entries, model has {} matrix layers",
+                generations.len(),
+                self.layers.len()
+            )));
+        }
+        let mut cfg = self.cfg.clone();
+        cfg.lifetime.generation = generations
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(cfg.lifetime.generation);
+        let mut remapped: Vec<((*const CompiledLayer, u64), Arc<CompiledLayer>)> = Vec::new();
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for ((mat, old), &target) in self
+            .graph
+            .matrix_layers()
+            .into_iter()
+            .zip(&self.layers)
+            .zip(generations)
+        {
+            if old.config().lifetime.generation == target {
+                layers.push(Arc::clone(old));
+                continue;
+            }
+            let key = (Arc::as_ptr(old), target);
+            let fresh = match remapped.iter().find(|(k, _)| *k == key) {
+                Some((_, a)) => Arc::clone(a),
+                None => {
+                    let built = Arc::new(old.reprogram(mat, target)?);
+                    remapped.push((key, Arc::clone(&built)));
+                    built
+                }
+            };
+            layers.push(fresh);
+        }
+        Ok(CompiledModel {
+            graph: self.graph.clone(),
+            plan: self.graph.plan()?,
+            layers,
+            noise_seed: self.noise_seed,
+            unique_layers: self.unique_layers,
+            cfg,
+        })
+    }
 }
 
 /// Per-image engine adapter: serves the graph's matrix-layer calls from
@@ -678,6 +791,43 @@ mod tests {
         // A fresh generation changes programming, hence outputs.
         let (g1, _) = re.run_image_at_age(&image, 1000).unwrap();
         assert_ne!(g1, aged, "fresh programming draw must differ");
+    }
+
+    #[test]
+    fn partial_reprogram_tracks_per_layer_generations_and_replays() {
+        use raella_xbar::lifetime::DeviceLifetime;
+        let cfg = tiny_cfg()
+            .with_noise(0.05)
+            .with_lifetime(DeviceLifetime::new(0.3, 0.0, 0));
+        let model = CompiledModel::compile(&tiny_graph(), &cfg).unwrap();
+        assert_eq!(model.layer_generations(), vec![0, 0]);
+        let image = sample_image(3);
+        let (base_out, _) = model.run_image(&image).unwrap();
+
+        // Refresh only layer 1: layer 0 keeps its Arc and generation.
+        let partial = model.reprogram_layers(4, &[1]).unwrap();
+        assert_eq!(partial.layer_generations(), vec![0, 4]);
+        assert_eq!(partial.config().lifetime.generation, 4);
+        assert!(Arc::ptr_eq(&partial.layers[0], &model.layers[0]));
+        assert!(!Arc::ptr_eq(&partial.layers[1], &model.layers[1]));
+        let (partial_out, _) = partial.run_image(&image).unwrap();
+        assert_ne!(partial_out, base_out, "fresh draw must perturb layer 1");
+
+        // reprogram_to rebuilds the exact mixed-generation state offline.
+        let replayed = model.reprogram_to(&partial.layer_generations()).unwrap();
+        let (replay_out, _) = replayed.run_image(&image).unwrap();
+        assert_eq!(replay_out, partial_out);
+        // Already-at-target layers keep their Arcs untouched.
+        assert!(Arc::ptr_eq(&replayed.layers[0], &model.layers[0]));
+
+        // Out-of-range names are ignored; a wrong-length vector errors.
+        let noop = model.reprogram_layers(9, &[7]).unwrap();
+        let (noop_out, _) = noop.run_image(&image).unwrap();
+        assert_eq!(noop_out, base_out);
+        assert!(matches!(
+            model.reprogram_to(&[1]),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

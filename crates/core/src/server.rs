@@ -158,6 +158,9 @@ use crate::engine::RunStats;
 use crate::error::CoreError;
 use crate::model::CompiledModel;
 use crate::parallel::worker_count_for;
+use crate::policy::{
+    LayerBreach, RecalContext, RecalTrigger, RecalibrationAction, RecalibrationPolicy, RotatePolicy,
+};
 use crate::shard::ShardPlan;
 
 /// One scheduler tick — the granularity of the coalescing latency budget.
@@ -214,6 +217,7 @@ pub struct ServerBuilder {
     watchdog_interval: u64,
     watchdog_vectors: usize,
     energy_budgets: Vec<(usize, f64)>,
+    policy: Option<Arc<dyn RecalibrationPolicy>>,
 }
 
 impl ServerBuilder {
@@ -374,6 +378,20 @@ impl ServerBuilder {
         self
     }
 
+    /// Installs the [`RecalibrationPolicy`] consulted by every
+    /// recalibration trigger — the fidelity watchdog, manual
+    /// [`RaellaServer::recalibrate`] calls, and tile failures injected
+    /// via [`RaellaServer::fail_tile`]. The default
+    /// [`crate::policy::RotatePolicy`] reproduces the classic behavior
+    /// bit-identically: reprogram everything, rotate the shard plan by
+    /// one tile, shrink onto the survivors when tiles have failed. One
+    /// policy serves every model on the server.
+    #[must_use]
+    pub fn recalibration_policy(mut self, policy: impl RecalibrationPolicy + 'static) -> Self {
+        self.policy = Some(Arc::new(policy));
+        self
+    }
+
     /// Compiles every model and spawns the worker pool.
     ///
     /// # Errors
@@ -434,15 +452,23 @@ impl ServerBuilder {
             } else {
                 None
             };
-            // Recalibration only remaps tiles, never changes the tile
-            // count, so sizing the lifetime buckets once is safe.
+            // Recalibration only remaps tiles (a shrink keeps dead tiles
+            // addressable), never changes the tile count, so sizing the
+            // lifetime buckets once is safe.
             tile_totals.push(vec![
                 RunStats::default();
                 plan.as_ref().map_or(0, ShardPlan::tiles)
             ]);
+            // Wear counters start at the build-time programming: placing
+            // the base model onto the array writes each tile's resident
+            // cells once.
+            let tile_writes = plan
+                .as_ref()
+                .map_or_else(Vec::new, |p| p.tile_cells(&model));
             models.push(ServedModel {
                 live: RwLock::new(LiveModel {
                     generation: model.config().lifetime.generation,
+                    layer_gens: Arc::new(model.layer_generations()),
                     model: Arc::new(model),
                     plan: plan.map(Arc::new),
                     alts,
@@ -451,6 +477,8 @@ impl ServerBuilder {
                 recalibrating: AtomicBool::new(false),
                 vector_counts: Mutex::new(HashMap::new()),
                 selection_cache: Mutex::new(HashMap::new()),
+                failed_tiles: Mutex::new(Vec::new()),
+                tile_writes: Mutex::new(tile_writes),
             });
         }
         let model_count = models.len();
@@ -494,7 +522,9 @@ impl ServerBuilder {
                 self.watchdog_vectors
             },
             recalibrations: AtomicU64::new(0),
+            shrink_recalibrations: AtomicU64::new(0),
             recal_pause_ticks: AtomicU64::new(0),
+            policy: self.policy.unwrap_or_else(|| Arc::new(RotatePolicy)),
             cache,
             tile_totals: Mutex::new(tile_totals),
             energy_totals: Mutex::new(vec![EnergyBreakdown::default(); model_count]),
@@ -568,6 +598,7 @@ pub struct Response {
     model: usize,
     age: u64,
     generation: u64,
+    layer_gens: Arc<Vec<u64>>,
     queue_ticks: u64,
     compute_ticks: u64,
     batch_size: usize,
@@ -651,6 +682,17 @@ impl Response {
     /// at this age.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Per-layer programming generations of the snapshot that served
+    /// this request, in execution order. All equal to
+    /// [`Response::generation`] unless a targeted recalibration
+    /// ([`crate::policy::RecalibrationAction::ReprogramLayers`])
+    /// refreshed a subset — then the output replays offline via
+    /// [`CompiledModel::reprogram_to`] with this vector, run at
+    /// [`Response::age`].
+    pub fn layer_generations(&self) -> &[u64] {
+        &self.layer_gens
     }
 
     /// Time the request spent queued before its batch started, in
@@ -1098,6 +1140,11 @@ struct LiveModel {
     model: Arc<CompiledModel>,
     plan: Option<Arc<ShardPlan>>,
     generation: u64,
+    /// Per-layer programming generations of `model`
+    /// ([`CompiledModel::layer_generations`]), shared into every
+    /// [`Response`] — all equal to `generation` after full reprograms,
+    /// mixed after targeted ones.
+    layer_gens: Arc<Vec<u64>>,
     /// Slicing variants for admission-time selection (ladder indices
     /// `1..`; index 0 is the base `model`/`plan`). Empty unless
     /// [`ServerBuilder::energy_budget_pj`] registered a budget.
@@ -1135,6 +1182,16 @@ struct ServedModel {
     /// epoch. Recalibration bumps the generation, naturally invalidating
     /// stale entries.
     selection_cache: Mutex<HashMap<(u64, u64), usize>>,
+    /// Tiles reported dead via [`RaellaServer::fail_tile`], ascending.
+    /// Failure is permanent for the server's lifetime: every subsequent
+    /// recalibration decision sees the full set.
+    failed_tiles: Mutex<Vec<usize>>,
+    /// Cumulative programmed cells per tile (index = tile; empty when
+    /// unsharded): build-time placement plus every recalibration's
+    /// writes under the base plan — the wear signal policies level
+    /// against. Read via [`RaellaServer::tile_writes`] and
+    /// [`ServerMetrics::tile_writes`].
+    tile_writes: Mutex<Vec<u64>>,
 }
 
 impl ServedModel {
@@ -1185,13 +1242,20 @@ struct Shared {
     watchdog_interval: u64,
     /// Test vectors per layer for each watchdog fidelity sample.
     watchdog_vectors: usize,
-    /// Completed recalibration plan swaps (watchdog-triggered and
-    /// manual).
+    /// Completed recalibration plan swaps (watchdog-triggered, manual,
+    /// and fault-triggered).
     recalibrations: AtomicU64,
+    /// The subset of `recalibrations` that shrank the plan onto
+    /// surviving tiles ([`RecalibrationAction::Shrink`]).
+    shrink_recalibrations: AtomicU64,
     /// Total time spent inside recalibration attempts, in [`TICK`]s —
     /// the serving pause the swaps cost (each attempt counts at least
     /// one tick).
     recal_pause_ticks: AtomicU64,
+    /// The policy every recalibration trigger consults
+    /// ([`ServerBuilder::recalibration_policy`]; defaults to
+    /// [`RotatePolicy`]).
+    policy: Arc<dyn RecalibrationPolicy>,
     cache: SharedCompileCache,
     /// Server-lifetime per-tile statistics, one bucket vector per model
     /// (empty for unsharded models). Workers merge each sharded
@@ -1523,6 +1587,7 @@ fn worker_loop(shared: &Shared) {
                     model: req.model,
                     age: req.age,
                     generation: live.generation,
+                    layer_gens: Arc::clone(&live.layer_gens),
                     queue_ticks: ticks(started.saturating_duration_since(req.submitted)),
                     compute_ticks: ticks(compute_start.elapsed()),
                     batch_size,
@@ -1555,103 +1620,305 @@ fn ticks(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Samples the live model's fidelity at its current device age (each
-/// unique compiled layer once) and recalibrates when any layer exceeds
-/// the config's error budget. Returns whether a swap happened.
-fn watchdog_check(shared: &Shared, model: usize) -> Result<bool, CoreError> {
-    let live = shared.models[model].snapshot();
-    if !live.model.config().lifetime.is_drifting() {
-        return Ok(false);
-    }
-    let age = shared.lock().ages[model];
-    let budget = live.model.config().error_budget;
-    let mut checked: Vec<*const crate::compiler::CompiledLayer> = Vec::new();
-    let mut degraded = false;
-    for (mat, compiled) in live
-        .model
-        .graph()
-        .matrix_layers()
-        .into_iter()
-        .zip(live.model.compiled_layers())
-    {
-        let ptr = Arc::as_ptr(compiled);
-        if checked.contains(&ptr) {
-            continue;
-        }
-        checked.push(ptr);
-        let report = compiled.check_fidelity_at_age(mat, shared.watchdog_vectors, age)?;
-        if !report.within_budget(budget) {
-            degraded = true;
-            break;
-        }
-    }
-    if degraded {
-        recalibrate_model(shared, model)
-    } else {
-        Ok(false)
-    }
+/// Whether the live plan still places anything on a failed tile — true
+/// only in the window between a failure report and the shrink that
+/// reroutes around it (or when that shrink was contended and must be
+/// retried).
+fn plan_touches(plan: Option<&ShardPlan>, failed: &[usize]) -> bool {
+    plan.is_some_and(|p| {
+        p.placements()
+            .iter()
+            .any(|pl| pl.slices().iter().any(|s| failed.contains(&s.tile)))
+    })
 }
 
-/// The recalibration plan swap: reprogram the model to the next
-/// generation (fresh programming-error draw from pristine weights),
-/// rotate the shard plan one tile over so every layer lands on fresh
-/// crossbars, install both atomically for future batches, and zero the
-/// model's device age. Queued and in-flight requests are never dropped:
-/// batches popped before the install run against the old snapshot,
-/// batches popped after it against the new one, each self-described by
-/// its responses' `(generation, age)`.
+/// Samples the live model's fidelity at its current device age (each
+/// unique compiled layer once, every sharing index reported) and
+/// consults the recalibration policy when any layer exceeds the config's
+/// error budget — or when the live plan still touches a failed tile (the
+/// watchdog retries a contended fault reroute). Returns whether a swap
+/// happened.
+fn watchdog_check(shared: &Shared, model: usize) -> Result<bool, CoreError> {
+    let served = &shared.models[model];
+    let live = served.snapshot();
+    let failed = served
+        .failed_tiles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let dirty = plan_touches(live.plan.as_deref(), &failed);
+    let drifting = live.model.config().lifetime.is_drifting();
+    if !drifting && !dirty {
+        return Ok(false);
+    }
+    let mut breaches = Vec::new();
+    if drifting {
+        let age = shared.lock().ages[model];
+        let budget = live.model.config().error_budget;
+        // One fidelity sample per unique compiled layer; every index
+        // sharing the artifact is reported, so a targeted reprogram
+        // covers them all.
+        let mut sampled: Vec<(*const crate::compiler::CompiledLayer, Option<f64>)> = Vec::new();
+        for (i, (mat, compiled)) in live
+            .model
+            .graph()
+            .matrix_layers()
+            .into_iter()
+            .zip(live.model.compiled_layers())
+            .enumerate()
+        {
+            let ptr = Arc::as_ptr(compiled);
+            let over = match sampled.iter().find(|(p, _)| *p == ptr) {
+                Some((_, over)) => *over,
+                None => {
+                    let report =
+                        compiled.check_fidelity_at_age(mat, shared.watchdog_vectors, age)?;
+                    let over = (!report.within_budget(budget)).then_some(report.mean_abs_error);
+                    sampled.push((ptr, over));
+                    over
+                }
+            };
+            if let Some(mean_abs_error) = over {
+                breaches.push(LayerBreach {
+                    layer: i,
+                    name: compiled.name().to_string(),
+                    mean_abs_error,
+                    budget,
+                });
+            }
+        }
+    }
+    if breaches.is_empty() && !dirty {
+        return Ok(false);
+    }
+    recalibrate_model(shared, model, RecalTrigger::Watchdog, &breaches)
+}
+
+/// The policy-driven recalibration: under the per-model guard, assemble
+/// the evidence ([`RecalContext`]), ask the server's
+/// [`RecalibrationPolicy`] what to do, and apply the answer — installing
+/// the fresh snapshot atomically for future batches. Queued and
+/// in-flight requests are never dropped: batches popped before the
+/// install run against the old snapshot, batches popped after it against
+/// the new one, each self-described by its responses'
+/// `(generation, age)` (and [`Response::layer_generations`] after a
+/// targeted refresh).
 ///
 /// Returns `Ok(false)` without swapping when another recalibration of
-/// the same model is already in flight.
-fn recalibrate_model(shared: &Shared, model: usize) -> Result<bool, CoreError> {
+/// the same model is already in flight, or when the policy returned
+/// [`RecalibrationAction::None`].
+fn recalibrate_model(
+    shared: &Shared,
+    model: usize,
+    trigger: RecalTrigger,
+    breaches: &[LayerBreach],
+) -> Result<bool, CoreError> {
     let served = &shared.models[model];
     if served.recalibrating.swap(true, Ordering::SeqCst) {
         return Ok(false);
     }
     let start = Instant::now();
-    let result = (|| {
-        let live = served.snapshot();
-        let generation = live.generation + 1;
-        let fresh = live.model.reprogram(generation)?;
-        let plan = match live.plan.as_deref() {
-            Some(p) => Some(Arc::new(p.rotated(&fresh, 1)?)),
-            None => None,
-        };
-        // Budget variants follow the swap: same generation, fresh
-        // programming draw, rotated plan. The geometry estimate is
-        // slicing-only, so it carries over unchanged.
-        let mut alts = Vec::with_capacity(live.alts.len());
-        for alt in &live.alts {
-            let fresh_alt = alt.model.reprogram(generation)?;
-            let alt_plan = match alt.plan.as_deref() {
-                Some(p) => Some(Arc::new(p.rotated(&fresh_alt, 1)?)),
-                None => None,
-            };
-            alts.push(Variant {
-                model: Arc::new(fresh_alt),
-                plan: alt_plan,
-                est_pj_per_vector: alt.est_pj_per_vector,
-            });
-        }
-        *served.live.write().unwrap_or_else(PoisonError::into_inner) = LiveModel {
-            model: Arc::new(fresh),
-            plan,
-            generation,
-            alts,
-            budget_pj: live.budget_pj,
-        };
-        // Relaxation is drift since the last programming: a fresh
-        // generation starts at age 0 (epoch 0 replays the static noise
-        // streams bit-for-bit).
-        shared.lock().ages[model] = 0;
-        shared.recalibrations.fetch_add(1, Ordering::SeqCst);
-        Ok(true)
-    })();
+    let result = consult_policy(shared, model, trigger, breaches);
     shared
         .recal_pause_ticks
         .fetch_add(ticks(start.elapsed()).max(1), Ordering::SeqCst);
     served.recalibrating.store(false, Ordering::SeqCst);
     result
+}
+
+/// Assembles the [`RecalContext`] evidence, asks the policy, applies the
+/// answer. The caller holds the per-model recalibration guard and meters
+/// the pause around this call.
+fn consult_policy(
+    shared: &Shared,
+    model: usize,
+    trigger: RecalTrigger,
+    breaches: &[LayerBreach],
+) -> Result<bool, CoreError> {
+    let served = &shared.models[model];
+    let live = served.snapshot();
+    let failed = served
+        .failed_tiles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let tile_writes = served
+        .tile_writes
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let age = shared.lock().ages[model];
+    let tile_cells = live
+        .plan
+        .as_deref()
+        .map_or_else(Vec::new, |p| p.tile_cells(&live.model));
+    let action = shared.policy.decide(&RecalContext {
+        model,
+        generation: live.generation,
+        age,
+        drift_epoch: live.model.config().lifetime.drift_epoch(age),
+        trigger,
+        breaches,
+        layer_count: live.model.compiled_layers().len(),
+        tile_writes: &tile_writes,
+        tile_cells: &tile_cells,
+        failed_tiles: &failed,
+        plan: live.plan.as_deref(),
+    });
+    apply_action(shared, model, &live, &failed, action)
+}
+
+/// Applies a policy's [`RecalibrationAction`] to the live snapshot:
+/// validates it against the failure set, reprograms, rebuilds plans, and
+/// installs the result under the write lock. The caller holds the
+/// per-model recalibration guard.
+fn apply_action(
+    shared: &Shared,
+    model: usize,
+    live: &LiveModel,
+    failed: &[usize],
+    action: RecalibrationAction,
+) -> Result<bool, CoreError> {
+    let served = &shared.models[model];
+    let generation = live.generation + 1;
+    let (fresh, plan, alts, reset_age, shrunk, written) = match action {
+        RecalibrationAction::None => return Ok(false),
+        RecalibrationAction::ReprogramAll { map } => {
+            if let Some(m) = &map {
+                if live.plan.is_none() {
+                    return Err(CoreError::Server(
+                        "recalibration policy returned a tile map for an unsharded model".into(),
+                    ));
+                }
+                if let Some((src, dst)) = m.iter().enumerate().find(|(_, dst)| failed.contains(dst))
+                {
+                    return Err(CoreError::Server(format!(
+                        "recalibration policy mapped tile {src} onto failed tile {dst}"
+                    )));
+                }
+            }
+            let fresh = live.model.reprogram(generation)?;
+            let plan = match (live.plan.as_deref(), &map) {
+                (Some(p), Some(m)) => Some(Arc::new(p.remap_tiles(&fresh, m, p.tiles())?)),
+                // No map: the placement carries over (the fingerprint is
+                // structural, so the existing Arc still matches).
+                (Some(_), None) => live.plan.clone(),
+                _ => None,
+            };
+            // Budget variants follow the swap: same generation, fresh
+            // programming draw, same remap. The geometry estimate is
+            // slicing-only, so it carries over unchanged.
+            let mut alts = Vec::with_capacity(live.alts.len());
+            for alt in &live.alts {
+                let fresh_alt = alt.model.reprogram(generation)?;
+                let alt_plan = match (alt.plan.as_deref(), &map) {
+                    (Some(p), Some(m)) => {
+                        Some(Arc::new(p.remap_tiles(&fresh_alt, m, p.tiles())?))
+                    }
+                    (Some(_), None) => alt.plan.clone(),
+                    _ => None,
+                };
+                alts.push(Variant {
+                    model: Arc::new(fresh_alt),
+                    plan: alt_plan,
+                    est_pj_per_vector: alt.est_pj_per_vector,
+                });
+            }
+            let written = plan
+                .as_deref()
+                .map_or_else(Vec::new, |p| p.tile_cells(&fresh));
+            (fresh, plan, alts, true, false, written)
+        }
+        RecalibrationAction::ReprogramLayers { layers } => {
+            let count = live.model.compiled_layers().len();
+            if layers.is_empty() {
+                return Err(CoreError::Server(
+                    "recalibration policy named no layers to reprogram".into(),
+                ));
+            }
+            if let Some(bad) = layers.iter().find(|&&l| l >= count) {
+                return Err(CoreError::Server(format!(
+                    "recalibration policy named layer {bad}, model has {count}"
+                )));
+            }
+            let fresh = live.model.reprogram_layers(generation, &layers)?;
+            let mut alts = Vec::with_capacity(live.alts.len());
+            for alt in &live.alts {
+                alts.push(Variant {
+                    model: Arc::new(alt.model.reprogram_layers(generation, &layers)?),
+                    plan: alt.plan.clone(),
+                    est_pj_per_vector: alt.est_pj_per_vector,
+                });
+            }
+            let written = live
+                .plan
+                .as_deref()
+                .map_or_else(Vec::new, |p| p.tile_cells_for_layers(&fresh, &layers));
+            // Plan and device age carry over: a targeted refresh cures
+            // programming error in place while relaxation keeps accruing.
+            (fresh, live.plan.clone(), alts, false, false, written)
+        }
+        RecalibrationAction::Shrink { survivors } => {
+            let Some(p) = live.plan.as_deref() else {
+                return Err(CoreError::Server(
+                    "cannot shrink an unsharded model onto surviving tiles".into(),
+                ));
+            };
+            if let Some(bad) = survivors.iter().find(|t| failed.contains(t)) {
+                return Err(CoreError::Server(format!(
+                    "recalibration policy kept failed tile {bad} in the survivor list"
+                )));
+            }
+            let fresh = live.model.reprogram(generation)?;
+            let plan = Some(Arc::new(p.shrink_onto(&fresh, &survivors)?));
+            let mut alts = Vec::with_capacity(live.alts.len());
+            for alt in &live.alts {
+                let fresh_alt = alt.model.reprogram(generation)?;
+                let alt_plan = match alt.plan.as_deref() {
+                    Some(ap) => Some(Arc::new(ap.shrink_onto(&fresh_alt, &survivors)?)),
+                    None => None,
+                };
+                alts.push(Variant {
+                    model: Arc::new(fresh_alt),
+                    plan: alt_plan,
+                    est_pj_per_vector: alt.est_pj_per_vector,
+                });
+            }
+            let written = plan
+                .as_deref()
+                .map_or_else(Vec::new, |p| p.tile_cells(&fresh));
+            (fresh, plan, alts, true, true, written)
+        }
+    };
+    *served.live.write().unwrap_or_else(PoisonError::into_inner) = LiveModel {
+        layer_gens: Arc::new(fresh.layer_generations()),
+        model: Arc::new(fresh),
+        plan,
+        generation,
+        alts,
+        budget_pj: live.budget_pj,
+    };
+    if reset_age {
+        // Relaxation is drift since the last programming: a fresh
+        // generation starts at age 0 (epoch 0 replays the static noise
+        // streams bit-for-bit). A targeted refresh keeps the age — its
+        // unnamed layers are still relaxing.
+        shared.lock().ages[model] = 0;
+    }
+    {
+        let mut writes = served
+            .tile_writes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (bucket, cells) in writes.iter_mut().zip(&written) {
+            *bucket += cells;
+        }
+    }
+    shared.recalibrations.fetch_add(1, Ordering::SeqCst);
+    if shrunk {
+        shared.shrink_recalibrations.fetch_add(1, Ordering::SeqCst);
+    }
+    Ok(true)
 }
 
 /// How an admission call waits for queue space.
@@ -1683,8 +1950,11 @@ pub struct ServerMetrics {
     queued: Vec<usize>,
     worker_busy_ticks: u64,
     recalibrations: u64,
+    shrink_recalibrations: u64,
     recalibration_pause_ticks: u64,
     model_energy: Vec<EnergyBreakdown>,
+    tile_writes: Vec<Vec<u64>>,
+    failed_tiles: Vec<Vec<usize>>,
 }
 
 impl ServerMetrics {
@@ -1738,10 +2008,32 @@ impl ServerMetrics {
         self.worker_busy_ticks
     }
 
-    /// Completed recalibration plan swaps (watchdog-triggered and
-    /// manual), across all models.
+    /// Completed recalibration plan swaps (watchdog-triggered, manual,
+    /// and fault-triggered), across all models.
     pub fn recalibrations(&self) -> u64 {
         self.recalibrations
+    }
+
+    /// The subset of [`ServerMetrics::recalibrations`] that shrank a
+    /// plan onto surviving tiles
+    /// ([`crate::policy::RecalibrationAction::Shrink`] — the tile-failure
+    /// reroute), across all models.
+    pub fn shrink_recalibrations(&self) -> u64 {
+        self.shrink_recalibrations
+    }
+
+    /// Cumulative programmed cells per tile, indexed by model then tile
+    /// (empty inner vectors for unsharded models): build-time placement
+    /// plus every recalibration's writes — the wear signal recalibration
+    /// policies level against.
+    pub fn tile_writes(&self) -> &[Vec<u64>] {
+        &self.tile_writes
+    }
+
+    /// Tiles reported dead via [`RaellaServer::fail_tile`], indexed by
+    /// model, each ascending.
+    pub fn failed_tiles(&self) -> &[Vec<usize>] {
+        &self.failed_tiles
     }
 
     /// Total time spent inside recalibration attempts, in [`TICK`]s —
@@ -2149,6 +2441,7 @@ impl RaellaServer {
             queued: state.lanes.iter().map(VecDeque::len).collect(),
             worker_busy_ticks: self.shared.busy_ticks.load(Ordering::Relaxed),
             recalibrations: self.shared.recalibrations.load(Ordering::SeqCst),
+            shrink_recalibrations: self.shared.shrink_recalibrations.load(Ordering::SeqCst),
             recalibration_pause_ticks: self.shared.recal_pause_ticks.load(Ordering::SeqCst),
             model_energy: self
                 .shared
@@ -2156,6 +2449,28 @@ impl RaellaServer {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .clone(),
+            tile_writes: self
+                .shared
+                .models
+                .iter()
+                .map(|m| {
+                    m.tile_writes
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                })
+                .collect(),
+            failed_tiles: self
+                .shared
+                .models
+                .iter()
+                .map(|m| {
+                    m.failed_tiles
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                })
+                .collect(),
         }
     }
 
@@ -2203,17 +2518,20 @@ impl RaellaServer {
         self.shared.lock().ages[index]
     }
 
-    /// Manually triggers the recalibration plan swap for the model at
-    /// `index` (the same path the fidelity watchdog takes — see the
-    /// [module docs](crate::server)): reprogram to the next generation,
-    /// rotate the shard plan onto fresh tiles, install atomically
-    /// between batches, zero the device age. Returns `Ok(false)` if
-    /// another recalibration of this model was already in flight.
+    /// Manually triggers a recalibration of the model at `index` — the
+    /// same policy consultation the fidelity watchdog runs, with
+    /// [`RecalTrigger::Manual`] and no sampled breaches. Under the
+    /// default [`crate::policy::RotatePolicy`] this is the classic swap:
+    /// reprogram to the next generation, rotate the shard plan onto
+    /// fresh tiles, install atomically between batches, zero the device
+    /// age. Returns `Ok(false)` if another recalibration of this model
+    /// was already in flight or the policy declined.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Server`] for an out-of-range index and
-    /// propagates reprogramming errors (the old snapshot stays live).
+    /// Returns [`CoreError::Server`] for an out-of-range index or an
+    /// action the live state cannot honor, and propagates reprogramming
+    /// errors (the old snapshot stays live either way).
     pub fn recalibrate(&self, index: usize) -> Result<bool, CoreError> {
         if index >= self.shared.models.len() {
             return Err(CoreError::Server(format!(
@@ -2221,7 +2539,97 @@ impl RaellaServer {
                 self.shared.models.len()
             )));
         }
-        recalibrate_model(&self.shared, index)
+        recalibrate_model(&self.shared, index, RecalTrigger::Manual, &[])
+    }
+
+    /// Reports tile `tile` of the model at `index` dead — the
+    /// fault-injection hook. The failure is recorded permanently and the
+    /// recalibration policy is consulted immediately with
+    /// [`RecalTrigger::Fault`]; under the default policy the plan
+    /// shrinks onto the surviving tiles ([`ShardPlan::shrink_onto`]) and
+    /// the model reprograms, installed atomically between batches — zero
+    /// drain, zero rejected requests, every queued and in-flight request
+    /// completes, and every response still replays offline via
+    /// `(generation, age)`.
+    ///
+    /// Returns whether a swap happened. `Ok(false)` means another
+    /// recalibration was in flight (or the policy declined); the failure
+    /// stays recorded and the watchdog retries the reroute at its next
+    /// interval for as long as the live plan touches a failed tile.
+    /// Reporting an already-failed tile is idempotent and re-runs the
+    /// consultation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Server`] for an out-of-range model index, an
+    /// unsharded model, or a tile the plan does not have — and when every
+    /// tile has failed (the server refuses to shrink onto nothing; the
+    /// stale plan stays live).
+    pub fn fail_tile(&self, index: usize, tile: usize) -> Result<bool, CoreError> {
+        if index >= self.shared.models.len() {
+            return Err(CoreError::Server(format!(
+                "no model {index} (server holds {})",
+                self.shared.models.len()
+            )));
+        }
+        let served = &self.shared.models[index];
+        let live = served.snapshot();
+        let Some(plan) = live.plan.as_deref() else {
+            return Err(CoreError::Server(format!(
+                "model {index} is unsharded: no tile to fail"
+            )));
+        };
+        if tile >= plan.tiles() {
+            return Err(CoreError::Server(format!(
+                "no tile {tile} to fail (model {index} has {})",
+                plan.tiles()
+            )));
+        }
+        {
+            let mut failed = served
+                .failed_tiles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if !failed.contains(&tile) {
+                failed.push(tile);
+                failed.sort_unstable();
+            }
+        }
+        recalibrate_model(&self.shared, index, RecalTrigger::Fault, &[])
+    }
+
+    /// Tiles of the model at `index` reported dead via
+    /// [`RaellaServer::fail_tile`] so far, ascending (empty for an
+    /// unsharded model or while everything is healthy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn failed_tiles(&self, index: usize) -> Vec<usize> {
+        assert!(index < self.shared.models.len(), "no model {index}");
+        self.shared.models[index]
+            .failed_tiles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Cumulative programmed cells per tile for the model at `index`
+    /// (index = tile; empty for an unsharded model): the build-time
+    /// placement plus every recalibration's writes under the base plan —
+    /// the wear signal [`crate::policy::WearAwarePolicy`] levels
+    /// against. Also surfaced by [`ServerMetrics::tile_writes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn tile_writes(&self, index: usize) -> Vec<u64> {
+        assert!(index < self.shared.models.len(), "no model {index}");
+        self.shared.models[index]
+            .tile_writes
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Per-tile statistics aggregated over every request the model at
@@ -2929,6 +3337,7 @@ mod tests {
             model: 0,
             age: 0,
             generation: 0,
+            layer_gens: Arc::new(Vec::new()),
             queue_ticks: 0,
             compute_ticks: 0,
             batch_size: 1,

@@ -204,15 +204,16 @@ impl ShardPlan {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Shard`] describing the first mismatch.
+    /// Returns [`CoreError::PlanMismatch`] carrying both fingerprints when
+    /// the plan was built for a different graph, and [`CoreError::Shard`]
+    /// describing the first structural mismatch otherwise.
     pub fn check_model(&self, model: &CompiledModel) -> Result<(), CoreError> {
         let fp = model.graph().fingerprint();
         if self.model_fp != fp {
-            return Err(CoreError::Shard(format!(
-                "plan was built for a different model \
-                 (plan fingerprint {:#018x}, model {fp:#018x})",
-                self.model_fp
-            )));
+            return Err(CoreError::PlanMismatch {
+                expected: self.model_fp,
+                found: fp,
+            });
         }
         let layers = model.compiled_layers();
         if self.placements.len() != layers.len() {
@@ -258,11 +259,15 @@ impl ShardPlan {
     /// the recalibration move: evacuate degraded tiles onto spares
     /// without re-deciding the row-group partition.
     ///
+    /// An identity map (`map[t] == t` for every tile) is a documented
+    /// no-op: the remapped plan compares equal to `self`.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Shard`] when `map` does not have exactly one
     /// entry per current tile, when a mapped tile is out of range, or
-    /// when the remapped plan fails [`ShardPlan::check_model`].
+    /// when the remapped plan fails [`ShardPlan::check_model`]
+    /// ([`CoreError::PlanMismatch`] for a foreign model).
     pub fn remap_tiles(
         &self,
         model: &CompiledModel,
@@ -298,12 +303,64 @@ impl ShardPlan {
     /// count — the simplest whole-array migration (each layer moves to
     /// freshly-programmed crossbars; tile count and splits unchanged).
     ///
+    /// The shift wraps: `shift >= tiles` rotates by `shift % tiles`, so
+    /// any whole multiple of the tile count (including `shift == tiles`)
+    /// is a documented no-op — the rotated plan compares equal to `self`.
+    ///
     /// # Errors
     ///
     /// Same as [`ShardPlan::remap_tiles`].
     pub fn rotated(&self, model: &CompiledModel, shift: usize) -> Result<ShardPlan, CoreError> {
         let map: Vec<usize> = (0..self.tiles).map(|t| (t + shift) % self.tiles).collect();
         self.remap_tiles(model, &map, self.tiles)
+    }
+
+    /// Shrinks the placement onto `survivors` — the tile-failure move:
+    /// re-place the whole model across only the surviving tiles, keeping
+    /// the plan's tile *count* (dead tiles stay addressable, they just
+    /// hold nothing), so server-side per-tile accounting never resizes.
+    ///
+    /// The row-group partition depends only on the tile geometry's row
+    /// budget, never on how many tiles exist, so the shrunk placement is
+    /// bit-identical to a from-scratch [`ShardPlan::place`] over
+    /// `survivors.len()` tiles with tile `j` renumbered to
+    /// `survivors[j]` — and the exact `i64` partial-sum reduction (and
+    /// therefore every served byte) is unchanged by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shard`] naming the offending entry when
+    /// `survivors` is empty, repeats a tile, or names a tile the plan
+    /// does not have, and [`CoreError::PlanMismatch`] for a foreign
+    /// model.
+    pub fn shrink_onto(
+        &self,
+        model: &CompiledModel,
+        survivors: &[usize],
+    ) -> Result<ShardPlan, CoreError> {
+        self.check_model(model)?;
+        if survivors.is_empty() {
+            return Err(CoreError::Shard(
+                "a shrunk plan needs at least one surviving tile".into(),
+            ));
+        }
+        for (i, &t) in survivors.iter().enumerate() {
+            if t >= self.tiles {
+                return Err(CoreError::Shard(format!(
+                    "survivor entry {i} names missing tile {t} (plan has {} tiles)",
+                    self.tiles
+                )));
+            }
+            if survivors[..i].contains(&t) {
+                return Err(CoreError::Shard(format!(
+                    "survivor entry {i} repeats tile {t}"
+                )));
+            }
+        }
+        // From-scratch placement over the survivors, renumbered into the
+        // original tile namespace: fresh tile j lives on survivors[j].
+        ShardPlan::place(model, survivors.len(), self.tile)?
+            .remap_tiles(model, survivors, self.tiles)
     }
 
     /// Number of tiles in the placement.
@@ -370,6 +427,37 @@ impl ShardPlan {
             }
         }
         views
+    }
+
+    /// Programmed cells per tile under this placement — the write cost of
+    /// programming the whole model onto the array (index = tile; dead or
+    /// empty tiles report 0). Equals the `cells` field of
+    /// [`ShardPlan::tile_views`], without materializing the views; the
+    /// server's per-tile wear counters advance by these amounts on every
+    /// (re)programming event.
+    pub fn tile_cells(&self, model: &CompiledModel) -> Vec<u64> {
+        let all: Vec<usize> = (0..self.placements.len()).collect();
+        self.tile_cells_for_layers(model, &all)
+    }
+
+    /// Programmed cells per tile counting only the named layers — the
+    /// write cost of a *partial* reprogram
+    /// ([`CompiledModel::reprogram_layers`]) that refreshes just those
+    /// layers in place. Layer indices out of range are ignored.
+    pub fn tile_cells_for_layers(&self, model: &CompiledModel, layers: &[usize]) -> Vec<u64> {
+        let compiled = model.compiled_layers();
+        let mut cells = vec![0u64; self.tiles];
+        for &i in layers {
+            let (Some(placement), Some(layer)) = (self.placements.get(i), compiled.get(i)) else {
+                continue;
+            };
+            let columns_per_group = (layer.filters() * layer.columns_per_filter()) as u64;
+            for slice in &placement.slices {
+                cells[slice.tile] +=
+                    layer.rows_for_groups(slice.groups.clone()) as u64 * columns_per_group;
+            }
+        }
+        cells
     }
 
     /// Runs one image through `model` under this placement, returning the
@@ -1104,12 +1192,18 @@ mod tests {
         assert_eq!(plan_b.placements().len(), compile().compiled_layers().len());
 
         let mut sharded = ShardedModel::new(compile(), 3, tile).unwrap();
+        let expected_fp = plan_b.model_fingerprint();
+        let found_fp = sharded.model().graph().fingerprint();
         let err = sharded.install_plan(plan_b).unwrap_err();
         match err {
-            CoreError::Shard(msg) => {
-                assert!(msg.contains("different model"), "unhelpful error: {msg}")
+            CoreError::PlanMismatch { expected, found } => {
+                assert_eq!(expected, expected_fp);
+                assert_eq!(found, found_fp);
+                assert_ne!(expected, found);
+                let msg = err.to_string();
+                assert!(msg.contains("different model"), "unhelpful error: {msg}");
             }
-            other => panic!("expected Shard error, got {other:?}"),
+            other => panic!("expected PlanMismatch error, got {other:?}"),
         }
         // Failed install leaves the current plan untouched.
         assert_eq!(sharded.plan().tiles(), 3);
@@ -1198,6 +1292,126 @@ mod tests {
         };
         assert_eq!(epoch(&fresh_stats), 0);
         assert!(epoch(&aged_stats) > 0, "age 100 must advance the epoch");
+    }
+
+    #[test]
+    fn rotation_wraps_and_identity_remap_is_a_no_op() {
+        let model = compile();
+        let plan = ShardPlan::place(&model, 3, TileSpec::new(64, 64)).unwrap();
+        // shift == tiles (and any multiple) wraps to the identity.
+        assert_eq!(plan.rotated(&model, 3).unwrap(), plan);
+        assert_eq!(plan.rotated(&model, 6).unwrap(), plan);
+        // shift >= tiles rotates by shift % tiles.
+        assert_eq!(
+            plan.rotated(&model, 4).unwrap(),
+            plan.rotated(&model, 1).unwrap()
+        );
+        // An identity map is a documented no-op.
+        assert_eq!(plan.remap_tiles(&model, &[0, 1, 2], 3).unwrap(), plan);
+    }
+
+    #[test]
+    fn shrink_onto_matches_from_scratch_placement_and_bytes() {
+        let model = compile();
+        let tile = TileSpec::new(64, 64);
+        let plan = ShardPlan::place(&model, 3, tile).unwrap();
+        let survivors = [0usize, 2];
+        let shrunk = plan.shrink_onto(&model, &survivors).unwrap();
+
+        // Tile namespace is preserved: the dead tile stays addressable.
+        assert_eq!(shrunk.tiles(), 3);
+        // ... but holds nothing.
+        let views = shrunk.tile_views(&model);
+        assert_eq!(views[1].cells(), 0);
+        assert!(views[1].resident_layers().is_empty());
+
+        // Bit-identical to a from-scratch placement over the survivors,
+        // renumbered through the survivor list.
+        let scratch = ShardPlan::place(&model, survivors.len(), tile).unwrap();
+        for (s_placed, f_placed) in shrunk.placements().iter().zip(scratch.placements()) {
+            for (s, f) in s_placed.slices().iter().zip(f_placed.slices()) {
+                assert_eq!(s.tile, survivors[f.tile]);
+                assert_eq!(s.groups, f.groups);
+            }
+        }
+
+        // The reduction (and the served bytes) are unchanged.
+        let img = image(7);
+        let mut arena = ValueArena::new();
+        let (base_out, base_stats) = plan
+            .run_image_in_at_age(&model, &img, &mut arena, false, 0)
+            .unwrap();
+        let (shrunk_out, shrunk_stats) = shrunk
+            .run_image_in_at_age(&model, &img, &mut arena, false, 0)
+            .unwrap();
+        assert_eq!(base_out, shrunk_out);
+        assert_eq!(shrunk_stats.len(), 3);
+        assert_eq!(shrunk_stats[1], RunStats::default(), "dead tile ran work");
+        let merge = |buckets: &[RunStats]| {
+            let mut m = RunStats::default();
+            for b in buckets {
+                m.merge(b);
+            }
+            m
+        };
+        assert_eq!(merge(&base_stats), merge(&shrunk_stats));
+    }
+
+    #[test]
+    fn shrink_onto_names_the_offending_survivor_entry() {
+        let model = compile();
+        let plan = ShardPlan::place(&model, 3, TileSpec::new(64, 64)).unwrap();
+        match plan.shrink_onto(&model, &[]) {
+            Err(CoreError::Shard(msg)) => assert!(msg.contains("at least one"), "{msg}"),
+            other => panic!("expected Shard error, got {other:?}"),
+        }
+        // A survivor naming a missing tile is called out by entry index.
+        match plan.shrink_onto(&model, &[0, 7]) {
+            Err(CoreError::Shard(msg)) => {
+                assert!(msg.contains("entry 1"), "{msg}");
+                assert!(msg.contains("missing tile 7"), "{msg}");
+            }
+            other => panic!("expected Shard error, got {other:?}"),
+        }
+        match plan.shrink_onto(&model, &[2, 0, 2]) {
+            Err(CoreError::Shard(msg)) => {
+                assert!(msg.contains("entry 2"), "{msg}");
+                assert!(msg.contains("repeats tile 2"), "{msg}");
+            }
+            other => panic!("expected Shard error, got {other:?}"),
+        }
+        // A foreign model is a fingerprint mismatch, not a survivor error.
+        let model_b = CompiledModel::compile_with_cache(
+            &long_filter_graph_variant(),
+            &cfg(),
+            &crate::compiler::SharedCompileCache::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            plan.shrink_onto(&model_b, &[0, 1]),
+            Err(CoreError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tile_cells_agree_with_tile_views() {
+        let model = compile();
+        let plan = ShardPlan::place(&model, 3, TileSpec::new(64, 64)).unwrap();
+        let views = plan.tile_views(&model);
+        let cells = plan.tile_cells(&model);
+        assert_eq!(cells.len(), 3);
+        for (view, &c) in views.iter().zip(&cells) {
+            assert_eq!(view.cells(), c, "tile {}", view.tile());
+        }
+        assert!(cells.iter().sum::<u64>() > 0);
+        // Per-layer restriction partitions the total.
+        let fc1 = plan.tile_cells_for_layers(&model, &[0]);
+        let fc2 = plan.tile_cells_for_layers(&model, &[1]);
+        for t in 0..3 {
+            assert_eq!(fc1[t] + fc2[t], cells[t], "tile {t}");
+        }
+        // Out-of-range layer indices are ignored.
+        assert_eq!(plan.tile_cells_for_layers(&model, &[9]), vec![0, 0, 0]);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! The `RecalibrationPolicy` surface, end to end: custom policies drive
+//! the server's recalibration machinery — targeted per-layer refreshes
+//! replay offline through `reprogram_to(layer_generations)`, the
+//! wear-aware policy's writes are accounted per tile, a declining policy
+//! leaves the generation alone, and malformed actions (survivor lists
+//! keeping a failed tile, empty or out-of-range layer lists) surface as
+//! errors instead of corrupting the live plan.
+
+use std::sync::{Arc, Mutex};
+
+use raella_arch::tile::TileSpec;
+use raella_core::compiler::SharedCompileCache;
+use raella_core::model::CompiledModel;
+use raella_core::server::RaellaServer;
+use raella_core::{
+    DeviceLifetime, RaellaConfig, RecalContext, RecalTrigger, RecalibrationAction,
+    RecalibrationPolicy,
+};
+use raella_nn::graph::Graph;
+use raella_nn::rng::SynthRng;
+use raella_nn::synth::SynthLayer;
+use raella_nn::tensor::Tensor;
+
+/// Two compiled layers; the 150-row first layer row-splits across
+/// 64-row tiles so a 3-tile plan has real slice structure.
+fn graph() -> Graph {
+    let mut g = Graph::new();
+    let input = g.input();
+    let gap = g.global_avg_pool(input);
+    let fc1 = g.linear(gap, SynthLayer::linear(150, 8, 3).build());
+    let fc2 = g.linear(fc1, SynthLayer::linear(8, 4, 5).build());
+    g.set_output(fc2);
+    g
+}
+
+fn cfg() -> RaellaConfig {
+    RaellaConfig {
+        crossbar_rows: 64,
+        crossbar_cols: 64,
+        search_vectors: 2,
+        ..RaellaConfig::default()
+    }
+}
+
+fn image(seed: u64) -> Tensor<u8> {
+    let mut rng = SynthRng::new(seed);
+    let data: Vec<u8> = (0..150 * 2 * 2)
+        .map(|_| rng.exponential(30.0).min(255.0) as u8)
+        .collect();
+    Tensor::from_vec(data, &[150, 2, 2]).expect("consistent image")
+}
+
+fn builder(cfg: &RaellaConfig, cache: &SharedCompileCache) -> raella_core::ServerBuilder {
+    RaellaServer::builder()
+        .model(&graph(), cfg)
+        .compile_cache(cache.clone())
+        .workers(2)
+        .max_batch(2)
+        .latency_budget_ticks(0)
+        .shards(3)
+        .tile_spec(TileSpec::new(64, 64))
+}
+
+/// Always refreshes exactly the layers it was built with.
+#[derive(Debug)]
+struct RefreshLayers(Vec<usize>);
+
+impl RecalibrationPolicy for RefreshLayers {
+    fn decide(&self, _ctx: &RecalContext<'_>) -> RecalibrationAction {
+        RecalibrationAction::ReprogramLayers {
+            layers: self.0.clone(),
+        }
+    }
+}
+
+/// What the [`Observer`] policy saw at one consultation.
+#[derive(Debug)]
+struct Consultation {
+    trigger: RecalTrigger,
+    layer_count: usize,
+    tile_writes: Vec<u64>,
+    tile_cells: Vec<u64>,
+    survivors: Vec<usize>,
+    has_plan: bool,
+}
+
+/// Records every consultation and declines to act.
+#[derive(Debug, Default)]
+struct Observer {
+    seen: Mutex<Vec<Consultation>>,
+}
+
+impl RecalibrationPolicy for Observer {
+    fn decide(&self, ctx: &RecalContext<'_>) -> RecalibrationAction {
+        self.seen.lock().expect("observer lock").push(Consultation {
+            trigger: ctx.trigger,
+            layer_count: ctx.layer_count,
+            tile_writes: ctx.tile_writes.to_vec(),
+            tile_cells: ctx.tile_cells.to_vec(),
+            survivors: ctx.survivors(),
+            has_plan: ctx.plan.is_some(),
+        });
+        RecalibrationAction::None
+    }
+}
+
+/// Insists on keeping every tile — including failed ones.
+#[derive(Debug)]
+struct KeepEverything;
+
+impl RecalibrationPolicy for KeepEverything {
+    fn decide(&self, ctx: &RecalContext<'_>) -> RecalibrationAction {
+        RecalibrationAction::Shrink {
+            survivors: (0..ctx.tile_writes.len()).collect(),
+        }
+    }
+}
+
+#[test]
+fn targeted_refresh_swaps_one_layer_and_replays_via_layer_generations() {
+    // Drifting device stuck in epoch 0 (enormous drift interval): ages
+    // advance with traffic, the targeted refresh must NOT reset them.
+    let drift_cfg = cfg()
+        .with_noise(0.05)
+        .with_lifetime(DeviceLifetime::new(0.3, 0.5, 1_000_000));
+    let cache = SharedCompileCache::new();
+    let server = builder(&drift_cfg, &cache)
+        .recalibration_policy(RefreshLayers(vec![0]))
+        .build()
+        .expect("server builds");
+    let base =
+        CompiledModel::compile_with_cache(&graph(), &drift_cfg, &cache).expect("base compiles");
+
+    let pool: Vec<Tensor<u8>> = (0..3u64).map(image).collect();
+    let mut log = Vec::new();
+    for (i, img) in pool.iter().enumerate() {
+        let resp = server
+            .submit(img.clone())
+            .expect("admits")
+            .wait()
+            .expect("completes");
+        assert_eq!(resp.generation(), 0);
+        assert_eq!(resp.layer_generations(), &[0, 0]);
+        log.push((i, resp));
+    }
+
+    let age_before = server.device_age(0);
+    assert!(age_before > 0, "drifting traffic must age the device");
+    let writes_before = server.tile_writes(0);
+    assert!(
+        server.recalibrate(0).expect("manual recalibration"),
+        "the policy ordered a refresh"
+    );
+    assert_eq!(server.generation(0), 1);
+    assert_eq!(
+        server.device_age(0),
+        age_before,
+        "a targeted refresh leaves the un-refreshed layers' age alone"
+    );
+
+    // Wear accounting: only layer 0's cells were rewritten.
+    let live_model = server.model(0);
+    let live_plan = server.shard_plan(0).expect("sharded");
+    let expected_delta = live_plan.tile_cells_for_layers(&live_model, &[0]);
+    let writes_after = server.tile_writes(0);
+    for (t, (after, before)) in writes_after.iter().zip(&writes_before).enumerate() {
+        assert_eq!(
+            after - before,
+            expected_delta[t],
+            "tile {t} wear must grow by exactly layer 0's resident cells"
+        );
+    }
+
+    for (i, img) in pool.iter().enumerate() {
+        let resp = server
+            .submit(img.clone())
+            .expect("admits")
+            .wait()
+            .expect("completes");
+        assert_eq!(resp.generation(), 1);
+        assert_eq!(
+            resp.layer_generations(),
+            &[1, 0],
+            "only layer 0 moved to generation 1"
+        );
+        log.push((i, resp));
+    }
+    server.shutdown();
+
+    // Offline replay: rebuild each response's exact per-layer programming
+    // from its layer-generation vector, then rerun at its device age.
+    for (i, (idx, resp)) in log.iter().enumerate() {
+        let reference = base
+            .reprogram_to(resp.layer_generations())
+            .expect("per-layer replay model");
+        let (want, want_stats) = reference
+            .run_image_at_age(&pool[*idx], resp.age())
+            .expect("replay runs");
+        assert_eq!(resp.output(), &want, "response {i} must replay bit-for-bit");
+        assert_eq!(resp.stats(), &want_stats, "response {i} stats");
+    }
+}
+
+#[test]
+fn wear_aware_policy_accounts_full_reprogram_writes_per_tile() {
+    let cache = SharedCompileCache::new();
+    let server = builder(&cfg(), &cache)
+        .recalibration_policy(raella_core::WearAwarePolicy::new())
+        .build()
+        .expect("server builds");
+    let base = CompiledModel::compile_with_cache(&graph(), &cfg(), &cache).expect("base compiles");
+
+    let img = image(7);
+    let before = server
+        .submit(img.clone())
+        .expect("admits")
+        .wait()
+        .expect("completes");
+    assert_eq!(before.generation(), 0);
+
+    let writes_before = server.tile_writes(0);
+    assert!(server.recalibrate(0).expect("manual recalibration"));
+    assert_eq!(server.generation(0), 1);
+
+    // A full wear-aware reprogram rewrites every resident cell of the
+    // (possibly remapped) plan; the per-tile counters say exactly that.
+    let live_model = server.model(0);
+    let live_plan = server.shard_plan(0).expect("sharded");
+    let delta = live_plan.tile_cells(&live_model);
+    let writes_after = server.tile_writes(0);
+    for (t, (after, bef)) in writes_after.iter().zip(&writes_before).enumerate() {
+        assert_eq!(after - bef, delta[t], "tile {t} wear delta");
+    }
+    assert_eq!(server.metrics().tile_writes()[0], writes_after);
+
+    let after = server
+        .submit(img.clone())
+        .expect("admits")
+        .wait()
+        .expect("completes");
+    assert_eq!(after.generation(), 1);
+    server.shutdown();
+
+    // Placement is pure scheduling: both generations replay against the
+    // unsharded reference regardless of where the wear map put layers.
+    for resp in [&before, &after] {
+        let reference = base.reprogram(resp.generation()).expect("reprograms");
+        let (want, want_stats) = reference
+            .run_image_at_age(&img, resp.age())
+            .expect("replay runs");
+        assert_eq!(resp.output(), &want);
+        assert_eq!(resp.stats(), &want_stats);
+    }
+}
+
+#[test]
+fn declining_policy_sees_full_context_and_changes_nothing() {
+    let observer = Arc::new(Observer::default());
+    let cache = SharedCompileCache::new();
+    let server = builder(&cfg(), &cache)
+        .recalibration_policy(Arc::clone(&observer))
+        .build()
+        .expect("server builds");
+
+    assert!(
+        !server.recalibrate(0).expect("consultation succeeds"),
+        "a declining policy must not swap"
+    );
+    assert_eq!(server.generation(0), 0);
+    assert_eq!(server.metrics().recalibrations(), 0);
+
+    let seen = observer.seen.lock().expect("observer lock");
+    assert_eq!(seen.len(), 1, "one consultation per trigger");
+    let c = &seen[0];
+    assert_eq!(c.trigger, RecalTrigger::Manual);
+    assert_eq!(c.layer_count, 2);
+    assert_eq!(c.tile_writes.len(), 3);
+    assert!(
+        c.tile_writes.iter().all(|&w| w > 0),
+        "build-time programming seeds the wear counters: {:?}",
+        c.tile_writes
+    );
+    assert_eq!(c.tile_cells.len(), 3);
+    assert_eq!(
+        c.tile_writes, c.tile_cells,
+        "no recalibration has happened yet"
+    );
+    assert_eq!(c.survivors, &[0, 1, 2]);
+    assert!(c.has_plan);
+    drop(seen);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_actions_error_without_corrupting_the_live_plan() {
+    // A survivor list that keeps the failed tile is rejected…
+    let cache = SharedCompileCache::new();
+    let server = builder(&cfg(), &cache)
+        .recalibration_policy(KeepEverything)
+        .build()
+        .expect("server builds");
+    let err = server.fail_tile(0, 1).expect_err("kept a failed tile");
+    assert!(
+        err.to_string().contains("failed tile 1"),
+        "error names the kept tile: {err}"
+    );
+    // …and the failure stays recorded for the next (sane) consultation,
+    // while the live plan is untouched.
+    assert_eq!(server.failed_tiles(0), vec![1]);
+    assert_eq!(server.generation(0), 0);
+    let plan = server.shard_plan(0).expect("sharded");
+    assert!(plan.tile_views(&server.model(0))[1].cells() > 0);
+    server.shutdown();
+
+    // Empty and out-of-range layer lists are rejected too.
+    for (layers, needle) in [(vec![], "named no layers"), (vec![9], "layer 9")] {
+        let cache = SharedCompileCache::new();
+        let server = builder(&cfg(), &cache)
+            .recalibration_policy(RefreshLayers(layers))
+            .build()
+            .expect("server builds");
+        let err = server.recalibrate(0).expect_err("malformed layer list");
+        assert!(
+            err.to_string().contains(needle),
+            "error explains the malformed list: {err}"
+        );
+        assert_eq!(server.generation(0), 0);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn fail_tile_validates_model_plan_and_tile() {
+    // Unsharded servers have no tiles to fail.
+    let cache = SharedCompileCache::new();
+    let server = RaellaServer::builder()
+        .model(&graph(), &cfg())
+        .compile_cache(cache.clone())
+        .workers(1)
+        .build()
+        .expect("unsharded server builds");
+    assert!(server.fail_tile(0, 0).is_err(), "unsharded has no tiles");
+    server.shutdown();
+
+    // Out-of-range tiles are named; losing every tile is refused (the
+    // last failure cannot shrink onto an empty survivor set).
+    let cache = SharedCompileCache::new();
+    let server = builder(&cfg(), &cache).build().expect("server builds");
+    assert!(server.fail_tile(0, 99).is_err(), "tile 99 does not exist");
+    assert!(server.fail_tile(0, 0).expect("first failure shrinks"));
+    assert!(server.fail_tile(0, 2).expect("second failure shrinks"));
+    assert_eq!(server.failed_tiles(0), vec![0, 2]);
+    let views = server
+        .shard_plan(0)
+        .expect("sharded")
+        .tile_views(&server.model(0));
+    assert_eq!(views[0].cells(), 0);
+    assert_eq!(views[2].cells(), 0);
+    assert!(
+        views[1].cells() > 0,
+        "everything lives on the last survivor"
+    );
+    assert!(
+        server.fail_tile(0, 1).is_err(),
+        "no tiles left to shrink onto"
+    );
+    assert_eq!(server.metrics().shrink_recalibrations(), 2);
+    server.shutdown();
+}

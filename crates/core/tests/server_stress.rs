@@ -663,3 +663,158 @@ fn watchdog_recalibrates_under_racing_load_without_stranding_requests() {
     }
     server.shutdown();
 }
+
+#[test]
+fn fault_drill_kills_a_tile_under_racing_load_with_zero_rejections() {
+    // The tile-mortality drill: under 4 racing submitters, tile 1 of the
+    // drifting 3-tile server is reported dead mid-serving. The default
+    // policy must shrink the plan onto the survivors (a full reprogram,
+    // so responses keep self-describing via (generation, age)), with
+    // zero drain and zero rejections — every accepted request completes
+    // and replays offline bit-for-bit.
+    let graph = long_graph();
+    let mut drift_cfg = cfg()
+        .with_noise(0.05)
+        .with_lifetime(DeviceLifetime::new(0.15, 0.5, 2));
+    drift_cfg.error_budget = 20.0;
+    let cache = SharedCompileCache::new();
+    let server = RaellaServer::builder()
+        .model(&graph, &drift_cfg)
+        .compile_cache(cache.clone())
+        .workers(3)
+        .max_batch(2)
+        .latency_budget_ticks(0)
+        .shards(3)
+        .tile_spec(TileSpec::new(64, 64))
+        .watchdog_interval(3)
+        .watchdog_vectors(2)
+        .build()
+        .expect("drifting sharded server builds");
+    let base =
+        CompiledModel::compile_with_cache(&graph, &drift_cfg, &cache).expect("baseline compiles");
+
+    const SUBMITTERS: usize = 4;
+    const ROUNDS: usize = 8;
+    const IMAGES: usize = 3;
+    const DEAD_TILE: usize = 1;
+    let pool: Vec<Tensor<u8>> = (0..IMAGES as u64).map(long_image).collect();
+    let initial_writes = server.tile_writes(0);
+    assert_eq!(initial_writes.len(), 3, "one wear counter per tile");
+    assert!(
+        initial_writes.iter().all(|&w| w > 0),
+        "build-time programming wears every tile: {initial_writes:?}"
+    );
+
+    let mut log: Vec<(usize, raella_core::Response)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for submitter in 0..SUBMITTERS {
+            let server = &server;
+            let pool = &pool;
+            workers.push(scope.spawn(move || {
+                let mut got = Vec::new();
+                for round in 0..ROUNDS {
+                    // Submitter 0 kills the tile midway through the race,
+                    // retrying while a concurrent watchdog recalibration
+                    // holds the guard (reporting is idempotent).
+                    if submitter == 0 && round == ROUNDS / 2 {
+                        loop {
+                            match server.fail_tile(0, DEAD_TILE) {
+                                Ok(true) => break,
+                                Ok(false) => std::thread::yield_now(),
+                                Err(e) => panic!("fault injection failed: {e}"),
+                            }
+                        }
+                    }
+                    let idx = (submitter + round) % IMAGES;
+                    let resp = server
+                        .submit(pool[idx].clone())
+                        .expect("unbounded submit admits")
+                        .wait()
+                        .expect("request completes across the reroute");
+                    got.push((idx, resp));
+                }
+                got
+            }));
+        }
+        for worker in workers {
+            log.extend(worker.join().expect("submitter thread completes"));
+        }
+    });
+    assert_eq!(log.len(), SUBMITTERS * ROUNDS, "every handle resolved");
+    server.shutdown(); // joins the workers: counters are quiescent below
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.rejected(), 0, "the reroute rejected a request");
+    assert_eq!(metrics.accepted() as usize, SUBMITTERS * ROUNDS);
+    assert!(
+        metrics.shrink_recalibrations() >= 1,
+        "killing a tile must shrink the plan at least once: {metrics:?}"
+    );
+    assert!(metrics.recalibrations() >= metrics.shrink_recalibrations());
+    assert_eq!(metrics.failed_tiles()[0], vec![DEAD_TILE]);
+    assert_eq!(server.failed_tiles(0), vec![DEAD_TILE]);
+
+    // The live plan routes around the dead tile, and the shrunk
+    // placement is bit-identical to a from-scratch placement over the
+    // survivors (renumbered), by `shrink_onto`'s contract.
+    let live_model = server.model(0);
+    let live_plan = server.shard_plan(0).expect("sharded");
+    let views = live_plan.tile_views(&live_model);
+    assert_eq!(views[DEAD_TILE].cells(), 0, "dead tile still holds cells");
+    assert!(views[DEAD_TILE].resident_layers().is_empty());
+    let scratch = raella_core::ShardPlan::place(&live_model, 2, TileSpec::new(64, 64))
+        .expect("from-scratch survivor placement");
+    let survivors = [0usize, 2];
+    for (shrunk_pl, scratch_pl) in live_plan.placements().iter().zip(scratch.placements()) {
+        for (s, f) in shrunk_pl.slices().iter().zip(scratch_pl.slices()) {
+            assert_eq!(s.tile, survivors[f.tile]);
+            assert_eq!(s.groups, f.groups);
+        }
+    }
+
+    // Wear counters are observable via ServerMetrics and grew with the
+    // recalibrations' reprogramming writes.
+    let final_writes = &metrics.tile_writes()[0];
+    assert_eq!(final_writes, &server.tile_writes(0));
+    assert!(
+        final_writes
+            .iter()
+            .zip(&initial_writes)
+            .all(|(now, then)| now >= then),
+        "wear only accumulates: {final_writes:?} vs {initial_writes:?}"
+    );
+    assert!(
+        final_writes.iter().sum::<u64>() > initial_writes.iter().sum::<u64>(),
+        "recalibrations must have written cells"
+    );
+
+    // Offline replay: every recalibration here reprograms fully, so
+    // (generation, age) reconstructs each response's exact device state.
+    let mut generations: HashMap<u64, CompiledModel> = HashMap::new();
+    for (i, (idx, resp)) in log.iter().enumerate() {
+        assert!(
+            resp.layer_generations()
+                .iter()
+                .all(|&g| g == resp.generation()),
+            "full reprograms keep layer generations uniform"
+        );
+        let reference = match resp.generation() {
+            0 => &base,
+            g => generations
+                .entry(g)
+                .or_insert_with(|| base.reprogram(g).expect("reprograms")),
+        };
+        let (want, want_stats) = reference
+            .run_image_at_age(&pool[*idx], resp.age())
+            .expect("replay runs");
+        assert_eq!(
+            resp.output(),
+            &want,
+            "response {i} (generation {}, age {}) must replay bit-for-bit",
+            resp.generation(),
+            resp.age()
+        );
+        assert_eq!(resp.stats(), &want_stats, "response {i} stats");
+    }
+}

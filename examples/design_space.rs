@@ -6,9 +6,7 @@
 //! cargo run --release --example design_space
 //! ```
 
-use raella::core::{CompiledLayer, RaellaConfig};
-use raella::energy::prices::ComponentPrices;
-use raella::nn::synth::SynthLayer;
+use raella::prelude::*;
 use raella::xbar::adc::AdcSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -22,12 +22,8 @@
 
 use std::time::Instant;
 
-use raella::arch::tile::TileSpec;
-use raella::core::model::CompiledModel;
-use raella::core::server::RaellaServer;
-use raella::core::shard::ShardedModel;
-use raella::core::{energy_config_ladder, MeterEvents, RaellaConfig, SharedCompileCache};
 use raella::nn::models::mini::mini_resnet18;
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mini = mini_resnet18(42);

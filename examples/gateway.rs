@@ -25,12 +25,8 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use raella::core::gateway::{decode_response, encode_request, next_frame, Gateway};
-use raella::core::server::RaellaServer;
-use raella::core::{RaellaConfig, SharedCompileCache};
-use raella::nn::graph::Graph;
-use raella::nn::synth::SynthLayer;
-use raella::nn::tensor::Tensor;
+use raella::core::gateway::{decode_response, encode_request, next_frame};
+use raella::prelude::*;
 
 const LEVELS: [usize; 3] = [1_000, 5_000, 10_000];
 const CONNECTIONS: usize = 50;

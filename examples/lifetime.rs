@@ -7,21 +7,17 @@
 //! model through a sharded `RaellaServer` with the watchdog enabled and
 //! watches it live-swap a reprogrammed generation onto rotated tiles —
 //! without rejecting or stranding a single in-flight request. Every
-//! response self-describes via `(generation, age)`, so the example closes
-//! by replaying one served response offline, bit-for-bit.
+//! response self-describes via `(generation, age)`, so responses replay
+//! offline, bit-for-bit. The example closes with a mortality drill: a
+//! tile is reported dead via `fail_tile`, the recalibration policy
+//! shrinks the plan onto the survivors (zero drain, zero rejections),
+//! and the post-failure response still replays exactly.
 //!
 //! ```sh
 //! cargo run --release --example lifetime
 //! ```
 
-use raella::arch::tile::TileSpec;
-use raella::core::model::CompiledModel;
-use raella::core::server::RaellaServer;
-use raella::core::{DeviceLifetime, RaellaConfig, SharedCompileCache};
-use raella::nn::graph::Graph;
-use raella::nn::rng::SynthRng;
-use raella::nn::synth::SynthLayer;
-use raella::nn::tensor::Tensor;
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 150-row layer (split across 64-row tiles) plus a small tail, on a
@@ -57,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .zip(model.compiled_layers())
             .map(|(mat, compiled)| {
-                Ok::<f64, raella::core::CoreError>(
-                    compiled.check_fidelity_at_age(mat, 4, age)?.mean_abs_error,
-                )
+                Ok::<f64, CoreError>(compiled.check_fidelity_at_age(mat, 4, age)?.mean_abs_error)
             })
             .try_fold(0.0f64, |acc, e| e.map(|v| acc.max(v)))?;
         println!(
@@ -129,6 +123,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "offline replay of the last response (generation {gen}, age {}) matches bit-for-bit",
         last.age()
+    );
+
+    // Tiles die. Report the failure and the recalibration policy shrinks
+    // the plan onto the surviving tiles — no drain, no rejections, and
+    // the shrunk placement is bit-identical to placing on the survivors
+    // from scratch, so (generation, age) replay keeps working.
+    let dead_tile = 1;
+    while !server.fail_tile(0, dead_tile)? {
+        std::thread::yield_now(); // a concurrent watchdog swap holds the guard
+    }
+    let resp = server.submit(image.clone())?.wait()?;
+    let views = server
+        .shard_plan(0)
+        .expect("the server is sharded")
+        .tile_views(&server.model(0));
+    println!(
+        "tile {dead_tile} died: plan shrunk onto survivors (generation {}), \
+         dead tile holds {} cells, {} shrink recalibration(s), 0 rejections",
+        resp.generation(),
+        views[dead_tile].cells(),
+        server.metrics().shrink_recalibrations(),
+    );
+    let replay = model.reprogram(resp.generation())?;
+    let (bytes, _) = replay.run_image_at_age(&image, resp.age())?;
+    assert_eq!(
+        resp.output(),
+        &bytes,
+        "post-failure replay must be bit-identical"
+    );
+    println!(
+        "per-tile programming wear after the drill: {:?}",
+        server.tile_writes(0)
     );
     server.shutdown();
     Ok(())

@@ -6,8 +6,7 @@
 //! cargo run --release --example noise_tolerance
 //! ```
 
-use raella::core::{CompiledLayer, RaellaConfig};
-use raella::nn::synth::SynthLayer;
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layer = SynthLayer::linear(512, 16, 0x0A15E).build();

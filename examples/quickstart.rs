@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use raella::core::{CompiledLayer, RaellaConfig};
-use raella::nn::synth::SynthLayer;
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A synthetic conv layer with realistic weight/activation statistics:

@@ -13,11 +13,10 @@ use std::time::Instant;
 
 use raella::arch::eval::evaluate_dnn;
 use raella::arch::spec::AccelSpec;
-use raella::core::server::RaellaServer;
-use raella::core::{RaellaConfig, RunStats};
 use raella::nn::graph::argmax;
 use raella::nn::models::mini::mini_resnet18;
 use raella::nn::models::shapes;
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- functional tier: does RAELLA change ResNet18's predictions? ----

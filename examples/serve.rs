@@ -15,9 +15,8 @@
 
 use std::time::Instant;
 
-use raella::core::server::RaellaServer;
-use raella::core::{RaellaConfig, SharedCompileCache};
 use raella::nn::models::mini::{mini_resnet18, mini_shufflenet_v2};
+use raella::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resnet = mini_resnet18(42);

@@ -15,13 +15,8 @@
 
 use std::time::Instant;
 
-use raella::arch::tile::TileSpec;
-use raella::core::model::CompiledModel;
-use raella::core::server::RaellaServer;
-use raella::core::shard::ShardedModel;
-use raella::core::{RaellaConfig, RunStats, SharedCompileCache};
 use raella::nn::models::mini::mini_resnet18;
-use raella::nn::tensor::Tensor;
+use raella::prelude::*;
 
 const TILES: usize = 4;
 

@@ -18,6 +18,11 @@
 //! * [`arch`] — full accelerator models (RAELLA, ISAAC, FORMS-8, TIMELY)
 //!   with mapping, replication, and the interlayer pipeline.
 //!
+//! The [`prelude`] flattens the serving surface into one import:
+//! `use raella::prelude::*;` brings in the server, gateway, shard
+//! planner, compile cache, device lifetime + recalibration policies,
+//! energy accounting, and the graph/tensor input types.
+//!
 //! # Quickstart
 //!
 //! Encode one DNN layer for RAELLA and verify that low-resolution analog
@@ -78,3 +83,29 @@ pub use raella_core as core;
 pub use raella_energy as energy;
 pub use raella_nn as nn;
 pub use raella_xbar as xbar;
+
+/// One-stop imports for the serving surface: `use raella::prelude::*;`
+///
+/// Re-exports everything a program that builds, shards, serves, meters,
+/// and recalibrates a model needs — the server front door and its async
+/// gateway, shard planning and tile geometry, the compile cache, device
+/// lifetime and the recalibration-policy surface, energy accounting, and
+/// the graph/tensor/synthetic-layer types those APIs take as input.
+/// Narrow or internal APIs (probes, ablations, wire-frame helpers) stay
+/// behind their full paths.
+pub mod prelude {
+    pub use raella_arch::tile::TileSpec;
+    pub use raella_core::{
+        block_on, energy_config_ladder, BatchResult, CompileCache, CompiledLayer, CompiledModel,
+        ComponentPrices, CoreError, DeviceLifetime, EnergyBreakdown, EnergyMeter, EnergyProfile,
+        FidelityReport, Gateway, GatewayClient, LayerBreach, LayerEnergy, LocalPool, MeterEvents,
+        MeterGeometry, RaellaConfig, RaellaEngine, RaellaServer, RecalContext, RecalTrigger,
+        RecalibrationAction, RecalibrationPolicy, RequestHandle, Response, RotatePolicy, RunStats,
+        ServerBuilder, ServerMetrics, ShardBatchResult, ShardPlan, ShardedModel,
+        SharedCompileCache, VectorScratch, WearAwarePolicy, WeightEncoding,
+    };
+    pub use raella_nn::graph::Graph;
+    pub use raella_nn::rng::SynthRng;
+    pub use raella_nn::synth::SynthLayer;
+    pub use raella_nn::tensor::Tensor;
+}
